@@ -1,0 +1,27 @@
+//! Criterion bench for ablation A1: exact ILP vs greedy augmentation on
+//! graph instances small enough for the exact solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsn_core::examples::{fig2, sib_tree};
+use rsn_synth::{augment_greedy, augment_ilp, AugmentOptions, Dataflow};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ilp_vs_greedy");
+    group.sample_size(10);
+    let networks = vec![("fig2", fig2()), ("sib_tree_1_3", sib_tree(1, 3, 4))];
+    for (name, rsn) in networks {
+        let df = Dataflow::extract(&rsn);
+        let opts = AugmentOptions::default();
+        group.bench_function(format!("{name}_greedy"), |b| {
+            b.iter(|| augment_greedy(&df, &opts))
+        });
+        group.bench_function(format!("{name}_ilp"), |b| {
+            b.iter(|| augment_ilp(&df, &opts).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: fault-tolerance metric evaluation (the dominant cost
+//! of regenerating Table I — one accessibility analysis per stuck-at
+//! fault).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsn_fault::{accessibility, analyze, effect_of, fault_universe, HardeningProfile};
+use rsn_itc02::by_name;
+use rsn_sib::generate;
+
+fn bench_single_fault(c: &mut Criterion) {
+    // One engine run (fixed point + reachability) per iteration.
+    let soc = by_name("d695").expect("embedded");
+    let rsn = generate(&soc).expect("generate");
+    let faults = fault_universe(&rsn);
+    let effect = effect_of(&rsn, &faults[7], HardeningProfile::unhardened());
+    c.bench_function("single_fault_d695", |b| {
+        b.iter(|| accessibility(&rsn, &effect))
+    });
+}
+
+fn bench_full_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric");
+    group.sample_size(10);
+    for name in ["u226", "q12710", "x1331"] {
+        let soc = by_name(name).expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        group.bench_function(name, |b| {
+            b.iter(|| analyze(&rsn, HardeningProfile::unhardened()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_fault, bench_full_metric);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion bench: the substrate solvers (SAT, LP/ILP) on synthetic
+//! instances — the engines behind BMC and the augmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsn_ilp::{solve_ilp, solve_lp, Problem};
+use rsn_sat::{Lit, Solver, Var};
+
+/// Deterministic xorshift for reproducible instances.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn random_3sat(vars: usize, clauses: usize, seed: u64) -> (usize, Vec<[Lit; 3]>) {
+    let mut rng = Rng(seed | 1);
+    let cls = (0..clauses)
+        .map(|_| {
+            [0, 1, 2].map(|_| {
+                let v = Var((rng.next() % vars as u64) as u32);
+                if rng.next().is_multiple_of(2) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+        })
+        .collect();
+    (vars, cls)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    // Under the phase-transition ratio: mostly satisfiable.
+    let (nv, clauses) = random_3sat(150, 550, 0x1234);
+    group.bench_function("3sat_150v_550c", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl.iter().copied());
+            }
+            s.solve()
+        })
+    });
+    group.finish();
+}
+
+fn assignment_lp(n: usize) -> Problem {
+    // Balanced assignment polytope: integral vertices, nontrivial pivots.
+    let mut p = Problem::new();
+    let mut rng = Rng(0xfeed_f00d);
+    let vars: Vec<Vec<_>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| p.add_var(format!("x{i}_{j}"), (rng.next() % 100) as f64, Some(1.0)))
+                .collect()
+        })
+        .collect();
+    for (i, row) in vars.iter().enumerate() {
+        p.add_eq(row.iter().map(|&v| (v, 1.0)), 1.0);
+        p.add_eq((0..n).map(|j| (vars[j][i], 1.0)), 1.0);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp");
+    group.sample_size(20);
+    for n in [6, 10] {
+        let p = assignment_lp(n);
+        group.bench_function(format!("assignment_{n}x{n}"), |b| b.iter(|| solve_lp(&p)));
+    }
+    group.finish();
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(10);
+    // Small knapsack family.
+    let mut p = Problem::new();
+    let mut rng = Rng(0xabcd);
+    let vars: Vec<_> = (0..14)
+        .map(|i| p.add_binary_var(format!("x{i}"), -((rng.next() % 50) as f64)))
+        .collect();
+    p.add_le(
+        vars.iter().map(|&v| (v, (1 + rng.next() % 20) as f64)),
+        60.0,
+    );
+    group.bench_function("knapsack_14", |b| b.iter(|| solve_ilp(&p).expect("solvable")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_lp, bench_ilp);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: fault-tolerant synthesis wall-clock per benchmark
+//! (the paper's Sec. IV-B runtime claim: the ILP finished in under 8
+//! minutes for the largest instance; our greedy solver is near-linear).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsn_itc02::by_name;
+use rsn_sib::generate;
+use rsn_synth::{synthesize, SolverChoice, SynthesisOptions};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for name in ["u226", "d695", "t512505", "p93791"] {
+        let soc = by_name(name).expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        group.bench_function(name, |b| {
+            b.iter(|| synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ilp_synthesis(c: &mut Criterion) {
+    // Exact ILP on the Fig. 2-sized example and a mid-size SoC graph.
+    let mut group = c.benchmark_group("synthesis_ilp");
+    group.sample_size(10);
+    let rsn = rsn_core::examples::fig2();
+    group.bench_function("fig2", |b| {
+        let mut opts = SynthesisOptions::new();
+        opts.solver = SolverChoice::Ilp;
+        b.iter(|| synthesize(&rsn, &opts).expect("synthesize"))
+    });
+    let soc = by_name("q12710").expect("embedded");
+    let rsn = generate(&soc).expect("generate");
+    group.bench_function("q12710", |b| {
+        let mut opts = SynthesisOptions::new();
+        opts.solver = SolverChoice::Ilp;
+        opts.augment.max_candidates = 4;
+        b.iter(|| synthesize(&rsn, &opts).expect("synthesize"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_ilp_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Regenerates Table I of the paper (and the auxiliary experiment data).
+//!
+//! ```text
+//! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
+//!        [--paper] [--ablation] [--sweep-alpha]
+//! ```
+//!
+//! Without arguments, the full table is printed over all 13 embedded
+//! benchmarks with measured accessibility and overhead values, next to the
+//! paper's reference values when `--paper` is given.
+
+use std::collections::HashSet;
+use std::env;
+use std::time::Instant;
+
+use bench::{evaluate, evaluate_weighted, evaluate_with, format_row, Row, BENCHMARKS};
+use rsn_fault::WeightModel;
+use rsn_itc02::by_name;
+use rsn_sib::generate;
+use rsn_synth::{
+    augment_greedy, augment_ilp, AugmentOptions, Dataflow, SolverChoice, SynthesisOptions,
+};
+
+fn run_double(names: &[&str]) {
+    println!("\nExtension E1: sampled double-fault accessibility (segments)");
+    println!(
+        "{:<8} {:>7} {:>11} {:>11} {:>11} {:>11}",
+        "SoC", "pairs", "orig worst", "orig avg", "ft worst", "ft avg"
+    );
+    for name in names {
+        let soc = by_name(name).expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let ft = rsn_synth::synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        // Stride scaled so each network evaluates ~2000 pairs.
+        let f_orig = rsn_fault::fault_universe(&rsn).len();
+        let f_ft = rsn_fault::fault_universe(&ft.rsn).len();
+        let orig = rsn_fault::analyze_double_sampled(
+            &rsn,
+            rsn_fault::HardeningProfile::unhardened(),
+            (f_orig * f_orig / 4000).max(1),
+        );
+        let hard = rsn_fault::analyze_double_sampled(
+            &ft.rsn,
+            rsn_fault::HardeningProfile::hardened(),
+            (f_ft * f_ft / 4000).max(1),
+        );
+        println!(
+            "{name:<8} {:>7} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
+            hard.pairs, orig.worst_segments, orig.avg_segments,
+            hard.worst_segments, hard.avg_segments
+        );
+    }
+}
+
+fn run_latency(names: &[&str]) {
+    println!("\nExperiment T1-latency: access latency (cycles) original vs fault-tolerant RSN");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "SoC", "orig avg", "ft avg", "ratio", "orig max", "ft max", "ratio"
+    );
+    for name in names {
+        let soc = by_name(name).expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let ft = rsn_synth::synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        let orig = rsn.latency_report();
+        let ftr = ft.rsn.latency_report();
+        let (oa, fa) = (orig.average(), ftr.average());
+        let (om, fm) = (
+            orig.max().unwrap_or(0) as f64,
+            ftr.max().unwrap_or(0) as f64,
+        );
+        println!(
+            "{name:<8} {oa:>10.1} {fa:>10.1} {:>8.3} {om:>10.0} {fm:>10.0} {:>8.3}",
+            fa / oa,
+            fm / om
+        );
+    }
+}
+
+fn header() {
+    println!(
+        "{:<8} {:>3} {:>2} {:>4} {:>5} {:>6} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5} {:>5}",
+        "SoC", "mod", "lv", "mux", "seg", "bits",
+        "bW", "bA", "sW", "sA",
+        "bW", "bA", "sW", "sA",
+        "mux", "bits", "nets", "area",
+    );
+    println!(
+        "{:<8} {:>3} {:>2} {:>4} {:>5} {:>6} | {:^23} | {:^27} | {:^23}",
+        "", "", "", "", "", "",
+        "SIB-RSN access.", "FT-RSN accessibility", "overhead ratios",
+    );
+    println!("{}", "-".repeat(120));
+}
+
+fn paper_row(row: &Row) -> String {
+    let p = row.paper;
+    format!(
+        "{:<8} {:>3} {:>2} {:>4} {:>5} {:>6} | {:>5.2} {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>6.3} {:>6.3} {:>6.3} | {:>5.2} {:>5.2} {:>5.2} {:>5.2}   (paper)",
+        "", p.modules, p.levels, p.mux, p.segments, p.bits,
+        0.0, p.sib_bits_avg, 0.0, p.sib_seg_avg,
+        p.ft_bits_worst, p.ft_bits_avg, p.ft_seg_worst, p.ft_seg_avg,
+        p.ratio_mux, p.ratio_bits, p.ratio_nets, p.ratio_area,
+    )
+}
+
+fn run_ablation(names: &[&str]) {
+    println!("\nAblation A1: ILP optimum vs greedy heuristic (augmentation cost)");
+    println!("{:<8} {:>10} {:>10} {:>8} {:>6}", "SoC", "ilp cost", "greedy", "gap %", "cuts");
+    for name in names {
+        let soc = by_name(name).expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let df = Dataflow::extract(&rsn);
+        if df.len() > 60 {
+            println!("{name:<8} {:>10} {:>10} {:>8} {:>6}", "-", "-", "-", "(too large for exact ILP)");
+            continue;
+        }
+        let opts = AugmentOptions::default();
+        let greedy = augment_greedy(&df, &opts);
+        let ilp = augment_ilp(&df, &opts).expect("ilp solves");
+        let gap = if ilp.cost > 0.0 {
+            100.0 * (greedy.cost - ilp.cost) / ilp.cost
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<8} {:>10.2} {:>10.2} {:>8.2} {:>6}",
+            ilp.cost, greedy.cost, gap, ilp.cut_rounds
+        );
+    }
+}
+
+fn run_alpha_sweep(names: &[&str]) {
+    println!("\nAblation A2: long-line penalty sweep (alpha) — added edges / cost / area ratio");
+    println!("{:<8} {:>6} {:>8} {:>10} {:>8}", "SoC", "alpha", "edges", "cost", "area");
+    for name in names {
+        for alpha in [0.0, 0.05, 0.1, 0.5, 1.0] {
+            let mut opts = SynthesisOptions::new();
+            opts.augment.alpha = alpha;
+            opts.solver = SolverChoice::Greedy;
+            let row = evaluate_with(name, &opts);
+            println!(
+                "{name:<8} {alpha:>6.2} {:>8} {:>10.2} {:>8.3}",
+                row.synthesis.report.added_edges,
+                row.synthesis.augmentation.cost,
+                row.overhead.area_ratio
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut names: Vec<&str> = Vec::new();
+    let mut show_paper = false;
+    let mut timing = false;
+    let mut ablation = false;
+    let mut sweep_alpha = false;
+    let mut latency = false;
+    let mut double = false;
+    let mut weights = WeightModel::Ports;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                let wanted = args.get(i).expect("--bench needs a name").clone();
+                let known: HashSet<&str> = BENCHMARKS.iter().copied().collect();
+                let name = BENCHMARKS
+                    .iter()
+                    .find(|&&b| b == wanted)
+                    .unwrap_or_else(|| panic!("unknown benchmark {wanted}; known: {known:?}"));
+                names.push(name);
+            }
+            "--paper" => show_paper = true,
+            "--timing" => timing = true,
+            "--ablation" => ablation = true,
+            "--sweep-alpha" => sweep_alpha = true,
+            "--latency" => latency = true,
+            "--double" => double = true,
+            "--weights" => {
+                i += 1;
+                weights = match args.get(i).map(String::as_str) {
+                    Some("ports") => WeightModel::Ports,
+                    Some("cells") => WeightModel::Cells,
+                    other => panic!("--weights ports|cells, got {other:?}"),
+                };
+            }
+            "--section" => {
+                i += 1; // sections are printed together; flag kept for CLI
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if names.is_empty() {
+        names = BENCHMARKS.to_vec();
+    }
+
+    if ablation {
+        run_ablation(&names);
+        return;
+    }
+    if latency {
+        run_latency(&names);
+        return;
+    }
+    if double {
+        run_double(&names);
+        return;
+    }
+    if sweep_alpha {
+        let small = if names.len() == BENCHMARKS.len() {
+            vec!["u226", "d281", "x1331"]
+        } else {
+            names.clone()
+        };
+        run_alpha_sweep(&small);
+        return;
+    }
+
+    header();
+    let t0 = Instant::now();
+    for name in &names {
+        let row = if weights == WeightModel::Ports {
+            evaluate(name)
+        } else {
+            evaluate_weighted(name, &rsn_synth::SynthesisOptions::new(), weights)
+        };
+        println!("{}", format_row(&row));
+        if show_paper {
+            println!("{}", paper_row(&row));
+        }
+        if timing {
+            println!(
+                "         synthesis {:.2?}, metric {:.2?}, faults orig {} / ft {}",
+                row.synthesis_time, row.metric_time, row.sib.fault_count, row.ft.fault_count
+            );
+        }
+    }
+    if timing {
+        println!("\ntotal wall clock: {:.2?}", t0.elapsed());
+    }
+}

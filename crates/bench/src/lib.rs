@@ -1,0 +1,158 @@
+//! Shared harness for regenerating the paper's evaluation (Table I and
+//! the figures) over the embedded ITC'02 suite.
+//!
+//! The binary `table1` prints the full table; the criterion benches in
+//! `benches/` time the pipeline stages. The functions here run one SoC
+//! through the complete flow: SIB-RSN generation → fault-tolerance metric
+//! of the original → synthesis → metric of the fault-tolerant RSN → area
+//! accounting.
+
+use std::time::{Duration, Instant};
+
+use rsn_fault::{analyze_parallel_with, FaultToleranceReport, HardeningProfile, WeightModel};
+use rsn_itc02::{by_name, TableTargets};
+use rsn_sib::generate;
+use rsn_synth::area::{costs, AreaModel, Overhead};
+use rsn_synth::{synthesize, SynthesisOptions, SynthesisResult};
+
+/// One evaluated row of Table I: characteristics, accessibility of the
+/// original and fault-tolerant RSN, and overhead ratios.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Module count of the SoC.
+    pub modules: usize,
+    /// Hierarchy levels of the RSN.
+    pub levels: usize,
+    /// Multiplexers in the original RSN.
+    pub mux: usize,
+    /// Segments in the original RSN.
+    pub segments: usize,
+    /// Scan bits in the original RSN.
+    pub bits: u64,
+    /// Metric of the original SIB-RSN.
+    pub sib: FaultToleranceReport,
+    /// Metric of the fault-tolerant RSN.
+    pub ft: FaultToleranceReport,
+    /// Overhead ratios FT/original.
+    pub overhead: Overhead,
+    /// Wall-clock time of the synthesis step.
+    pub synthesis_time: Duration,
+    /// Wall-clock time of both metric evaluations.
+    pub metric_time: Duration,
+    /// Paper reference values.
+    pub paper: &'static TableTargets,
+    /// Synthesis diagnostics.
+    pub synthesis: SynthesisResult,
+}
+
+/// Runs the full pipeline for one embedded benchmark.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the embedded benchmarks or any pipeline
+/// stage fails (the embedded suite is expected to succeed end to end).
+pub fn evaluate(name: &str) -> Row {
+    evaluate_with(name, &SynthesisOptions::new())
+}
+
+/// Runs the full pipeline with explicit synthesis options.
+///
+/// # Panics
+///
+/// See [`evaluate`].
+pub fn evaluate_with(name: &str, opts: &SynthesisOptions) -> Row {
+    evaluate_weighted(name, opts, WeightModel::Ports)
+}
+
+/// Full pipeline with an explicit fault-class weight model (experiment
+/// T1-weights: sensitivity of the averages to cell- vs port-level
+/// weighting).
+pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel) -> Row {
+    let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let paper = rsn_itc02::table_targets(name).expect("paper row exists");
+    let rsn = generate(&soc).expect("SIB generation succeeds on embedded suite");
+
+    let t0 = Instant::now();
+    let sib = analyze_parallel_with(&rsn, HardeningProfile::unhardened(), model);
+    let synth_t0 = Instant::now();
+    let synthesis = synthesize(&rsn, opts).expect("synthesis succeeds");
+    let synthesis_time = synth_t0.elapsed();
+    let ft = analyze_parallel_with(&synthesis.rsn, HardeningProfile::hardened(), model);
+    let metric_time = t0.elapsed() - synthesis_time;
+
+    let model = AreaModel::default();
+    let overhead = Overhead::between(&costs(&rsn, &model), &costs(&synthesis.rsn, &model));
+
+    Row {
+        name: name.to_string(),
+        modules: soc.modules.len(),
+        levels: soc.depth() + 1,
+        mux: rsn.muxes().count(),
+        segments: rsn.segments().count(),
+        bits: rsn.total_bits(),
+        sib,
+        ft,
+        overhead,
+        synthesis_time,
+        metric_time,
+        paper,
+        synthesis,
+    }
+}
+
+/// The 13 benchmark names in Table I order.
+pub const BENCHMARKS: [&str; 13] = [
+    "u226", "d281", "d695", "h953", "g1023", "x1331", "f2126", "q12710", "t512505",
+    "a586710", "p22081", "p34392", "p93791",
+];
+
+/// Formats a row in the layout of the paper's Table I (measured values).
+pub fn format_row(row: &Row) -> String {
+    format!(
+        "{:<8} {:>3} {:>2} {:>4} {:>5} {:>6} | {:>5.2} {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>6.3} {:>6.3} {:>6.3} | {:>5.2} {:>5.2} {:>5.2} {:>5.2}",
+        row.name,
+        row.modules,
+        row.levels,
+        row.mux,
+        row.segments,
+        row.bits,
+        row.sib.worst_bits,
+        row.sib.avg_bits,
+        row.sib.worst_segments,
+        row.sib.avg_segments,
+        row.ft.worst_bits,
+        row.ft.avg_bits,
+        row.ft.worst_segments,
+        row.ft.avg_segments,
+        row.overhead.mux_ratio,
+        row.overhead.bits_ratio,
+        row.overhead.nets_ratio,
+        row.overhead.area_ratio,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_small_benchmark_end_to_end() {
+        let row = evaluate("q12710");
+        assert_eq!(row.mux, 25);
+        assert_eq!(row.segments, 46);
+        // Paper shape: SIB worst is total disconnection, FT much better.
+        assert_eq!(row.sib.worst_segments, 0.0);
+        assert!(row.ft.worst_segments > 0.9, "{}", row.ft.worst_segments);
+        assert!(row.ft.avg_segments > row.sib.avg_segments);
+        assert!(row.overhead.mux_ratio > 1.5);
+    }
+
+    #[test]
+    fn format_row_contains_name() {
+        let row = evaluate("q12710");
+        let s = format_row(&row);
+        assert!(s.starts_with("q12710"));
+    }
+}

@@ -1,0 +1,471 @@
+//! Bounded model checking of RSN accessibility (paper Sec. II-B, III-A).
+//!
+//! This crate encodes the paper's formal RSN model
+//! `M = {S, H, I, V, C, c₀, Select, Updis, Capdis, Active}` into
+//! propositional logic and decides scan-segment accessibility by unrolling
+//! the transition relation `T` (eq. 1) for `n + 1` CSU operations:
+//!
+//! * one SAT variable per shadow-register bit per time step,
+//! * a structural *on-path* predicate per node per step (the backward
+//!   trace from the scan-out port through configured multiplexers),
+//! * configuration validity (`Select(c, s) ⇔ s on the active path`,
+//!   i.e. exactly one active scan path),
+//! * the transition relation: a shadow register may only change if its
+//!   segment is active and update is not disabled,
+//! * the three fault extensions of Sec. III-A: stuck-at constraints on
+//!   registers and signals, an adapted transition relation (a fault on the
+//!   active path propagates its stuck value into subsequent updatable
+//!   registers — encoded via per-node *taint* literals), and access
+//!   conditions that require a clean final path through the target.
+//!
+//! The BMC engine is the reference semantics used to cross-validate the
+//! fast structural engine of `rsn-fault` on small networks; it is
+//! deliberately general and makes no assumption about network shape
+//! (except that secondary scan ports are not modeled — validation runs on
+//! networks before port duplication).
+//!
+//! # Example
+//!
+//! ```
+//! use rsn_bmc::BmcChecker;
+//! use rsn_core::examples::fig2;
+//!
+//! let rsn = fig2();
+//! let mut checker = BmcChecker::new(&rsn, 2);
+//! let c = rsn.find("C").expect("segment C");
+//! assert!(checker.accessible(c));
+//! ```
+
+pub mod selects;
+
+pub use selects::{verify_select_consistency, SelectMismatch};
+
+use std::collections::HashMap;
+
+use rsn_core::{ControlExpr, NodeId, NodeKind, Rsn};
+use rsn_fault::FaultEffect;
+use rsn_sat::{CnfBuilder, Lit};
+
+/// A bounded model checker for one network and one (optional) fault,
+/// reusable across target segments through incremental solving.
+#[derive(Debug)]
+pub struct BmcChecker {
+    cnf: CnfBuilder,
+    /// `onpath[t][node]` literals.
+    onpath: Vec<Vec<Lit>>,
+    /// `taint[t][node]` literals (all-false encoding when fault-free).
+    taint: Vec<Vec<Lit>>,
+    /// Segments that lose instrument access (from the fault effect).
+    local_loss: Vec<NodeId>,
+    /// Index of the scan-out node.
+    scan_out: NodeId,
+    /// Number of CSU steps (the final configuration is step `steps`).
+    steps: usize,
+    /// Solvable at all (false if the encoding derived a contradiction).
+    feasible: bool,
+}
+
+impl BmcChecker {
+    /// Builds the fault-free model with `steps` CSU operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has secondary scan ports (not modeled).
+    pub fn new(rsn: &Rsn, steps: usize) -> Self {
+        Self::with_fault(rsn, steps, &FaultEffect::benign())
+    }
+
+    /// Builds the model of the faulty network with `steps` CSU operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has secondary scan ports (not modeled).
+    pub fn with_fault(rsn: &Rsn, steps: usize, effect: &FaultEffect) -> Self {
+        assert!(
+            rsn.secondary_scan_in().is_none() && rsn.secondary_scan_out().is_none(),
+            "BMC models networks without secondary scan ports"
+        );
+        let mut cnf = CnfBuilder::new();
+        let n_bits = rsn.shadow_bits() as usize;
+        let n_nodes = rsn.node_count();
+
+        // Shadow-register bit literals per step.
+        let bits: Vec<Vec<Lit>> = (0..=steps)
+            .map(|_| (0..n_bits).map(|_| cnf.new_lit()).collect())
+            .collect();
+        // Primary-input literals per step (inputs are freely drivable each
+        // CSU but must be consistent within a step).
+        let inputs: Vec<Vec<Lit>> = (0..=steps)
+            .map(|_| (0..rsn.num_inputs()).map(|_| cnf.new_lit()).collect())
+            .collect();
+
+        // Forced control bits (stuck shadow cells): constant at all steps.
+        for (&(node, bit), &value) in &effect.forced_bits {
+            if let Some(off) = rsn.shadow_offset(node) {
+                for step_bits in &bits {
+                    let l = step_bits[(off + bit) as usize];
+                    cnf.assert_lit(if value { l } else { !l });
+                }
+            }
+        }
+
+        // Initial configuration = reset.
+        let reset = rsn.reset_config();
+        for (i, &l) in bits[0].iter().enumerate() {
+            // Skip bits pinned by the fault (already asserted; pinning wins
+            // over reset, as a stuck cell never held the reset value).
+            let pinned = effect.forced_bits.iter().any(|(&(node, bit), _)| {
+                rsn.shadow_offset(node).map(|off| (off + bit) as usize) == Some(i)
+            });
+            if pinned {
+                continue;
+            }
+            let l = if reset.bit(i) { l } else { !l };
+            cnf.assert_lit(l);
+        }
+
+        // Corruption lookup.
+        let mut corrupt_node = vec![false; n_nodes];
+        for &c in &effect.corrupt_nodes {
+            corrupt_node[c.index()] = true;
+        }
+        let corrupt_edge: HashMap<(NodeId, usize), ()> =
+            effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
+
+        let mut onpath: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
+        let mut taint: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
+
+        for t in 0..=steps {
+            let step_bits = &bits[t];
+            // Encode a ControlExpr at this step.
+            let ctx = ExprCtx { rsn, bits: step_bits, inputs: &inputs[t] };
+
+            // Mux selected-input condition literals: cond[mux][k].
+            let mut cond: HashMap<(NodeId, usize), Lit> = HashMap::new();
+            for m in rsn.muxes() {
+                let mux = rsn.node(m).as_mux().expect("mux");
+                // Address-forced mux (stuck address net).
+                let forced = effect.forced_mux.get(&m).copied();
+                for k in 0..mux.inputs.len() {
+                    let lit = match forced {
+                        Some(fk) => cnf.constant(fk == k),
+                        None => {
+                            let mut conj = Vec::new();
+                            for (i, e) in mux.addr_bits.iter().enumerate() {
+                                let b = ctx.encode(&mut cnf, e);
+                                conj.push(if (k >> i) & 1 == 1 { b } else { !b });
+                            }
+                            cnf.and(conj)
+                        }
+                    };
+                    cond.insert((m, k), lit);
+                }
+            }
+
+            // onpath literals, defined in reverse topological order so each
+            // node's successors are already defined.
+            let mut op = vec![cnf.lit_false(); n_nodes];
+            let order: Vec<NodeId> = rsn.topo_order().iter().rev().copied().collect();
+            for &v in &order {
+                let l = match rsn.node(v).kind() {
+                    NodeKind::ScanOut if v == rsn.scan_out() => cnf.lit_true(),
+                    NodeKind::ScanOut => cnf.lit_false(),
+                    _ => {
+                        // v is on the path iff some successor w is on the
+                        // path and w's feed is v.
+                        let mut alts = Vec::new();
+                        for &w in rsn.successors(v) {
+                            match rsn.node(w).kind() {
+                                NodeKind::Mux(mux) => {
+                                    for (k, &inp) in mux.inputs.iter().enumerate() {
+                                        if inp == v {
+                                            let c = cond[&(w, k)];
+                                            let a = cnf.and([op[w.index()], c]);
+                                            alts.push(a);
+                                        }
+                                    }
+                                }
+                                _ => alts.push(op[w.index()]),
+                            }
+                        }
+                        cnf.or(alts)
+                    }
+                };
+                op[v.index()] = l;
+            }
+
+            // Validity. Fault-free: every segment's select must equal its
+            // path membership (exactly one active scan path). Under a
+            // fault, the fault itself may force mismatches: a *deselected*
+            // segment on the path does not shift and corrupts the stream
+            // (modeled as taint below); a *selected* segment off the path
+            // shifts idly and is benign for routing.
+            let mut select_lits = vec![cnf.lit_true(); n_nodes];
+            for s in rsn.segments() {
+                let sel = ctx.encode(
+                    &mut cnf,
+                    &rsn.node(s).as_segment().expect("segment").select,
+                );
+                select_lits[s.index()] = sel;
+                if effect.is_benign() {
+                    cnf.assert_eq(sel, op[s.index()]);
+                }
+            }
+
+            // taint literals in forward topological order.
+            let mut tn = vec![cnf.lit_false(); n_nodes];
+            for &v in rsn.topo_order() {
+                let mut own = cnf.constant(corrupt_node[v.index()]);
+                if !effect.is_benign() {
+                    if let NodeKind::Segment(_) = rsn.node(v).kind() {
+                        // On-path-but-deselected segments do not shift.
+                        own = cnf.or([own, !select_lits[v.index()]]);
+                    }
+                }
+                let incoming = match rsn.node(v).kind() {
+                    NodeKind::ScanIn => cnf.lit_false(),
+                    NodeKind::Mux(mux) => {
+                        let mut alts = Vec::new();
+                        for (k, &inp) in mux.inputs.iter().enumerate() {
+                            let c = cond[&(v, k)];
+                            let dirty_edge =
+                                cnf.constant(corrupt_edge.contains_key(&(v, k)));
+                            let up = cnf.or([tn[inp.index()], dirty_edge]);
+                            alts.push(cnf.and([c, up]));
+                        }
+                        cnf.or(alts)
+                    }
+                    _ => match rsn.node(v).source() {
+                        Some(u) => tn[u.index()],
+                        None => cnf.lit_false(),
+                    },
+                };
+                let dirt = cnf.or([own, incoming]);
+                tn[v.index()] = cnf.and([op[v.index()], dirt]);
+            }
+
+            onpath.push(op);
+            taint.push(tn);
+        }
+
+        // Transition relation between consecutive steps (eq. 1 with the
+        // adapted fault semantics).
+        for t in 0..steps {
+            for s in rsn.segments() {
+                let seg = rsn.node(s).as_segment().expect("segment");
+                if !seg.has_shadow {
+                    continue;
+                }
+                let off = rsn.shadow_offset(s).expect("has shadow");
+                let ctx = ExprCtx { rsn, bits: &bits[t], inputs: &inputs[t] };
+                let updis = ctx.encode(&mut cnf, &seg.update_disable);
+                let active = onpath[t][s.index()];
+                // frozen := ¬active ∨ updis  → registers keep their value.
+                let frozen = cnf.or([!active, updis]);
+                let tainted = taint[t][s.index()];
+                for b in 0..seg.length {
+                    let cur = bits[t][(off + b) as usize];
+                    let next = bits[t + 1][(off + b) as usize];
+                    cnf.assert_eq_if(frozen, cur, next);
+                    // Adapted transition: a tainted active write forces the
+                    // stuck value into the register.
+                    if let Some(stuck) = stuck_value(effect) {
+                        let writing = cnf.and([active, !updis, tainted]);
+                        let stuck_lit = cnf.constant(stuck);
+                        cnf.assert_eq_if(writing, next, stuck_lit);
+                    }
+                }
+            }
+        }
+
+        BmcChecker {
+            cnf,
+            onpath,
+            taint,
+            local_loss: effect.local_loss.clone(),
+            scan_out: rsn.scan_out(),
+            steps,
+            feasible: true,
+        }
+    }
+
+    /// Decides accessibility of `target`: is there a sequence of `steps`
+    /// valid CSU transitions after which the target lies on the active
+    /// scan path and the path is clean end to end?
+    pub fn accessible(&mut self, target: NodeId) -> bool {
+        if !self.feasible || self.local_loss.contains(&target) {
+            return false;
+        }
+        let on = self.onpath[self.steps][target.index()];
+        let clean = !self.taint[self.steps][self.scan_out.index()];
+        self.cnf.solver_mut().solve_with(&[on, clean])
+    }
+}
+
+/// The stuck value a fault propagates into registers, if the effect
+/// contains any data corruption.
+fn stuck_value(effect: &FaultEffect) -> Option<bool> {
+    // The propagated value equals the fault polarity, which the effect
+    // records. Accessibility requires *clean* final paths anyway, so the
+    // propagated value only constrains intermediate writes.
+    if effect.is_benign() {
+        None
+    } else {
+        Some(effect.stuck.unwrap_or(false))
+    }
+}
+
+struct ExprCtx<'a> {
+    rsn: &'a Rsn,
+    bits: &'a [Lit],
+    inputs: &'a [Lit],
+}
+
+impl ExprCtx<'_> {
+    fn encode(&self, cnf: &mut CnfBuilder, expr: &ControlExpr) -> Lit {
+        match expr {
+            ControlExpr::Const(b) => cnf.constant(*b),
+            ControlExpr::Reg(node, bit) => {
+                let off = self
+                    .rsn
+                    .shadow_offset(*node)
+                    .expect("validated control reference");
+                self.bits[(off + bit) as usize]
+            }
+            // Primary inputs are free per step but consistent within it.
+            ControlExpr::Input(i) => self.inputs[i.0 as usize],
+            ControlExpr::Not(e) => {
+                let l = self.encode(cnf, e);
+                !l
+            }
+            ControlExpr::And(es) => {
+                let lits: Vec<Lit> = es.iter().map(|e| self.encode(cnf, e)).collect();
+                cnf.and(lits)
+            }
+            ControlExpr::Or(es) => {
+                let lits: Vec<Lit> = es.iter().map(|e| self.encode(cnf, e)).collect();
+                cnf.or(lits)
+            }
+        }
+    }
+}
+
+/// Convenience: checks accessibility of every segment under a fault and
+/// returns the per-segment verdicts, mirroring
+/// [`rsn_fault::accessibility`] for cross-validation.
+pub fn bmc_accessibility(rsn: &Rsn, effect: &FaultEffect, steps: usize) -> Vec<(NodeId, bool)> {
+    let mut checker = BmcChecker::with_fault(rsn, steps, effect);
+    rsn.segments().map(|s| (s, checker.accessible(s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2, sib_tree};
+    use rsn_fault::{effect_of, fault_universe, HardeningProfile};
+
+    #[test]
+    fn fault_free_fig2_all_accessible() {
+        let rsn = fig2();
+        let mut checker = BmcChecker::new(&rsn, 2);
+        for s in rsn.segments() {
+            assert!(checker.accessible(s), "{}", rsn.node(s).name());
+        }
+    }
+
+    #[test]
+    fn zero_steps_only_reset_path() {
+        let rsn = fig2();
+        let mut checker = BmcChecker::new(&rsn, 0);
+        let b = rsn.find("B").expect("B");
+        let c = rsn.find("C").expect("C");
+        assert!(checker.accessible(b), "B is on the reset path");
+        assert!(!checker.accessible(c), "C needs one CSU");
+    }
+
+    #[test]
+    fn one_step_reaches_c() {
+        let rsn = fig2();
+        let mut checker = BmcChecker::new(&rsn, 1);
+        let c = rsn.find("C").expect("C");
+        assert!(checker.accessible(c));
+    }
+
+    #[test]
+    fn sib_tree_needs_depth_steps() {
+        let rsn = sib_tree(2, 2, 3);
+        let leaf = rsn
+            .segments()
+            .find(|&s| rsn.node(s).name().ends_with(".seg"))
+            .expect("leaf");
+        let mut shallow = BmcChecker::new(&rsn, 1);
+        assert!(!shallow.accessible(leaf), "needs 2 CSUs");
+        let mut deep = BmcChecker::new(&rsn, 2);
+        assert!(deep.accessible(leaf));
+    }
+
+    #[test]
+    fn chain_with_data_fault_inaccessible() {
+        let rsn = chain(3, 2);
+        let s1 = rsn.find("S1").expect("S1");
+        let faults = fault_universe(&rsn);
+        let f = faults
+            .iter()
+            .find(|f| matches!(f.site, rsn_fault::FaultSite::SegmentData(n) if n == s1))
+            .expect("exists");
+        let effect = effect_of(&rsn, f, HardeningProfile::unhardened());
+        let mut checker = BmcChecker::with_fault(&rsn, 2, &effect);
+        for s in rsn.segments() {
+            assert!(!checker.accessible(s), "single chain: all lost");
+        }
+    }
+
+    #[test]
+    fn fig2_fault_on_b_keeps_c_accessible() {
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let faults = fault_universe(&rsn);
+        let f = faults
+            .iter()
+            .find(|f| matches!(f.site, rsn_fault::FaultSite::SegmentData(n) if n == b))
+            .expect("exists");
+        let effect = effect_of(&rsn, f, HardeningProfile::unhardened());
+        let mut checker = BmcChecker::with_fault(&rsn, 2, &effect);
+        assert!(!checker.accessible(b));
+        for name in ["A", "C", "D"] {
+            let id = rsn.find(name).expect("exists");
+            assert!(checker.accessible(id), "{name}");
+        }
+    }
+
+    #[test]
+    fn bmc_agrees_with_structural_engine_on_fig2() {
+        let rsn = fig2();
+        let profile = HardeningProfile::unhardened();
+        for fault in fault_universe(&rsn) {
+            let effect = effect_of(&rsn, &fault, profile);
+            let structural = rsn_fault::accessibility(&rsn, &effect);
+            let bmc = bmc_accessibility(&rsn, &effect, 2);
+            for (s, bmc_ok) in bmc {
+                assert_eq!(
+                    structural.accessible[s.index()],
+                    bmc_ok,
+                    "fault {fault} segment {}",
+                    rsn.node(s).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_loss_is_respected() {
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let mut effect = FaultEffect::benign();
+        effect.local_loss.push(b);
+        let mut checker = BmcChecker::with_fault(&rsn, 2, &effect);
+        assert!(!checker.accessible(b));
+        let a = rsn.find("A").expect("A");
+        assert!(checker.accessible(a));
+    }
+}

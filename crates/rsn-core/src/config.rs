@@ -1,0 +1,173 @@
+//! Scan configurations: the state of all shadow registers and primary
+//! inputs.
+//!
+//! A [`Config`] corresponds to one element of the set `C = {0,1}^|D|` of the
+//! paper's formal model, where `D = H ∪ I` is the union of shadow registers
+//! and primary inputs.
+
+use std::fmt;
+
+use crate::expr::InputId;
+
+/// Assignment of values to every shadow-register bit and primary input.
+///
+/// Bits are laid out per the owning [`Rsn`](crate::Rsn)'s shadow offsets;
+/// primary inputs are stored separately.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::Config;
+///
+/// let mut cfg = Config::zeroed(4, 1);
+/// cfg.set_bit(2, true);
+/// assert!(cfg.bit(2));
+/// assert!(!cfg.bit(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Config {
+    bits: Vec<bool>,
+    inputs: Vec<bool>,
+}
+
+impl Config {
+    /// All-zero configuration with `shadow_bits` register bits and
+    /// `num_inputs` primary inputs.
+    pub fn zeroed(shadow_bits: usize, num_inputs: u32) -> Self {
+        Config { bits: vec![false; shadow_bits], inputs: vec![false; num_inputs as usize] }
+    }
+
+    /// Builds a configuration from explicit shadow bits (inputs zeroed).
+    pub fn from_bits(bits: Vec<bool>, num_inputs: u32) -> Self {
+        Config { bits, inputs: vec![false; num_inputs as usize] }
+    }
+
+    /// Value of shadow bit `idx` (global offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bit(&self, idx: usize) -> bool {
+        self.bits[idx]
+    }
+
+    /// Sets shadow bit `idx` (global offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_bit(&mut self, idx: usize, value: bool) {
+        self.bits[idx] = value;
+    }
+
+    /// Value of a primary control input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not exist.
+    pub fn input(&self, id: InputId) -> bool {
+        self.inputs[id.0 as usize]
+    }
+
+    /// Sets a primary control input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not exist.
+    pub fn set_input(&mut self, id: InputId, value: bool) {
+        self.inputs[id.0 as usize] = value;
+    }
+
+    /// Number of shadow bits in the configuration.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the configuration has no shadow bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Borrow the raw shadow bits.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Hamming distance between the shadow parts of two configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations have different widths.
+    pub fn distance(&self, other: &Config) -> usize {
+        assert_eq!(self.bits.len(), other.bits.len(), "config width mismatch");
+        self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count()
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            write!(f, "{}", if *b { '1' } else { '0' })?;
+        }
+        if !self.inputs.is_empty() {
+            write!(f, "|")?;
+            for b in &self.inputs {
+                write!(f, "{}", if *b { '1' } else { '0' })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_false() {
+        let cfg = Config::zeroed(8, 2);
+        assert_eq!(cfg.len(), 8);
+        assert_eq!(cfg.num_inputs(), 2);
+        assert!(cfg.as_bits().iter().all(|b| !b));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut cfg = Config::zeroed(4, 1);
+        cfg.set_bit(3, true);
+        cfg.set_input(InputId(0), true);
+        assert!(cfg.bit(3));
+        assert!(cfg.input(InputId(0)));
+        cfg.set_bit(3, false);
+        assert!(!cfg.bit(3));
+    }
+
+    #[test]
+    fn distance_counts_differing_bits() {
+        let a = Config::from_bits(vec![true, false, true], 0);
+        let b = Config::from_bits(vec![true, true, false], 0);
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn display_shows_bits_and_inputs() {
+        let mut cfg = Config::zeroed(3, 1);
+        cfg.set_bit(1, true);
+        cfg.set_input(InputId(0), true);
+        assert_eq!(cfg.to_string(), "010|1");
+    }
+
+    #[test]
+    #[should_panic(expected = "config width mismatch")]
+    fn distance_panics_on_width_mismatch() {
+        let a = Config::zeroed(2, 0);
+        let b = Config::zeroed(3, 0);
+        let _ = a.distance(&b);
+    }
+}

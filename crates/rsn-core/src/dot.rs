@@ -1,0 +1,78 @@
+//! Graphviz (DOT) export of RSN structures, for debugging and the figure
+//! reproductions.
+
+use std::fmt::Write as _;
+
+use crate::config::Config;
+use crate::network::{NodeKind, Rsn};
+
+impl Rsn {
+    /// Renders the network as a Graphviz digraph. If a configuration is
+    /// given, the active scan path is highlighted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rsn_core::examples::fig2;
+    ///
+    /// let rsn = fig2();
+    /// let dot = rsn.to_dot(Some(&rsn.reset_config()));
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("\"A\""));
+    /// ```
+    pub fn to_dot(&self, cfg: Option<&Config>) -> String {
+        let path = cfg.and_then(|c| self.trace_path(c).ok());
+        let on_path = |id| path.as_ref().is_some_and(|p| p.contains(id));
+
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for id in self.node_ids() {
+            let n = self.node(id);
+            let (shape, label) = match n.kind() {
+                NodeKind::ScanIn => ("circle", n.name().to_string()),
+                NodeKind::ScanOut => ("doublecircle", n.name().to_string()),
+                NodeKind::Segment(s) => ("box", format!("{} [{}b]", n.name(), s.length)),
+                NodeKind::Mux(_) => ("trapezium", n.name().to_string()),
+            };
+            let style = if on_path(id) { ", style=filled, fillcolor=lightblue" } else { "" };
+            let _ = writeln!(out, "  \"{}\" [shape={shape}, label=\"{label}\"{style}];", n.name());
+        }
+        for id in self.node_ids() {
+            for p in self.predecessors(id) {
+                let bold = on_path(id) && on_path(p);
+                let attr = if bold { " [penwidth=2, color=blue]" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\"{attr};",
+                    self.node(p).name(),
+                    self.node(id).name()
+                );
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::fig2;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let rsn = fig2();
+        let dot = rsn.to_dot(None);
+        for id in rsn.node_ids() {
+            assert!(dot.contains(&format!("\"{}\"", rsn.node(id).name())));
+        }
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn dot_highlights_active_path() {
+        let rsn = fig2();
+        let dot = rsn.to_dot(Some(&rsn.reset_config()));
+        assert!(dot.contains("lightblue"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Ready-made example networks used in documentation, tests and the paper
+//! figure reproductions.
+
+use crate::expr::ControlExpr;
+use crate::network::{NodeId, Rsn, RsnBuilder};
+
+/// The paper's Fig. 2 network: scan segments A, B, C, D where A, B, D are on
+/// the active path in the initial state and C is selected by writing bit 0
+/// of segment A.
+///
+/// Structure: `scan_in → A → {B | C} → M → D → scan_out`, with the scan
+/// multiplexer `M` addressed by `A[0]` (0 selects B, 1 selects C).
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+///
+/// let rsn = fig2();
+/// assert_eq!(rsn.segments().count(), 4);
+/// assert_eq!(rsn.muxes().count(), 1);
+/// ```
+pub fn fig2() -> Rsn {
+    let mut b = RsnBuilder::new("fig2");
+    let a = b.add_segment("A", 2);
+    b.connect(b.scan_in(), a);
+    let seg_b = b.add_segment("B", 3);
+    let seg_c = b.add_segment("C", 3);
+    b.connect(a, seg_b);
+    b.connect(a, seg_c);
+    let m = b.add_mux("M", vec![seg_b, seg_c], vec![ControlExpr::reg(a, 0)]);
+    let d = b.add_segment("D", 2);
+    b.connect(m, d);
+    b.connect(d, b.scan_out());
+    b.set_select(a, ControlExpr::TRUE);
+    b.set_select(seg_b, !ControlExpr::reg(a, 0));
+    b.set_select(seg_c, ControlExpr::reg(a, 0));
+    b.set_select(d, ControlExpr::TRUE);
+    b.finish().expect("fig2 network is structurally valid")
+}
+
+/// A flat scan chain of `n` always-selected segments of `len` bits each.
+pub fn chain(n: usize, len: u32) -> Rsn {
+    let mut b = RsnBuilder::new(format!("chain{n}"));
+    let mut prev = b.scan_in();
+    for i in 0..n {
+        let s = b.add_segment(format!("S{i}"), len);
+        b.set_select(s, ControlExpr::TRUE);
+        b.connect(prev, s);
+        prev = s;
+    }
+    b.connect(prev, b.scan_out());
+    b.finish().expect("chain is structurally valid")
+}
+
+/// Builds one SIB (segment-insertion bit) guarding `inner_entry ..
+/// inner_exit`: a 1-bit control segment plus a bypass multiplexer.
+///
+/// Returns `(sib_segment, mux)`. The caller connects `sib_segment` as the
+/// entry of the guarded hierarchy and uses `mux` as its exit. The guarded
+/// segments' select predicates must conjoin `ControlExpr::reg(sib, 0)`.
+pub fn add_sib(
+    b: &mut RsnBuilder,
+    name: &str,
+    inner_exit: NodeId,
+) -> (NodeId, NodeId) {
+    let sib = b.add_segment(format!("{name}.sib"), 1);
+    let mux = b.add_mux(
+        format!("{name}.mux"),
+        vec![sib, inner_exit],
+        vec![ControlExpr::reg(sib, 0)],
+    );
+    (sib, mux)
+}
+
+/// A balanced SIB hierarchy: `depth` levels of SIBs with `fanout` children
+/// per level; leaves are `seg_len`-bit instrument segments.
+///
+/// At `depth == 0` this is a flat chain of `fanout` leaf segments. The
+/// total number of SIBs is `fanout + fanout² + … + fanout^depth`.
+pub fn sib_tree(depth: u32, fanout: usize, seg_len: u32) -> Rsn {
+    let mut b = RsnBuilder::new(format!("sib_tree_d{depth}_f{fanout}"));
+    let scan_in = b.scan_in();
+    let scan_out = b.scan_out();
+    let exit = build_level(&mut b, "t", depth, fanout, seg_len, scan_in, ControlExpr::TRUE);
+    b.connect(exit, scan_out);
+    b.finish().expect("sib tree is structurally valid")
+}
+
+/// Recursively builds one hierarchy level; returns the exit node of the
+/// level. `guard` is the conjunction of all enclosing SIB bits.
+fn build_level(
+    b: &mut RsnBuilder,
+    prefix: &str,
+    depth: u32,
+    fanout: usize,
+    seg_len: u32,
+    entry: NodeId,
+    guard: ControlExpr,
+) -> NodeId {
+    let mut prev = entry;
+    for i in 0..fanout {
+        let name = format!("{prefix}{i}");
+        if depth == 0 {
+            let s = b.add_segment(format!("{name}.seg"), seg_len);
+            b.set_select(s, guard.clone());
+            b.connect(prev, s);
+            prev = s;
+        } else {
+            // SIB guarding a sub-hierarchy.
+            let sib = b.add_segment(format!("{name}.sib"), 1);
+            b.set_select(sib, guard.clone());
+            b.connect(prev, sib);
+            let inner_guard = guard.clone() & ControlExpr::reg(sib, 0);
+            let inner_exit =
+                build_level(b, &name, depth - 1, fanout, seg_len, sib, inner_guard);
+            let mux = b.add_mux(
+                format!("{name}.mux"),
+                vec![sib, inner_exit],
+                vec![ControlExpr::reg(sib, 0)],
+            );
+            prev = mux;
+        }
+    }
+    prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_initial_path_is_a_b_d() {
+        let rsn = fig2();
+        let path = rsn.active_path(&rsn.reset_config()).expect("valid");
+        let names: Vec<&str> = path.segments(&rsn).map(|s| rsn.node(s).name()).collect();
+        assert_eq!(names, ["A", "B", "D"]);
+    }
+
+    #[test]
+    fn fig2_c_selectable_via_a() {
+        let rsn = fig2();
+        let a = rsn.find("A").expect("A");
+        let mut cfg = rsn.reset_config();
+        cfg.set_bit(rsn.shadow_offset(a).expect("shadow") as usize, true);
+        let path = rsn.active_path(&cfg).expect("valid");
+        let names: Vec<&str> = path.segments(&rsn).map(|s| rsn.node(s).name()).collect();
+        assert_eq!(names, ["A", "C", "D"]);
+    }
+
+    #[test]
+    fn fig2_all_segments_accessible() {
+        let rsn = fig2();
+        for seg in rsn.segments() {
+            assert!(rsn.is_accessible(seg), "{} inaccessible", rsn.node(seg).name());
+        }
+    }
+
+    #[test]
+    fn chain_has_expected_size() {
+        let rsn = chain(5, 8);
+        assert_eq!(rsn.segments().count(), 5);
+        assert_eq!(rsn.total_bits(), 40);
+        assert_eq!(rsn.muxes().count(), 0);
+    }
+
+    #[test]
+    fn sib_tree_counts() {
+        // depth=1, fanout=3: 3 SIBs, 9 leaves.
+        let rsn = sib_tree(1, 3, 4);
+        let sibs = rsn
+            .segments()
+            .filter(|&s| rsn.node(s).name().ends_with(".sib"))
+            .count();
+        let leaves = rsn
+            .segments()
+            .filter(|&s| rsn.node(s).name().ends_with(".seg"))
+            .count();
+        assert_eq!(sibs, 3);
+        assert_eq!(leaves, 9);
+        assert_eq!(rsn.muxes().count(), 3);
+    }
+
+    #[test]
+    fn sib_tree_reset_path_is_sibs_only() {
+        let rsn = sib_tree(2, 2, 4);
+        let path = rsn.active_path(&rsn.reset_config()).expect("valid");
+        // Only the top-level SIBs are on the reset path.
+        assert_eq!(path.segments(&rsn).count(), 2);
+    }
+
+    #[test]
+    fn sib_tree_all_segments_accessible() {
+        let rsn = sib_tree(2, 2, 4);
+        for seg in rsn.segments() {
+            assert!(
+                rsn.is_accessible(seg),
+                "{} inaccessible",
+                rsn.node(seg).name()
+            );
+        }
+    }
+
+    #[test]
+    fn sib_tree_leaf_access_depth() {
+        let rsn = sib_tree(2, 2, 4);
+        // A leaf sits behind 2 SIB levels: 2 CSUs to open.
+        let leaf = rsn
+            .segments()
+            .find(|&s| rsn.node(s).name().ends_with(".seg"))
+            .expect("leaf exists");
+        let plan = rsn.plan_access(leaf, &rsn.reset_config()).expect("plan");
+        assert_eq!(plan.csu_count(), 2);
+    }
+}

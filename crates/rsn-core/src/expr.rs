@@ -1,0 +1,397 @@
+//! Boolean control expressions over shadow-register bits and primary inputs.
+//!
+//! Select predicates, capture/update-disable predicates and multiplexer
+//! address signals are all modeled as [`ControlExpr`] trees. An expression is
+//! evaluated against a [`Config`](crate::Config), i.e. against the state of
+//! all shadow registers and primary control inputs — exactly the domain `D =
+//! H ∪ I` of the paper's formal model.
+
+use std::fmt;
+
+use crate::network::NodeId;
+
+/// Identifier of a primary control input of the RSN.
+///
+/// Primary control inputs are part of a scan configuration alongside shadow
+/// registers (the set `I` in the paper's formal model `M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub u32);
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}", self.0)
+    }
+}
+
+/// A boolean expression over shadow-register bits and primary inputs.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::{ControlExpr, NodeId};
+///
+/// // Select(B) := (Select(D) ∧ ¬a) ∨ (Select(C) ∧ ¬b)  — Fig. 5 shape
+/// let a = ControlExpr::reg(NodeId(3), 0);
+/// let b = ControlExpr::reg(NodeId(4), 0);
+/// let sel_d = ControlExpr::Const(true);
+/// let sel_c = ControlExpr::Const(true);
+/// let sel_b = (sel_d & !a) | (sel_c & !b);
+/// assert!(sel_b.references(NodeId(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ControlExpr {
+    /// Constant true/false.
+    Const(bool),
+    /// The value of bit `1` of the shadow register of segment `0`.
+    Reg(NodeId, u32),
+    /// The value of a primary control input.
+    Input(InputId),
+    /// Logical negation.
+    Not(Box<ControlExpr>),
+    /// Conjunction of all operands (empty conjunction is `true`).
+    And(Vec<ControlExpr>),
+    /// Disjunction of all operands (empty disjunction is `false`).
+    Or(Vec<ControlExpr>),
+}
+
+impl ControlExpr {
+    /// Constant `true`.
+    pub const TRUE: ControlExpr = ControlExpr::Const(true);
+    /// Constant `false`.
+    pub const FALSE: ControlExpr = ControlExpr::Const(false);
+
+    /// Shorthand for a shadow-register bit reference.
+    pub fn reg(node: NodeId, bit: u32) -> Self {
+        ControlExpr::Reg(node, bit)
+    }
+
+    /// Shorthand for a primary-input reference.
+    pub fn input(id: u32) -> Self {
+        ControlExpr::Input(InputId(id))
+    }
+
+    /// Returns `true` if the expression is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, ControlExpr::Const(true))
+    }
+
+    /// Returns `true` if the expression is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, ControlExpr::Const(false))
+    }
+
+    /// Returns `true` if the expression reads any bit of `node`'s shadow
+    /// register.
+    pub fn references(&self, node: NodeId) -> bool {
+        match self {
+            ControlExpr::Const(_) | ControlExpr::Input(_) => false,
+            ControlExpr::Reg(n, _) => *n == node,
+            ControlExpr::Not(e) => e.references(node),
+            ControlExpr::And(es) | ControlExpr::Or(es) => {
+                es.iter().any(|e| e.references(node))
+            }
+        }
+    }
+
+    /// Collects every `(node, bit)` shadow-register reference in the
+    /// expression into `out` (with duplicates).
+    pub fn collect_reg_refs(&self, out: &mut Vec<(NodeId, u32)>) {
+        match self {
+            ControlExpr::Const(_) | ControlExpr::Input(_) => {}
+            ControlExpr::Reg(n, b) => out.push((*n, *b)),
+            ControlExpr::Not(e) => e.collect_reg_refs(out),
+            ControlExpr::And(es) | ControlExpr::Or(es) => {
+                for e in es {
+                    e.collect_reg_refs(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (a proxy for gate count).
+    pub fn size(&self) -> usize {
+        match self {
+            ControlExpr::Const(_) | ControlExpr::Reg(..) | ControlExpr::Input(_) => 1,
+            ControlExpr::Not(e) => 1 + e.size(),
+            ControlExpr::And(es) | ControlExpr::Or(es) => {
+                1 + es.iter().map(ControlExpr::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of two-input gates a naive mapping of this expression needs
+    /// (NOT gates count as one gate; `n`-ary AND/OR as `n - 1` gates).
+    pub fn gate_count(&self) -> usize {
+        match self {
+            ControlExpr::Const(_) | ControlExpr::Reg(..) | ControlExpr::Input(_) => 0,
+            ControlExpr::Not(e) => 1 + e.gate_count(),
+            ControlExpr::And(es) | ControlExpr::Or(es) => {
+                es.len().saturating_sub(1)
+                    + es.iter().map(ControlExpr::gate_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Evaluates the expression with the given valuation functions.
+    ///
+    /// `reg` returns the current value of a shadow-register bit and `input`
+    /// the value of a primary control input.
+    pub fn eval_with(
+        &self,
+        reg: &mut dyn FnMut(NodeId, u32) -> bool,
+        input: &mut dyn FnMut(InputId) -> bool,
+    ) -> bool {
+        match self {
+            ControlExpr::Const(b) => *b,
+            ControlExpr::Reg(n, bit) => reg(*n, *bit),
+            ControlExpr::Input(i) => input(*i),
+            ControlExpr::Not(e) => !e.eval_with(reg, input),
+            ControlExpr::And(es) => es.iter().all(|e| e.eval_with(reg, input)),
+            ControlExpr::Or(es) => es.iter().any(|e| e.eval_with(reg, input)),
+        }
+    }
+
+    /// Structurally simplifies the expression: constant folding, single-child
+    /// flattening and double-negation elimination.
+    ///
+    /// The result is logically equivalent but usually smaller; it is not a
+    /// canonical form.
+    pub fn simplified(&self) -> ControlExpr {
+        match self {
+            ControlExpr::Const(_) | ControlExpr::Reg(..) | ControlExpr::Input(_) => self.clone(),
+            ControlExpr::Not(e) => match e.simplified() {
+                ControlExpr::Const(b) => ControlExpr::Const(!b),
+                ControlExpr::Not(inner) => *inner,
+                other => ControlExpr::Not(Box::new(other)),
+            },
+            ControlExpr::And(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplified() {
+                        ControlExpr::Const(true) => {}
+                        ControlExpr::Const(false) => return ControlExpr::Const(false),
+                        ControlExpr::And(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => ControlExpr::Const(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => ControlExpr::And(out),
+                }
+            }
+            ControlExpr::Or(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplified() {
+                        ControlExpr::Const(false) => {}
+                        ControlExpr::Const(true) => return ControlExpr::Const(true),
+                        ControlExpr::Or(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => ControlExpr::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => ControlExpr::Or(out),
+                }
+            }
+        }
+    }
+}
+
+impl Default for ControlExpr {
+    fn default() -> Self {
+        ControlExpr::Const(false)
+    }
+}
+
+impl std::ops::Not for ControlExpr {
+    type Output = ControlExpr;
+    fn not(self) -> ControlExpr {
+        ControlExpr::Not(Box::new(self))
+    }
+}
+
+impl std::ops::BitAnd for ControlExpr {
+    type Output = ControlExpr;
+    fn bitand(self, rhs: ControlExpr) -> ControlExpr {
+        match (self, rhs) {
+            (ControlExpr::And(mut a), ControlExpr::And(b)) => {
+                a.extend(b);
+                ControlExpr::And(a)
+            }
+            (ControlExpr::And(mut a), b) => {
+                a.push(b);
+                ControlExpr::And(a)
+            }
+            (a, ControlExpr::And(mut b)) => {
+                b.insert(0, a);
+                ControlExpr::And(b)
+            }
+            (a, b) => ControlExpr::And(vec![a, b]),
+        }
+    }
+}
+
+impl std::ops::BitOr for ControlExpr {
+    type Output = ControlExpr;
+    fn bitor(self, rhs: ControlExpr) -> ControlExpr {
+        match (self, rhs) {
+            (ControlExpr::Or(mut a), ControlExpr::Or(b)) => {
+                a.extend(b);
+                ControlExpr::Or(a)
+            }
+            (ControlExpr::Or(mut a), b) => {
+                a.push(b);
+                ControlExpr::Or(a)
+            }
+            (a, ControlExpr::Or(mut b)) => {
+                b.insert(0, a);
+                ControlExpr::Or(b)
+            }
+            (a, b) => ControlExpr::Or(vec![a, b]),
+        }
+    }
+}
+
+impl fmt::Display for ControlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlExpr::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
+            ControlExpr::Reg(n, bit) => write!(f, "{n}[{bit}]"),
+            ControlExpr::Input(i) => write!(f, "{i}"),
+            ControlExpr::Not(e) => write!(f, "¬{e}"),
+            ControlExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ControlExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_const(e: &ControlExpr) -> bool {
+        e.eval_with(&mut |_, _| false, &mut |_| false)
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        assert!(eval_const(&ControlExpr::TRUE));
+        assert!(!eval_const(&ControlExpr::FALSE));
+    }
+
+    #[test]
+    fn operators_build_expected_trees() {
+        let a = ControlExpr::reg(NodeId(0), 0);
+        let b = ControlExpr::reg(NodeId(1), 0);
+        let c = ControlExpr::reg(NodeId(2), 0);
+        let e = (a.clone() & b.clone()) & c.clone();
+        assert_eq!(e, ControlExpr::And(vec![a.clone(), b.clone(), c.clone()]));
+        let e = (a.clone() | b.clone()) | c.clone();
+        assert_eq!(e, ControlExpr::Or(vec![a, b, c]));
+    }
+
+    #[test]
+    fn eval_uses_register_valuation() {
+        let e = ControlExpr::reg(NodeId(7), 3);
+        let v = e.eval_with(&mut |n, b| n == NodeId(7) && b == 3, &mut |_| false);
+        assert!(v);
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let a = ControlExpr::reg(NodeId(0), 0);
+        let e = (ControlExpr::TRUE & a.clone()) | ControlExpr::FALSE;
+        assert_eq!(e.simplified(), a);
+
+        let e = ControlExpr::FALSE & ControlExpr::reg(NodeId(0), 0);
+        assert!(e.simplified().is_false());
+
+        let e = ControlExpr::TRUE | ControlExpr::reg(NodeId(0), 0);
+        assert!(e.simplified().is_true());
+    }
+
+    #[test]
+    fn simplify_removes_double_negation() {
+        let a = ControlExpr::reg(NodeId(5), 1);
+        let e = !!a.clone();
+        assert_eq!(e.simplified(), a);
+    }
+
+    #[test]
+    fn gate_count_counts_two_input_gates() {
+        let a = ControlExpr::reg(NodeId(0), 0);
+        let b = ControlExpr::reg(NodeId(1), 0);
+        let c = ControlExpr::reg(NodeId(2), 0);
+        // (a & b & c) -> 2 AND gates
+        assert_eq!(ControlExpr::And(vec![a.clone(), b.clone(), c.clone()]).gate_count(), 2);
+        // !(a | b) -> 1 OR + 1 NOT
+        assert_eq!((!(a | b)).gate_count(), 2);
+        assert_eq!(c.gate_count(), 0);
+    }
+
+    #[test]
+    fn references_and_collect() {
+        let e = (ControlExpr::reg(NodeId(1), 0) & !ControlExpr::reg(NodeId(2), 4))
+            | ControlExpr::input(0);
+        assert!(e.references(NodeId(1)));
+        assert!(e.references(NodeId(2)));
+        assert!(!e.references(NodeId(3)));
+        let mut refs = Vec::new();
+        e.collect_reg_refs(&mut refs);
+        assert_eq!(refs, vec![(NodeId(1), 0), (NodeId(2), 4)]);
+    }
+
+    #[test]
+    fn display_renders_expression() {
+        let e = !ControlExpr::reg(NodeId(1), 0) & ControlExpr::input(2);
+        let s = e.to_string();
+        assert!(s.contains("¬"), "{s}");
+        assert!(s.contains("in2"), "{s}");
+    }
+
+    #[test]
+    fn simplify_is_equivalence_preserving_on_samples() {
+        // Exhaustive check over all valuations of three register bits for a
+        // few fixed expression shapes.
+        let a = ControlExpr::reg(NodeId(0), 0);
+        let b = ControlExpr::reg(NodeId(1), 0);
+        let c = ControlExpr::reg(NodeId(2), 0);
+        let exprs = vec![
+            (a.clone() & b.clone()) | (!c.clone() & ControlExpr::TRUE),
+            !(a.clone() | (b.clone() & ControlExpr::FALSE)),
+            ControlExpr::And(vec![ControlExpr::Or(vec![a.clone()]), b.clone(), c.clone()]),
+            ControlExpr::Or(vec![]),
+            ControlExpr::And(vec![]),
+        ];
+        for e in exprs {
+            let s = e.simplified();
+            for m in 0u8..8 {
+                let mut reg = |n: NodeId, _b: u32| (m >> n.0.min(7)) & 1 == 1;
+                let v1 = e.eval_with(&mut reg, &mut |_| false);
+                let v2 = s.eval_with(&mut reg, &mut |_| false);
+                assert_eq!(v1, v2, "mismatch for {e} vs {s} at m={m}");
+            }
+        }
+    }
+}

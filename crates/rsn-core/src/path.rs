@@ -1,0 +1,213 @@
+//! Active-scan-path tracing and configuration validity.
+//!
+//! The *active scan path* is the unique path from the primary scan-in port
+//! through selected segments and multiplexers to the primary scan-out port.
+//! Tracing proceeds backward from the scan-out port: at a multiplexer the
+//! configured address picks the unique predecessor, at any other node the
+//! structural predecessor is unique. A configuration is *valid* iff the set
+//! of segments whose select predicate holds equals exactly the set of
+//! segments on the traced path (the paper's `Active` predicate / "exactly
+//! one active scan path" condition).
+
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::network::{NodeId, NodeKind, Rsn};
+
+/// The active scan path in a configuration: nodes from scan-in to scan-out
+/// inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPath {
+    nodes: Vec<NodeId>,
+}
+
+impl ScanPath {
+    /// All nodes on the path, scan-in first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterator over the segments on the path, in scan order.
+    pub fn segments<'a>(&'a self, rsn: &'a Rsn) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(move |id| matches!(rsn.node(*id).kind(), NodeKind::Segment(_)))
+    }
+
+    /// `true` if the node lies on the path.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id)
+    }
+
+    /// Length of the shift portion of a CSU through this path: the sum of
+    /// segment lengths.
+    pub fn shift_length(&self, rsn: &Rsn) -> u64 {
+        self.segments(rsn)
+            .map(|id| rsn.node(id).as_segment().expect("segment").length as u64)
+            .sum()
+    }
+}
+
+impl Rsn {
+    /// Traces the active scan path for a configuration, without checking
+    /// validity.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::MuxAddressOutOfRange`] if a mux decodes an invalid address.
+    /// * [`Error::SensitizedCycle`] if the trace revisits a node.
+    /// * [`Error::NodeUnconnected`] should never occur on a validated
+    ///   network.
+    pub fn trace_path(&self, cfg: &Config) -> Result<ScanPath> {
+        self.trace_path_from(self.scan_out(), cfg)
+    }
+
+    /// Traces backward from an arbitrary sink node (used for secondary
+    /// scan-out ports).
+    ///
+    /// # Errors
+    ///
+    /// See [`Rsn::trace_path`].
+    pub fn trace_path_from(&self, sink: NodeId, cfg: &Config) -> Result<ScanPath> {
+        let mut rev = vec![sink];
+        let mut cur = sink;
+        let limit = self.node_count() + 1;
+        while !matches!(self.node(cur).kind(), NodeKind::ScanIn) {
+            let prev = match self.node(cur).kind() {
+                NodeKind::Mux(_) => self.mux_selected_input(cur, cfg)?,
+                _ => self
+                    .node(cur)
+                    .source()
+                    .ok_or(Error::NodeUnconnected(cur))?,
+            };
+            rev.push(prev);
+            cur = prev;
+            if rev.len() > limit {
+                return Err(Error::SensitizedCycle);
+            }
+        }
+        rev.reverse();
+        Ok(ScanPath { nodes: rev })
+    }
+
+    /// Traces the active scan path and checks that the configuration is
+    /// valid: every segment's select predicate holds iff the segment is on
+    /// the path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfiguration`] with a witness segment on mismatch,
+    /// or any tracing error from [`Rsn::trace_path`].
+    pub fn active_path(&self, cfg: &Config) -> Result<ScanPath> {
+        let path = self.trace_path(cfg)?;
+        for seg in self.segments() {
+            let selected = self.select(seg, cfg)?;
+            let on_path = path.contains(seg);
+            if selected != on_path {
+                return Err(Error::InvalidConfiguration { witness: seg });
+            }
+        }
+        Ok(path)
+    }
+
+    /// The paper's `Active(c, s)` predicate: `true` iff segment `s` is
+    /// selected in configuration `c` and `c` is valid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracing/evaluation errors; an invalid configuration yields
+    /// `Ok(false)` rather than an error.
+    pub fn is_active(&self, cfg: &Config, seg: NodeId) -> Result<bool> {
+        match self.active_path(cfg) {
+            Ok(path) => Ok(path.contains(seg)),
+            Err(Error::InvalidConfiguration { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ControlExpr;
+    use crate::network::RsnBuilder;
+
+    /// scan_in -> SIB-controlled bypass of segment S -> scan_out.
+    ///
+    /// The SIB register (1 bit) drives a mux choosing between the bypass
+    /// (SIB itself) and the segment.
+    fn sib_network() -> (Rsn, NodeId, NodeId, NodeId) {
+        let mut b = RsnBuilder::new("sib1");
+        let sib = b.add_segment("SIB", 1);
+        b.connect(b.scan_in(), sib);
+        let seg = b.add_segment("S", 4);
+        b.connect(sib, seg);
+        let m = b.add_mux("M", vec![sib, seg], vec![ControlExpr::reg(sib, 0)]);
+        b.connect(m, b.scan_out());
+        // SIB is always on the path; S only when the SIB bit is set.
+        b.set_select(sib, ControlExpr::TRUE);
+        b.set_select(seg, ControlExpr::reg(sib, 0));
+        let rsn = b.finish().expect("valid");
+        (rsn, sib, seg, m)
+    }
+
+    #[test]
+    fn reset_path_bypasses_segment() {
+        let (rsn, sib, seg, _) = sib_network();
+        let cfg = rsn.reset_config();
+        let path = rsn.active_path(&cfg).expect("valid reset");
+        assert!(path.contains(sib));
+        assert!(!path.contains(seg));
+        assert_eq!(path.shift_length(&rsn), 1);
+    }
+
+    #[test]
+    fn opened_sib_includes_segment() {
+        let (rsn, sib, seg, _) = sib_network();
+        let mut cfg = rsn.reset_config();
+        cfg.set_bit(rsn.shadow_offset(sib).expect("shadow") as usize, true);
+        let path = rsn.active_path(&cfg).expect("valid opened");
+        assert!(path.contains(sib));
+        assert!(path.contains(seg));
+        assert_eq!(path.shift_length(&rsn), 5);
+    }
+
+    #[test]
+    fn is_active_matches_path_membership() {
+        let (rsn, sib, seg, _) = sib_network();
+        let mut cfg = rsn.reset_config();
+        assert!(rsn.is_active(&cfg, sib).expect("ok"));
+        assert!(!rsn.is_active(&cfg, seg).expect("ok"));
+        cfg.set_bit(rsn.shadow_offset(sib).expect("shadow") as usize, true);
+        assert!(rsn.is_active(&cfg, seg).expect("ok"));
+    }
+
+    #[test]
+    fn select_path_mismatch_is_invalid() {
+        // Segment whose select contradicts its path membership.
+        let mut b = RsnBuilder::new("bad");
+        let s = b.add_segment("S", 2);
+        b.set_select(s, ControlExpr::FALSE); // on path but never selected
+        b.connect(b.scan_in(), s);
+        b.connect(s, b.scan_out());
+        let rsn = b.finish().expect("structurally valid");
+        let cfg = rsn.reset_config();
+        assert_eq!(
+            rsn.active_path(&cfg).unwrap_err(),
+            Error::InvalidConfiguration { witness: s }
+        );
+        assert!(!rsn.is_active(&cfg, s).expect("invalid config is not an error"));
+    }
+
+    #[test]
+    fn path_nodes_are_in_scan_order() {
+        let (rsn, sib, _, m) = sib_network();
+        let cfg = rsn.reset_config();
+        let path = rsn.trace_path(&cfg).expect("ok");
+        assert_eq!(path.nodes().first().copied(), Some(rsn.scan_in()));
+        assert_eq!(path.nodes().last().copied(), Some(rsn.scan_out()));
+        let pos_sib = path.nodes().iter().position(|&n| n == sib).expect("sib");
+        let pos_m = path.nodes().iter().position(|&n| n == m).expect("mux");
+        assert!(pos_sib < pos_m);
+    }
+}

@@ -1,0 +1,286 @@
+//! High-level instrument access sessions.
+//!
+//! An [`AccessSession`] owns the dynamic state of an RSN and exposes the
+//! operations a user of the scan infrastructure actually performs: *write
+//! this value into that instrument register* and *read that instrument*.
+//! Each operation plans the CSU series from the session's current
+//! configuration ([`Rsn::plan_access`]), executes it on the bit-accurate
+//! simulator, and accounts the consumed clock cycles — so consecutive
+//! accesses to nearby instruments benefit from the already-open hierarchy
+//! exactly as on silicon.
+//!
+//! # Example
+//!
+//! ```
+//! use rsn_core::examples::sib_tree;
+//! use rsn_core::session::AccessSession;
+//!
+//! let rsn = sib_tree(1, 2, 4);
+//! let leaf = rsn.find("t00.seg").expect("leaf");
+//! let mut session = AccessSession::new(&rsn);
+//! session.write(leaf, &[true, false, true, true])?;
+//! let (value, _cycles) = session.read(leaf)?;
+//! assert_eq!(value, vec![true, false, true, true]);
+//! # Ok::<(), rsn_core::Error>(())
+//! ```
+
+use crate::config::Config;
+use crate::csu::SimState;
+use crate::error::{Error, Result};
+use crate::network::{NodeId, NodeKind, Rsn};
+
+/// A stateful access session over one RSN.
+#[derive(Debug, Clone)]
+pub struct AccessSession<'a> {
+    rsn: &'a Rsn,
+    state: SimState,
+    cycles: u64,
+    accesses: u64,
+}
+
+impl<'a> AccessSession<'a> {
+    /// Opens a session in the network's reset state.
+    pub fn new(rsn: &'a Rsn) -> Self {
+        AccessSession { rsn, state: SimState::reset(rsn), cycles: 0, accesses: 0 }
+    }
+
+    /// The current scan configuration.
+    pub fn config(&self) -> &Config {
+        &self.state.config
+    }
+
+    /// Total clock cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of completed read/write accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Applies the CSU series of a plan: each step writes the next
+    /// configuration into the on-path registers.
+    fn apply_steps(&mut self, steps: &[Config]) -> Result<()> {
+        for step in steps {
+            let path = self.rsn.trace_path(&self.state.config)?;
+            let segs: Vec<NodeId> = path
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|&n| matches!(self.rsn.node(n).kind(), NodeKind::Segment(_)))
+                .collect();
+            let total: usize = segs
+                .iter()
+                .map(|&s| self.state.shift_register(s).len())
+                .sum();
+            let mut stream = vec![false; total];
+            let mut pos = 0usize;
+            for &s in &segs {
+                let len = self.state.shift_register(s).len();
+                for i in 0..len {
+                    let bit = match self.rsn.shadow_offset(s) {
+                        Some(off) => step.bit((off + i as u32) as usize),
+                        None => false,
+                    };
+                    stream[total - 1 - (pos + i)] = bit;
+                }
+                pos += len;
+            }
+            self.rsn.csu(&mut self.state, &stream, &|_| None)?;
+            // Propagate planned primary-input values.
+            for i in 0..step.num_inputs() {
+                let id = crate::expr::InputId(i as u32);
+                self.state.config.set_input(id, step.input(id));
+            }
+            self.cycles += total as u64 + 2;
+        }
+        Ok(())
+    }
+
+    /// Routes the scan path to `target` (planning from the current
+    /// configuration) and returns the setup cycles spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and CSU errors.
+    pub fn navigate(&mut self, target: NodeId) -> Result<u64> {
+        let before = self.cycles;
+        let plan = self.rsn.plan_access(target, &self.state.config)?;
+        self.apply_steps(&plan.steps)?;
+        Ok(self.cycles - before)
+    }
+
+    /// Writes `value` into the target segment's shift and shadow
+    /// registers, navigating there first. Returns the cycles spent.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongNodeKind`] for non-segments, planning errors, or a
+    /// length mismatch reported by the simulator.
+    pub fn write(&mut self, target: NodeId, value: &[bool]) -> Result<u64> {
+        let before = self.cycles;
+        self.navigate(target)?;
+        let outcome = self.rsn.csu_write(&mut self.state, target, value)?;
+        self.cycles += outcome.path.shift_length(self.rsn) + 2;
+        self.accesses += 1;
+        Ok(self.cycles - before)
+    }
+
+    /// Reads the target segment's current register value (as captured from
+    /// the segment itself), navigating there first. Returns the bits and
+    /// the cycles spent.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccessSession::write`].
+    pub fn read(&mut self, target: NodeId) -> Result<(Vec<bool>, u64)> {
+        let before = self.cycles;
+        self.navigate(target)?;
+        let shift_len = {
+            let path = self.rsn.trace_path(&self.state.config)?;
+            path.shift_length(self.rsn)
+        };
+        let current = self.state.shift_register(target).to_vec();
+        let bits = self.rsn.csu_read(&mut self.state, target, &move |seg| {
+            (seg == target).then(|| current.clone())
+        })?;
+        self.cycles += shift_len + 2;
+        self.accesses += 1;
+        Ok((bits, self.cycles - before))
+    }
+
+    /// Reads instrument data captured into the target segment (the
+    /// `capture_data` closure supplies per-segment instrument values).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccessSession::read`].
+    pub fn read_instrument(
+        &mut self,
+        target: NodeId,
+        capture_data: &dyn Fn(NodeId) -> Option<Vec<bool>>,
+    ) -> Result<(Vec<bool>, u64)> {
+        let before = self.cycles;
+        self.navigate(target)?;
+        let shift_len = {
+            let path = self.rsn.trace_path(&self.state.config)?;
+            path.shift_length(self.rsn)
+        };
+        let bits = self.rsn.csu_read(&mut self.state, target, capture_data)?;
+        self.cycles += shift_len + 2;
+        self.accesses += 1;
+        Ok((bits, self.cycles - before))
+    }
+
+    /// Resolves a segment by name and writes to it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AccessPlanFailed`] with an explanatory reason when the
+    /// name does not exist, plus all [`AccessSession::write`] conditions.
+    pub fn write_by_name(&mut self, name: &str, value: &[bool]) -> Result<u64> {
+        let id = self.rsn.find(name).ok_or_else(|| Error::AccessPlanFailed {
+            target: self.rsn.scan_out(),
+            reason: format!("no segment named {name:?}"),
+        })?;
+        self.write(id, value)
+    }
+
+    /// Resolves a segment by name and reads it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccessSession::write_by_name`].
+    pub fn read_by_name(&mut self, name: &str) -> Result<(Vec<bool>, u64)> {
+        let id = self.rsn.find(name).ok_or_else(|| Error::AccessPlanFailed {
+            target: self.rsn.scan_out(),
+            reason: format!("no segment named {name:?}"),
+        })?;
+        self.read(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{chain, sib_tree};
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let rsn = sib_tree(1, 2, 4);
+        let leaf = rsn.find("t00.seg").expect("leaf");
+        let mut session = AccessSession::new(&rsn);
+        let pattern = [true, true, false, true];
+        session.write(leaf, &pattern).expect("write");
+        let (value, _) = session.read(leaf).expect("read");
+        assert_eq!(value, pattern.to_vec());
+        assert_eq!(session.accesses(), 2);
+    }
+
+    #[test]
+    fn locality_makes_second_access_cheaper() {
+        // Two leaves under the same SIB: the second access skips the
+        // hierarchy-opening CSU.
+        let rsn = sib_tree(2, 2, 4);
+        let l1 = rsn.find("t000.seg").expect("leaf 1");
+        let l2 = rsn.find("t001.seg").expect("leaf 2");
+        let far = rsn.find("t110.seg").expect("far leaf");
+
+        let mut session = AccessSession::new(&rsn);
+        let first = session.write(l1, &[true; 4]).expect("write 1");
+        let neighbor = session.write(l2, &[true; 4]).expect("write 2");
+        assert!(
+            neighbor < first,
+            "neighbor access ({neighbor}) must be cheaper than cold access ({first})"
+        );
+        // A far leaf needs new hierarchy opening again.
+        let far_cost = session.write(far, &[true; 4]).expect("write far");
+        assert!(far_cost > neighbor);
+    }
+
+    #[test]
+    fn chain_session_has_no_setup_csus() {
+        let rsn = chain(3, 4);
+        let s1 = rsn.find("S1").expect("segment");
+        let mut session = AccessSession::new(&rsn);
+        let cycles = session.write(s1, &[true, false, false, true]).expect("write");
+        // Single CSU over 12 bits + capture/update.
+        assert_eq!(cycles, 14);
+    }
+
+    #[test]
+    fn read_instrument_captures_external_data() {
+        let rsn = sib_tree(1, 2, 3);
+        let leaf = rsn.find("t10.seg").expect("leaf");
+        let mut session = AccessSession::new(&rsn);
+        let (bits, _) = session
+            .read_instrument(leaf, &move |seg| {
+                (seg == leaf).then(|| vec![true, false, true])
+            })
+            .expect("read");
+        assert_eq!(bits, vec![true, false, true]);
+    }
+
+    #[test]
+    fn by_name_helpers_resolve_and_reject() {
+        let rsn = sib_tree(1, 2, 2);
+        let mut session = AccessSession::new(&rsn);
+        session.write_by_name("t00.seg", &[true, true]).expect("write");
+        let (v, _) = session.read_by_name("t00.seg").expect("read");
+        assert_eq!(v, vec![true, true]);
+        assert!(session.write_by_name("nope", &[true]).is_err());
+    }
+
+    #[test]
+    fn session_cycles_accumulate() {
+        let rsn = sib_tree(1, 2, 4);
+        let mut session = AccessSession::new(&rsn);
+        assert_eq!(session.cycles(), 0);
+        session.write_by_name("t00.seg", &[false; 4]).expect("write");
+        let after_write = session.cycles();
+        assert!(after_write > 0);
+        session.read_by_name("t11.seg").expect("read");
+        assert!(session.cycles() > after_write);
+    }
+}

@@ -1,0 +1,182 @@
+//! IEEE Std 1687 ICL (Instrument Connectivity Language) emission.
+//!
+//! The emitted module describes the same topology the analysis operates
+//! on: one `ScanRegister` per segment, one `ScanMux` per multiplexer, and
+//! `ScanInPort`/`ScanOutPort` declarations. Select expressions are carried
+//! in comments (ICL derives selection from the network description; the
+//! comment documents the analyzed predicate).
+
+use std::fmt::Write as _;
+
+use rsn_core::{ControlExpr, NodeKind, Rsn};
+
+use crate::ident;
+
+fn expr_to_icl(rsn: &Rsn, e: &ControlExpr) -> String {
+    match e {
+        ControlExpr::Const(b) => if *b { "1'b1".into() } else { "1'b0".into() },
+        ControlExpr::Reg(n, bit) => format!("{}[{bit}]", ident(rsn.node(*n).name())),
+        ControlExpr::Input(i) => format!("CTL[{}]", i.0),
+        ControlExpr::Not(inner) => format!("~{}", expr_to_icl(rsn, inner)),
+        ControlExpr::And(es) => {
+            let parts: Vec<String> = es.iter().map(|x| expr_to_icl(rsn, x)).collect();
+            format!("({})", parts.join(" && "))
+        }
+        ControlExpr::Or(es) => {
+            let parts: Vec<String> = es.iter().map(|x| expr_to_icl(rsn, x)).collect();
+            format!("({})", parts.join(" || "))
+        }
+    }
+}
+
+fn source_ref(rsn: &Rsn, id: rsn_core::NodeId) -> String {
+    let n = rsn.node(id);
+    match n.kind() {
+        NodeKind::ScanIn => {
+            if Some(id) == rsn.secondary_scan_in() {
+                "SI2".into()
+            } else {
+                "SI".into()
+            }
+        }
+        NodeKind::Segment(_) => format!("{}.SO", ident(n.name())),
+        NodeKind::Mux(_) => ident(n.name()),
+        NodeKind::ScanOut => unreachable!("scan-out is never a source"),
+    }
+}
+
+/// Emits the network as an IEEE 1687 ICL module.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_export::to_icl;
+///
+/// let icl = to_icl(&fig2());
+/// assert!(icl.starts_with("Module fig2 {"));
+/// assert!(icl.contains("ScanRegister A"));
+/// ```
+pub fn to_icl(rsn: &Rsn) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Module {} {{", ident(rsn.name()));
+    let _ = writeln!(out, "  ScanInPort SI;");
+    if rsn.secondary_scan_in().is_some() {
+        let _ = writeln!(out, "  ScanInPort SI2;");
+    }
+    let _ = writeln!(out, "  ScanOutPort SO {{");
+    let so_src = source_ref(rsn, rsn.node(rsn.scan_out()).source().expect("driven"));
+    let _ = writeln!(out, "    Source {so_src};");
+    let _ = writeln!(out, "  }}");
+    if let Some(so2) = rsn.secondary_scan_out() {
+        if let Some(src) = rsn.node(so2).source() {
+            let _ = writeln!(out, "  ScanOutPort SO2 {{");
+            let _ = writeln!(out, "    Source {};", source_ref(rsn, src));
+            let _ = writeln!(out, "  }}");
+        }
+    }
+    if rsn.num_inputs() > 0 {
+        let _ = writeln!(out, "  DataInPort CTL[{}:0];", rsn.num_inputs() - 1);
+    }
+    let _ = writeln!(out);
+
+    for id in rsn.node_ids() {
+        let n = rsn.node(id);
+        match n.kind() {
+            NodeKind::Segment(s) => {
+                let nm = ident(n.name());
+                let src = source_ref(rsn, n.source().expect("validated"));
+                let _ = writeln!(out, "  // Select := {}", expr_to_icl(rsn, &s.select));
+                let _ = writeln!(out, "  ScanRegister {nm}[{}:0] {{", s.length - 1);
+                let _ = writeln!(out, "    ScanInSource {src};");
+                let _ = writeln!(out, "    ResetValue {}'b{};", s.length, "0".repeat(s.length as usize));
+                if !s.has_shadow {
+                    let _ = writeln!(out, "    // read-only register (no update stage)");
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            NodeKind::Mux(m) => {
+                let nm = ident(n.name());
+                let addr: Vec<String> =
+                    m.addr_bits.iter().map(|e| expr_to_icl(rsn, e)).collect();
+                let hardened = if m.hardened { " // TMR-hardened address" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  ScanMux {nm} SelectedBy {} {{{hardened}",
+                    addr.join(", ")
+                );
+                for (k, &inp) in m.inputs.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "    {}'b{:0width$b} : {};",
+                        m.addr_bits.len().max(1),
+                        k,
+                        source_ref(rsn, inp),
+                        width = m.addr_bits.len().max(1)
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2};
+    use rsn_itc02::by_name;
+    use rsn_sib::generate;
+    use rsn_synth::{synthesize, SynthesisOptions};
+
+    fn balanced(s: &str) {
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close, "unbalanced braces");
+    }
+
+    #[test]
+    fn fig2_icl_contains_all_elements() {
+        let rsn = fig2();
+        let icl = to_icl(&rsn);
+        balanced(&icl);
+        for name in ["A", "B", "C", "D"] {
+            assert!(icl.contains(&format!("ScanRegister {name}[")), "{name}");
+        }
+        assert!(icl.contains("ScanMux M SelectedBy"));
+        assert!(icl.contains("ScanInPort SI;"));
+        assert!(icl.contains("ScanOutPort SO"));
+    }
+
+    #[test]
+    fn chain_icl_chains_sources() {
+        let icl = to_icl(&chain(3, 2));
+        balanced(&icl);
+        assert!(icl.contains("ScanInSource SI;"));
+        assert!(icl.contains("ScanInSource S0.SO;"));
+        assert!(icl.contains("ScanInSource S1.SO;"));
+    }
+
+    #[test]
+    fn ft_network_icl_has_secondary_ports() {
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let ft = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        let icl = to_icl(&ft.rsn);
+        balanced(&icl);
+        assert!(icl.contains("ScanInPort SI2;"));
+        assert!(icl.contains("ScanOutPort SO2"));
+        assert!(icl.contains("TMR-hardened"));
+        assert!(icl.contains("DataInPort CTL["));
+    }
+
+    #[test]
+    fn mux_cases_enumerate_inputs() {
+        let icl = to_icl(&fig2());
+        assert!(icl.contains("1'b0 : B.SO;"));
+        assert!(icl.contains("1'b1 : C.SO;"));
+    }
+}

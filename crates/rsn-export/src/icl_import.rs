@@ -1,0 +1,509 @@
+//! IEEE 1687 ICL import: parses the dialect produced by
+//! [`to_icl`](crate::to_icl) back into an [`Rsn`], enabling round-trip
+//! workflows (edit an exported description, re-analyze it) and round-trip
+//! testing of the emitter.
+//!
+//! Supported subset: `Module`, `ScanInPort`/`ScanOutPort` (+ `Source`),
+//! `DataInPort CTL[..]`, `ScanRegister name[h:0]` with `ScanInSource` and
+//! the emitted `// Select := …` annotation, and `ScanMux … SelectedBy …`
+//! with per-case sources. Select/address expressions use the emitted
+//! grammar: `~x`, `(a && b)`, `(a || b)`, `name[bit]`, `CTL[i]`,
+//! `1'b0/1'b1`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rsn_core::{ControlExpr, NodeId, Rsn, RsnBuilder};
+
+/// Error from [`from_icl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIclError {
+    /// 1-based line number (0 when the failure is structural).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseIclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "icl parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseIclError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Const(bool),
+    Ref(String, u32),
+    Ctl(u32),
+    Not(Box<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+}
+
+/// Minimal recursive-descent parser for the emitted expression grammar.
+struct ExprParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(s: &'a str) -> Self {
+        ExprParser { s: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn parse(&mut self) -> Option<Expr> {
+        let e = self.parse_binary()?;
+        self.skip_ws();
+        (self.pos == self.s.len()).then_some(e)
+    }
+
+    fn parse_binary(&mut self) -> Option<Expr> {
+        let first = self.parse_unary()?;
+        let mut items = vec![first];
+        let mut op: Option<u8> = None;
+        loop {
+            self.skip_ws();
+            let Some(two) = self.s.get(self.pos..self.pos + 2) else {
+                break;
+            };
+            match two {
+                b"&&" | b"||" => {
+                    let this = two[0];
+                    if let Some(prev) = op {
+                        if prev != this {
+                            return None; // mixed ops need parentheses
+                        }
+                    }
+                    op = Some(this);
+                    self.pos += 2;
+                    items.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+            if self.pos >= self.s.len() {
+                break;
+            }
+        }
+        Some(match op {
+            None => items.pop().expect("one item"),
+            Some(b'&') => Expr::And(items),
+            Some(_) => Expr::Or(items),
+        })
+    }
+
+    fn parse_unary(&mut self) -> Option<Expr> {
+        match self.peek()? {
+            b'~' => {
+                self.pos += 1;
+                Some(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            b'(' => {
+                self.pos += 1;
+                let inner = self.parse_binary()?;
+                self.skip_ws();
+                if self.s.get(self.pos) != Some(&b')') {
+                    return None;
+                }
+                self.pos += 1;
+                Some(inner)
+            }
+            b'1' if self.s.get(self.pos..self.pos + 4) == Some(b"1'b0") => {
+                self.pos += 4;
+                Some(Expr::Const(false))
+            }
+            b'1' if self.s.get(self.pos..self.pos + 4) == Some(b"1'b1") => {
+                self.pos += 4;
+                Some(Expr::Const(true))
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .s
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.s[start..self.pos]).ok()?.to_string();
+                if self.s.get(self.pos) != Some(&b'[') {
+                    return None;
+                }
+                self.pos += 1;
+                let num_start = self.pos;
+                while self.s.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+                let bit: u32 =
+                    std::str::from_utf8(&self.s[num_start..self.pos]).ok()?.parse().ok()?;
+                if self.s.get(self.pos) != Some(&b']') {
+                    return None;
+                }
+                self.pos += 1;
+                Some(if name == "CTL" {
+                    Expr::Ctl(bit)
+                } else {
+                    Expr::Ref(name, bit)
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn resolve(e: &Expr, names: &HashMap<String, NodeId>) -> Option<ControlExpr> {
+    Some(match e {
+        Expr::Const(b) => ControlExpr::Const(*b),
+        Expr::Ref(name, bit) => ControlExpr::Reg(*names.get(name)?, *bit),
+        Expr::Ctl(i) => ControlExpr::input(*i),
+        Expr::Not(inner) => !resolve(inner, names)?,
+        Expr::And(es) => ControlExpr::And(
+            es.iter().map(|x| resolve(x, names)).collect::<Option<Vec<_>>>()?,
+        ),
+        Expr::Or(es) => ControlExpr::Or(
+            es.iter().map(|x| resolve(x, names)).collect::<Option<Vec<_>>>()?,
+        ),
+    })
+}
+
+#[derive(Debug, Default)]
+struct PendingRegister {
+    length: u32,
+    source: Option<String>,
+    select: Option<Expr>,
+    read_only: bool,
+}
+
+#[derive(Debug, Default)]
+struct PendingMux {
+    address: Vec<Expr>,
+    cases: Vec<(usize, String)>,
+}
+
+/// Parses the emitted ICL dialect into an [`Rsn`].
+///
+/// # Errors
+///
+/// Returns [`ParseIclError`] on syntax outside the emitted subset, dangling
+/// source references, or structural invalidity (propagated from the
+/// builder).
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_export::{from_icl, to_icl};
+///
+/// let rsn = fig2();
+/// let round = from_icl(&to_icl(&rsn))?;
+/// assert_eq!(round.segments().count(), rsn.segments().count());
+/// assert_eq!(round.muxes().count(), rsn.muxes().count());
+/// # Ok::<(), rsn_export::ParseIclError>(())
+/// ```
+pub fn from_icl(text: &str) -> Result<Rsn, ParseIclError> {
+    let err = |line: usize, message: String| ParseIclError { line, message };
+
+    let mut module_name = String::from("imported");
+    let mut registers: Vec<(String, PendingRegister)> = Vec::new();
+    let mut muxes: Vec<(String, PendingMux)> = Vec::new();
+    let mut scan_out_source: Option<String> = None;
+    let mut secondary_in = false;
+    let mut secondary_out_source: Option<String> = None;
+    let mut num_inputs = 0u32;
+    let mut pending_select: Option<Expr> = None;
+
+    #[derive(PartialEq)]
+    enum Ctx {
+        Top,
+        Register,
+        Mux,
+        ScanOut,
+        ScanOut2,
+    }
+    let mut ctx = Ctx::Top;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let ln = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("// Select := ") {
+            pending_select = ExprParser::new(rest).parse();
+            continue;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        match ctx {
+            Ctx::Top => {
+                if let Some(rest) = line.strip_prefix("Module ") {
+                    module_name = rest.trim_end_matches([' ', '{']).to_string();
+                } else if line == "ScanInPort SI;" {
+                    // primary port, implicit in the builder
+                } else if line == "ScanInPort SI2;" {
+                    secondary_in = true;
+                } else if line.starts_with("ScanOutPort SO2") {
+                    ctx = Ctx::ScanOut2;
+                } else if line.starts_with("ScanOutPort SO") {
+                    ctx = Ctx::ScanOut;
+                } else if let Some(rest) = line.strip_prefix("DataInPort CTL[") {
+                    let hi: u32 = rest
+                        .split(':')
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(ln, "bad CTL range".into()))?;
+                    num_inputs = hi + 1;
+                } else if let Some(rest) = line.strip_prefix("ScanRegister ") {
+                    let (name, range) = rest
+                        .split_once('[')
+                        .ok_or_else(|| err(ln, "register needs a range".into()))?;
+                    let hi: u32 = range
+                        .split(':')
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(ln, "bad register range".into()))?;
+                    registers.push((
+                        name.trim().to_string(),
+                        PendingRegister {
+                            length: hi + 1,
+                            select: pending_select.take(),
+                            ..PendingRegister::default()
+                        },
+                    ));
+                    ctx = Ctx::Register;
+                } else if let Some(rest) = line.strip_prefix("ScanMux ") {
+                    let (name, addr_part) = rest
+                        .split_once(" SelectedBy ")
+                        .ok_or_else(|| err(ln, "mux needs SelectedBy".into()))?;
+                    let addr_text = addr_part
+                        .trim_end_matches('{')
+                        .trim()
+                        .trim_end_matches('{')
+                        .trim();
+                    let mut address = Vec::new();
+                    for part in addr_text.split(", ") {
+                        let e = ExprParser::new(part.trim())
+                            .parse()
+                            .ok_or_else(|| err(ln, format!("bad address expr {part:?}")))?;
+                        address.push(e);
+                    }
+                    muxes.push((name.trim().to_string(), PendingMux { address, cases: Vec::new() }));
+                    ctx = Ctx::Mux;
+                } else if line == "}" {
+                    // module end
+                } else {
+                    return Err(err(ln, format!("unexpected line {line:?}")));
+                }
+            }
+            Ctx::Register => {
+                if let Some(rest) = line.strip_prefix("ScanInSource ") {
+                    registers.last_mut().expect("in register").1.source =
+                        Some(rest.trim_end_matches(';').to_string());
+                } else if line.contains("read-only") {
+                    registers.last_mut().expect("in register").1.read_only = true;
+                } else if line.starts_with("ResetValue") {
+                    // zeros only in the emitted dialect
+                } else if line == "}" {
+                    ctx = Ctx::Top;
+                } else {
+                    return Err(err(ln, format!("unexpected register line {line:?}")));
+                }
+            }
+            Ctx::Mux => {
+                if line == "}" {
+                    ctx = Ctx::Top;
+                } else if let Some((case, src)) = line.split_once(" : ") {
+                    let idx_text = case
+                        .split("'b")
+                        .nth(1)
+                        .ok_or_else(|| err(ln, format!("bad case {case:?}")))?;
+                    let idx = usize::from_str_radix(idx_text.trim(), 2)
+                        .map_err(|e| err(ln, format!("bad case index: {e}")))?;
+                    muxes
+                        .last_mut()
+                        .expect("in mux")
+                        .1
+                        .cases
+                        .push((idx, src.trim_end_matches(';').to_string()));
+                } else {
+                    return Err(err(ln, format!("unexpected mux line {line:?}")));
+                }
+            }
+            Ctx::ScanOut => {
+                if let Some(rest) = line.strip_prefix("Source ") {
+                    scan_out_source = Some(rest.trim_end_matches(';').to_string());
+                } else if line == "}" {
+                    ctx = Ctx::Top;
+                }
+            }
+            Ctx::ScanOut2 => {
+                if let Some(rest) = line.strip_prefix("Source ") {
+                    secondary_out_source = Some(rest.trim_end_matches(';').to_string());
+                } else if line == "}" {
+                    ctx = Ctx::Top;
+                }
+            }
+        }
+    }
+
+    // Build the network.
+    let mut b = RsnBuilder::new(module_name);
+    b.add_inputs(num_inputs);
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (name, reg) in &registers {
+        let id = if reg.read_only {
+            b.add_readonly_segment(name.clone(), reg.length)
+        } else {
+            b.add_segment(name.clone(), reg.length)
+        };
+        names.insert(name.clone(), id);
+    }
+    for (name, mux) in &muxes {
+        let mut cases = mux.cases.clone();
+        cases.sort_by_key(|&(i, _)| i);
+        let inputs: Vec<NodeId> = cases
+            .iter()
+            .map(|(_, src)| resolve_source(src, &names, &b))
+            .collect::<Result<_, _>>()
+            .map_err(|m| err(0, m))?;
+        let addr: Vec<ControlExpr> = mux
+            .address
+            .iter()
+            .map(|e| resolve(e, &names).ok_or_else(|| err(0, "dangling address ref".into())))
+            .collect::<Result<_, _>>()?;
+        let id = b.add_mux(name.clone(), inputs, addr);
+        names.insert(name.clone(), id);
+    }
+    let si2 = secondary_in.then(|| b.add_secondary_scan_in("scan_in2"));
+    if let Some(si2) = si2 {
+        names.insert("SI2".into(), si2);
+    }
+    // Connections and selects.
+    for (name, reg) in &registers {
+        let id = names[name];
+        let src = reg
+            .source
+            .as_ref()
+            .ok_or_else(|| err(0, format!("register {name} has no source")))?;
+        let src_id = resolve_source(src, &names, &b).map_err(|m| err(0, m))?;
+        b.connect(src_id, id);
+        if let Some(sel) = &reg.select {
+            let expr = resolve(sel, &names).ok_or_else(|| err(0, "dangling select ref".into()))?;
+            if !reg.read_only || !matches!(expr, ControlExpr::Const(_)) {
+                b.set_select(id, expr);
+            }
+        }
+    }
+    let so_src = scan_out_source.ok_or_else(|| err(0, "missing scan-out source".into()))?;
+    let so_id = resolve_source(&so_src, &names, &b).map_err(|m| err(0, m))?;
+    let scan_out = b.scan_out();
+    b.connect(so_id, scan_out);
+    if let Some(src) = secondary_out_source {
+        let so2 = b.add_secondary_scan_out("scan_out2");
+        let id = resolve_source(&src, &names, &b).map_err(|m| err(0, m))?;
+        b.connect(id, so2);
+    }
+    b.finish().map_err(|e| err(0, format!("structural: {e}")))
+}
+
+fn resolve_source(
+    src: &str,
+    names: &HashMap<String, NodeId>,
+    b: &RsnBuilder,
+) -> Result<NodeId, String> {
+    if src == "SI" {
+        return Ok(b.scan_in());
+    }
+    if let Some(&id) = names.get(src) {
+        return Ok(id); // mux or SI2
+    }
+    if let Some(reg) = src.strip_suffix(".SO") {
+        return names
+            .get(reg)
+            .copied()
+            .ok_or_else(|| format!("dangling source {src:?}"));
+    }
+    Err(format!("dangling source {src:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_icl;
+    use rsn_core::examples::{chain, fig2, sib_tree};
+    use rsn_itc02::by_name;
+    use rsn_sib::generate;
+
+    fn roundtrip_structure(rsn: &Rsn) {
+        let icl = to_icl(rsn);
+        let back = from_icl(&icl).expect("parse emitted dialect");
+        assert_eq!(back.segments().count(), rsn.segments().count());
+        assert_eq!(back.muxes().count(), rsn.muxes().count());
+        assert_eq!(back.total_bits(), rsn.total_bits());
+        // Behavior: the reset paths visit the same segment names.
+        let orig: Vec<String> = rsn
+            .trace_path(&rsn.reset_config())
+            .expect("orig")
+            .segments(rsn)
+            .map(|s| rsn.node(s).name().replace(['.', '-'], "_"))
+            .collect();
+        let re: Vec<String> = back
+            .trace_path(&back.reset_config())
+            .expect("back")
+            .segments(&back)
+            .map(|s| back.node(s).name().to_string())
+            .collect();
+        assert_eq!(orig, re);
+    }
+
+    #[test]
+    fn fig2_roundtrips() {
+        roundtrip_structure(&fig2());
+    }
+
+    #[test]
+    fn chain_roundtrips() {
+        roundtrip_structure(&chain(4, 5));
+    }
+
+    #[test]
+    fn sib_tree_roundtrips() {
+        roundtrip_structure(&sib_tree(2, 2, 3));
+    }
+
+    #[test]
+    fn benchmark_roundtrips() {
+        let soc = by_name("q12710").expect("embedded");
+        roundtrip_structure(&generate(&soc).expect("generate"));
+    }
+
+    #[test]
+    fn reimported_network_is_analyzable() {
+        let soc = by_name("x1331").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let back = from_icl(&to_icl(&rsn)).expect("parse");
+        // The re-imported network supports the same access planning.
+        for seg in back.segments().take(8) {
+            assert!(back.is_accessible(seg), "{}", back.node(seg).name());
+        }
+    }
+
+    #[test]
+    fn malformed_icl_is_rejected() {
+        assert!(from_icl("Module x {\n  Bogus;\n}\n").is_err());
+        assert!(from_icl("Module x {\n  ScanRegister r[1:0] {\n  }\n}\n").is_err());
+    }
+}

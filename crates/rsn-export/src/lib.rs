@@ -1,0 +1,60 @@
+//! Netlist export for reconfigurable scan networks.
+//!
+//! Emits an [`Rsn`](rsn_core::Rsn) — original or fault-tolerant — in two industry
+//! formats:
+//!
+//! * [`to_verilog`] — a synthesizable structural Verilog module
+//!   ([`verilog`]): one shift/shadow register pair per segment,
+//!   continuous-assignment multiplexers, select logic from the stored
+//!   [`ControlExpr`](rsn_core::ControlExpr)s, and a global
+//!   capture/shift/update interface.
+//! * [`to_icl`] — an IEEE Std 1687 ICL (Instrument Connectivity Language)
+//!   description ([`icl`]): `ScanRegister`, `ScanMux` and `Alias`
+//!   declarations mirroring the network topology.
+//!
+//! Both emitters are purely structural: they serialize exactly the model
+//! that the analysis and synthesis operate on, so exported netlists match
+//! the evaluated behavior.
+
+pub mod icl;
+pub mod icl_import;
+pub mod pdl;
+pub mod verilog;
+
+pub use icl::to_icl;
+pub use icl_import::{from_icl, ParseIclError};
+pub use pdl::{read_access_pdl, write_access_pdl};
+pub use verilog::to_verilog;
+
+/// Sanitizes a node name into a Verilog/ICL-safe identifier.
+pub(crate) fn ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_';
+        if ok {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('n');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ident;
+
+    #[test]
+    fn ident_sanitizes_names() {
+        assert_eq!(ident("m1.c0.sib"), "m1_c0_sib");
+        assert_eq!(ident("scan_in"), "scan_in");
+        assert_eq!(ident("0weird"), "n0weird");
+        assert_eq!(ident(""), "_");
+    }
+}

@@ -1,0 +1,272 @@
+//! Semantic effect of a stuck-at fault on an RSN.
+//!
+//! Translates a [`Fault`] into its impact on dataflow and control:
+//!
+//! * *corrupt* nodes / multiplexer input edges — scan data passing through
+//!   is forced to the stuck value (the paper's adapted transition relation:
+//!   a fault on the active path propagates its value to all subsequent
+//!   registers),
+//! * *forced* control bits — a stuck shadow cell or address net pins the
+//!   driven multiplexer to one input,
+//! * *local losses* — segments whose instrument interface is broken while
+//!   the scan path through them stays intact.
+
+use std::collections::HashMap;
+
+use rsn_core::{NodeId, NodeKind, Rsn};
+
+use crate::fault::{Fault, FaultSite};
+use crate::metric::HardeningProfile;
+
+/// The effect of one stuck-at fault, consumed by the accessibility engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultEffect {
+    /// Nodes whose scan data path is corrupted.
+    pub corrupt_nodes: Vec<NodeId>,
+    /// Corrupted multiplexer input edges `(mux, input index)`.
+    pub corrupt_mux_inputs: Vec<(NodeId, usize)>,
+    /// Shadow-register bits pinned to a value: `(segment, bit) → value`.
+    pub forced_bits: HashMap<(NodeId, u32), bool>,
+    /// Multiplexers whose address net is pinned, forcing one input.
+    pub forced_mux: HashMap<NodeId, usize>,
+    /// Segments that lose instrument access without corrupting dataflow.
+    pub local_loss: Vec<NodeId>,
+    /// The stuck value a data-corrupting fault propagates into registers
+    /// written through the fault site (the adapted transition relation).
+    pub stuck: Option<bool>,
+}
+
+impl FaultEffect {
+    /// The benign effect (fault fully masked by hardening).
+    pub fn benign() -> Self {
+        FaultEffect::default()
+    }
+
+    /// `true` if the fault has no effect on accessibility (the recorded
+    /// stuck value is irrelevant when nothing is corrupted or forced).
+    pub fn is_benign(&self) -> bool {
+        self.corrupt_nodes.is_empty()
+            && self.corrupt_mux_inputs.is_empty()
+            && self.forced_bits.is_empty()
+            && self.forced_mux.is_empty()
+            && self.local_loss.is_empty()
+    }
+}
+
+/// Returns `true` if segment `seg` drives any multiplexer address bit.
+pub fn is_control_segment(rsn: &Rsn, seg: NodeId) -> bool {
+    first_control_bit(rsn, seg).is_some()
+}
+
+/// The lowest bit index of `seg`'s register that drives some multiplexer
+/// address, or `None` if the segment drives no address.
+pub fn first_control_bit(rsn: &Rsn, seg: NodeId) -> Option<u32> {
+    let mut refs = Vec::new();
+    for m in rsn.muxes() {
+        for e in &rsn.node(m).as_mux().expect("muxes() yields muxes").addr_bits {
+            e.collect_reg_refs(&mut refs);
+        }
+    }
+    refs.into_iter()
+        .filter(|&(n, _)| n == seg)
+        .map(|(_, bit)| bit)
+        .min()
+}
+
+/// Computes the effect of a fault under the given hardening profile.
+///
+/// With `profile.select_hardened`, select-stem faults are masked (the
+/// fault-tolerant synthesis provides two independent assertion paths per
+/// select signal, Sec. III-E-2). With a TMR-hardened multiplexer
+/// (`Mux::hardened`), address-net faults are masked (Sec. III-E-3).
+pub fn effect_of(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> FaultEffect {
+    let mut e = FaultEffect { stuck: Some(fault.value), ..FaultEffect::default() };
+    match fault.site {
+        FaultSite::SegmentData(n) => {
+            e.corrupt_nodes.push(n);
+        }
+        FaultSite::SegmentSelect(n) => {
+            if profile.select_hardened {
+                // Two independent assertion stems: a single stem fault is
+                // masked for stuck-at-0; stuck-at-1 keeps the segment on the
+                // resulting active path (paper Sec. III-E-2).
+                return FaultEffect::benign();
+            }
+            if !fault.value {
+                // Stuck-at-0: the segment never shifts; any active path
+                // through it is corrupted.
+                e.corrupt_nodes.push(n);
+            }
+            // Stuck-at-1: the segment shifts even when deselected, which
+            // does not disturb the routed dataflow: benign for
+            // accessibility.
+        }
+        FaultSite::SegmentShadow(n) => {
+            match first_control_bit(rsn, n) {
+                Some(bit) => {
+                    // The stuck cell pins the driven address source (the
+                    // first mux-referenced bit of the register represents
+                    // the collapsed class).
+                    e.forced_bits.insert((n, bit), fault.value);
+                }
+                None => {
+                    // Instrument write data corrupted: segment lost,
+                    // dataflow intact.
+                    e.local_loss.push(n);
+                }
+            }
+        }
+        FaultSite::MuxInput(n, k) => {
+            e.corrupt_mux_inputs.push((n, k));
+        }
+        FaultSite::MuxOutput(n) => {
+            e.corrupt_nodes.push(n);
+        }
+        FaultSite::MuxAddress(n) => {
+            let mux = rsn.node(n).as_mux().expect("address fault on mux");
+            if mux.hardened {
+                return FaultEffect::benign();
+            }
+            // Pin the address net. For a binary-encoded address, pinning
+            // the net pins every bit (the fault models the fanout stem).
+            let mut addr = 0usize;
+            if fault.value {
+                for i in 0..mux.addr_bits.len() {
+                    addr |= 1 << i;
+                }
+            }
+            let addr = addr.min(mux.inputs.len() - 1);
+            e.forced_mux.insert(n, addr);
+        }
+        FaultSite::ScanInPort(n) | FaultSite::ScanOutPort(n) => {
+            e.corrupt_nodes.push(n);
+        }
+    }
+
+    // A data-corrupt control segment also loses reliable control over the
+    // bits it drives; the engine discovers this through the clean-write
+    // fixed point, so no extra bookkeeping is needed here. However, a
+    // forced control bit whose expression appears negated must be handled
+    // by the engine when inverting address requirements.
+    
+
+    // Deduplicate for deterministic comparisons.
+    e.corrupt_nodes.sort_unstable();
+    e.corrupt_nodes.dedup();
+    e.corrupt_mux_inputs.sort_unstable();
+    e.corrupt_mux_inputs.dedup();
+    e.local_loss.sort_unstable();
+    e.local_loss.dedup();
+
+    // Sanity: nodes referenced must exist and match kinds.
+    debug_assert!(match fault.site {
+        FaultSite::SegmentData(n) | FaultSite::SegmentSelect(n) | FaultSite::SegmentShadow(n) =>
+            matches!(rsn.node(n).kind(), NodeKind::Segment(_)),
+        FaultSite::MuxInput(n, _) | FaultSite::MuxOutput(n) | FaultSite::MuxAddress(n) =>
+            matches!(rsn.node(n).kind(), NodeKind::Mux(_)),
+        FaultSite::ScanInPort(n) => matches!(rsn.node(n).kind(), NodeKind::ScanIn),
+        FaultSite::ScanOutPort(n) => matches!(rsn.node(n).kind(), NodeKind::ScanOut),
+    });
+
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::fig2;
+
+    fn fig2_and_a() -> (Rsn, NodeId) {
+        let rsn = fig2();
+        let a = rsn.find("A").expect("A");
+        (rsn, a)
+    }
+
+    #[test]
+    fn segment_a_is_a_control_segment() {
+        let (rsn, a) = fig2_and_a();
+        assert!(is_control_segment(&rsn, a));
+        let b = rsn.find("B").expect("B");
+        assert!(!is_control_segment(&rsn, b));
+    }
+
+    #[test]
+    fn data_fault_corrupts_node() {
+        let (rsn, a) = fig2_and_a();
+        let f = Fault { site: FaultSite::SegmentData(a), value: false, weight: 2 };
+        let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
+        assert_eq!(e.corrupt_nodes, vec![a]);
+        assert!(e.forced_bits.is_empty());
+    }
+
+    #[test]
+    fn shadow_fault_on_control_segment_forces_bit() {
+        let (rsn, a) = fig2_and_a();
+        let f = Fault { site: FaultSite::SegmentShadow(a), value: true, weight: 1 };
+        let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
+        assert_eq!(e.forced_bits.get(&(a, 0)), Some(&true));
+        assert!(e.corrupt_nodes.is_empty());
+    }
+
+    #[test]
+    fn shadow_fault_on_instrument_segment_is_local_loss() {
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let f = Fault { site: FaultSite::SegmentShadow(b), value: false, weight: 1 };
+        let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
+        assert_eq!(e.local_loss, vec![b]);
+        assert!(e.corrupt_nodes.is_empty());
+    }
+
+    #[test]
+    fn select_sa0_corrupts_sa1_benign() {
+        let (rsn, a) = fig2_and_a();
+        let sa0 = Fault { site: FaultSite::SegmentSelect(a), value: false, weight: 1 };
+        let sa1 = Fault { site: FaultSite::SegmentSelect(a), value: true, weight: 1 };
+        let p = HardeningProfile::unhardened();
+        assert_eq!(effect_of(&rsn, &sa0, p).corrupt_nodes, vec![a]);
+        assert!(effect_of(&rsn, &sa1, p).is_benign());
+    }
+
+    #[test]
+    fn hardened_select_masks_stem_fault() {
+        let (rsn, a) = fig2_and_a();
+        let sa0 = Fault { site: FaultSite::SegmentSelect(a), value: false, weight: 1 };
+        let e = effect_of(&rsn, &sa0, HardeningProfile::hardened());
+        assert!(e.is_benign());
+    }
+
+    #[test]
+    fn mux_address_fault_forces_input() {
+        let rsn = fig2();
+        let m = rsn.find("M").expect("mux");
+        let sa1 = Fault { site: FaultSite::MuxAddress(m), value: true, weight: 1 };
+        let e = effect_of(&rsn, &sa1, HardeningProfile::unhardened());
+        assert_eq!(e.forced_mux.get(&m), Some(&1));
+        let sa0 = Fault { site: FaultSite::MuxAddress(m), value: false, weight: 1 };
+        let e = effect_of(&rsn, &sa0, HardeningProfile::unhardened());
+        assert_eq!(e.forced_mux.get(&m), Some(&0));
+    }
+
+    #[test]
+    fn mux_input_fault_corrupts_one_edge_only() {
+        let rsn = fig2();
+        let m = rsn.find("M").expect("mux");
+        let f = Fault { site: FaultSite::MuxInput(m, 1), value: false, weight: 1 };
+        let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
+        assert_eq!(e.corrupt_mux_inputs, vec![(m, 1)]);
+        assert!(e.corrupt_nodes.is_empty());
+    }
+
+    #[test]
+    fn scan_port_fault_corrupts_port() {
+        let rsn = fig2();
+        let f = Fault {
+            site: FaultSite::ScanInPort(rsn.scan_in()),
+            value: false,
+            weight: 1,
+        };
+        let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
+        assert_eq!(e.corrupt_nodes, vec![rsn.scan_in()]);
+    }
+}

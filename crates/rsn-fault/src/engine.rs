@@ -1,0 +1,664 @@
+//! Structural accessibility engine for faulty RSNs.
+//!
+//! For a given [`FaultEffect`], the engine decides for every scan segment
+//! whether an *activatable, clean* scan path exists from a scan-in port
+//! through the segment to a scan-out port:
+//!
+//! * **clean** — avoiding all corrupted nodes and multiplexer input edges
+//!   (the paper's first access condition: a secondary path that does not
+//!   use the faulty scan element),
+//! * **activatable** — every multiplexer on the path can be set to the
+//!   required input: its address is either free (the controlling register
+//!   is itself writable through a clean prefix) or pinned to the required
+//!   value (the paper's second access condition: the path must be
+//!   configurable by CSU operations).
+//!
+//! Control writability is a fixed point: a register is writable only via a
+//! clean path whose multiplexers are configurable, which may depend on
+//! other registers' writability. The fixed point bootstraps from the
+//! reset configuration and monotonically *promotes* control bits to fully
+//! controllable once their owner is proven writable — starting pessimistic
+//! keeps the verdict sound (no circular self-justification).
+
+use std::collections::HashMap;
+
+use rsn_core::{Config, ControlExpr, NodeId, NodeKind, Rsn};
+
+use crate::effect::FaultEffect;
+
+/// Per-segment accessibility under one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accessibility {
+    /// `accessible[node.index()]` for segment nodes; `false` elsewhere.
+    pub accessible: Vec<bool>,
+    /// Number of accessible segments.
+    pub accessible_segments: usize,
+    /// Total number of segments.
+    pub total_segments: usize,
+    /// Scan bits in accessible segments.
+    pub accessible_bits: u64,
+    /// Total scan bits.
+    pub total_bits: u64,
+}
+
+impl Accessibility {
+    /// Fraction of accessible segments (1.0 for an empty network).
+    pub fn segment_fraction(&self) -> f64 {
+        if self.total_segments == 0 {
+            1.0
+        } else {
+            self.accessible_segments as f64 / self.total_segments as f64
+        }
+    }
+
+    /// Fraction of accessible scan bits (1.0 for an empty network).
+    pub fn bit_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            1.0
+        } else {
+            self.accessible_bits as f64 / self.total_bits as f64
+        }
+    }
+}
+
+/// Attainable-value lattice of one control bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BitState {
+    /// The bit can hold 0 in some reachable configuration.
+    can0: bool,
+    /// The bit can hold 1 in some reachable configuration.
+    can1: bool,
+    /// Pinned by the fault (stuck cell): never promoted.
+    pinned: bool,
+}
+
+impl BitState {
+    fn pinned(v: bool) -> Self {
+        BitState { can0: !v, can1: v, pinned: true }
+    }
+
+    fn known(v: bool) -> Self {
+        BitState { can0: !v, can1: v, pinned: false }
+    }
+
+    fn both(self) -> Self {
+        BitState { can0: true, can1: true, pinned: self.pinned }
+    }
+
+    fn with_value(self, v: bool) -> Self {
+        BitState { can0: self.can0 || !v, can1: self.can1 || v, pinned: self.pinned }
+    }
+
+    fn is_both(self) -> bool {
+        self.can0 && self.can1
+    }
+}
+
+/// Decides whether `expr` can be made to evaluate to `want` given the
+/// current control-bit states. Unknown references are conservatively
+/// unsatisfiable.
+fn can_set(
+    expr: &ControlExpr,
+    want: bool,
+    states: &HashMap<(NodeId, u32), BitState>,
+) -> bool {
+    match expr {
+        ControlExpr::Const(b) => *b == want,
+        ControlExpr::Reg(n, bit) => match states.get(&(*n, *bit)) {
+            Some(s) => {
+                if want {
+                    s.can1
+                } else {
+                    s.can0
+                }
+            }
+            None => false,
+        },
+        ControlExpr::Input(_) => true, // primary inputs are always drivable
+        ControlExpr::Not(e) => can_set(e, !want, states),
+        ControlExpr::And(es) => {
+            if want {
+                es.iter().all(|e| can_set(e, true, states))
+            } else {
+                es.iter().any(|e| can_set(e, false, states))
+            }
+        }
+        ControlExpr::Or(es) => {
+            if want {
+                es.iter().any(|e| can_set(e, true, states))
+            } else {
+                es.iter().all(|e| can_set(e, false, states))
+            }
+        }
+    }
+}
+
+struct EngineCtx<'a> {
+    rsn: &'a Rsn,
+    clean: Vec<bool>,
+    /// corrupt input edges per mux node index.
+    corrupt_inputs: HashMap<(NodeId, usize), ()>,
+    forced_mux: &'a HashMap<NodeId, usize>,
+    states: HashMap<(NodeId, u32), BitState>,
+    roots: Vec<NodeId>,
+    sinks: Vec<NodeId>,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// `true` if mux input `k` of `m` can be selected under the current
+    /// control states.
+    fn configurable(&self, m: NodeId, k: usize) -> bool {
+        if let Some(&forced) = self.forced_mux.get(&m) {
+            return forced == k;
+        }
+        let mux = self.rsn.node(m).as_mux().expect("mux");
+        mux.addr_bits.iter().enumerate().all(|(i, expr)| {
+            let want = (k >> i) & 1 == 1;
+            can_set(expr, want, &self.states)
+        })
+    }
+
+    /// Forward reachability from clean roots. `require_clean_nodes`
+    /// restricts traversal to clean nodes and uncorrupted edges.
+    fn forward(&self, require_clean: bool) -> Vec<bool> {
+        let n = self.rsn.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = Vec::new();
+        for &r in &self.roots {
+            if !require_clean || self.clean[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in self.rsn.successors(u) {
+                if seen[v.index()] {
+                    continue;
+                }
+                if require_clean && !self.clean[v.index()] {
+                    continue;
+                }
+                let edge_ok = match self.rsn.node(v).kind() {
+                    NodeKind::Mux(mux) => {
+                        // Several input indices may connect u to v.
+                        mux.inputs.iter().enumerate().any(|(k, &inp)| {
+                            inp == u
+                                && self.configurable(v, k)
+                                && (!require_clean
+                                    || !self.corrupt_inputs.contains_key(&(v, k)))
+                        })
+                    }
+                    _ => true,
+                };
+                if edge_ok {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward reachability to sinks. `require_clean` restricts to clean
+    /// sinks, clean nodes and uncorrupted edges.
+    fn backward(&self, require_clean: bool) -> Vec<bool> {
+        let n = self.rsn.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = Vec::new();
+        for &s in &self.sinks {
+            if !require_clean || self.clean[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            let preds: Vec<(NodeId, Option<usize>)> = match self.rsn.node(v).kind() {
+                NodeKind::Mux(mux) => mux
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &inp)| (inp, Some(k)))
+                    .collect(),
+                _ => self.rsn.node(v).source().map(|s| (s, None)).into_iter().collect(),
+            };
+            for (u, edge) in preds {
+                if seen[u.index()] {
+                    continue;
+                }
+                if require_clean && !self.clean[u.index()] {
+                    continue;
+                }
+                let edge_ok = match edge {
+                    Some(k) => {
+                        self.configurable(v, k)
+                            && (!require_clean
+                                || !self.corrupt_inputs.contains_key(&(v, k)))
+                    }
+                    None => true,
+                };
+                if edge_ok {
+                    seen[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Collects every control bit referenced by any multiplexer address.
+fn control_bits(rsn: &Rsn) -> Vec<(NodeId, u32)> {
+    let mut bits = Vec::new();
+    for m in rsn.muxes() {
+        for expr in &rsn.node(m).as_mux().expect("mux").addr_bits {
+            expr.collect_reg_refs(&mut bits);
+        }
+    }
+    bits.sort_unstable();
+    bits.dedup();
+    bits
+}
+
+/// Computes per-segment accessibility under a fault effect.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_fault::{accessibility, FaultEffect};
+///
+/// let rsn = fig2();
+/// // Fault-free: everything accessible.
+/// let acc = accessibility(&rsn, &FaultEffect::benign());
+/// assert_eq!(acc.segment_fraction(), 1.0);
+/// ```
+pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
+    let n = rsn.node_count();
+    let mut clean = vec![true; n];
+    for &c in &effect.corrupt_nodes {
+        clean[c.index()] = false;
+    }
+    let corrupt_inputs: HashMap<(NodeId, usize), ()> =
+        effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
+
+    // Initial control-bit states: fault-pinned bits are fixed; bits of a
+    // corrupt register are frozen at the fault's stuck value (the first
+    // CSU through the fault site writes the stuck value — the adapted
+    // transition relation); all other bits start at their reset value and
+    // are promoted to fully-controllable once their owner is proven
+    // writable through a clean, configurable path.
+    let reset = rsn.reset_config();
+    let bits = control_bits(rsn);
+    let reset_value = |node: NodeId, bit: u32| -> bool {
+        match rsn.shadow_offset(node) {
+            Some(off) => reset_bit(&reset, off + bit),
+            None => false,
+        }
+    };
+    let states: HashMap<(NodeId, u32), BitState> = bits
+        .iter()
+        .map(|&(node, bit)| {
+            let state = match effect.forced_bits.get(&(node, bit)) {
+                Some(&v) => BitState::pinned(v),
+                // Bits of a corrupt register are NOT pinned: they hold the
+                // reset value until the first CSU through the fault, and
+                // the dirty-growth rule below adds the stuck value. Both
+                // values can genuinely be exercised over time.
+                None => BitState::known(reset_value(node, bit)),
+            };
+            ((node, bit), state)
+        })
+        .collect();
+
+    let mut roots = vec![rsn.scan_in()];
+    roots.extend(rsn.secondary_scan_in());
+    let mut sinks = vec![rsn.scan_out()];
+    sinks.extend(rsn.secondary_scan_out());
+
+    let mut ctx = EngineCtx {
+        rsn,
+        clean,
+        corrupt_inputs,
+        forced_mux: &effect.forced_mux,
+        states,
+        roots,
+        sinks,
+    };
+
+    // Fixed point: grow the attainable-value sets from the bootstrap
+    // (reset) configuration. A bit becomes fully controllable when its
+    // owner has a *clean* configurable write path; a *dirty* write path
+    // (through the fault site) still deterministically delivers the
+    // fault's stuck value, so it adds exactly that value (the adapted
+    // transition relation of Sec. III-A). Monotone increasing, hence
+    // terminating; starting pessimistic keeps the verdict sound.
+    for _ in 0..=2 * bits.len() {
+        let reach_clean = ctx.forward(true);
+        let reach_any = ctx.forward(false);
+        let can_exit = ctx.backward(false);
+        let mut changed = false;
+        for &(node, bit) in &bits {
+            let cur = match ctx.states.get(&(node, bit)) {
+                Some(s) if !s.pinned && !s.is_both() => *s,
+                _ => continue,
+            };
+            let mut next = cur;
+            if ctx.clean[node.index()]
+                && reach_clean[node.index()]
+                && can_exit[node.index()]
+            {
+                next = next.both();
+            } else if let Some(stuck) = effect.stuck {
+                if reach_any[node.index()] && can_exit[node.index()] {
+                    next = next.with_value(stuck);
+                }
+            }
+            if next != cur {
+                ctx.states.insert((node, bit), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let reach_clean = ctx.forward(true);
+    let exit_clean = ctx.backward(true);
+
+    let mut accessible = vec![false; n];
+    let mut accessible_segments = 0usize;
+    let mut total_segments = 0usize;
+    let mut accessible_bits = 0u64;
+    let mut total_bits = 0u64;
+    for seg in rsn.segments() {
+        total_segments += 1;
+        let len = rsn
+            .node(seg)
+            .as_segment()
+            .expect("segments() yields segments")
+            .length as u64;
+        total_bits += len;
+        let ok = ctx.clean[seg.index()]
+            && !effect.local_loss.contains(&seg)
+            && reach_clean[seg.index()]
+            && exit_clean[seg.index()];
+        if ok {
+            accessible[seg.index()] = true;
+            accessible_segments += 1;
+            accessible_bits += len;
+        }
+    }
+
+    Accessibility {
+        accessible,
+        accessible_segments,
+        total_segments,
+        accessible_bits,
+        total_bits,
+    }
+}
+
+fn reset_bit(cfg: &Config, idx: u32) -> bool {
+    cfg.bit(idx as usize)
+}
+
+/// Diagnostic snapshot of the engine's internal sets for one fault effect
+/// after the fixed point: reachability/exit flags per node and the list of
+/// fully-controllable control bits. Intended for debugging and tests.
+pub fn engine_internals(
+    rsn: &Rsn,
+    effect: &FaultEffect,
+) -> (Vec<bool>, Vec<bool>, Vec<(NodeId, u32)>) {
+    let n = rsn.node_count();
+    let mut clean = vec![true; n];
+    for &c in &effect.corrupt_nodes {
+        clean[c.index()] = false;
+    }
+    let corrupt_inputs: HashMap<(NodeId, usize), ()> =
+        effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
+    let reset = rsn.reset_config();
+    let bits = control_bits(rsn);
+    let reset_value = |node: NodeId, bit: u32| -> bool {
+        match rsn.shadow_offset(node) {
+            Some(off) => reset_bit(&reset, off + bit),
+            None => false,
+        }
+    };
+    let states: HashMap<(NodeId, u32), BitState> = bits
+        .iter()
+        .map(|&(node, bit)| {
+            let state = match effect.forced_bits.get(&(node, bit)) {
+                Some(&v) => BitState::pinned(v),
+                // Bits of a corrupt register are NOT pinned: they hold the
+                // reset value until the first CSU through the fault, and
+                // the dirty-growth rule below adds the stuck value. Both
+                // values can genuinely be exercised over time.
+                None => BitState::known(reset_value(node, bit)),
+            };
+            ((node, bit), state)
+        })
+        .collect();
+    let mut roots = vec![rsn.scan_in()];
+    roots.extend(rsn.secondary_scan_in());
+    let mut sinks = vec![rsn.scan_out()];
+    sinks.extend(rsn.secondary_scan_out());
+    let mut ctx = EngineCtx { rsn, clean, corrupt_inputs, forced_mux: &effect.forced_mux, states, roots, sinks };
+    let verbose = std::env::var_os("RSN_ENGINE_DEBUG").is_some();
+    for round in 0..=2 * bits.len() {
+        let reach_clean = ctx.forward(true);
+        let reach_any = ctx.forward(false);
+        let can_exit = ctx.backward(false);
+        if verbose {
+            eprintln!(
+                "round {round}: reach_clean {} reach_any {} can_exit {}",
+                reach_clean.iter().filter(|&&b| b).count(),
+                reach_any.iter().filter(|&&b| b).count(),
+                can_exit.iter().filter(|&&b| b).count()
+            );
+        }
+        let mut changed = false;
+        for &(node, bit) in &bits {
+            let cur = match ctx.states.get(&(node, bit)) {
+                Some(s) if !s.pinned && !s.is_both() => *s,
+                _ => continue,
+            };
+            let mut next = cur;
+            if ctx.clean[node.index()]
+                && reach_clean[node.index()]
+                && can_exit[node.index()]
+            {
+                next = next.both();
+            } else if let Some(stuck) = effect.stuck {
+                if reach_any[node.index()] && can_exit[node.index()] {
+                    next = next.with_value(stuck);
+                }
+            }
+            if next != cur {
+                if verbose {
+                    eprintln!("round {round}: grow {}[{bit}] -> {next:?}", rsn.node(node).name());
+                }
+                ctx.states.insert((node, bit), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let reach_clean = ctx.forward(true);
+    let exit_clean = ctx.backward(true);
+    let free: Vec<(NodeId, u32)> = bits
+        .iter()
+        .copied()
+        .filter(|key| ctx.states.get(key).is_some_and(|s| s.is_both()))
+        .collect();
+    (reach_clean, exit_clean, free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effect::effect_of;
+    use crate::fault::{Fault, FaultSite};
+    use crate::metric::HardeningProfile;
+    use rsn_core::examples::fig2;
+    use rsn_itc02::parse_soc;
+    use rsn_sib::generate;
+
+    fn acc_for(rsn: &Rsn, fault: Fault) -> Accessibility {
+        let e = effect_of(rsn, &fault, HardeningProfile::unhardened());
+        accessibility(rsn, &e)
+    }
+
+    #[test]
+    fn fault_free_everything_accessible() {
+        let rsn = fig2();
+        let acc = accessibility(&rsn, &FaultEffect::benign());
+        assert_eq!(acc.accessible_segments, 4);
+        assert_eq!(acc.segment_fraction(), 1.0);
+        assert_eq!(acc.bit_fraction(), 1.0);
+    }
+
+    #[test]
+    fn scan_in_fault_disconnects_everything() {
+        let rsn = fig2();
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::ScanInPort(rsn.scan_in()), value: false, weight: 1 },
+        );
+        assert_eq!(acc.accessible_segments, 0);
+        assert_eq!(acc.segment_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_on_a_kills_all_of_fig2() {
+        // A is on every path in Fig. 2.
+        let rsn = fig2();
+        let a = rsn.find("A").expect("A");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentData(a), value: false, weight: 2 },
+        );
+        assert_eq!(acc.accessible_segments, 0);
+    }
+
+    #[test]
+    fn fault_on_b_leaves_a_c_d_accessible() {
+        // B has the C-branch as an alternative in Fig. 2.
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentData(b), value: false, weight: 2 },
+        );
+        assert_eq!(acc.accessible_segments, 3);
+        assert!(!acc.accessible[b.index()]);
+        for name in ["A", "C", "D"] {
+            let id = rsn.find(name).expect("exists");
+            assert!(acc.accessible[id.index()], "{name} must stay accessible");
+        }
+    }
+
+    #[test]
+    fn forced_mux_address_limits_branch() {
+        // Address stuck at 0 pins the B branch: C inaccessible.
+        let rsn = fig2();
+        let m = rsn.find("M").expect("mux");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::MuxAddress(m), value: false, weight: 1 },
+        );
+        let c = rsn.find("C").expect("C");
+        let b = rsn.find("B").expect("B");
+        assert!(!acc.accessible[c.index()]);
+        assert!(acc.accessible[b.index()]);
+        assert_eq!(acc.accessible_segments, 3);
+    }
+
+    #[test]
+    fn control_register_data_fault_freezes_control() {
+        // A's data fault: A unwritable, so the mux stays at reset (B
+        // branch) — but A itself is corrupt, killing every path anyway.
+        let rsn = fig2();
+        let a = rsn.find("A").expect("A");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentData(a), value: true, weight: 2 },
+        );
+        assert_eq!(acc.accessible_segments, 0);
+    }
+
+    #[test]
+    fn sib_rsn_fault_in_subtree_spares_other_modules() {
+        let soc = parse_soc("SocName t\n1 0 0 0 1 : 4\n2 0 0 0 1 : 4\n").expect("parse");
+        let rsn = generate(&soc).expect("generate");
+        let leaf1 = rsn.find("m1.c0.seg").expect("leaf");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentData(leaf1), value: false, weight: 2 },
+        );
+        // Only that leaf is lost: its SIB and module 2 remain accessible.
+        assert_eq!(acc.accessible_segments, acc.total_segments - 1);
+        assert!(!acc.accessible[leaf1.index()]);
+    }
+
+    #[test]
+    fn sib_rsn_top_level_sib_fault_kills_everything() {
+        let soc = parse_soc("SocName t\n1 0 0 0 1 : 4\n2 0 0 0 1 : 4\n").expect("parse");
+        let rsn = generate(&soc).expect("generate");
+        let sib = rsn.find("m1.sib").expect("sib");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentData(sib), value: false, weight: 2 },
+        );
+        // The module SIB register sits on the one-and-only top-level chain.
+        assert_eq!(acc.accessible_segments, 0);
+    }
+
+    #[test]
+    fn sib_shadow_stuck_closed_loses_subtree_only() {
+        let soc = parse_soc("SocName t\n1 0 0 0 2 : 4 4\n2 0 0 0 1 : 4\n").expect("parse");
+        let rsn = generate(&soc).expect("generate");
+        let sib = rsn.find("m1.sib").expect("sib");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentShadow(sib), value: false, weight: 1 },
+        );
+        // m1's subtree (2 chain SIBs + 2 leaves) is unreachable; the SIB
+        // register itself is still on the scan path and accessible, as is
+        // all of m2 and the tdr-free top level.
+        let lost = 4;
+        assert_eq!(acc.accessible_segments, acc.total_segments - lost);
+        assert!(acc.accessible[sib.index()]);
+    }
+
+    #[test]
+    fn sib_shadow_stuck_open_keeps_everything_accessible() {
+        let soc = parse_soc("SocName t\n1 0 0 0 2 : 4 4\n2 0 0 0 1 : 4\n").expect("parse");
+        let rsn = generate(&soc).expect("generate");
+        let sib = rsn.find("m1.sib").expect("sib");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::SegmentShadow(sib), value: true, weight: 1 },
+        );
+        // Stuck-open only forces the subtree onto the path; everything is
+        // still reachable and clean.
+        assert_eq!(acc.accessible_segments, acc.total_segments);
+    }
+
+    #[test]
+    fn mux_bypass_input_fault_loses_bypass_only_when_needed() {
+        // Bypass input corrupt: paths that need the bypass (i.e. everything
+        // while the SIB is closed) must open the SIB instead; all segments
+        // remain accessible because opening is always possible.
+        let soc = parse_soc("SocName t\n1 0 0 0 1 : 4\n").expect("parse");
+        let rsn = generate(&soc).expect("generate");
+        let mux = rsn.find("m1.c0.mux").expect("mux");
+        let acc = acc_for(
+            &rsn,
+            Fault { site: FaultSite::MuxInput(mux, 0), value: false, weight: 1 },
+        );
+        assert_eq!(acc.accessible_segments, acc.total_segments);
+    }
+}

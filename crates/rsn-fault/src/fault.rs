@@ -1,0 +1,205 @@
+//! The single stuck-at fault universe of an RSN.
+//!
+//! Following the paper (Sec. III-A), faults are considered "at all scan
+//! segment, register and multiplexer ports and at all logic gates that fan
+//! out into multiple ports". Physical fault sites with identical effect on
+//! scan-segment accessibility are collapsed into one representative per
+//! site class and stuck value; the per-class `weight` records how many
+//! port-level sites the class represents so averages can reproduce the
+//! paper's per-fault weighting.
+
+use std::fmt;
+
+use rsn_core::{NodeKind, NodeId, Rsn};
+
+/// A physical location class where a stuck-at fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The scan data path through a segment: its scan-in/scan-out ports and
+    /// shift register cells. Any such fault corrupts all data shifted
+    /// through the segment.
+    SegmentData(NodeId),
+    /// The select port / select net stem of a segment.
+    SegmentSelect(NodeId),
+    /// A shadow register cell (or its data-output port) of a segment. For
+    /// control segments this forces the driven multiplexer address; for
+    /// instrument segments it makes reliable write access impossible.
+    SegmentShadow(NodeId),
+    /// A data input port of a multiplexer (port index given).
+    MuxInput(NodeId, usize),
+    /// The data output port of a multiplexer.
+    MuxOutput(NodeId),
+    /// The (possibly TMR-hardened) address net of a multiplexer.
+    MuxAddress(NodeId),
+    /// A primary or secondary scan-in port.
+    ScanInPort(NodeId),
+    /// A primary or secondary scan-out port.
+    ScanOutPort(NodeId),
+}
+
+impl FaultSite {
+    /// The network node the fault is attached to.
+    pub fn node(self) -> NodeId {
+        match self {
+            FaultSite::SegmentData(n)
+            | FaultSite::SegmentSelect(n)
+            | FaultSite::SegmentShadow(n)
+            | FaultSite::MuxInput(n, _)
+            | FaultSite::MuxOutput(n)
+            | FaultSite::MuxAddress(n)
+            | FaultSite::ScanInPort(n)
+            | FaultSite::ScanOutPort(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::SegmentData(n) => write!(f, "data({n})"),
+            FaultSite::SegmentSelect(n) => write!(f, "select({n})"),
+            FaultSite::SegmentShadow(n) => write!(f, "shadow({n})"),
+            FaultSite::MuxInput(n, k) => write!(f, "mux_in({n},{k})"),
+            FaultSite::MuxOutput(n) => write!(f, "mux_out({n})"),
+            FaultSite::MuxAddress(n) => write!(f, "mux_addr({n})"),
+            FaultSite::ScanInPort(n) => write!(f, "scan_in({n})"),
+            FaultSite::ScanOutPort(n) => write!(f, "scan_out({n})"),
+        }
+    }
+}
+
+/// A single stuck-at fault: a site class stuck at `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The stuck value (stuck-at-0 or stuck-at-1).
+    pub value: bool,
+    /// Number of port-level fault sites this class represents (used as the
+    /// weight in metric averages).
+    pub weight: u32,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.site, u8::from(self.value))
+    }
+}
+
+/// How collapsed fault classes are weighted in metric averages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightModel {
+    /// One unit per *port-level* site: a segment's data class counts its
+    /// scan-in and scan-out ports (weight 2), registers one port each.
+    #[default]
+    Ports,
+    /// One unit per *cell-level* site: a segment's data class counts every
+    /// shift-register cell plus the two scan ports; shadow classes count
+    /// every shadow cell. Large registers then dominate the average, as
+    /// they do physically.
+    Cells,
+}
+
+/// Enumerates the collapsed stuck-at fault universe of a network.
+///
+/// Per segment: data path, select stem and, if present, shadow register.
+/// Per multiplexer: each data input, the output, and the address net. Per
+/// scan port: the port itself. Each site appears twice (stuck-at 0 and 1);
+/// class weights follow the [`WeightModel`].
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_fault::fault_universe;
+///
+/// let rsn = fig2();
+/// let faults = fault_universe(&rsn);
+/// // 4 segments × 3 sites + 1 mux × 4 sites + 2 ports, each sa0+sa1.
+/// assert_eq!(faults.len(), 2 * (4 * 3 + 4 + 2));
+/// ```
+pub fn fault_universe(rsn: &Rsn) -> Vec<Fault> {
+    fault_universe_weighted(rsn, WeightModel::Ports)
+}
+
+/// [`fault_universe`] with an explicit weight model.
+pub fn fault_universe_weighted(rsn: &Rsn, model: WeightModel) -> Vec<Fault> {
+    let mut out = Vec::new();
+    let mut push = |site: FaultSite, weight: u32| {
+        out.push(Fault { site, value: false, weight });
+        out.push(Fault { site, value: true, weight });
+    };
+    for id in rsn.node_ids() {
+        match rsn.node(id).kind() {
+            NodeKind::Segment(s) => {
+                let data_w = match model {
+                    WeightModel::Ports => 2,
+                    WeightModel::Cells => s.length + 2,
+                };
+                let shadow_w = match model {
+                    WeightModel::Ports => 1,
+                    WeightModel::Cells => s.length,
+                };
+                push(FaultSite::SegmentData(id), data_w);
+                push(FaultSite::SegmentSelect(id), 1);
+                if s.has_shadow {
+                    push(FaultSite::SegmentShadow(id), shadow_w);
+                }
+            }
+            NodeKind::Mux(m) => {
+                for k in 0..m.inputs.len() {
+                    push(FaultSite::MuxInput(id, k), 1);
+                }
+                push(FaultSite::MuxOutput(id), 1);
+                push(FaultSite::MuxAddress(id), 1);
+            }
+            NodeKind::ScanIn => push(FaultSite::ScanInPort(id), 1),
+            NodeKind::ScanOut => push(FaultSite::ScanOutPort(id), 1),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2};
+
+    #[test]
+    fn universe_counts_for_fig2() {
+        let rsn = fig2();
+        let faults = fault_universe(&rsn);
+        assert_eq!(faults.len(), 2 * (4 * 3 + 4 + 2));
+        // Every fault appears in both polarities.
+        let sa0 = faults.iter().filter(|f| !f.value).count();
+        assert_eq!(sa0 * 2, faults.len());
+    }
+
+    #[test]
+    fn chain_universe_has_no_mux_faults() {
+        let rsn = chain(3, 4);
+        let faults = fault_universe(&rsn);
+        assert!(faults
+            .iter()
+            .all(|f| !matches!(f.site, FaultSite::MuxInput(..) | FaultSite::MuxOutput(_))));
+        // 3 segments × 3 sites + 2 ports, both polarities.
+        assert_eq!(faults.len(), 2 * (3 * 3 + 2));
+    }
+
+    #[test]
+    fn weights_reflect_port_multiplicity() {
+        let rsn = fig2();
+        for f in fault_universe(&rsn) {
+            match f.site {
+                FaultSite::SegmentData(_) => assert_eq!(f.weight, 2),
+                _ => assert_eq!(f.weight, 1),
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Fault { site: FaultSite::MuxInput(NodeId(3), 1), value: true, weight: 1 };
+        assert_eq!(f.to_string(), "mux_in(n3,1)/sa1");
+    }
+}

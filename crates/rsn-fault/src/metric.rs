@@ -1,0 +1,293 @@
+//! The fault-tolerance metric: worst-case and average accessibility over
+//! all single stuck-at faults (paper Sec. III-A, Table I).
+
+use std::fmt;
+
+use rsn_core::Rsn;
+
+use crate::effect::effect_of;
+use crate::engine::accessibility;
+use crate::fault::{fault_universe_weighted, Fault, WeightModel};
+
+/// Which hardening measures of the fault-tolerant synthesis apply when
+/// interpreting fault effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardeningProfile {
+    /// Select signals synthesized with two independent assertion paths
+    /// (Sec. III-E-2): single select-stem faults are masked.
+    pub select_hardened: bool,
+}
+
+impl HardeningProfile {
+    /// Profile of an original (unhardened) RSN.
+    pub fn unhardened() -> Self {
+        HardeningProfile { select_hardened: false }
+    }
+
+    /// Profile of a synthesized fault-tolerant RSN.
+    pub fn hardened() -> Self {
+        HardeningProfile { select_hardened: true }
+    }
+}
+
+/// Aggregated fault-tolerance metric of an RSN: the Table I accessibility
+/// columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultToleranceReport {
+    /// Number of collapsed fault classes analyzed (both polarities).
+    pub fault_count: usize,
+    /// Sum of fault weights (port-level site count).
+    pub total_weight: u64,
+    /// Worst-case fraction of accessible segments over all faults.
+    pub worst_segments: f64,
+    /// Weighted average fraction of accessible segments.
+    pub avg_segments: f64,
+    /// Worst-case fraction of accessible scan bits.
+    pub worst_bits: f64,
+    /// Weighted average fraction of accessible scan bits.
+    pub avg_bits: f64,
+    /// A fault achieving the worst segment accessibility.
+    pub worst_fault: Option<Fault>,
+}
+
+impl fmt::Display for FaultToleranceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segments worst {:.3} avg {:.3} | bits worst {:.3} avg {:.3} ({} faults)",
+            self.worst_segments, self.avg_segments, self.worst_bits, self.avg_bits,
+            self.fault_count
+        )
+    }
+}
+
+/// Computes the fault-tolerance metric of a network: for every single
+/// stuck-at fault in the collapsed universe, the fraction of scan segments
+/// and scan bits that remain accessible; aggregated as worst case and
+/// weighted average.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::chain;
+/// use rsn_fault::{analyze, HardeningProfile};
+///
+/// // A flat chain has no redundancy: any data fault kills everything
+/// // downstream and upstream (single path), so the worst case is 0.
+/// let report = analyze(&chain(4, 8), HardeningProfile::unhardened());
+/// assert_eq!(report.worst_segments, 0.0);
+/// ```
+pub fn analyze(rsn: &Rsn, profile: HardeningProfile) -> FaultToleranceReport {
+    analyze_with(rsn, profile, WeightModel::Ports)
+}
+
+/// [`analyze`] with an explicit fault-class [`WeightModel`].
+pub fn analyze_with(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+) -> FaultToleranceReport {
+    let faults = fault_universe_weighted(rsn, model);
+    let mut worst_segments = 1.0f64;
+    let mut worst_bits = 1.0f64;
+    let mut sum_segments = 0.0f64;
+    let mut sum_bits = 0.0f64;
+    let mut total_weight = 0u64;
+    let mut worst_fault = None;
+
+    for fault in &faults {
+        let effect = effect_of(rsn, fault, profile);
+        let (seg_frac, bit_frac) = if effect.is_benign() {
+            (1.0, 1.0)
+        } else {
+            let acc = accessibility(rsn, &effect);
+            (acc.segment_fraction(), acc.bit_fraction())
+        };
+        let w = fault.weight as f64;
+        sum_segments += seg_frac * w;
+        sum_bits += bit_frac * w;
+        total_weight += fault.weight as u64;
+        if seg_frac < worst_segments {
+            worst_segments = seg_frac;
+            worst_fault = Some(*fault);
+        }
+        worst_bits = worst_bits.min(bit_frac);
+    }
+
+    let denom = total_weight.max(1) as f64;
+    FaultToleranceReport {
+        fault_count: faults.len(),
+        total_weight,
+        worst_segments,
+        avg_segments: sum_segments / denom,
+        worst_bits,
+        avg_bits: sum_bits / denom,
+        worst_fault,
+    }
+}
+
+/// Multi-threaded version of [`analyze`]: the fault universe is split
+/// across `std::thread::available_parallelism` workers. Results are
+/// identical to the sequential version (the aggregation is order-insensitive
+/// up to the choice of witness `worst_fault`).
+pub fn analyze_parallel(rsn: &Rsn, profile: HardeningProfile) -> FaultToleranceReport {
+    analyze_parallel_with(rsn, profile, WeightModel::Ports)
+}
+
+/// [`analyze_parallel`] with an explicit fault-class [`WeightModel`].
+pub fn analyze_parallel_with(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+) -> FaultToleranceReport {
+    let faults = fault_universe_weighted(rsn, model);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+    if threads <= 1 || faults.len() < 64 {
+        return analyze_with(rsn, profile, model);
+    }
+    let chunk = faults.len().div_ceil(threads);
+    let partials: Vec<Partial> = std::thread::scope(|scope| {
+        let handles: Vec<_> = faults
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut p = Partial::default();
+                    for fault in slice {
+                        let effect = effect_of(rsn, fault, profile);
+                        let (seg_frac, bit_frac) = if effect.is_benign() {
+                            (1.0, 1.0)
+                        } else {
+                            let acc = accessibility(rsn, &effect);
+                            (acc.segment_fraction(), acc.bit_fraction())
+                        };
+                        let w = fault.weight as f64;
+                        p.sum_segments += seg_frac * w;
+                        p.sum_bits += bit_frac * w;
+                        p.total_weight += fault.weight as u64;
+                        if seg_frac < p.worst_segments {
+                            p.worst_segments = seg_frac;
+                            p.worst_fault = Some(*fault);
+                        }
+                        p.worst_bits = p.worst_bits.min(bit_frac);
+                    }
+                    p
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut out = Partial::default();
+    for p in partials {
+        out.sum_segments += p.sum_segments;
+        out.sum_bits += p.sum_bits;
+        out.total_weight += p.total_weight;
+        if p.worst_segments < out.worst_segments {
+            out.worst_segments = p.worst_segments;
+            out.worst_fault = p.worst_fault;
+        }
+        out.worst_bits = out.worst_bits.min(p.worst_bits);
+    }
+    let denom = out.total_weight.max(1) as f64;
+    FaultToleranceReport {
+        fault_count: faults.len(),
+        total_weight: out.total_weight,
+        worst_segments: out.worst_segments,
+        avg_segments: out.sum_segments / denom,
+        worst_bits: out.worst_bits,
+        avg_bits: out.sum_bits / denom,
+        worst_fault: out.worst_fault,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Partial {
+    sum_segments: f64,
+    sum_bits: f64,
+    total_weight: u64,
+    worst_segments: f64,
+    worst_bits: f64,
+    worst_fault: Option<Fault>,
+}
+
+impl Default for Partial {
+    fn default() -> Self {
+        Partial {
+            sum_segments: 0.0,
+            sum_bits: 0.0,
+            total_weight: 0,
+            worst_segments: 1.0,
+            worst_bits: 1.0,
+            worst_fault: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2};
+    use rsn_itc02::by_name;
+    use rsn_sib::generate;
+
+    #[test]
+    fn chain_worst_case_is_zero() {
+        let report = analyze(&chain(3, 4), HardeningProfile::unhardened());
+        assert_eq!(report.worst_segments, 0.0);
+        assert_eq!(report.worst_bits, 0.0);
+        assert!(report.worst_fault.is_some());
+        assert!(report.avg_segments < 1.0);
+        assert!(report.avg_segments > 0.0, "select-sa1 faults are benign");
+    }
+
+    #[test]
+    fn fig2_average_reflects_partial_redundancy() {
+        let report = analyze(&fig2(), HardeningProfile::unhardened());
+        // B and C are each avoidable; A and D are single points of failure.
+        assert_eq!(report.worst_segments, 0.0);
+        assert!(report.avg_segments > 0.3, "{report}");
+        assert!(report.avg_segments < 1.0, "{report}");
+    }
+
+    #[test]
+    fn report_display_mentions_fault_count() {
+        let report = analyze(&chain(2, 2), HardeningProfile::unhardened());
+        let s = report.to_string();
+        assert!(s.contains("faults"), "{s}");
+    }
+
+    #[test]
+    fn sib_rsn_matches_paper_shape() {
+        // Small embedded benchmark: worst case must be a total
+        // disconnection (0.00, as in Table I), average in a plausible band.
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let report = analyze(&rsn, HardeningProfile::unhardened());
+        assert_eq!(report.worst_segments, 0.0, "{report}");
+        assert_eq!(report.worst_bits, 0.0);
+        assert!(
+            report.avg_segments > 0.5 && report.avg_segments < 0.98,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn hardened_profile_improves_average() {
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let plain = analyze(&rsn, HardeningProfile::unhardened());
+        let hard = analyze(&rsn, HardeningProfile::hardened());
+        assert!(hard.avg_segments >= plain.avg_segments);
+    }
+
+    #[test]
+    fn weights_sum_matches_universe() {
+        let rsn = fig2();
+        let report = analyze(&rsn, HardeningProfile::unhardened());
+        let expected: u64 = crate::fault::fault_universe(&rsn)
+            .iter()
+            .map(|f| f.weight as u64)
+            .sum();
+        assert_eq!(report.total_weight, expected);
+    }
+}

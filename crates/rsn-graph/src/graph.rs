@@ -1,0 +1,362 @@
+//! A compact directed graph with adjacency lists and the structural queries
+//! needed by the synthesis flow.
+
+use std::collections::VecDeque;
+
+/// A directed graph over vertices `0..n` with parallel-edge support.
+///
+/// # Example
+///
+/// ```
+/// use rsn_graph::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.successors(1), &[2]);
+/// assert_eq!(g.predecessors(1), &[0]);
+/// assert!(g.topo_order().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiGraph {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { succ: vec![Vec::new(); n], pred: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        self.succ.len() - 1
+    }
+
+    /// Adds a directed edge `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        self.succ[u].push(v);
+        self.pred[v].push(u);
+        self.edge_count += 1;
+    }
+
+    /// `true` if an edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succ[u].contains(&v)
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Predecessors of `u`.
+    pub fn predecessors(&self, u: usize) -> &[usize] {
+        &self.pred[u]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succ[u].len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: usize) -> usize {
+        self.pred[u].len()
+    }
+
+    /// Iterator over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Kahn topological order, or `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.succ[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// `true` if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Finds any directed cycle and returns its vertices in order, or
+    /// `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // Iterative DFS with colors; on back-edge reconstruct the cycle.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.len();
+        let mut color = vec![WHITE; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // stack of (vertex, next successor index)
+            let mut stack = vec![(start, 0usize)];
+            color[start] = GRAY;
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < self.succ[u].len() {
+                    let v = self.succ[u][*i];
+                    *i += 1;
+                    match color[v] {
+                        WHITE => {
+                            color[v] = GRAY;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        GRAY => {
+                            // Found a cycle v -> ... -> u -> v.
+                            let mut cycle = vec![v];
+                            let mut w = u;
+                            while w != v {
+                                cycle.push(w);
+                                w = parent[w];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[u] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Topological levels: `level(v) = 0` for sources, otherwise `1 + max`
+    /// over predecessors (longest-path layering, the `level(·)` of the
+    /// paper's potential-edge definition).
+    ///
+    /// Returns `None` if the graph has a cycle.
+    pub fn levels(&self) -> Option<Vec<usize>> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.len()];
+        for &v in &order {
+            for &p in &self.pred[v] {
+                level[v] = level[v].max(level[p] + 1);
+            }
+        }
+        Some(level)
+    }
+
+    /// Vertices reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.succ[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Vertices that can reach `target` (including `target`).
+    pub fn reaching(&self, target: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![target];
+        seen[target] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.pred[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest path (edge count) from `s` to `t`, as a vertex list, or
+    /// `None` if unreachable.
+    pub fn shortest_path(&self, s: usize, t: usize) -> Option<Vec<usize>> {
+        let mut parent = vec![usize::MAX; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                let mut path = vec![t];
+                let mut w = t;
+                while w != s {
+                    w = parent[w];
+                    path.push(w);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &v in &self.succ[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(3, 1));
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let order = g.topo_order().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 5];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v] = i;
+            }
+            pos
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected_and_reported() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().expect("has cycle");
+        assert!(cycle.len() >= 2);
+        // Every consecutive pair must be an edge, and it must wrap around.
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "{cycle:?}");
+        }
+        assert!(g.has_edge(*cycle.last().expect("nonempty"), cycle[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let cycle = g.find_cycle().expect("self loop");
+        assert_eq!(cycle, vec![0]);
+    }
+
+    #[test]
+    fn levels_are_longest_path_layering() {
+        // 0 -> 1 -> 3, 0 -> 3: level(3) must be 2, not 1.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 3), (0, 3), (0, 2)]);
+        let lv = g.levels().expect("acyclic");
+        assert_eq!(lv, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn levels_none_on_cycle() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(g.levels(), None);
+    }
+
+    #[test]
+    fn reachability_both_directions() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_eq!(g.reachable_from(0), vec![true, true, true, false]);
+        assert_eq!(g.reaching(2), vec![true, true, true, false]);
+        assert_eq!(g.reachable_from(3), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_edges() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(g.shortest_path(0, 3), Some(vec![0, 3]));
+        assert_eq!(g.shortest_path(3, 0), None);
+    }
+
+    #[test]
+    fn parallel_edges_are_counted() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = DiGraph::new(1);
+        let v = g.add_vertex();
+        assert_eq!(v, 1);
+        g.add_edge(0, v);
+        assert!(g.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,158 @@
+//! Additional graph-algorithm coverage: randomized cross-checks between
+//! max-flow, Menger counts, dominators and brute-force path enumeration.
+
+use proptest::prelude::*;
+use rsn_graph::{dominators, max_flow, vertex_independent_paths, DiGraph};
+use rsn_graph::dominators::dominator_set;
+
+/// All simple paths from `s` to `t` (for small graphs only).
+fn simple_paths(g: &DiGraph, s: usize, t: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut stack = vec![(vec![s], s)];
+    while let Some((path, u)) = stack.pop() {
+        if u == t {
+            out.push(path);
+            continue;
+        }
+        for &v in g.successors(u) {
+            if !path.contains(&v) {
+                let mut p = path.clone();
+                p.push(v);
+                stack.push((p, v));
+            }
+        }
+    }
+    out
+}
+
+/// Maximum set of pairwise internally-vertex-disjoint paths, brute force.
+fn brute_vertex_disjoint(g: &DiGraph, s: usize, t: usize) -> usize {
+    let paths = simple_paths(g, s, t);
+    let n = paths.len();
+    let mut best = 0;
+    for mask in 0u32..(1 << n.min(12)) {
+        let chosen: Vec<&Vec<usize>> = (0..n.min(12))
+            .filter(|&i| (mask >> i) & 1 == 1)
+            .map(|i| &paths[i])
+            .collect();
+        let mut ok = true;
+        'outer: for (a, pa) in chosen.iter().enumerate() {
+            for pb in chosen.iter().skip(a + 1) {
+                for v in pa.iter().filter(|&&v| v != s && v != t) {
+                    if pb.contains(v) {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if ok {
+            best = best.max(chosen.len());
+        }
+    }
+    best
+}
+
+fn small_dag() -> impl Strategy<Value = DiGraph> {
+    proptest::collection::vec((0usize..7, 0usize..7), 3..16).prop_map(|edges| {
+        let mut g = DiGraph::new(7);
+        for (a, b) in edges {
+            if a < b {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn menger_matches_brute_force(g in small_dag()) {
+        let paths = simple_paths(&g, 0, 6);
+        // Keep the brute force tractable.
+        prop_assume!(paths.len() <= 12);
+        let menger = vertex_independent_paths(&g, 0, 6);
+        let brute = brute_vertex_disjoint(&g, 0, 6) as i64;
+        prop_assert_eq!(menger, brute);
+    }
+
+    #[test]
+    fn max_flow_at_least_vertex_disjoint_count(g in small_dag()) {
+        let edge_flow = max_flow(&g, 0, 6);
+        let vertex_paths = vertex_independent_paths(&g, 0, 6);
+        prop_assert!(edge_flow >= vertex_paths);
+    }
+
+    #[test]
+    fn dominators_lie_on_every_path(g in small_dag()) {
+        let paths = simple_paths(&g, 0, 6);
+        prop_assume!(!paths.is_empty() && paths.len() <= 24);
+        let idom = dominators(&g, 0);
+        for d in dominator_set(&idom, 0, 6) {
+            for p in &paths {
+                prop_assert!(
+                    p.contains(&d),
+                    "dominator {d} missing from path {p:?}"
+                );
+            }
+        }
+        // Conversely: any vertex on every path (except endpoints) must be
+        // a dominator.
+        for v in 1..6 {
+            if paths.iter().all(|p| p.contains(&v)) {
+                prop_assert!(
+                    dominator_set(&idom, 0, 6).contains(&v),
+                    "common vertex {v} not reported as dominator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_bound_path_lengths(g in small_dag()) {
+        if let Some(levels) = g.levels() {
+            for (u, v) in g.edges() {
+                prop_assert!(levels[v] > levels[u]);
+            }
+            // Sources sit at level 0.
+            for (v, &lv) in levels.iter().enumerate() {
+                if g.in_degree(v) == 0 {
+                    prop_assert_eq!(lv, 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dinic_handles_layered_bottlenecks() {
+    // 3 parallel 2-hop routes through a width-2 middle layer: flow 2.
+    let mut g = DiGraph::new(8);
+    for a in [1, 2, 3] {
+        g.add_edge(0, a);
+    }
+    for a in [1, 2, 3] {
+        for m in [4, 5] {
+            g.add_edge(a, m);
+        }
+    }
+    for m in [4, 5] {
+        g.add_edge(m, 7);
+    }
+    assert_eq!(vertex_independent_paths(&g, 0, 7), 2);
+    assert_eq!(max_flow(&g, 0, 7), 2);
+}
+
+#[test]
+fn dominator_chain_on_long_path() {
+    let n = 64;
+    let mut g = DiGraph::new(n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1);
+    }
+    let idom = dominators(&g, 0);
+    let doms = dominator_set(&idom, 0, n - 1);
+    assert_eq!(doms.len(), n - 1, "every predecessor dominates the tail");
+}

@@ -1,0 +1,256 @@
+//! ILP model building: variables, linear constraints, objective.
+
+use std::fmt;
+
+/// Index of a decision variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `∑ aᵢ·xᵢ ≤ rhs`
+    Le,
+    /// `∑ aᵢ·xᵢ ≥ rhs`
+    Ge,
+    /// `∑ aᵢ·xᵢ = rhs`
+    Eq,
+}
+
+/// A linear constraint `∑ aᵢ·xᵢ (≤ | ≥ | =) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficient terms `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub cost: f64,
+    /// Inclusive upper bound, `None` = unbounded above. Lower bound is 0.
+    pub upper: Option<f64>,
+    pub integer: bool,
+}
+
+/// A minimization ILP/LP model.
+///
+/// All variables are non-negative; binary variables have an upper bound of
+/// 1 and integrality. The objective is always minimization (negate costs to
+/// maximize).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Problem::default()
+    }
+
+    /// Adds a continuous variable `x ≥ 0` with objective coefficient
+    /// `cost` and optional upper bound.
+    pub fn add_var(&mut self, name: impl Into<String>, cost: f64, upper: Option<f64>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDef { name: name.into(), cost, upper, integer: false });
+        id
+    }
+
+    /// Adds a binary variable `x ∈ {0, 1}` with objective coefficient
+    /// `cost`.
+    pub fn add_binary_var(&mut self, name: impl Into<String>, cost: f64) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDef { name: name.into(), cost, upper: Some(1.0), integer: true });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective coefficient of a variable.
+    pub fn cost(&self, v: VarId) -> f64 {
+        self.vars[v.index()].cost
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// `true` if the variable is integral.
+    pub fn is_integer(&self, v: VarId) -> bool {
+        self.vars[v.index()].integer
+    }
+
+    /// Upper bound of a variable, if any.
+    pub fn upper(&self, v: VarId) -> Option<f64> {
+        self.vars[v.index()].upper
+    }
+
+    /// Fixes a variable to an exact value by pinching its bounds with an
+    /// equality constraint.
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        self.add_constraint(Constraint { terms: vec![(v, 1.0)], op: ConstraintOp::Eq, rhs: value });
+    }
+
+    /// Adds a generic constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references an unknown variable or a non-finite
+    /// coefficient/rhs.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        for &(v, a) in &c.terms {
+            assert!(v.index() < self.vars.len(), "unknown variable {v}");
+            assert!(a.is_finite(), "non-finite coefficient");
+        }
+        assert!(c.rhs.is_finite(), "non-finite rhs");
+        self.constraints.push(c);
+    }
+
+    /// Adds `∑ aᵢ·xᵢ ≤ rhs`.
+    pub fn add_le(&mut self, terms: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) {
+        self.add_constraint(Constraint {
+            terms: terms.into_iter().collect(),
+            op: ConstraintOp::Le,
+            rhs,
+        });
+    }
+
+    /// Adds `∑ aᵢ·xᵢ ≥ rhs`.
+    pub fn add_ge(&mut self, terms: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) {
+        self.add_constraint(Constraint {
+            terms: terms.into_iter().collect(),
+            op: ConstraintOp::Ge,
+            rhs,
+        });
+    }
+
+    /// Adds `∑ aᵢ·xᵢ = rhs`.
+    pub fn add_eq(&mut self, terms: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) {
+        self.add_constraint(Constraint {
+            terms: terms.into_iter().collect(),
+            op: ConstraintOp::Eq,
+            rhs,
+        });
+    }
+
+    /// Evaluates the objective for a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.cost * xi).sum()
+    }
+
+    /// Checks whether an assignment satisfies all constraints and bounds
+    /// within tolerance `eps`.
+    pub fn is_feasible(&self, x: &[f64], eps: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < -eps {
+                return false;
+            }
+            if let Some(u) = v.upper {
+                if xi > u + eps {
+                    return false;
+                }
+            }
+            if v.integer && (xi - xi.round()).abs() > eps {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + eps,
+                ConstraintOp::Ge => lhs >= c.rhs - eps,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_model() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, None);
+        let y = p.add_binary_var("y", 2.0);
+        p.add_le([(x, 1.0), (y, 3.0)], 5.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert!(p.is_integer(y));
+        assert!(!p.is_integer(x));
+        assert_eq!(p.upper(y), Some(1.0));
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.cost(y), 2.0);
+    }
+
+    #[test]
+    fn objective_and_feasibility() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, Some(2.0));
+        let y = p.add_binary_var("y", 2.0);
+        p.add_ge([(x, 1.0), (y, 1.0)], 1.0);
+        assert_eq!(p.objective_value(&[1.0, 1.0]), 3.0);
+        assert!(p.is_feasible(&[1.0, 0.0], 1e-9));
+        assert!(!p.is_feasible(&[0.0, 0.0], 1e-9)); // violates >= 1
+        assert!(!p.is_feasible(&[3.0, 0.0], 1e-9)); // above upper bound
+        assert!(!p.is_feasible(&[1.0, 0.5], 1e-9)); // fractional binary
+        let _ = x;
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_variable_panics() {
+        let mut p = Problem::new();
+        p.add_le([(VarId(3), 1.0)], 1.0);
+    }
+
+    #[test]
+    fn fix_var_adds_equality() {
+        let mut p = Problem::new();
+        let x = p.add_binary_var("x", 1.0);
+        p.fix_var(x, 1.0);
+        assert!(p.is_feasible(&[1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.0], 1e-9));
+    }
+}

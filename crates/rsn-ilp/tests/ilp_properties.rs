@@ -1,0 +1,124 @@
+//! Property-based validation of the simplex and branch-and-bound solvers.
+
+use proptest::prelude::*;
+use rsn_ilp::{solve_ilp, solve_lp, IlpError, LpOutcome, Problem, VarId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lp_optimum_is_feasible_and_not_beaten_by_samples(
+        costs in proptest::collection::vec(-5i32..5, 2..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0i32..4, 5), 1i32..12),
+            1..5,
+        ),
+        samples in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 5),
+            0..12,
+        ),
+    ) {
+        // Bounded-variable LP with nonnegative constraint coefficients:
+        // feasible (origin) and bounded (upper bounds).
+        let n = costs.len();
+        let mut p = Problem::new();
+        let vars: Vec<VarId> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| p.add_var(format!("x{i}"), c as f64, Some(3.0)))
+            .collect();
+        for (coefs, rhs) in &rows {
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().zip(coefs).map(|(&v, &a)| (v, a as f64)).collect();
+            p.add_le(terms, *rhs as f64);
+        }
+        match solve_lp(&p) {
+            LpOutcome::Optimal { objective, x } => {
+                prop_assert!(p.is_feasible(&x, 1e-6), "optimum must be feasible");
+                prop_assert!((p.objective_value(&x) - objective).abs() < 1e-6);
+                for s in &samples {
+                    let cand: Vec<f64> = s.iter().take(n).map(|&v| v as f64).collect();
+                    if cand.len() == n && p.is_feasible(&cand, 1e-9) {
+                        prop_assert!(
+                            p.objective_value(&cand) >= objective - 1e-6,
+                            "sampled point beats the optimum"
+                        );
+                    }
+                }
+            }
+            other => prop_assert!(false, "must be solvable: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ilp_matches_exhaustive_enumeration(
+        costs in proptest::collection::vec(-6i32..6, 2..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3i32..4, 5), -2i32..8, any::<bool>()),
+            1..4,
+        ),
+    ) {
+        let n = costs.len();
+        let mut p = Problem::new();
+        let vars: Vec<VarId> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| p.add_binary_var(format!("x{i}"), c as f64))
+            .collect();
+        for (coefs, rhs, le) in &rows {
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().zip(coefs).map(|(&v, &a)| (v, a as f64)).collect();
+            if *le {
+                p.add_le(terms, *rhs as f64);
+            } else {
+                p.add_ge(terms, *rhs as f64);
+            }
+        }
+        let mut best: Option<f64> = None;
+        for m in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|j| f64::from((m >> j) & 1)).collect();
+            if p.is_feasible(&x, 1e-9) {
+                let v = p.objective_value(&x);
+                best = Some(best.map_or(v, |b: f64| b.min(v)));
+            }
+        }
+        match (solve_ilp(&p), best) {
+            (Ok(sol), Some(b)) => {
+                prop_assert!((sol.objective - b).abs() < 1e-5,
+                    "ilp {} vs brute {b}", sol.objective);
+                prop_assert!(p.is_feasible(&sol.values, 1e-5));
+            }
+            (Err(IlpError::Infeasible), None) => {}
+            (got, want) => prop_assert!(false, "mismatch {got:?} vs {want:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_ilp(
+        costs in proptest::collection::vec(-6i32..0, 2..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0i32..4, 5), 1i32..10),
+            1..4,
+        ),
+    ) {
+        // Minimization with negative costs and packing constraints: both
+        // LP and ILP are feasible; LP optimum ≤ ILP optimum.
+        let mut p = Problem::new();
+        let vars: Vec<VarId> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| p.add_binary_var(format!("x{i}"), c as f64))
+            .collect();
+        for (coefs, rhs) in &rows {
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().zip(coefs).map(|(&v, &a)| (v, a as f64)).collect();
+            p.add_le(terms, *rhs as f64);
+        }
+        let lp = match solve_lp(&p) {
+            LpOutcome::Optimal { objective, .. } => objective,
+            other => return Err(TestCaseError::fail(format!("lp: {other:?}"))),
+        };
+        let ilp = solve_ilp(&p).expect("feasible").objective;
+        prop_assert!(lp <= ilp + 1e-6, "lp {lp} must lower-bound ilp {ilp}");
+    }
+}

@@ -1,0 +1,35 @@
+//! ITC'02 SoC benchmark descriptions: parser and embedded suite.
+//!
+//! The paper's evaluation (Sec. IV-A) generates SIB-based RSNs from the
+//! ITC'02 system-on-chip benchmarks. The original `.soc` files are not
+//! redistributable, so this crate provides:
+//!
+//! * [`Soc`] — the SoC model consumed by the SIB-RSN generator: a set of
+//!   (possibly hierarchically nested) modules, each with scan chains, plus
+//!   optional direct top-level test data registers.
+//! * [`parse_soc`] — a parser for the classic ITC'02 `.soc` line format, so
+//!   real benchmark files can be dropped in.
+//! * [`suite`] / [`by_name`] — an embedded 13-SoC suite (u226 … p93791)
+//!   fitted so that the *generated SIB-RSN characteristics* (multiplexers,
+//!   segments, scan bits, hierarchy levels) match Table I of the paper
+//!   exactly; chain-length distributions are seeded deterministically.
+//! * [`TableTargets`] — the reference values reported in the paper's
+//!   Table I, for paper-vs-measured comparisons in benches and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use rsn_itc02::by_name;
+//!
+//! let soc = by_name("u226").expect("embedded");
+//! assert_eq!(soc.modules.len(), 10);
+//! assert_eq!(soc.total_chains(), 39);
+//! ```
+
+pub mod parser;
+pub mod soc;
+pub mod suite;
+
+pub use parser::{parse_soc, ParseSocError};
+pub use soc::{Module, Soc};
+pub use suite::{by_name, suite, table_targets, TableTargets, TABLE1};

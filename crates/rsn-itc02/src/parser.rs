@@ -1,0 +1,211 @@
+//! Parser for the classic ITC'02 `.soc` line format.
+//!
+//! The dialect accepted here covers the common distribution format:
+//!
+//! ```text
+//! # comment lines start with '#' or '//'
+//! SocName d695            (optional header; bare name also accepted)
+//! 1 32 32 0 6 : 205 183 160 150 120 100
+//! 2 16 16 0 0
+//! ```
+//!
+//! Each module line is: `<module-id> <inputs> <outputs> <bidirs>
+//! <num-chains> [ : <len> ... ]`. Inputs/outputs/bidirs are accepted and
+//! ignored (they concern test scheduling, not RSN structure). Hierarchy is
+//! not expressible in the classic format; all modules are top-level.
+
+use std::fmt;
+
+use crate::soc::{Module, Soc};
+
+/// Error from [`parse_soc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSocError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soc parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSocError {}
+
+/// Parses ITC'02 `.soc` text into a [`Soc`].
+///
+/// # Errors
+///
+/// Returns [`ParseSocError`] on malformed module lines or chain-count
+/// mismatches.
+///
+/// # Example
+///
+/// ```
+/// use rsn_itc02::parse_soc;
+///
+/// let soc = parse_soc("SocName tiny\n1 8 8 0 2 : 10 20\n2 4 4 0 0\n")?;
+/// assert_eq!(soc.name, "tiny");
+/// assert_eq!(soc.modules.len(), 2);
+/// assert_eq!(soc.modules[0].chains, vec![10, 20]);
+/// # Ok::<(), rsn_itc02::ParseSocError>(())
+/// ```
+pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
+    let mut soc = Soc::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let err = |message: String| ParseSocError { line: lineno + 1, message };
+        // Header forms: "SocName <name>" or a single bare non-numeric token.
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens[0].eq_ignore_ascii_case("socname") {
+            soc.name = tokens.get(1).unwrap_or(&"").to_string();
+            continue;
+        }
+        if tokens.len() == 1 && tokens[0].parse::<u64>().is_err() {
+            if soc.name.is_empty() {
+                soc.name = tokens[0].to_string();
+                continue;
+            }
+            return Err(err(format!("unexpected token {:?}", tokens[0])));
+        }
+        // Module line.
+        let mut nums = Vec::new();
+        let mut after_colon = false;
+        let mut lens: Vec<u32> = Vec::new();
+        for t in &tokens {
+            if *t == ":" {
+                after_colon = true;
+                continue;
+            }
+            let v: i64 = t
+                .trim_end_matches(':')
+                .parse()
+                .map_err(|e| err(format!("bad number {t:?}: {e}")))?;
+            if v < 0 {
+                return Err(err(format!("negative value {v}")));
+            }
+            if after_colon {
+                lens.push(v as u32);
+            } else {
+                nums.push(v as u64);
+            }
+            if t.ends_with(':') && *t != ":" {
+                after_colon = true;
+            }
+        }
+        if nums.len() < 5 {
+            return Err(err(format!(
+                "module line needs 5 numbers (id in out bidir chains), got {}",
+                nums.len()
+            )));
+        }
+        let declared_chains = nums[4] as usize;
+        // Chain lengths may also follow without a colon.
+        if lens.is_empty() && nums.len() > 5 {
+            lens = nums[5..].iter().map(|&v| v as u32).collect();
+        }
+        if lens.len() != declared_chains {
+            return Err(err(format!(
+                "module {} declares {declared_chains} chains but lists {}",
+                nums[0],
+                lens.len()
+            )));
+        }
+        if lens.contains(&0) {
+            return Err(err(format!("module {} has a zero-length chain", nums[0])));
+        }
+        soc.modules.push(Module::top(format!("m{}", nums[0]), lens));
+    }
+    if soc.name.is_empty() {
+        soc.name = "unnamed".into();
+    }
+    soc.validate().map_err(|m| ParseSocError { line: 0, message: m })?;
+    Ok(soc)
+}
+
+/// Emits a [`Soc`] in the classic line format (hierarchy flattened; only
+/// chain structure survives the round trip).
+pub fn to_soc_text(soc: &Soc) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "SocName {}", soc.name);
+    for (i, m) in soc.modules.iter().enumerate() {
+        let _ = write!(out, "{} 0 0 0 {}", i + 1, m.chains.len());
+        if !m.chains.is_empty() {
+            let _ = write!(out, " :");
+            for c in &m.chains {
+                let _ = write!(out, " {c}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "# ITC'02 style\nSocName d695x\n1 32 32 0 3 : 10 20 30\n2 8 8 0 0\n";
+        let soc = parse_soc(text).expect("parse");
+        assert_eq!(soc.name, "d695x");
+        assert_eq!(soc.modules.len(), 2);
+        assert_eq!(soc.modules[0].chains, vec![10, 20, 30]);
+        assert!(soc.modules[1].chains.is_empty());
+    }
+
+    #[test]
+    fn bare_name_header() {
+        let soc = parse_soc("mychip\n1 0 0 0 1 : 5\n").expect("parse");
+        assert_eq!(soc.name, "mychip");
+    }
+
+    #[test]
+    fn chain_count_mismatch_is_error() {
+        let err = parse_soc("1 0 0 0 2 : 5\n").unwrap_err();
+        assert!(err.message.contains("declares 2 chains"));
+    }
+
+    #[test]
+    fn lengths_without_colon() {
+        let soc = parse_soc("1 0 0 0 2 7 9\n").expect("parse");
+        assert_eq!(soc.modules[0].chains, vec![7, 9]);
+    }
+
+    #[test]
+    fn zero_length_chain_is_error() {
+        assert!(parse_soc("1 0 0 0 1 : 0\n").is_err());
+    }
+
+    #[test]
+    fn short_module_line_is_error() {
+        let err = parse_soc("1 0 0\n").unwrap_err();
+        assert!(err.message.contains("5 numbers"));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let soc = parse_soc("SocName x\n1 0 0 0 2 : 3 4\n2 0 0 0 1 : 9\n").expect("parse");
+        let text = to_soc_text(&soc);
+        let soc2 = parse_soc(&text).expect("reparse");
+        assert_eq!(soc.name, soc2.name);
+        assert_eq!(
+            soc.modules.iter().map(|m| &m.chains).collect::<Vec<_>>(),
+            soc2.modules.iter().map(|m| &m.chains).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let soc = parse_soc("\n# c\n// c2\nSocName z\n\n1 1 1 0 1 : 2\n").expect("parse");
+        assert_eq!(soc.modules.len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! SoC data model: hierarchical modules with scan chains.
+
+/// A module (core) of an SoC: a set of scan chains, optionally nested
+/// inside a parent module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name (e.g. `"core3"`).
+    pub name: String,
+    /// Index of the parent module in [`Soc::modules`], `None` for
+    /// top-level modules. Parents must precede children.
+    pub parent: Option<usize>,
+    /// Scan chain lengths in bits (each chain becomes one scan segment).
+    pub chains: Vec<u32>,
+}
+
+impl Module {
+    /// A top-level module with the given chains.
+    pub fn top(name: impl Into<String>, chains: Vec<u32>) -> Self {
+        Module { name: name.into(), parent: None, chains }
+    }
+
+    /// A module nested under `parent`.
+    pub fn child(name: impl Into<String>, parent: usize, chains: Vec<u32>) -> Self {
+        Module { name: name.into(), parent: Some(parent), chains }
+    }
+
+    /// Total scan bits of this module's own chains.
+    pub fn chain_bits(&self) -> u64 {
+        self.chains.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// An SoC description: the input to SIB-based RSN generation.
+///
+/// # Example
+///
+/// ```
+/// use rsn_itc02::{Module, Soc};
+///
+/// let soc = Soc {
+///     name: "demo".into(),
+///     modules: vec![
+///         Module::top("m0", vec![8, 16]),
+///         Module::child("m0a", 0, vec![4]),
+///     ],
+///     top_registers: vec![16],
+/// };
+/// assert_eq!(soc.total_chains(), 3);
+/// assert_eq!(soc.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Soc {
+    /// Benchmark name (e.g. `"d695"`).
+    pub name: String,
+    /// Modules; parents must precede children.
+    pub modules: Vec<Module>,
+    /// Lengths of direct top-level test data registers (always on the
+    /// top-level scan path, not guarded by a SIB).
+    pub top_registers: Vec<u32>,
+}
+
+impl Soc {
+    /// Total number of scan chains across all modules.
+    pub fn total_chains(&self) -> usize {
+        self.modules.iter().map(|m| m.chains.len()).sum()
+    }
+
+    /// Total scan bits in chains and top registers (excluding SIB bits,
+    /// which belong to the generated RSN, not the SoC).
+    pub fn payload_bits(&self) -> u64 {
+        self.modules.iter().map(Module::chain_bits).sum::<u64>()
+            + self.top_registers.iter().map(|&r| r as u64).sum::<u64>()
+    }
+
+    /// Nesting depth of a module (top-level = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if parent links are cyclic or forward-referencing.
+    pub fn module_depth(&self, idx: usize) -> usize {
+        let mut depth = 1;
+        let mut cur = idx;
+        while let Some(p) = self.modules[cur].parent {
+            assert!(p < cur, "parents must precede children");
+            depth += 1;
+            cur = p;
+        }
+        depth
+    }
+
+    /// Maximum module nesting depth (0 for an SoC without modules).
+    pub fn depth(&self) -> usize {
+        (0..self.modules.len()).map(|i| self.module_depth(i)).max().unwrap_or(0)
+    }
+
+    /// Children of a module.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        (0..self.modules.len())
+            .filter(|&i| self.modules[i].parent == Some(idx))
+            .collect()
+    }
+
+    /// Top-level module indices.
+    pub fn top_modules(&self) -> Vec<usize> {
+        (0..self.modules.len())
+            .filter(|&i| self.modules[i].parent.is_none())
+            .collect()
+    }
+
+    /// Validates parent ordering and chain sanity.
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, m) in self.modules.iter().enumerate() {
+            if let Some(p) = m.parent {
+                if p >= i {
+                    return Err(format!(
+                        "module {i} ({}) has parent {p} that does not precede it",
+                        m.name
+                    ));
+                }
+            }
+            if m.chains.contains(&0) {
+                return Err(format!("module {i} ({}) has a zero-length chain", m.name));
+            }
+        }
+        if self.top_registers.contains(&0) {
+            return Err("zero-length top register".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Soc {
+        Soc {
+            name: "demo".into(),
+            modules: vec![
+                Module::top("a", vec![4, 8]),
+                Module::top("b", vec![2]),
+                Module::child("a1", 0, vec![16]),
+                Module::child("a1x", 2, vec![1]),
+            ],
+            top_registers: vec![8],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let soc = demo();
+        assert_eq!(soc.total_chains(), 5);
+        assert_eq!(soc.payload_bits(), 4 + 8 + 2 + 16 + 1 + 8);
+    }
+
+    #[test]
+    fn depth_and_hierarchy() {
+        let soc = demo();
+        assert_eq!(soc.module_depth(0), 1);
+        assert_eq!(soc.module_depth(2), 2);
+        assert_eq!(soc.module_depth(3), 3);
+        assert_eq!(soc.depth(), 3);
+        assert_eq!(soc.top_modules(), vec![0, 1]);
+        assert_eq!(soc.children(0), vec![2]);
+        assert_eq!(soc.children(2), vec![3]);
+    }
+
+    #[test]
+    fn validate_accepts_demo() {
+        assert_eq!(demo().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_forward_parent() {
+        let soc = Soc {
+            name: "bad".into(),
+            modules: vec![
+                Module { name: "x".into(), parent: Some(1), chains: vec![1] },
+                Module::top("y", vec![1]),
+            ],
+            top_registers: vec![],
+        };
+        assert!(soc.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_chain() {
+        let soc = Soc {
+            name: "bad".into(),
+            modules: vec![Module::top("x", vec![0])],
+            top_registers: vec![],
+        };
+        assert!(soc.validate().is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The embedded 13-SoC benchmark suite fitted to the paper's Table I.
+//!
+//! The original ITC'02 `.soc` files are not redistributable, so each SoC is
+//! reconstructed from the *RSN characteristics* the paper reports for it
+//! (modules, hierarchy levels, multiplexers, scan segments, scan bits).
+//! The reconstruction is exact by design: the SIB-based RSN generated from
+//! an embedded SoC has precisely the number of multiplexers, segments and
+//! bits listed in Table I (see `rsn-sib` for the generation contract):
+//!
+//! * every module contributes one SIB (1 mux + 1 bit),
+//! * every scan chain contributes one SIB plus one leaf segment,
+//! * hence `mux = modules + chains` and
+//!   `segments = mux + chains + top_registers`,
+//! * `bits = mux + payload bits`.
+//!
+//! Chain counts per module and chain lengths are drawn from a
+//! deterministic, name-seeded generator, so the suite is stable across
+//! runs and platforms.
+
+use crate::soc::{Module, Soc};
+
+/// Reference values from Table I of the paper, used by benches and
+/// integration tests for paper-vs-measured comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableTargets {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of SoC modules connected via the RSN.
+    pub modules: usize,
+    /// Hierarchical depth of the RSN.
+    pub levels: usize,
+    /// Number of scan multiplexers.
+    pub mux: usize,
+    /// Number of scan segments.
+    pub segments: usize,
+    /// Number of scan bits.
+    pub bits: u64,
+    /// Paper: average accessibility of bits in the SIB-RSN.
+    pub sib_bits_avg: f64,
+    /// Paper: average accessibility of segments in the SIB-RSN.
+    pub sib_seg_avg: f64,
+    /// Paper: worst-case accessibility of bits in the FT-RSN.
+    pub ft_bits_worst: f64,
+    /// Paper: average accessibility of bits in the FT-RSN.
+    pub ft_bits_avg: f64,
+    /// Paper: worst-case accessibility of segments in the FT-RSN.
+    pub ft_seg_worst: f64,
+    /// Paper: average accessibility of segments in the FT-RSN.
+    pub ft_seg_avg: f64,
+    /// Paper: multiplexer-count ratio FT/original.
+    pub ratio_mux: f64,
+    /// Paper: scan-bit ratio FT/original.
+    pub ratio_bits: f64,
+    /// Paper: interconnect (net) ratio FT/original.
+    pub ratio_nets: f64,
+    /// Paper: area ratio FT/original.
+    pub ratio_area: f64,
+}
+
+/// Table I of the paper, verbatim.
+pub const TABLE1: &[TableTargets] = &[
+    TableTargets { name: "u226", modules: 10, levels: 2, mux: 49, segments: 89, bits: 1465, sib_bits_avg: 0.71, sib_seg_avg: 0.76, ft_bits_worst: 0.93, ft_bits_avg: 0.994, ft_seg_worst: 0.975, ft_seg_avg: 0.994, ratio_mux: 3.67, ratio_bits: 1.38, ratio_nets: 1.54, ratio_area: 1.56 },
+    TableTargets { name: "d281", modules: 9, levels: 2, mux: 58, segments: 108, bits: 3871, sib_bits_avg: 0.81, sib_seg_avg: 0.83, ft_bits_worst: 0.79, ft_bits_avg: 0.995, ft_seg_worst: 0.980, ft_seg_avg: 0.995, ratio_mux: 3.62, ratio_bits: 1.17, ratio_nets: 1.24, ratio_area: 1.25 },
+    TableTargets { name: "d695", modules: 11, levels: 2, mux: 167, segments: 324, bits: 8396, sib_bits_avg: 0.90, sib_seg_avg: 0.90, ft_bits_worst: 0.96, ft_bits_avg: 0.998, ft_seg_worst: 0.994, ft_seg_avg: 0.998, ratio_mux: 3.54, ratio_bits: 1.21, ratio_nets: 1.32, ratio_area: 1.32 },
+    TableTargets { name: "h953", modules: 9, levels: 2, mux: 54, segments: 100, bits: 5640, sib_bits_avg: 0.85, sib_seg_avg: 0.85, ft_bits_worst: 0.94, ft_bits_avg: 0.995, ft_seg_worst: 0.978, ft_seg_avg: 0.995, ratio_mux: 3.59, ratio_bits: 1.10, ratio_nets: 1.15, ratio_area: 1.16 },
+    TableTargets { name: "g1023", modules: 15, levels: 2, mux: 79, segments: 144, bits: 5385, sib_bits_avg: 0.86, sib_seg_avg: 0.86, ft_bits_worst: 0.93, ft_bits_avg: 0.997, ft_seg_worst: 0.985, ft_seg_avg: 0.996, ratio_mux: 3.53, ratio_bits: 1.16, ratio_nets: 1.23, ratio_area: 1.24 },
+    TableTargets { name: "x1331", modules: 7, levels: 4, mux: 31, segments: 56, bits: 4023, sib_bits_avg: 0.75, sib_seg_avg: 0.78, ft_bits_worst: 0.86, ft_bits_avg: 0.991, ft_seg_worst: 0.960, ft_seg_avg: 0.991, ratio_mux: 3.81, ratio_bits: 1.09, ratio_nets: 1.13, ratio_area: 1.14 },
+    TableTargets { name: "f2126", modules: 5, levels: 2, mux: 40, segments: 76, bits: 15829, sib_bits_avg: 0.78, sib_seg_avg: 0.78, ft_bits_worst: 0.94, ft_bits_avg: 0.993, ft_seg_worst: 0.972, ft_seg_avg: 0.993, ratio_mux: 3.60, ratio_bits: 1.03, ratio_nets: 1.04, ratio_area: 1.04 },
+    TableTargets { name: "q12710", modules: 5, levels: 2, mux: 25, segments: 46, bits: 26183, sib_bits_avg: 0.80, sib_seg_avg: 0.80, ft_bits_worst: 0.86, ft_bits_avg: 0.988, ft_seg_worst: 0.952, ft_seg_avg: 0.988, ratio_mux: 3.56, ratio_bits: 1.01, ratio_nets: 1.02, ratio_area: 1.02 },
+    TableTargets { name: "t512505", modules: 31, levels: 2, mux: 159, segments: 287, bits: 77005, sib_bits_avg: 0.85, sib_seg_avg: 0.87, ft_bits_worst: 0.98, ft_bits_avg: 0.998, ft_seg_worst: 0.992, ft_seg_avg: 0.998, ratio_mux: 3.58, ratio_bits: 1.02, ratio_nets: 1.03, ratio_area: 1.03 },
+    TableTargets { name: "a586710", modules: 8, levels: 3, mux: 39, segments: 71, bits: 41674, sib_bits_avg: 0.78, sib_seg_avg: 0.79, ft_bits_worst: 0.94, ft_bits_avg: 0.993, ft_seg_worst: 0.969, ft_seg_avg: 0.993, ratio_mux: 3.72, ratio_bits: 1.01, ratio_nets: 1.02, ratio_area: 1.02 },
+    TableTargets { name: "p22081", modules: 29, levels: 3, mux: 282, segments: 536, bits: 30110, sib_bits_avg: 0.92, sib_seg_avg: 0.93, ft_bits_worst: 0.99, ft_bits_avg: 0.999, ft_seg_worst: 0.996, ft_seg_avg: 0.999, ratio_mux: 3.54, ratio_bits: 1.10, ratio_nets: 1.15, ratio_area: 1.15 },
+    TableTargets { name: "p34392", modules: 20, levels: 3, mux: 122, segments: 225, bits: 23241, sib_bits_avg: 0.87, sib_seg_avg: 0.86, ft_bits_worst: 0.97, ft_bits_avg: 0.998, ft_seg_worst: 0.990, ft_seg_avg: 0.998, ratio_mux: 3.68, ratio_bits: 1.06, ratio_nets: 1.09, ratio_area: 1.09 },
+    TableTargets { name: "p93791", modules: 33, levels: 3, mux: 620, segments: 1208, bits: 98604, sib_bits_avg: 0.66, sib_seg_avg: 0.67, ft_bits_worst: 0.99, ft_bits_avg: 0.999, ft_seg_worst: 0.999, ft_seg_avg: 0.999, ratio_mux: 3.55, ratio_bits: 1.07, ratio_nets: 1.11, ratio_area: 1.10 },
+];
+
+/// The Table I reference row for a benchmark name.
+pub fn table_targets(name: &str) -> Option<&'static TableTargets> {
+    TABLE1.iter().find(|t| t.name == name)
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Rng(h | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// Distributes `total` units over `n` buckets, each receiving at least
+/// `min`, remainder spread by seeded weights.
+fn distribute(rng: &mut Rng, total: u64, n: usize, min: u64) -> Vec<u64> {
+    assert!(total >= min * n as u64, "cannot distribute {total} over {n} with min {min}");
+    let mut out = vec![min; n];
+    let mut rest = total - min * n as u64;
+    if n == 0 {
+        return out;
+    }
+    // Random weights; allocate proportionally, then trickle the remainder.
+    let weights: Vec<u64> = (0..n).map(|_| 1 + rng.below(1000)).collect();
+    let wsum: u64 = weights.iter().sum();
+    for i in 0..n {
+        let share = rest * weights[i] / wsum;
+        out[i] += share;
+    }
+    let assigned: u64 = out.iter().sum();
+    rest = total - assigned;
+    for _ in 0..rest {
+        let i = rng.below(n as u64) as usize;
+        out[i] += 1;
+    }
+    out
+}
+
+/// Builds one embedded SoC from its Table I characteristics.
+///
+/// Invariants established here (relied on by the `rsn-sib` generator):
+/// * `modules + total_chains == mux`
+/// * `mux + total_chains + top_registers.len() == segments`
+/// * `mux as u64 + payload_bits == bits`
+/// * `depth() == levels - 1`
+fn fit(t: &TableTargets) -> Soc {
+    let mut rng = Rng::from_name(t.name);
+    let m = t.modules;
+    let chains_total = t.mux - m;
+    let top_regs = t.segments - t.mux - chains_total;
+    assert!(chains_total >= m, "{}: fewer chains than modules", t.name);
+
+    // Chains per module: at least one each.
+    let per_module = distribute(&mut rng, chains_total as u64, m, 1);
+
+    // Payload bits: everything that is not a SIB bit.
+    let payload = t.bits - t.mux as u64;
+    // Top registers get a fixed modest share.
+    let top_reg_len = 16u64.min(payload / 4).max(1);
+    let chain_bits_total = payload - top_reg_len * top_regs as u64;
+    let all_chain_lens = distribute(&mut rng, chain_bits_total, chains_total, 1);
+
+    // Hierarchy: levels - 1 tiers of modules. Tier 1 = top. For deeper
+    // tiers, nest a third of the remaining modules under the previous
+    // tier's first module.
+    let depth_target = t.levels - 1;
+    let mut parents: Vec<Option<usize>> = vec![None; m];
+    if depth_target >= 2 && m >= 2 {
+        // How many modules per tier (tier 0 keeps the majority).
+        let deep_tiers = depth_target - 1;
+        let nested_total = (m / 3).max(deep_tiers).min(m - 1);
+        let mut anchor = 0usize; // parent of the next tier
+        let mut next = m - nested_total; // nested modules occupy the tail
+        for tier in 0..deep_tiers {
+            let remaining_tiers = deep_tiers - tier;
+            let take = if remaining_tiers == 1 {
+                m - next
+            } else {
+                ((m - next) / remaining_tiers).max(1)
+            };
+            for i in 0..take {
+                parents[next + i] = Some(anchor);
+            }
+            anchor = next; // first module of this tier anchors the next
+            next += take;
+            if next >= m {
+                break;
+            }
+        }
+    }
+
+    let mut modules = Vec::with_capacity(m);
+    let mut chain_iter = all_chain_lens.into_iter();
+    for i in 0..m {
+        let n_chains = per_module[i] as usize;
+        let chains: Vec<u32> = (&mut chain_iter)
+            .take(n_chains)
+            .map(|c| u32::try_from(c).expect("chain length fits u32"))
+            .collect();
+        modules.push(Module { name: format!("m{i}"), parent: parents[i], chains });
+    }
+
+    let soc = Soc {
+        name: t.name.to_string(),
+        modules,
+        top_registers: vec![top_reg_len as u32; top_regs],
+    };
+    debug_assert_eq!(soc.validate(), Ok(()));
+    soc
+}
+
+/// All 13 embedded SoCs, in Table I order.
+pub fn suite() -> Vec<Soc> {
+    TABLE1.iter().map(fit).collect()
+}
+
+/// An embedded SoC by name.
+///
+/// # Example
+///
+/// ```
+/// use rsn_itc02::by_name;
+///
+/// assert!(by_name("p93791").is_some());
+/// assert!(by_name("nonexistent").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Soc> {
+    table_targets(name).map(fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_13_socs_are_present() {
+        let socs = suite();
+        assert_eq!(socs.len(), 13);
+        assert_eq!(socs[0].name, "u226");
+        assert_eq!(socs[12].name, "p93791");
+    }
+
+    #[test]
+    fn characteristics_match_table1() {
+        for t in TABLE1 {
+            let soc = by_name(t.name).expect("embedded");
+            assert_eq!(soc.modules.len(), t.modules, "{}: modules", t.name);
+            let chains = soc.total_chains();
+            // mux = modules + chains
+            assert_eq!(soc.modules.len() + chains, t.mux, "{}: mux", t.name);
+            // segments = mux + chains + top registers
+            assert_eq!(
+                t.mux + chains + soc.top_registers.len(),
+                t.segments,
+                "{}: segments",
+                t.name
+            );
+            // bits = mux (SIB bits) + payload
+            assert_eq!(t.mux as u64 + soc.payload_bits(), t.bits, "{}: bits", t.name);
+            // hierarchy depth = levels - 1
+            assert_eq!(soc.depth(), t.levels - 1, "{}: levels", t.name);
+            soc.validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn every_module_has_a_chain() {
+        for soc in suite() {
+            for m in &soc.modules {
+                assert!(!m.chains.is_empty(), "{}: module {} empty", soc.name, m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = by_name("d695").expect("embedded");
+        let b = by_name("d695").expect("embedded");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_socs_differ() {
+        let a = by_name("u226").expect("embedded");
+        let b = by_name("d281").expect("embedded");
+        assert_ne!(a.modules, b.modules);
+    }
+
+    #[test]
+    fn table_lookup() {
+        let t = table_targets("x1331").expect("exists");
+        assert_eq!(t.levels, 4);
+        assert!(table_targets("zzz").is_none());
+    }
+
+    #[test]
+    fn t512505_has_no_top_register() {
+        let soc = by_name("t512505").expect("embedded");
+        assert!(soc.top_registers.is_empty());
+    }
+
+    #[test]
+    fn deep_hierarchies_have_expected_depth() {
+        assert_eq!(by_name("x1331").expect("x1331").depth(), 3);
+        assert_eq!(by_name("p93791").expect("p93791").depth(), 2);
+        assert_eq!(by_name("u226").expect("u226").depth(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! DIMACS CNF parsing and emission.
+
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A parsed DIMACS CNF problem.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dimacs {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses, each a list of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error produced when DIMACS parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl Dimacs {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed headers, non-integer
+    /// tokens, unterminated clauses or out-of-range variables.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rsn_sat::dimacs::Dimacs;
+    ///
+    /// let d = Dimacs::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+    /// assert_eq!(d.num_vars, 2);
+    /// assert_eq!(d.clauses.len(), 2);
+    /// # Ok::<(), rsn_sat::dimacs::ParseDimacsError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Dimacs, ParseDimacsError> {
+        let mut num_vars = None;
+        let mut clauses = Vec::new();
+        let mut current = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 4 || parts[1] != "cnf" {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: format!("malformed problem line {line:?}"),
+                    });
+                }
+                let nv = parts[2].parse::<usize>().map_err(|e| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad variable count: {e}"),
+                })?;
+                num_vars = Some(nv);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|e| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal {tok:?}: {e}"),
+                })?;
+                if v == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var = Var((v.unsigned_abs() - 1) as u32);
+                    if let Some(nv) = num_vars {
+                        if var.index() >= nv {
+                            return Err(ParseDimacsError {
+                                line: lineno + 1,
+                                message: format!("literal {v} exceeds declared {nv} vars"),
+                            });
+                        }
+                    }
+                    current.push(Lit::with_polarity(var, v > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError {
+                line: text.lines().count(),
+                message: "unterminated clause (missing trailing 0)".into(),
+            });
+        }
+        let num_vars = num_vars.unwrap_or_else(|| {
+            clauses
+                .iter()
+                .flatten()
+                .map(|l| l.var().index() + 1)
+                .max()
+                .unwrap_or(0)
+        });
+        Ok(Dimacs { num_vars, clauses })
+    }
+
+    /// Emits DIMACS CNF text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let n = (l.var().index() + 1) as i64;
+                let _ = write!(out, "{} ", if l.is_neg() { -n } else { n });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads the problem into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_solve_sat_instance() {
+        let d = Dimacs::parse("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").expect("parse");
+        assert_eq!(d.num_vars, 3);
+        let mut s = d.to_solver();
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn parse_unsat_instance() {
+        let d = Dimacs::parse("p cnf 1 2\n1 0\n-1 0\n").expect("parse");
+        let mut s = d.to_solver();
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn roundtrip_preserves_clauses() {
+        let d = Dimacs::parse("p cnf 3 2\n1 -2 0\n-3 2 1 0\n").expect("parse");
+        let d2 = Dimacs::parse(&d.to_dimacs()).expect("reparse");
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let err = Dimacs::parse("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn out_of_range_literal_is_error() {
+        let err = Dimacs::parse("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let d = Dimacs::parse("1 -2 0\n3 0\n").expect("parse");
+        assert_eq!(d.num_vars, 3);
+        assert_eq!(d.clauses.len(), 2);
+    }
+
+    #[test]
+    fn malformed_header_is_error() {
+        assert!(Dimacs::parse("p sat 2 1\n").is_err());
+        assert!(Dimacs::parse("p cnf x 1\n").is_err());
+    }
+}

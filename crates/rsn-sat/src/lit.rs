@@ -1,0 +1,137 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity, packed into a `u32`
+/// (`2 * var + sign`, sign 1 = negated).
+///
+/// # Example
+///
+/// ```
+/// use rsn_sat::{Lit, Var};
+///
+/// let a = Var(3);
+/// let l = Lit::pos(a);
+/// assert_eq!(!l, Lit::neg(a));
+/// assert_eq!(l.var(), a);
+/// assert!(!l.is_neg());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The packed code (`2 * var + sign`), usable as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its packed code.
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// The value this literal requires its variable to take to be true.
+    pub fn polarity(self) -> bool {
+        !self.is_neg()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        let v = Var(42);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::neg(v).is_neg());
+        assert!(!Lit::pos(v).is_neg());
+        assert_eq!(Lit::from_code(Lit::neg(v).code()), Lit::neg(v));
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Lit::pos(Var(7));
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn with_polarity_matches_constructors() {
+        let v = Var(1);
+        assert_eq!(Lit::with_polarity(v, true), Lit::pos(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::neg(v));
+        assert!(Lit::pos(v).polarity());
+        assert!(!Lit::neg(v).polarity());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lit::pos(Var(3)).to_string(), "x3");
+        assert_eq!(Lit::neg(Var(3)).to_string(), "¬x3");
+    }
+}

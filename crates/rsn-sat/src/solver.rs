@@ -1,0 +1,899 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the MiniSat architecture: two-watched-literal
+//! propagation, first-UIP conflict analysis, VSIDS variable activities with
+//! a lazily-updated binary heap, phase saving, Luby restarts, and
+//! activity-based reduction of the learnt-clause database.
+
+#![allow(clippy::needless_range_loop)]
+use crate::lit::{Lit, Var};
+
+/// Undefined/true/false assignment value.
+const UNDEF: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+/// Maximum-activity variable order (binary heap with position index).
+#[derive(Debug, Clone, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    pos: Vec<usize>, // usize::MAX if not in heap
+}
+
+impl VarOrder {
+    fn contains(&self, v: Var) -> bool {
+        v.index() < self.pos.len() && self.pos[v.index()] != usize::MAX
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, usize::MAX);
+        }
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: Var, act: &[f64]) {
+        if let Some(&i) = self.pos.get(v.index()) {
+            if i != usize::MAX {
+                self.sift_up(i, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+}
+
+/// Solver statistics, reset by [`Solver::new`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Example
+///
+/// ```
+/// use rsn_sat::{Lit, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b): forces a = b = true.
+/// s.add_clause([Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause([Lit::neg(a), Lit::pos(b)]);
+/// s.add_clause([Lit::pos(a), Lit::neg(b)]);
+/// assert!(s.solve());
+/// assert_eq!(s.value(a), Some(true));
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by literal code: clauses currently watching the
+    /// literal (visited when the literal becomes false).
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    unsat: bool,
+    stats: Stats,
+    max_learnts: f64,
+    /// Temporary buffer for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarOrder::default(),
+            phase: Vec::new(),
+            unsat: false,
+            stats: Stats::default(),
+            max_learnts: 1000.0,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assign.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (including learnt, excluding deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        let a = self.assign[l.var().index()];
+        if a == UNDEF {
+            UNDEF
+        } else {
+            (a != 0) as u8 ^ (l.is_neg() as u8)
+        }
+    }
+
+    fn lit_is_true(&self, l: Lit) -> bool {
+        self.lit_value(l) == 1
+    }
+
+    fn lit_is_false(&self, l: Lit) -> bool {
+        self.lit_value(l) == 0
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause after simplification).
+    ///
+    /// Clauses may only be added at decision level 0 (i.e. between `solve`
+    /// calls); literals already falsified at level 0 are removed and
+    /// satisfied clauses dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        if self.unsat {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        for l in &c {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable {}", l.var());
+        }
+        c.sort_unstable();
+        c.dedup();
+        // Tautology or satisfied?
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true; // l and ¬l
+            }
+        }
+        c.retain(|&l| !self.lit_is_false(l));
+        if c.iter().any(|&l| self.lit_is_true(l)) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).code()].push(cref);
+        self.watches[(!lits[1]).code()].push(cref);
+        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0 });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l) == UNDEF);
+        let v = l.var();
+        self.assign[v.index()] = l.polarity() as u8;
+        self.level[v.index()] = self.trail_lim.len() as u32;
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = l.polarity();
+        self.trail.push(l);
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Unit propagation; returns the conflicting clause on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p must be inspected: p became true, so
+            // their watch on ¬p is falsified. Our watch lists are indexed
+            // by the falsified literal: watches[l] holds clauses that have
+            // ¬l among their first two literals... We store: a clause with
+            // watched literals w0, w1 appears in watches[(!w0).code()] and
+            // watches[(!w1).code()], so when w becomes false (¬w = p true)
+            // we look at watches[p.code()].
+            let mut i = 0;
+            'next_clause: while i < self.watches[p.code()].len() {
+                let cref = self.watches[p.code()][i];
+                if self.clauses[cref].deleted {
+                    self.watches[p.code()].swap_remove(i);
+                    continue;
+                }
+                // The falsified literal is ¬p.
+                let false_lit = !p;
+                // Normalize so that lits[1] is the falsified watch.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if self.lit_is_true(first) {
+                    i += 1;
+                    continue;
+                }
+                // Search a new watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    let l = self.clauses[cref].lits[k];
+                    if !self.lit_is_false(l) {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!l).code()].push(cref);
+                        self.watches[p.code()].swap_remove(i);
+                        continue 'next_clause;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_is_false(first) {
+                    self.prop_head = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e100 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder for UIP
+        let mut counter = 0usize;
+        // Variable of the literal whose reason is currently being expanded
+        // (skip it: the reason clause contains the propagated literal).
+        let mut p_var: Option<Var> = None;
+        let mut p_lit: Option<Lit>;
+        let mut cref = conflict;
+        let mut trail_idx = self.trail.len();
+        let cur_level = self.current_level();
+
+        loop {
+            self.bump_clause(cref);
+            let lits = self.clauses[cref].lits.clone();
+            for &q in lits.iter() {
+                if Some(q.var()) == p_var {
+                    continue;
+                }
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.level[v.index()] == cur_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Select next literal to expand: last seen on the trail.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().index()] {
+                    p_lit = Some(!l);
+                    p_var = Some(l.var());
+                    break;
+                }
+            }
+            let pv = p_var.expect("set above");
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p_lit.expect("set above");
+                break;
+            }
+            cref = self.reason[pv.index()].expect("non-decision at current level has a reason");
+        }
+
+        // Clear seen flags of remaining literals.
+        for l in learnt.iter().skip(1) {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backtrack level: second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        if self.current_level() <= to_level {
+            return;
+        }
+        let lim = self.trail_lim[to_level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = UNDEF;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(to_level as usize);
+        self.prop_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == UNDEF {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let phase = self.phase[v.index()];
+                self.enqueue(Lit::with_polarity(v, phase), None);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(i)
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let to_delete = learnt_refs.len() / 2;
+        for &cref in learnt_refs.iter().take(to_delete) {
+            self.clauses[cref].deleted = true;
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+        }
+    }
+
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        // A clause is locked if it is the reason of its first literal.
+        let c = &self.clauses[cref];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let v = c.lits[0].var();
+        self.reason[v.index()] == Some(cref) && self.assign[v.index()] != UNDEF
+    }
+
+    /// Solves the formula without assumptions. Returns `true` if
+    /// satisfiable; the model is then available through [`Solver::value`].
+    pub fn solve(&mut self) -> bool {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumptions. Returns `true` if satisfiable
+    /// with all assumption literals forced true.
+    ///
+    /// The solver remains usable afterwards (assumptions are retracted), so
+    /// incremental querying is supported.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return false;
+        }
+
+        let mut luby_index = 0u32;
+        let mut conflicts_until_restart = 100 * luby(luby_index);
+        let mut conflict_count_local = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflict_count_local += 1;
+                if self.current_level() as usize <= assumptions.len() {
+                    // Conflict among assumptions/root: unsat under
+                    // assumptions (formula itself unsat only without them).
+                    if assumptions.is_empty() {
+                        self.unsat = true;
+                    }
+                    self.backtrack(0);
+                    return false;
+                }
+                let (learnt, bt_level) = self.analyze(conflict);
+                // Never backtrack past the assumption levels.
+                let bt = bt_level.max(assumptions.len() as u32).min(self.current_level() - 1);
+                self.backtrack(bt);
+                if learnt.len() == 1 && bt == 0 {
+                    if self.lit_value(learnt[0]) == UNDEF {
+                        self.enqueue(learnt[0], None);
+                    } else if self.lit_is_false(learnt[0]) {
+                        if assumptions.is_empty() {
+                            self.unsat = true;
+                        }
+                        self.backtrack(0);
+                        return false;
+                    }
+                } else if learnt.len() == 1 {
+                    // Asserting unit but we could not go to level 0 due to
+                    // assumptions; enqueue if possible.
+                    if self.lit_value(learnt[0]) == UNDEF {
+                        self.enqueue(learnt[0], None);
+                    } else if self.lit_is_false(learnt[0]) {
+                        self.backtrack(0);
+                        return false;
+                    }
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    if self.lit_value(learnt[0]) == UNDEF {
+                        self.enqueue(learnt[0], Some(cref));
+                    } else if self.lit_is_false(learnt[0]) {
+                        self.backtrack(0);
+                        if assumptions.is_empty() {
+                            self.unsat = true;
+                        }
+                        return false;
+                    }
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.stats.learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.1;
+                }
+            } else {
+                // Restart?
+                if conflict_count_local >= conflicts_until_restart {
+                    conflict_count_local = 0;
+                    luby_index += 1;
+                    conflicts_until_restart = 100 * luby(luby_index);
+                    self.stats.restarts += 1;
+                    self.backtrack(assumptions.len() as u32);
+                }
+                // Place assumptions as pseudo-decisions.
+                if (self.current_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.current_level() as usize];
+                    if self.lit_is_true(a) {
+                        // Already satisfied; open an empty decision level to
+                        // keep level bookkeeping aligned.
+                        self.trail_lim.push(self.trail.len());
+                        continue;
+                    }
+                    if self.lit_is_false(a) {
+                        self.backtrack(0);
+                        return false;
+                    }
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, None);
+                    continue;
+                }
+                if !self.decide() {
+                    return true; // full assignment, SAT
+                }
+            }
+        }
+    }
+
+    /// Model value of a variable after a satisfiable [`Solver::solve`] call,
+    /// `None` if unassigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            UNDEF => None,
+            x => Some(x != 0),
+        }
+    }
+
+    /// Model value of a literal after a satisfiable solve call.
+    pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b == l.polarity())
+    }
+}
+
+/// The Luby sequence (1,1,2,1,1,2,4,...), used for restart scheduling.
+/// `i` is 0-based.
+fn luby(i: u32) -> u64 {
+    // 1-based recurrence: luby(n) = 2^(k-1) if n = 2^k - 1,
+    // else luby(n - 2^(k-1) + 1) for 2^(k-1) <= n < 2^k - 1.
+    let mut n = (i + 1) as u64;
+    loop {
+        if (n + 1).is_power_of_two() {
+            return n.div_ceil(2);
+        }
+        let k = 63 - (n + 1).leading_zeros() as u64; // floor(log2(n+1))
+        n -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(v: Var) -> Lit {
+        Lit::pos(v)
+    }
+    fn ln(v: Var) -> Lit {
+        Lit::neg(v)
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([lp(a)]);
+        s.add_clause([ln(a), lp(b)]);
+        assert!(s.solve());
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([lp(a)]);
+        assert!(!s.add_clause([ln(a)]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole.
+        let mut s = Solver::new();
+        let p = [s.new_var(), s.new_var()];
+        s.add_clause([lp(p[0])]);
+        s.add_clause([lp(p[1])]);
+        s.add_clause([ln(p[0]), ln(p[1])]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // p[i][j]: pigeon i in hole j. 4 pigeons, 3 holes.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 3]; 4];
+        for i in 0..4 {
+            for j in 0..3 {
+                p[i][j] = s.new_var();
+            }
+        }
+        for i in 0..4 {
+            s.add_clause((0..3).map(|j| lp(p[i][j])));
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause([ln(p[i1][j]), ln(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn xor_chain_is_sat_with_consistent_parity() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 0  (consistent)
+        let mut s = Solver::new();
+        let x: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        let xor = |s: &mut Solver, a: Var, b: Var, val: bool| {
+            if val {
+                s.add_clause([lp(a), lp(b)]);
+                s.add_clause([ln(a), ln(b)]);
+            } else {
+                s.add_clause([lp(a), ln(b)]);
+                s.add_clause([ln(a), lp(b)]);
+            }
+        };
+        xor(&mut s, x[0], x[1], true);
+        xor(&mut s, x[1], x[2], true);
+        xor(&mut s, x[0], x[2], false);
+        assert!(s.solve());
+        let v0 = s.value(x[0]).expect("assigned");
+        let v1 = s.value(x[1]).expect("assigned");
+        let v2 = s.value(x[2]).expect("assigned");
+        assert!(v0 ^ v1);
+        assert!(v1 ^ v2);
+        assert!(!(v0 ^ v2));
+    }
+
+    #[test]
+    fn xor_cycle_odd_is_unsat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1 (odd cycle, unsat)
+        let mut s = Solver::new();
+        let x: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            s.add_clause([lp(x[a]), lp(x[b])]);
+            s.add_clause([ln(x[a]), ln(x[b])]);
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn assumptions_are_retractable() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([lp(a), lp(b)]);
+        assert!(s.solve_with(&[ln(a)]));
+        assert_eq!(s.value(b), Some(true));
+        assert!(s.solve_with(&[ln(b)]));
+        assert_eq!(s.value(a), Some(true));
+        // Contradictory assumptions: unsat under assumptions...
+        assert!(!s.solve_with(&[ln(a), ln(b)]));
+        // ...but the formula itself is still satisfiable.
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn assumption_conflicting_with_unit_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([lp(a)]);
+        assert!(!s.solve_with(&[ln(a)]));
+        assert!(s.solve());
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([lp(a), ln(a)]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduplicated() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause([lp(a), lp(a), lp(b)]));
+        s.add_clause([ln(a)]);
+        assert!(s.solve());
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    /// Brute-force evaluation for cross-checking.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+        for m in 0u32..(1 << num_vars) {
+            let val = |l: Lit| {
+                let bit = (m >> l.var().0) & 1 == 1;
+                bit == l.polarity()
+            };
+            if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic LCG so the test is reproducible.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _round in 0..200 {
+            let nv = 4 + (next() % 5) as usize; // 4..8 vars
+            let nc = 5 + (next() % 25) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = Var(next() % nv as u32);
+                            if next() % 2 == 0 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut s = Solver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            let mut trivially_unsat = false;
+            for c in &clauses {
+                if !s.add_clause(c.iter().copied()) {
+                    trivially_unsat = true;
+                }
+            }
+            let expected = brute_force_sat(nv, &clauses);
+            let got = if trivially_unsat { false } else { s.solve() };
+            assert_eq!(got, expected, "clauses: {clauses:?}");
+            if got {
+                // Verify the model.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.lit_value_model(l) == Some(true)),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

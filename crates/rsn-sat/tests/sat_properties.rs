@@ -1,0 +1,105 @@
+//! Property-based validation of the CDCL solver against brute force.
+
+use proptest::prelude::*;
+use rsn_sat::{dimacs::Dimacs, CnfBuilder, Lit, Solver, Var};
+
+fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<u32> {
+    (0u32..(1 << num_vars)).find(|&m| {
+        clauses.iter().all(|c| {
+            c.iter()
+                .any(|&l| (((m >> l.var().0) & 1) == 1) == l.polarity())
+        })
+    })
+}
+
+fn clause_strategy(num_vars: u32) -> impl Strategy<Value = Vec<Lit>> {
+    proptest::collection::vec((0..num_vars, any::<bool>()), 1..5).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| Lit::with_polarity(Var(v), pos))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(
+        clauses in proptest::collection::vec(clause_strategy(8), 1..40)
+    ) {
+        let mut s = Solver::new();
+        for _ in 0..8 {
+            s.new_var();
+        }
+        let mut trivially_unsat = false;
+        for c in &clauses {
+            if !s.add_clause(c.iter().copied()) {
+                trivially_unsat = true;
+            }
+        }
+        let expected = brute_force(8, &clauses).is_some();
+        let got = if trivially_unsat { false } else { s.solve() };
+        prop_assert_eq!(got, expected);
+        if got {
+            for c in &clauses {
+                prop_assert!(c.iter().any(|&l| s.lit_value_model(l) == Some(true)));
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_partition_the_search_space(
+        clauses in proptest::collection::vec(clause_strategy(6), 1..20),
+        pivot in 0u32..6,
+    ) {
+        // SAT(F) == SAT(F ∧ x) ∨ SAT(F ∧ ¬x) for any pivot variable.
+        let mut s = Solver::new();
+        for _ in 0..6 {
+            s.new_var();
+        }
+        let mut trivially_unsat = false;
+        for c in &clauses {
+            if !s.add_clause(c.iter().copied()) {
+                trivially_unsat = true;
+            }
+        }
+        if trivially_unsat {
+            return Ok(());
+        }
+        let v = Var(pivot);
+        let pos = s.solve_with(&[Lit::pos(v)]);
+        let neg = s.solve_with(&[Lit::neg(v)]);
+        let plain = s.solve();
+        prop_assert_eq!(plain, pos || neg);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_satisfiability(
+        clauses in proptest::collection::vec(clause_strategy(6), 1..20)
+    ) {
+        let d = Dimacs { num_vars: 6, clauses: clauses.clone() };
+        let text = d.to_dimacs();
+        let d2 = Dimacs::parse(&text).expect("reparse");
+        let mut s1 = d.to_solver();
+        let mut s2 = d2.to_solver();
+        prop_assert_eq!(s1.solve(), s2.solve());
+    }
+
+    #[test]
+    fn tseitin_gates_respect_semantics(
+        inputs in proptest::collection::vec(any::<bool>(), 3..6)
+    ) {
+        let mut cnf = CnfBuilder::new();
+        let lits: Vec<Lit> = inputs.iter().map(|_| cnf.new_lit()).collect();
+        let and = cnf.and(lits.iter().copied());
+        let or = cnf.or(lits.iter().copied());
+        for (l, &v) in lits.iter().zip(&inputs) {
+            cnf.assert_lit(if v { *l } else { !*l });
+        }
+        prop_assert!(cnf.solver_mut().solve());
+        let and_v = cnf.solver_mut().lit_value_model(and).expect("assigned");
+        let or_v = cnf.solver_mut().lit_value_model(or).expect("assigned");
+        prop_assert_eq!(and_v, inputs.iter().all(|&b| b));
+        prop_assert_eq!(or_v, inputs.iter().any(|&b| b));
+    }
+}

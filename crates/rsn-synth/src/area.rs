@@ -1,0 +1,225 @@
+//! Gate-equivalent area model and structural cost accounting (paper
+//! Sec. IV-C).
+//!
+//! The paper reports area from a commercial logic synthesis tool; this
+//! module substitutes a standard-cell-style gate-equivalent (GE) model.
+//! Because the paper's area column is a *ratio* (fault-tolerant / original
+//! RSN), any consistent linear model preserves the reported shape: large
+//! multiplexer overhead, but total area dominated by scan flip-flops, so
+//! bit-heavy networks show ratios near 1.0.
+
+use rsn_core::{ControlExpr, NodeKind, Rsn};
+
+/// Gate-equivalent weights of the area model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// One shift-register (scan) flip-flop.
+    pub ge_shift_ff: f64,
+    /// One shadow-register flip-flop.
+    pub ge_shadow_ff: f64,
+    /// One 2:1 multiplexer (an `n`:1 mux counts as `n − 1`).
+    pub ge_mux2: f64,
+    /// One TMR majority voter.
+    pub ge_voter: f64,
+    /// One two-input logic gate (select logic).
+    pub ge_gate: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            ge_shift_ff: 6.0,
+            ge_shadow_ff: 4.5,
+            ge_mux2: 2.5,
+            ge_voter: 4.0,
+            ge_gate: 1.5,
+        }
+    }
+}
+
+/// Structural costs of a network under the area model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetworkCosts {
+    /// Number of scan multiplexers.
+    pub muxes: usize,
+    /// 2:1-equivalent multiplexer count (`Σ inputs − 1`).
+    pub mux2_equiv: usize,
+    /// Total scan bits (shift registers).
+    pub bits: u64,
+    /// Shadow-register bits.
+    pub shadow_bits: u64,
+    /// Interconnect count: dataflow nets + address nets (3× when
+    /// TMR-hardened) + one select net per segment + one instrument net per
+    /// shadowed segment.
+    pub nets: usize,
+    /// Two-input gates of the select logic (materialized expressions, or
+    /// the two-gates-per-fanout-stem estimate of the synthesis rules).
+    pub select_gates: usize,
+    /// TMR voters (one per hardened multiplexer address).
+    pub voters: usize,
+    /// Total area in gate equivalents.
+    pub area_ge: f64,
+}
+
+/// Computes the structural costs of a network.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_synth::area::{costs, AreaModel};
+///
+/// let c = costs(&fig2(), &AreaModel::default());
+/// assert_eq!(c.muxes, 1);
+/// assert_eq!(c.bits, 10);
+/// assert!(c.area_ge > 0.0);
+/// ```
+pub fn costs(rsn: &Rsn, model: &AreaModel) -> NetworkCosts {
+    let mut c = NetworkCosts::default();
+    for id in rsn.node_ids() {
+        match rsn.node(id).kind() {
+            NodeKind::Segment(s) => {
+                c.bits += s.length as u64;
+                if s.has_shadow {
+                    c.shadow_bits += s.length as u64;
+                    c.nets += 1; // instrument data net
+                }
+                c.nets += 1; // scan-in interconnect
+                c.nets += 1; // select net
+                // Select logic: materialized expression gates, or the
+                // synthesis-rule estimate of two gates per fan-out stem.
+                let gates = match &s.select {
+                    ControlExpr::Const(_) => estimate_stem_gates(rsn, id),
+                    e => e.gate_count(),
+                };
+                c.select_gates += gates;
+            }
+            NodeKind::Mux(m) => {
+                c.muxes += 1;
+                c.mux2_equiv += m.inputs.len().saturating_sub(1);
+                c.nets += m.inputs.len(); // data input nets
+                let addr_nets = m.addr_bits.len().max(1);
+                if m.hardened {
+                    c.nets += 3 * addr_nets;
+                    c.voters += 1;
+                } else {
+                    c.nets += addr_nets;
+                }
+            }
+            NodeKind::ScanOut => {
+                if rsn.node(id).source().is_some() {
+                    c.nets += 1;
+                }
+            }
+            NodeKind::ScanIn => {}
+        }
+    }
+    c.area_ge = model.ge_shift_ff * c.bits as f64
+        + model.ge_shadow_ff * c.shadow_bits as f64
+        + model.ge_mux2 * c.mux2_equiv as f64
+        + model.ge_voter * c.voters as f64
+        + model.ge_gate * c.select_gates as f64;
+    c
+}
+
+/// Select-gate estimate when expressions are not materialized: the
+/// recursive synthesis rules need roughly one AND (address qualification)
+/// and one OR (stem merge) per fan-out stem beyond the first.
+fn estimate_stem_gates(rsn: &Rsn, id: rsn_core::NodeId) -> usize {
+    let stems = rsn.successors(id).len();
+    2 * stems.saturating_sub(1) + stems.min(1)
+}
+
+/// Overhead ratios of a fault-tolerant network versus the original — the
+/// last four columns of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overhead {
+    /// Multiplexer-count ratio.
+    pub mux_ratio: f64,
+    /// Scan-bit ratio.
+    pub bits_ratio: f64,
+    /// Interconnect ratio.
+    pub nets_ratio: f64,
+    /// Gate-equivalent area ratio.
+    pub area_ratio: f64,
+}
+
+impl Overhead {
+    /// Computes the FT/original overhead ratios.
+    pub fn between(original: &NetworkCosts, ft: &NetworkCosts) -> Overhead {
+        let ratio = |a: f64, b: f64| if b == 0.0 { f64::NAN } else { a / b };
+        Overhead {
+            mux_ratio: ratio(ft.muxes as f64, original.muxes as f64),
+            bits_ratio: ratio(ft.bits as f64, original.bits as f64),
+            nets_ratio: ratio(ft.nets as f64, original.nets as f64),
+            area_ratio: ratio(ft.area_ge, original.area_ge),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{synthesize, SynthesisOptions};
+    use rsn_core::examples::{chain, fig2};
+    use rsn_itc02::by_name;
+    use rsn_sib::generate;
+
+    #[test]
+    fn chain_costs_count_structure() {
+        let rsn = chain(3, 4);
+        let c = costs(&rsn, &AreaModel::default());
+        assert_eq!(c.muxes, 0);
+        assert_eq!(c.bits, 12);
+        assert_eq!(c.shadow_bits, 12);
+        assert!(c.nets >= 4, "3 scan-ins + scan-out + select nets");
+        assert!(c.area_ge > 12.0 * 6.0);
+    }
+
+    #[test]
+    fn hardened_mux_triples_address_nets_and_adds_voter() {
+        let rsn = fig2();
+        let plain = costs(&rsn, &AreaModel::default());
+        let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        let hard = costs(&result.rsn, &AreaModel::default());
+        assert_eq!(plain.voters, 0);
+        assert_eq!(hard.voters, hard.muxes);
+        assert!(hard.nets > plain.nets);
+    }
+
+    #[test]
+    fn overhead_ratios_exceed_one_after_synthesis() {
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        let model = AreaModel::default();
+        let orig = costs(&rsn, &model);
+        let ft = costs(&result.rsn, &model);
+        let o = Overhead::between(&orig, &ft);
+        assert!(o.mux_ratio > 1.5, "mux ratio {}", o.mux_ratio);
+        assert!(o.bits_ratio > 1.0 && o.bits_ratio < 1.2, "bits {}", o.bits_ratio);
+        assert!(o.nets_ratio > 1.0, "nets {}", o.nets_ratio);
+        assert!(o.area_ratio > 1.0 && o.area_ratio < 1.5, "area {}", o.area_ratio);
+    }
+
+    #[test]
+    fn bit_heavy_networks_have_smaller_area_ratio() {
+        // q12710 has huge scan chains: its area ratio must be closer to 1
+        // than the mux-dominated u226 — the paper's Table I shape.
+        let model = AreaModel::default();
+        let mut ratios = Vec::new();
+        for name in ["u226", "q12710"] {
+            let soc = by_name(name).expect("embedded");
+            let rsn = generate(&soc).expect("generate");
+            let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+            let o = Overhead::between(&costs(&rsn, &model), &costs(&result.rsn, &model));
+            ratios.push(o.area_ratio);
+        }
+        assert!(
+            ratios[0] > ratios[1],
+            "u226 area ratio {} must exceed q12710 {}",
+            ratios[0],
+            ratios[1]
+        );
+    }
+}

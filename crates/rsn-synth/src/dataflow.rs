@@ -1,0 +1,212 @@
+//! RSN dataflow-graph extraction (paper Sec. III-B).
+//!
+//! The dataflow graph abstracts an RSN to its scan-data connectivity:
+//! vertices are scan segments plus the primary scan-in (unique root) and
+//! scan-out (unique sink) ports; multiplexers collapse into edge merge
+//! points; control logic is excluded. The graph is a DAG (IEEE Std 1687
+//! permits only non-sensitizable structural cycles, and this toolchain
+//! builds acyclic structures).
+
+use rsn_core::{NodeId, NodeKind, Rsn};
+use rsn_graph::DiGraph;
+
+/// The dataflow graph of an RSN with its vertex ↔ node mapping.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// The graph: vertex 0 is the scan-in root; the scan-out sink is
+    /// [`Dataflow::sink`].
+    pub graph: DiGraph,
+    /// Node behind each vertex.
+    pub vertex_node: Vec<NodeId>,
+    /// Vertex of each node (usize::MAX for muxes, which are collapsed).
+    pub node_vertex: Vec<usize>,
+    /// Topological level of each vertex (longest-path layering).
+    pub levels: Vec<usize>,
+    /// Root vertex (primary scan-in).
+    pub root: usize,
+    /// Sink vertex (primary scan-out).
+    pub sink: usize,
+    /// All root vertices (primary + secondary scan-in ports).
+    pub roots: Vec<usize>,
+    /// All sink vertices (primary + secondary scan-out ports).
+    pub sinks: Vec<usize>,
+}
+
+impl Dataflow {
+    /// `true` if the vertex is a scan-in port (never a valid edge target).
+    pub fn is_root(&self, v: usize) -> bool {
+        self.roots.contains(&v)
+    }
+
+    /// `true` if the vertex is a scan-out port (never a valid edge source).
+    pub fn is_sink(&self, v: usize) -> bool {
+        self.sinks.contains(&v)
+    }
+}
+
+impl Dataflow {
+    /// Extracts the dataflow graph of a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network dataflow is cyclic (validated networks are
+    /// acyclic by construction).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rsn_core::examples::fig2;
+    /// use rsn_synth::Dataflow;
+    ///
+    /// let df = Dataflow::extract(&fig2());
+    /// // scan-in + A,B,C,D + scan-out.
+    /// assert_eq!(df.graph.len(), 6);
+    /// assert_eq!(df.levels[df.root], 0);
+    /// ```
+    pub fn extract(rsn: &Rsn) -> Dataflow {
+        let mut vertex_node = Vec::new();
+        let mut node_vertex = vec![usize::MAX; rsn.node_count()];
+
+        let add = |id: NodeId, vertex_node: &mut Vec<NodeId>, node_vertex: &mut Vec<usize>| {
+            node_vertex[id.index()] = vertex_node.len();
+            vertex_node.push(id);
+        };
+        add(rsn.scan_in(), &mut vertex_node, &mut node_vertex);
+        if let Some(si2) = rsn.secondary_scan_in() {
+            add(si2, &mut vertex_node, &mut node_vertex);
+        }
+        for seg in rsn.segments() {
+            add(seg, &mut vertex_node, &mut node_vertex);
+        }
+        if let Some(so2) = rsn.secondary_scan_out() {
+            add(so2, &mut vertex_node, &mut node_vertex);
+        }
+        add(rsn.scan_out(), &mut vertex_node, &mut node_vertex);
+
+        let root = 0;
+        let sink = vertex_node.len() - 1;
+        let mut graph = DiGraph::new(vertex_node.len());
+
+        // For each vertex, collect its dataflow predecessors by walking
+        // backward through multiplexers.
+        for (v, &node) in vertex_node.iter().enumerate() {
+            if node == rsn.scan_in() {
+                continue;
+            }
+            let mut stack: Vec<NodeId> = rsn.predecessors(node);
+            let mut sources = Vec::new();
+            while let Some(p) = stack.pop() {
+                match rsn.node(p).kind() {
+                    NodeKind::Mux(_) => stack.extend(rsn.predecessors(p)),
+                    _ => sources.push(p),
+                }
+            }
+            sources.sort_unstable();
+            sources.dedup();
+            for s in sources {
+                let u = node_vertex[s.index()];
+                assert_ne!(u, usize::MAX, "dataflow source must be a vertex");
+                graph.add_edge(u, v);
+            }
+        }
+
+        let levels = graph.levels().expect("RSN dataflow must be acyclic");
+        let mut roots = vec![root];
+        if let Some(si2) = rsn.secondary_scan_in() {
+            roots.push(node_vertex[si2.index()]);
+        }
+        let mut sinks = vec![sink];
+        if let Some(so2) = rsn.secondary_scan_out() {
+            sinks.push(node_vertex[so2.index()]);
+        }
+        Dataflow { graph, vertex_node, node_vertex, levels, root, sink, roots, sinks }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` if the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Human-readable name of a vertex (the underlying node's name).
+    pub fn name<'a>(&self, rsn: &'a Rsn, v: usize) -> &'a str {
+        rsn.node(self.vertex_node[v]).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2, sib_tree};
+    use rsn_graph::vertex_independent_paths;
+
+    #[test]
+    fn fig2_dataflow_shape() {
+        let rsn = fig2();
+        let df = Dataflow::extract(&rsn);
+        assert_eq!(df.len(), 6);
+        let a = df.node_vertex[rsn.find("A").expect("A").index()];
+        let b = df.node_vertex[rsn.find("B").expect("B").index()];
+        let c = df.node_vertex[rsn.find("C").expect("C").index()];
+        let d = df.node_vertex[rsn.find("D").expect("D").index()];
+        // scan_in -> A -> {B, C} -> D -> scan_out (mux collapsed).
+        assert!(df.graph.has_edge(df.root, a));
+        assert!(df.graph.has_edge(a, b));
+        assert!(df.graph.has_edge(a, c));
+        assert!(df.graph.has_edge(b, d));
+        assert!(df.graph.has_edge(c, d));
+        assert!(df.graph.has_edge(d, df.sink));
+        assert_eq!(df.graph.edge_count(), 6);
+    }
+
+    #[test]
+    fn chain_dataflow_is_a_path() {
+        let rsn = chain(4, 2);
+        let df = Dataflow::extract(&rsn);
+        assert_eq!(df.len(), 6);
+        assert_eq!(df.graph.edge_count(), 5);
+        for v in 0..df.len() {
+            assert_eq!(df.levels[v], v, "chain levels are positions");
+        }
+    }
+
+    #[test]
+    fn sib_tree_dataflow_merges_at_muxes() {
+        let rsn = sib_tree(1, 2, 4);
+        let df = Dataflow::extract(&rsn);
+        // Each SIB guard merge: the node after a SIB's mux has indegree 2
+        // (bypass from the SIB, and the leaf exit).
+        let sink_preds = df.graph.in_degree(df.sink);
+        assert_eq!(sink_preds, 2, "last SIB's mux merges two sources");
+        // Root and sink are unique.
+        assert_eq!(df.graph.in_degree(df.root), 0);
+        assert_eq!(df.graph.out_degree(df.sink), 0);
+    }
+
+    #[test]
+    fn fig2_has_two_paths_only_between_a_and_d() {
+        let rsn = fig2();
+        let df = Dataflow::extract(&rsn);
+        let a = df.node_vertex[rsn.find("A").expect("A").index()];
+        let d = df.node_vertex[rsn.find("D").expect("D").index()];
+        assert_eq!(vertex_independent_paths(&df.graph, a, d), 2);
+        assert_eq!(vertex_independent_paths(&df.graph, df.root, df.sink), 1);
+    }
+
+    #[test]
+    fn node_vertex_roundtrip() {
+        let rsn = fig2();
+        let df = Dataflow::extract(&rsn);
+        for (v, &n) in df.vertex_node.iter().enumerate() {
+            assert_eq!(df.node_vertex[n.index()], v);
+        }
+        // Muxes are not vertices.
+        for m in rsn.muxes() {
+            assert_eq!(df.node_vertex[m.index()], usize::MAX);
+        }
+    }
+}

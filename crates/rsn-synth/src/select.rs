@@ -1,0 +1,199 @@
+//! Select-signal synthesis and hardening (paper Sec. III-E-2).
+//!
+//! In the fault-tolerant RSN the select signals of the original network
+//! are discarded and re-derived recursively from the scan-out port:
+//!
+//! * the last scan element (primary scan-out) is always selected,
+//! * if `u` fans out to multiple scan elements, `u` is selected when any
+//!   direct successor selects it,
+//! * if the direct successor of `u` is a multiplexer, the multiplexer must
+//!   be selected *and* configured to forward `u`,
+//! * if `u` has one direct successor, that successor must be selected.
+//!
+//! Because the augmented dataflow gives every segment at least two
+//! outgoing edges, the derived select expression is a disjunction over at
+//! least two independent fan-out stems — a single stuck-at-0 on one stem
+//! leaves the other assertion path intact (the hardening argument of the
+//! paper).
+//!
+//! Expressions are materialized as [`ControlExpr`] trees. Tree size can
+//! grow exponentially with network depth on augmented graphs (each vertex
+//! disjoins two successor expressions), so materialization is intended for
+//! small networks and the Fig. 5 reproduction; large networks keep
+//! formula-based select accounting in the area model instead.
+
+use std::collections::HashMap;
+
+use rsn_core::{ControlExpr, NodeId, NodeKind, Rsn, RsnBuilder};
+
+/// Derives the select expression of every node per the recursive rules.
+///
+/// Returns a map from node to its (simplified) select expression. The
+/// scan-out port maps to constant true.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_synth::select::derive_selects;
+///
+/// let rsn = fig2();
+/// let selects = derive_selects(&rsn);
+/// let a = rsn.find("A").expect("A");
+/// // A feeds both branches: its derived select is the disjunction of the
+/// // two stems (¬A[0] ∨ A[0], a tautology left un-collapsed).
+/// let cfg = rsn.reset_config();
+/// assert!(rsn.eval(&selects[&a], &cfg)?);
+/// # Ok::<(), rsn_core::Error>(())
+/// ```
+pub fn derive_selects(rsn: &Rsn) -> HashMap<NodeId, ControlExpr> {
+    let mut sel: HashMap<NodeId, ControlExpr> = HashMap::new();
+    // Reverse topological order: successors before predecessors.
+    for &v in rsn.topo_order().iter().rev() {
+        let expr = match rsn.node(v).kind() {
+            NodeKind::ScanOut => {
+                if v == rsn.scan_out() {
+                    ControlExpr::TRUE
+                } else {
+                    // Secondary scan-out: enabled through a dedicated
+                    // primary control input when present; treat as
+                    // selectable.
+                    ControlExpr::TRUE
+                }
+            }
+            _ => {
+                let mut stems = Vec::new();
+                for &w in rsn.successors(v) {
+                    let contribution = match rsn.node(w).kind() {
+                        NodeKind::Mux(mux) => {
+                            // w forwards v iff its address selects v's
+                            // input index; several indices may match.
+                            let mut alts = Vec::new();
+                            for (k, &inp) in mux.inputs.iter().enumerate() {
+                                if inp != v {
+                                    continue;
+                                }
+                                let mut conj =
+                                    vec![sel.get(&w).cloned().unwrap_or(ControlExpr::FALSE)];
+                                for (bit, e) in mux.addr_bits.iter().enumerate() {
+                                    let want = (k >> bit) & 1 == 1;
+                                    conj.push(if want {
+                                        e.clone()
+                                    } else {
+                                        !e.clone()
+                                    });
+                                }
+                                alts.push(ControlExpr::And(conj));
+                            }
+                            ControlExpr::Or(alts)
+                        }
+                        _ => sel.get(&w).cloned().unwrap_or(ControlExpr::FALSE),
+                    };
+                    stems.push(contribution);
+                }
+                ControlExpr::Or(stems).simplified()
+            }
+        };
+        sel.insert(v, expr);
+    }
+    sel
+}
+
+/// Applies derived selects to every segment of a builder.
+///
+/// `selects` must cover every segment node (as produced by
+/// [`derive_selects`] on the same structure).
+pub fn apply_selects(builder: &mut RsnBuilder, selects: &HashMap<NodeId, ControlExpr>) {
+    let ids: Vec<NodeId> = (0..builder.node_count() as u32).map(NodeId).collect();
+    for id in ids {
+        if matches!(builder.node(id).kind(), NodeKind::Segment(_)) {
+            if let Some(e) = selects.get(&id) {
+                builder.set_select(id, e.clone());
+            }
+        }
+    }
+}
+
+/// Renders the select equation of a segment in the style of the paper's
+/// Fig. 5 (`Select(B) := …`).
+pub fn select_equation(rsn: &Rsn, selects: &HashMap<NodeId, ControlExpr>, seg: NodeId) -> String {
+    let name = rsn.node(seg).name();
+    match selects.get(&seg) {
+        Some(e) => format!("Select({name}) := {e}"),
+        None => format!("Select({name}) := <undefined>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples::{chain, fig2};
+    use rsn_core::Config;
+
+    /// Exhaustively checks that the derived select of every segment equals
+    /// its traced path membership, over all configurations.
+    fn check_select_equals_onpath(rsn: &Rsn) {
+        let selects = derive_selects(rsn);
+        let n_bits = rsn.shadow_bits() as usize;
+        assert!(n_bits <= 16, "exhaustive check only for small networks");
+        for m in 0u32..(1 << n_bits) {
+            let mut cfg = Config::zeroed(n_bits, rsn.num_inputs());
+            for b in 0..n_bits {
+                cfg.set_bit(b, (m >> b) & 1 == 1);
+            }
+            let path = match rsn.trace_path(&cfg) {
+                Ok(p) => p,
+                Err(_) => continue, // invalid mux address decode
+            };
+            for seg in rsn.segments() {
+                let derived = rsn.eval(&selects[&seg], &cfg).expect("evaluable");
+                assert_eq!(
+                    derived,
+                    path.contains(seg),
+                    "cfg {m:b}: segment {} derived select mismatch",
+                    rsn.node(seg).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_selects_match_path_membership_fig2() {
+        check_select_equals_onpath(&fig2());
+    }
+
+    #[test]
+    fn derived_selects_match_path_membership_chain() {
+        check_select_equals_onpath(&chain(3, 2));
+    }
+
+    #[test]
+    fn chain_selects_are_constant_true() {
+        let rsn = chain(4, 2);
+        let selects = derive_selects(&rsn);
+        for seg in rsn.segments() {
+            assert!(selects[&seg].is_true());
+        }
+    }
+
+    #[test]
+    fn fig2_branch_selects_depend_on_address() {
+        let rsn = fig2();
+        let selects = derive_selects(&rsn);
+        let a = rsn.find("A").expect("A");
+        let b = rsn.find("B").expect("B");
+        let c = rsn.find("C").expect("C");
+        // B is selected when the mux forwards it (address 0).
+        assert_eq!(selects[&b], (!ControlExpr::reg(a, 0)).simplified());
+        assert_eq!(selects[&c], ControlExpr::reg(a, 0));
+    }
+
+    #[test]
+    fn select_equation_renders() {
+        let rsn = fig2();
+        let selects = derive_selects(&rsn);
+        let b = rsn.find("B").expect("B");
+        let eq = select_equation(&rsn, &selects, b);
+        assert!(eq.starts_with("Select(B) :="), "{eq}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Exports an RSN (original and fault-tolerant) as a structural Verilog
+//! netlist and an IEEE 1687 ICL description.
+//!
+//! ```text
+//! cargo run --example netlist_export [-- <soc-name> [output-dir]]
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+use ftrsn::export::{to_icl, to_verilog};
+use ftrsn::itc02::by_name;
+use ftrsn::sib::generate;
+use ftrsn::synth::{synthesize, SynthesisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("u226");
+    let dir = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("target/netlists"));
+    fs::create_dir_all(&dir)?;
+
+    let soc = by_name(name).ok_or("unknown embedded benchmark")?;
+    let rsn = generate(&soc)?;
+    let ft = synthesize(&rsn, &SynthesisOptions::new())?;
+
+    for (tag, network) in [("orig", &rsn), ("ft", &ft.rsn)] {
+        let v = to_verilog(network);
+        let icl = to_icl(network);
+        let vpath = dir.join(format!("{name}_{tag}.v"));
+        let ipath = dir.join(format!("{name}_{tag}.icl"));
+        fs::write(&vpath, &v)?;
+        fs::write(&ipath, &icl)?;
+        println!(
+            "{tag:>4}: {} ({} lines verilog, {} lines icl)",
+            network.name(),
+            v.lines().count(),
+            icl.lines().count()
+        );
+        println!("      -> {}", vpath.display());
+        println!("      -> {}", ipath.display());
+    }
+    Ok(())
+}

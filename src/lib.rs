@@ -1,0 +1,38 @@
+//! Umbrella crate for the fault-tolerant RSN synthesis toolchain
+//! (reproduction of Brandhofer, Kochte, Wunderlich, DATE 2020).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`core`] — RSN structural model, CSU semantics, access planning.
+//! * [`graph`] — directed-graph algorithms (levels, max-flow, Menger).
+//! * [`sat`] — CDCL SAT solver and CNF construction.
+//! * [`bmc`] — bounded model checking of RSN accessibility.
+//! * [`fault`] — stuck-at fault model and the fault-tolerance metric.
+//! * [`ilp`] — simplex / branch-and-bound 0-1 ILP solver.
+//! * [`synth`] — the paper's synthesis: graph augmentation + hardening.
+//! * [`itc02`] — ITC'02 SoC benchmark parsing and the embedded suite.
+//! * [`sib`] — SIB-based RSN generation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftrsn::core::examples::fig2;
+//! use ftrsn::synth::{synthesize, SynthesisOptions};
+//!
+//! let rsn = fig2();
+//! let result = synthesize(&rsn, &SynthesisOptions::default())?;
+//! assert!(result.rsn.segments().count() >= rsn.segments().count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use rsn_bmc as bmc;
+pub use rsn_core as core;
+pub use rsn_fault as fault;
+pub use rsn_graph as graph;
+pub use rsn_ilp as ilp;
+pub use rsn_itc02 as itc02;
+pub use rsn_sat as sat;
+pub use rsn_sib as sib;
+pub use rsn_export as export;
+pub use rsn_synth as synth;
