@@ -113,7 +113,11 @@ fn main() -> ExitCode {
                     result.report.added_muxes,
                     result.report.added_bits,
                     result.report.cut_rounds,
-                    if result.report.used_ilp { "ILP" } else { "greedy" }
+                    if result.report.used_ilp {
+                        "ILP"
+                    } else {
+                        "greedy"
+                    }
                 );
                 emitted.push((format!("{}_ft", soc.name), result.rsn));
             }

@@ -2,20 +2,28 @@
 //!
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
-//!        [--paper] [--ablation] [--sweep-alpha]
+//!        [--paper] [--ablation] [--sweep-alpha] [--json PATH]
 //! ```
 //!
 //! Without arguments, the full table is printed over all 13 embedded
 //! benchmarks with measured accessibility and overhead values, next to the
 //! paper's reference values when `--paper` is given.
+//!
+//! With `--json PATH`, a machine-readable run report (one JSON object per
+//! benchmark row: counters, gauges and the span tree — see the rsn-obs
+//! `RunReport` schema) is written to PATH. Small benchmarks additionally
+//! run a BMC spot check so SAT solver statistics appear in the report.
 
 use std::collections::HashSet;
 use std::env;
 use std::time::Instant;
 
-use bench::{evaluate, evaluate_weighted, evaluate_with, format_row, Row, BENCHMARKS};
+use bench::{
+    bmc_spot_check, evaluate, evaluate_weighted, evaluate_with, format_row, Row, BENCHMARKS,
+};
 use rsn_fault::WeightModel;
 use rsn_itc02::by_name;
+use rsn_obs::{json::Json, RunReport};
 use rsn_sib::generate;
 use rsn_synth::{
     augment_greedy, augment_ilp, AugmentOptions, Dataflow, SolverChoice, SynthesisOptions,
@@ -46,8 +54,11 @@ fn run_double(names: &[&str]) {
         );
         println!(
             "{name:<8} {:>7} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
-            hard.pairs, orig.worst_segments, orig.avg_segments,
-            hard.worst_segments, hard.avg_segments
+            hard.pairs,
+            orig.worst_segments,
+            orig.avg_segments,
+            hard.worst_segments,
+            hard.avg_segments
         );
     }
 }
@@ -87,8 +98,7 @@ fn header() {
     );
     println!(
         "{:<8} {:>3} {:>2} {:>4} {:>5} {:>6} | {:^23} | {:^27} | {:^23}",
-        "", "", "", "", "", "",
-        "SIB-RSN access.", "FT-RSN accessibility", "overhead ratios",
+        "", "", "", "", "", "", "SIB-RSN access.", "FT-RSN accessibility", "overhead ratios",
     );
     println!("{}", "-".repeat(120));
 }
@@ -106,13 +116,19 @@ fn paper_row(row: &Row) -> String {
 
 fn run_ablation(names: &[&str]) {
     println!("\nAblation A1: ILP optimum vs greedy heuristic (augmentation cost)");
-    println!("{:<8} {:>10} {:>10} {:>8} {:>6}", "SoC", "ilp cost", "greedy", "gap %", "cuts");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8} {:>6}",
+        "SoC", "ilp cost", "greedy", "gap %", "cuts"
+    );
     for name in names {
         let soc = by_name(name).expect("embedded");
         let rsn = generate(&soc).expect("generate");
         let df = Dataflow::extract(&rsn);
         if df.len() > 60 {
-            println!("{name:<8} {:>10} {:>10} {:>8} {:>6}", "-", "-", "-", "(too large for exact ILP)");
+            println!(
+                "{name:<8} {:>10} {:>10} {:>8} {:>6}",
+                "-", "-", "-", "(too large for exact ILP)"
+            );
             continue;
         }
         let opts = AugmentOptions::default();
@@ -132,7 +148,10 @@ fn run_ablation(names: &[&str]) {
 
 fn run_alpha_sweep(names: &[&str]) {
     println!("\nAblation A2: long-line penalty sweep (alpha) — added edges / cost / area ratio");
-    println!("{:<8} {:>6} {:>8} {:>10} {:>8}", "SoC", "alpha", "edges", "cost", "area");
+    println!(
+        "{:<8} {:>6} {:>8} {:>10} {:>8}",
+        "SoC", "alpha", "edges", "cost", "area"
+    );
     for name in names {
         for alpha in [0.0, 0.05, 0.1, 0.5, 1.0] {
             let mut opts = SynthesisOptions::new();
@@ -159,6 +178,7 @@ fn main() {
     let mut latency = false;
     let mut double = false;
     let mut weights = WeightModel::Ports;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -185,6 +205,10 @@ fn main() {
                     Some("cells") => WeightModel::Cells,
                     other => panic!("--weights ports|cells, got {other:?}"),
                 };
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
             }
             "--section" => {
                 i += 1; // sections are printed together; flag kept for CLI
@@ -221,7 +245,12 @@ fn main() {
 
     header();
     let t0 = Instant::now();
+    let mut reports: Vec<Json> = Vec::new();
     for name in &names {
+        if json_path.is_some() {
+            // One report per row: clear global counters/spans between rows.
+            rsn_obs::reset();
+        }
         let row = if weights == WeightModel::Ports {
             evaluate(name)
         } else {
@@ -237,8 +266,33 @@ fn main() {
                 row.synthesis_time, row.metric_time, row.sib.fault_count, row.ft.fault_count
             );
         }
+        if json_path.is_some() {
+            // Size-gated BMC validation of the original network: the only
+            // stage of the default pipeline that exercises the SAT solver.
+            let soc = by_name(name).expect("embedded");
+            let rsn = generate(&soc).expect("generate");
+            let steps = row.levels + 2;
+            let (checked, mismatches) = bmc_spot_check(&rsn, steps, 150, 8);
+            if mismatches > 0 {
+                eprintln!("warning: {name}: {mismatches}/{checked} BMC spot checks disagree");
+            }
+            // Exact-ILP reference on small dataflows (same gate as the
+            // ablation): records branch-and-bound telemetry in the report
+            // even where the Auto solver picks the greedy heuristic.
+            let df = Dataflow::extract(&rsn);
+            if df.len() <= 60 {
+                let _s = rsn_obs::Span::enter("ilp_reference");
+                let _ = augment_ilp(&df, &AugmentOptions::default());
+            }
+            reports.push(RunReport::capture(name).to_json_value());
+        }
     }
     if timing {
         println!("\ntotal wall clock: {:.2?}", t0.elapsed());
+    }
+    if let Some(path) = json_path {
+        let doc = Json::Arr(reports);
+        std::fs::write(&path, doc.to_string_pretty(2)).expect("write json report");
+        println!("wrote run report to {path}");
     }
 }

@@ -1,14 +1,15 @@
 //! Shared harness for regenerating the paper's evaluation (Table I and
 //! the figures) over the embedded ITC'02 suite.
 //!
-//! The binary `table1` prints the full table; the criterion benches in
-//! `benches/` time the pipeline stages. The functions here run one SoC
+//! The binary `table1` prints the full table (and with `--json` a
+//! machine-readable run report per row). The functions here run one SoC
 //! through the complete flow: SIB-RSN generation → fault-tolerance metric
 //! of the original → synthesis → metric of the fault-tolerant RSN → area
 //! accounting.
 
 use std::time::{Duration, Instant};
 
+use rsn_core::Rsn;
 use rsn_fault::{analyze_parallel_with, FaultToleranceReport, HardeningProfile, WeightModel};
 use rsn_itc02::{by_name, TableTargets};
 use rsn_sib::generate;
@@ -70,20 +71,33 @@ pub fn evaluate_with(name: &str, opts: &SynthesisOptions) -> Row {
 /// T1-weights: sensitivity of the averages to cell- vs port-level
 /// weighting).
 pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel) -> Row {
+    let pipeline = rsn_obs::Span::enter("pipeline");
     let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let paper = rsn_itc02::table_targets(name).expect("paper row exists");
-    let rsn = generate(&soc).expect("SIB generation succeeds on embedded suite");
+    let rsn = rsn_obs::timed("generate", || {
+        generate(&soc).expect("SIB generation succeeds on embedded suite")
+    });
 
     let t0 = Instant::now();
-    let sib = analyze_parallel_with(&rsn, HardeningProfile::unhardened(), model);
+    let sib = {
+        let _s = pipeline.child("metric_sib");
+        analyze_parallel_with(&rsn, HardeningProfile::unhardened(), model)
+    };
     let synth_t0 = Instant::now();
-    let synthesis = synthesize(&rsn, opts).expect("synthesis succeeds");
+    let synthesis = rsn_obs::timed("synth", || {
+        synthesize(&rsn, opts).expect("synthesis succeeds")
+    });
     let synthesis_time = synth_t0.elapsed();
-    let ft = analyze_parallel_with(&synthesis.rsn, HardeningProfile::hardened(), model);
+    let ft = {
+        let _s = pipeline.child("metric_ft");
+        analyze_parallel_with(&synthesis.rsn, HardeningProfile::hardened(), model)
+    };
     let metric_time = t0.elapsed() - synthesis_time;
 
     let model = AreaModel::default();
-    let overhead = Overhead::between(&costs(&rsn, &model), &costs(&synthesis.rsn, &model));
+    let overhead = rsn_obs::timed("area", || {
+        Overhead::between(&costs(&rsn, &model), &costs(&synthesis.rsn, &model))
+    });
 
     Row {
         name: name.to_string(),
@@ -102,10 +116,47 @@ pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel
     }
 }
 
+/// Cross-validates fault-free accessibility of the first `max_targets`
+/// segments against the bounded model checker, recording
+/// `bench.bmc_checked` / `bench.bmc_mismatches` counters. This is the
+/// stage that exercises the SAT solver in a default `table1` run (the
+/// structural engine alone never builds a CNF).
+///
+/// Returns `(checked, mismatches)`. Skipped (returns `(0, 0)`) when the
+/// network exceeds `max_nodes` — the CSU unrolling grows quadratically —
+/// or has secondary scan ports (not modeled by the BMC).
+pub fn bmc_spot_check(rsn: &Rsn, steps: usize, max_nodes: usize, max_targets: usize) -> (u64, u64) {
+    if rsn.node_count() > max_nodes
+        || rsn.secondary_scan_in().is_some()
+        || rsn.secondary_scan_out().is_some()
+    {
+        return (0, 0);
+    }
+    let _span = rsn_obs::Span::enter("bmc_spot_check");
+    let mut checker = rsn_bmc::BmcChecker::new(rsn, steps);
+    let mut checked = 0u64;
+    let mut mismatches = 0u64;
+    for seg in rsn.segments().take(max_targets) {
+        let bmc = checker.accessible(seg);
+        let structural = rsn.is_accessible(seg);
+        checked += 1;
+        if bmc != structural {
+            mismatches += 1;
+            rsn_obs::warn!(
+                "bmc/structural disagreement on {}: bmc {bmc} structural {structural}",
+                rsn.node(seg).name()
+            );
+        }
+    }
+    rsn_obs::counter_add("bench.bmc_checked", checked);
+    rsn_obs::counter_add("bench.bmc_mismatches", mismatches);
+    (checked, mismatches)
+}
+
 /// The 13 benchmark names in Table I order.
 pub const BENCHMARKS: [&str; 13] = [
-    "u226", "d281", "d695", "h953", "g1023", "x1331", "f2126", "q12710", "t512505",
-    "a586710", "p22081", "p34392", "p93791",
+    "u226", "d281", "d695", "h953", "g1023", "x1331", "f2126", "q12710", "t512505", "a586710",
+    "p22081", "p34392", "p93791",
 ];
 
 /// Formats a row in the layout of the paper's Table I (measured values).

@@ -138,7 +138,11 @@ impl BmcChecker {
         for t in 0..=steps {
             let step_bits = &bits[t];
             // Encode a ControlExpr at this step.
-            let ctx = ExprCtx { rsn, bits: step_bits, inputs: &inputs[t] };
+            let ctx = ExprCtx {
+                rsn,
+                bits: step_bits,
+                inputs: &inputs[t],
+            };
 
             // Mux selected-input condition literals: cond[mux][k].
             let mut cond: HashMap<(NodeId, usize), Lit> = HashMap::new();
@@ -202,10 +206,7 @@ impl BmcChecker {
             // shifts idly and is benign for routing.
             let mut select_lits = vec![cnf.lit_true(); n_nodes];
             for s in rsn.segments() {
-                let sel = ctx.encode(
-                    &mut cnf,
-                    &rsn.node(s).as_segment().expect("segment").select,
-                );
+                let sel = ctx.encode(&mut cnf, &rsn.node(s).as_segment().expect("segment").select);
                 select_lits[s.index()] = sel;
                 if effect.is_benign() {
                     cnf.assert_eq(sel, op[s.index()]);
@@ -228,8 +229,7 @@ impl BmcChecker {
                         let mut alts = Vec::new();
                         for (k, &inp) in mux.inputs.iter().enumerate() {
                             let c = cond[&(v, k)];
-                            let dirty_edge =
-                                cnf.constant(corrupt_edge.contains_key(&(v, k)));
+                            let dirty_edge = cnf.constant(corrupt_edge.contains_key(&(v, k)));
                             let up = cnf.or([tn[inp.index()], dirty_edge]);
                             alts.push(cnf.and([c, up]));
                         }
@@ -257,7 +257,11 @@ impl BmcChecker {
                     continue;
                 }
                 let off = rsn.shadow_offset(s).expect("has shadow");
-                let ctx = ExprCtx { rsn, bits: &bits[t], inputs: &inputs[t] };
+                let ctx = ExprCtx {
+                    rsn,
+                    bits: &bits[t],
+                    inputs: &inputs[t],
+                };
                 let updis = ctx.encode(&mut cnf, &seg.update_disable);
                 let active = onpath[t][s.index()];
                 // frozen := ¬active ∨ updis  → registers keep their value.
@@ -278,7 +282,7 @@ impl BmcChecker {
             }
         }
 
-        BmcChecker {
+        let mut checker = BmcChecker {
             cnf,
             onpath,
             taint,
@@ -286,7 +290,19 @@ impl BmcChecker {
             scan_out: rsn.scan_out(),
             steps,
             feasible: true,
-        }
+        };
+        // Encoding size telemetry, keyed by unroll depth.
+        rsn_obs::counter_add("bmc.builds", 1);
+        let solver = checker.cnf.solver_mut();
+        rsn_obs::gauge_set(
+            &format!("bmc.unroll.{steps}.vars"),
+            solver.num_vars() as f64,
+        );
+        rsn_obs::gauge_set(
+            &format!("bmc.unroll.{steps}.clauses"),
+            solver.num_clauses() as f64,
+        );
+        checker
     }
 
     /// Decides accessibility of `target`: is there a sequence of `steps`
@@ -298,7 +314,15 @@ impl BmcChecker {
         }
         let on = self.onpath[self.steps][target.index()];
         let clean = !self.taint[self.steps][self.scan_out.index()];
-        self.cnf.solver_mut().solve_with(&[on, clean])
+        let _span = rsn_obs::Span::enter("bmc_solve");
+        let start = std::time::Instant::now();
+        let result = self.cnf.solver_mut().solve_with(&[on, clean]);
+        rsn_obs::counter_add("bmc.queries", 1);
+        rsn_obs::counter_add(
+            &format!("bmc.unroll.{}.solve_ns", self.steps),
+            start.elapsed().as_nanos() as u64,
+        );
+        result
     }
 }
 

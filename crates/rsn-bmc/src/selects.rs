@@ -55,13 +55,11 @@ pub fn verify_select_consistency(rsn: &Rsn) -> Option<SelectMismatch> {
                 ControlExpr::Input(i) => inputs[i.0 as usize],
                 ControlExpr::Not(inner) => !go(cnf, rsn, bits, inputs, inner),
                 ControlExpr::And(es) => {
-                    let lits: Vec<Lit> =
-                        es.iter().map(|x| go(cnf, rsn, bits, inputs, x)).collect();
+                    let lits: Vec<Lit> = es.iter().map(|x| go(cnf, rsn, bits, inputs, x)).collect();
                     cnf.and(lits)
                 }
                 ControlExpr::Or(es) => {
-                    let lits: Vec<Lit> =
-                        es.iter().map(|x| go(cnf, rsn, bits, inputs, x)).collect();
+                    let lits: Vec<Lit> = es.iter().map(|x| go(cnf, rsn, bits, inputs, x)).collect();
                     cnf.or(lits)
                 }
             }
@@ -185,7 +183,9 @@ mod tests {
         let mismatch = verify_select_consistency(&rsn).expect("inconsistent");
         // The witness must actually exhibit the mismatch.
         let path = rsn.trace_path(&mismatch.config).expect("traceable");
-        let selected = rsn.select(mismatch.segment, &mismatch.config).expect("eval");
+        let selected = rsn
+            .select(mismatch.segment, &mismatch.config)
+            .expect("eval");
         assert_ne!(selected, path.contains(mismatch.segment));
     }
 

@@ -116,7 +116,9 @@ fn require(
 /// Matches the Tseitin-style XOR shape `(a ∧ ¬b) ∨ (¬a ∧ b)` and returns
 /// the two operand expressions.
 fn match_xor(expr: &ControlExpr) -> Option<(&ControlExpr, &ControlExpr)> {
-    let ControlExpr::Or(or) = expr else { return None };
+    let ControlExpr::Or(or) = expr else {
+        return None;
+    };
     let [ControlExpr::And(c1), ControlExpr::And(c2)] = or.as_slice() else {
         return None;
     };
@@ -154,12 +156,11 @@ impl Rsn {
                 NodeKind::Mux(m) => {
                     // Prefer the currently selected input, else input 0.
                     let selected = self.mux_selected_input(cur, cfg).ok();
-                    let (idx, prev) = match selected
-                        .and_then(|s| m.inputs.iter().position(|&i| i == s))
-                    {
-                        Some(i) => (i, m.inputs[i]),
-                        None => (0, m.inputs[0]),
-                    };
+                    let (idx, prev) =
+                        match selected.and_then(|s| m.inputs.iter().position(|&i| i == s)) {
+                            Some(i) => (i, m.inputs[i]),
+                            None => (0, m.inputs[0]),
+                        };
                     self.require_mux_address(cur, idx, &mut req, &mut input_req)?;
                     prev
                 }
@@ -317,7 +318,10 @@ impl Rsn {
     /// ```
     pub fn plan_access(&self, target: NodeId, from: &Config) -> Result<AccessPlan> {
         if self.node(target).as_segment().is_none() {
-            return Err(Error::WrongNodeKind { node: target, expected: "segment" });
+            return Err(Error::WrongNodeKind {
+                node: target,
+                expected: "segment",
+            });
         }
 
         let mut steps = Vec::new();
@@ -334,7 +338,11 @@ impl Rsn {
             let path = self.trace_path(&cur)?;
             if path.contains(target) {
                 latency += path.shift_length(self);
-                return Ok(AccessPlan { target, steps, latency });
+                return Ok(AccessPlan {
+                    target,
+                    steps,
+                    latency,
+                });
             }
             let (req, input_req) = self.path_requirements_for(target, &cur)?;
             // Primary inputs are applied directly (no CSU needed).
@@ -375,23 +383,24 @@ impl Rsn {
                     None => true,
                 };
                 if active && !updis {
-                    let off = self.shadow_offset(n).ok_or(Error::InvalidRegisterRef {
-                        node: n,
-                        bit: b,
-                    })?;
+                    let off = self
+                        .shadow_offset(n)
+                        .ok_or(Error::InvalidRegisterRef { node: n, bit: b })?;
                     next.set_bit((off + b) as usize, v);
                     progressed = true;
                 }
             }
             if !progressed {
-                if std::env::var_os("RSN_PLAN_DEBUG").is_some() {
+                if rsn_obs::log_enabled(rsn_obs::Level::Debug) {
                     let names: Vec<String> = wrong
                         .iter()
                         .map(|&(n, b, v)| format!("{}[{b}]={}", self.node(n).name(), u8::from(v)))
                         .collect();
-                    let on: Vec<&str> =
-                        path.segments(self).map(|s| self.node(s).name()).collect();
-                    eprintln!("plan stall for {}: wrong {names:?} path {on:?}", self.node(target).name());
+                    let on: Vec<&str> = path.segments(self).map(|s| self.node(s).name()).collect();
+                    rsn_obs::debug!(
+                        "plan stall for {}: wrong {names:?} path {on:?}",
+                        self.node(target).name()
+                    );
                 }
                 return Err(Error::AccessPlanFailed {
                     target,
@@ -435,10 +444,7 @@ mod tests {
         b.connect(m1, b.scan_out());
         b.set_select(sib1, ControlExpr::TRUE);
         b.set_select(sib2, ControlExpr::reg(sib1, 0));
-        b.set_select(
-            s,
-            ControlExpr::reg(sib1, 0) & ControlExpr::reg(sib2, 0),
-        );
+        b.set_select(s, ControlExpr::reg(sib1, 0) & ControlExpr::reg(sib2, 0));
         let rsn = b.finish().expect("valid");
         (rsn, sib1, sib2, s)
     }

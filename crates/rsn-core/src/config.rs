@@ -34,12 +34,18 @@ impl Config {
     /// All-zero configuration with `shadow_bits` register bits and
     /// `num_inputs` primary inputs.
     pub fn zeroed(shadow_bits: usize, num_inputs: u32) -> Self {
-        Config { bits: vec![false; shadow_bits], inputs: vec![false; num_inputs as usize] }
+        Config {
+            bits: vec![false; shadow_bits],
+            inputs: vec![false; num_inputs as usize],
+        }
     }
 
     /// Builds a configuration from explicit shadow bits (inputs zeroed).
     pub fn from_bits(bits: Vec<bool>, num_inputs: u32) -> Self {
-        Config { bits, inputs: vec![false; num_inputs as usize] }
+        Config {
+            bits,
+            inputs: vec![false; num_inputs as usize],
+        }
     }
 
     /// Value of shadow bit `idx` (global offset).
@@ -105,7 +111,11 @@ impl Config {
     /// Panics if the configurations have different widths.
     pub fn distance(&self, other: &Config) -> usize {
         assert_eq!(self.bits.len(), other.bits.len(), "config width mismatch");
-        self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count()
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 }
 

@@ -37,7 +37,10 @@ impl SimState {
                 None => Vec::new(),
             })
             .collect();
-        SimState { shift, config: rsn.reset_config() }
+        SimState {
+            shift,
+            config: rsn.reset_config(),
+        }
     }
 
     /// Shift register contents of a segment.
@@ -160,7 +163,10 @@ impl Rsn {
             }
         }
 
-        Ok(CsuOutcome { shifted_out: out, path })
+        Ok(CsuOutcome {
+            shifted_out: out,
+            path,
+        })
     }
 
     /// Convenience: performs a full-path CSU that shifts `value` into
@@ -329,9 +335,13 @@ mod tests {
     fn csu_write_places_value_in_target() {
         let (rsn, s1, s2) = two_chain();
         let mut st = SimState::reset(&rsn);
-        rsn.csu_write(&mut st, s1, &[true, false, true]).expect("write");
+        rsn.csu_write(&mut st, s1, &[true, false, true])
+            .expect("write");
         assert_eq!(st.shift_register(s1), &[true, false, true]);
-        assert_eq!(st.shadow_register(&rsn, s1).expect("shadow"), vec![true, false, true]);
+        assert_eq!(
+            st.shadow_register(&rsn, s1).expect("shadow"),
+            vec![true, false, true]
+        );
         // s2 untouched (zeros written).
         assert_eq!(st.shift_register(s2), &[false, false]);
 
@@ -430,7 +440,8 @@ mod tests {
         let path = rsn.active_path(&st.config).expect("valid");
         assert!(path.contains(seg));
         // CSU 2: now the segment is writable.
-        rsn.csu_write(&mut st, seg, &[true, false]).expect("write seg");
+        rsn.csu_write(&mut st, seg, &[true, false])
+            .expect("write seg");
         assert_eq!(st.shift_register(seg), &[true, false]);
     }
 }

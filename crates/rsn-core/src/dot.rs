@@ -35,13 +35,25 @@ impl Rsn {
                 NodeKind::Segment(s) => ("box", format!("{} [{}b]", n.name(), s.length)),
                 NodeKind::Mux(_) => ("trapezium", n.name().to_string()),
             };
-            let style = if on_path(id) { ", style=filled, fillcolor=lightblue" } else { "" };
-            let _ = writeln!(out, "  \"{}\" [shape={shape}, label=\"{label}\"{style}];", n.name());
+            let style = if on_path(id) {
+                ", style=filled, fillcolor=lightblue"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{label}\"{style}];",
+                n.name()
+            );
         }
         for id in self.node_ids() {
             for p in self.predecessors(id) {
                 let bold = on_path(id) && on_path(p);
-                let attr = if bold { " [penwidth=2, color=blue]" } else { "" };
+                let attr = if bold {
+                    " [penwidth=2, color=blue]"
+                } else {
+                    ""
+                };
                 let _ = writeln!(
                     out,
                     "  \"{}\" -> \"{}\"{attr};",

@@ -95,12 +95,19 @@ impl fmt::Display for Error {
             Error::MuxTooFewInputs(n) => {
                 write!(f, "multiplexer {n} has fewer than two data inputs")
             }
-            Error::MuxAddressOutOfRange { mux, address, inputs } => write!(
+            Error::MuxAddressOutOfRange {
+                mux,
+                address,
+                inputs,
+            } => write!(
                 f,
                 "multiplexer {mux} address {address} out of range for {inputs} inputs"
             ),
             Error::InvalidRegisterRef { node, bit } => {
-                write!(f, "invalid shadow-register reference: node {node} bit {bit}")
+                write!(
+                    f,
+                    "invalid shadow-register reference: node {node} bit {bit}"
+                )
             }
             Error::InvalidInputRef(i) => write!(f, "invalid primary input reference {i}"),
             Error::InvalidConfiguration { witness } => write!(
@@ -132,13 +139,26 @@ mod tests {
             Error::NodeUnconnected(NodeId(3)),
             Error::StructuralCycle(NodeId(1)),
             Error::MuxTooFewInputs(NodeId(0)),
-            Error::MuxAddressOutOfRange { mux: NodeId(2), address: 5, inputs: 2 },
-            Error::InvalidRegisterRef { node: NodeId(2), bit: 9 },
+            Error::MuxAddressOutOfRange {
+                mux: NodeId(2),
+                address: 5,
+                inputs: 2,
+            },
+            Error::InvalidRegisterRef {
+                node: NodeId(2),
+                bit: 9,
+            },
             Error::InvalidInputRef(7),
             Error::InvalidConfiguration { witness: NodeId(4) },
             Error::SensitizedCycle,
-            Error::AccessPlanFailed { target: NodeId(8), reason: "x".into() },
-            Error::WrongNodeKind { node: NodeId(9), expected: "segment" },
+            Error::AccessPlanFailed {
+                target: NodeId(8),
+                reason: "x".into(),
+            },
+            Error::WrongNodeKind {
+                node: NodeId(9),
+                expected: "segment",
+            },
             Error::DuplicateName("A".into()),
         ];
         for e in errors {

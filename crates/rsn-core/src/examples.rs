@@ -59,11 +59,7 @@ pub fn chain(n: usize, len: u32) -> Rsn {
 /// Returns `(sib_segment, mux)`. The caller connects `sib_segment` as the
 /// entry of the guarded hierarchy and uses `mux` as its exit. The guarded
 /// segments' select predicates must conjoin `ControlExpr::reg(sib, 0)`.
-pub fn add_sib(
-    b: &mut RsnBuilder,
-    name: &str,
-    inner_exit: NodeId,
-) -> (NodeId, NodeId) {
+pub fn add_sib(b: &mut RsnBuilder, name: &str, inner_exit: NodeId) -> (NodeId, NodeId) {
     let sib = b.add_segment(format!("{name}.sib"), 1);
     let mux = b.add_mux(
         format!("{name}.mux"),
@@ -82,7 +78,15 @@ pub fn sib_tree(depth: u32, fanout: usize, seg_len: u32) -> Rsn {
     let mut b = RsnBuilder::new(format!("sib_tree_d{depth}_f{fanout}"));
     let scan_in = b.scan_in();
     let scan_out = b.scan_out();
-    let exit = build_level(&mut b, "t", depth, fanout, seg_len, scan_in, ControlExpr::TRUE);
+    let exit = build_level(
+        &mut b,
+        "t",
+        depth,
+        fanout,
+        seg_len,
+        scan_in,
+        ControlExpr::TRUE,
+    );
     b.connect(exit, scan_out);
     b.finish().expect("sib tree is structurally valid")
 }
@@ -112,8 +116,7 @@ fn build_level(
             b.set_select(sib, guard.clone());
             b.connect(prev, sib);
             let inner_guard = guard.clone() & ControlExpr::reg(sib, 0);
-            let inner_exit =
-                build_level(b, &name, depth - 1, fanout, seg_len, sib, inner_guard);
+            let inner_exit = build_level(b, &name, depth - 1, fanout, seg_len, sib, inner_guard);
             let mux = b.add_mux(
                 format!("{name}.mux"),
                 vec![sib, inner_exit],
@@ -152,7 +155,11 @@ mod tests {
     fn fig2_all_segments_accessible() {
         let rsn = fig2();
         for seg in rsn.segments() {
-            assert!(rsn.is_accessible(seg), "{} inaccessible", rsn.node(seg).name());
+            assert!(
+                rsn.is_accessible(seg),
+                "{} inaccessible",
+                rsn.node(seg).name()
+            );
         }
     }
 

@@ -87,9 +87,7 @@ impl ControlExpr {
             ControlExpr::Const(_) | ControlExpr::Input(_) => false,
             ControlExpr::Reg(n, _) => *n == node,
             ControlExpr::Not(e) => e.references(node),
-            ControlExpr::And(es) | ControlExpr::Or(es) => {
-                es.iter().any(|e| e.references(node))
-            }
+            ControlExpr::And(es) | ControlExpr::Or(es) => es.iter().any(|e| e.references(node)),
         }
     }
 
@@ -126,8 +124,7 @@ impl ControlExpr {
             ControlExpr::Const(_) | ControlExpr::Reg(..) | ControlExpr::Input(_) => 0,
             ControlExpr::Not(e) => 1 + e.gate_count(),
             ControlExpr::And(es) | ControlExpr::Or(es) => {
-                es.len().saturating_sub(1)
-                    + es.iter().map(ControlExpr::gate_count).sum::<usize>()
+                es.len().saturating_sub(1) + es.iter().map(ControlExpr::gate_count).sum::<usize>()
             }
         }
     }
@@ -344,7 +341,10 @@ mod tests {
         let b = ControlExpr::reg(NodeId(1), 0);
         let c = ControlExpr::reg(NodeId(2), 0);
         // (a & b & c) -> 2 AND gates
-        assert_eq!(ControlExpr::And(vec![a.clone(), b.clone(), c.clone()]).gate_count(), 2);
+        assert_eq!(
+            ControlExpr::And(vec![a.clone(), b.clone(), c.clone()]).gate_count(),
+            2
+        );
         // !(a | b) -> 1 OR + 1 NOT
         assert_eq!((!(a | b)).gate_count(), 2);
         assert_eq!(c.gate_count(), 0);

@@ -40,8 +40,8 @@ pub mod csu;
 pub mod dot;
 pub mod error;
 pub mod examples;
-pub mod lint;
 pub mod expr;
+pub mod lint;
 pub mod network;
 pub mod path;
 pub mod retarget;

@@ -134,7 +134,10 @@ impl Rsn {
             }
             for (reg, _) in refs {
                 if self.shadow_offset(reg).is_none() {
-                    out.push(LintWarning::AddressWithoutShadow { mux: m, register: reg });
+                    out.push(LintWarning::AddressWithoutShadow {
+                        mux: m,
+                        register: reg,
+                    });
                 }
             }
         }

@@ -326,7 +326,8 @@ impl Rsn {
             &mut |node, bit| match self.shadow_offset(node) {
                 Some(off) if bit < self.shadow_len(node) => cfg.bit((off + bit) as usize),
                 _ => {
-                    err.borrow_mut().get_or_insert(Error::InvalidRegisterRef { node, bit });
+                    err.borrow_mut()
+                        .get_or_insert(Error::InvalidRegisterRef { node, bit });
                     false
                 }
             },
@@ -352,10 +353,10 @@ impl Rsn {
     /// Returns [`Error::WrongNodeKind`] if `id` is not a segment, or an
     /// evaluation error from [`Rsn::eval`].
     pub fn select(&self, id: NodeId, cfg: &Config) -> Result<bool> {
-        let seg = self
-            .node(id)
-            .as_segment()
-            .ok_or(Error::WrongNodeKind { node: id, expected: "segment" })?;
+        let seg = self.node(id).as_segment().ok_or(Error::WrongNodeKind {
+            node: id,
+            expected: "segment",
+        })?;
         self.eval(&seg.select, cfg)
     }
 
@@ -368,21 +369,24 @@ impl Rsn {
     /// [`Error::MuxAddressOutOfRange`] if the decoded address exceeds the
     /// input count.
     pub fn mux_selected_input(&self, id: NodeId, cfg: &Config) -> Result<NodeId> {
-        let mux = self
-            .node(id)
-            .as_mux()
-            .ok_or(Error::WrongNodeKind { node: id, expected: "mux" })?;
+        let mux = self.node(id).as_mux().ok_or(Error::WrongNodeKind {
+            node: id,
+            expected: "mux",
+        })?;
         let mut addr = 0usize;
         for (i, bit) in mux.addr_bits.iter().enumerate() {
             if self.eval(bit, cfg)? {
                 addr |= 1 << i;
             }
         }
-        mux.inputs.get(addr).copied().ok_or(Error::MuxAddressOutOfRange {
-            mux: id,
-            address: addr,
-            inputs: mux.inputs.len(),
-        })
+        mux.inputs
+            .get(addr)
+            .copied()
+            .ok_or(Error::MuxAddressOutOfRange {
+                mux: id,
+                address: addr,
+                inputs: mux.inputs.len(),
+            })
     }
 
     /// Consumes the network and returns a builder initialized with the same
@@ -428,8 +432,16 @@ impl RsnBuilder {
     /// ports.
     pub fn new(name: impl Into<String>) -> Self {
         let nodes = vec![
-            Node { name: "scan_in".into(), kind: NodeKind::ScanIn, source: None },
-            Node { name: "scan_out".into(), kind: NodeKind::ScanOut, source: None },
+            Node {
+                name: "scan_in".into(),
+                kind: NodeKind::ScanIn,
+                source: None,
+            },
+            Node {
+                name: "scan_out".into(),
+                kind: NodeKind::ScanOut,
+                source: None,
+            },
         ];
         RsnBuilder {
             name: name.into(),
@@ -467,7 +479,11 @@ impl RsnBuilder {
         if self.check_names {
             self.names.insert(name.clone(), id);
         }
-        self.nodes.push(Node { name, kind, source: None });
+        self.nodes.push(Node {
+            name,
+            kind,
+            source: None,
+        });
         id
     }
 
@@ -492,7 +508,14 @@ impl RsnBuilder {
         inputs: Vec<NodeId>,
         addr_bits: Vec<ControlExpr>,
     ) -> NodeId {
-        self.push(name.into(), NodeKind::Mux(Mux { inputs, addr_bits, hardened: false }))
+        self.push(
+            name.into(),
+            NodeKind::Mux(Mux {
+                inputs,
+                addr_bits,
+                hardened: false,
+            }),
+        )
     }
 
     /// Marks a multiplexer's address net as TMR-hardened.

@@ -75,10 +75,7 @@ impl Rsn {
         while !matches!(self.node(cur).kind(), NodeKind::ScanIn) {
             let prev = match self.node(cur).kind() {
                 NodeKind::Mux(_) => self.mux_selected_input(cur, cfg)?,
-                _ => self
-                    .node(cur)
-                    .source()
-                    .ok_or(Error::NodeUnconnected(cur))?,
+                _ => self.node(cur).source().ok_or(Error::NodeUnconnected(cur))?,
             };
             rev.push(prev);
             cur = prev;
@@ -196,7 +193,9 @@ mod tests {
             rsn.active_path(&cfg).unwrap_err(),
             Error::InvalidConfiguration { witness: s }
         );
-        assert!(!rsn.is_active(&cfg, s).expect("invalid config is not an error"));
+        assert!(!rsn
+            .is_active(&cfg, s)
+            .expect("invalid config is not an error"));
     }
 
     #[test]

@@ -110,14 +110,13 @@ impl Rsn {
     /// assert_eq!(merged.csu_count(), 2);
     /// # Ok::<(), rsn_core::Error>(())
     /// ```
-    pub fn plan_group_access(
-        &self,
-        targets: &[NodeId],
-        from: &Config,
-    ) -> Result<GroupAccessPlan> {
+    pub fn plan_group_access(&self, targets: &[NodeId], from: &Config) -> Result<GroupAccessPlan> {
         for &t in targets {
             if self.node(t).as_segment().is_none() {
-                return Err(Error::WrongNodeKind { node: t, expected: "segment" });
+                return Err(Error::WrongNodeKind {
+                    node: t,
+                    expected: "segment",
+                });
             }
         }
 
@@ -129,7 +128,11 @@ impl Rsn {
             let path = self.trace_path(&cur)?;
             if targets.iter().all(|&t| path.contains(t)) {
                 cycles += csu_cycles(path.shift_length(self));
-                return Ok(GroupAccessPlan { targets: targets.to_vec(), steps, cycles });
+                return Ok(GroupAccessPlan {
+                    targets: targets.to_vec(),
+                    steps,
+                    cycles,
+                });
             }
             // Union of the requirements of all unsatisfied targets.
             let mut wrong: Vec<(NodeId, u32, bool)> = Vec::new();
@@ -149,7 +152,10 @@ impl Rsn {
                     };
                     if differs && !wrong.contains(&(n, b, v)) {
                         // Conflicting requirements between targets?
-                        if wrong.iter().any(|&(n2, b2, v2)| n2 == n && b2 == b && v2 != v) {
+                        if wrong
+                            .iter()
+                            .any(|&(n2, b2, v2)| n2 == n && b2 == b && v2 != v)
+                        {
                             return Err(Error::AccessPlanFailed {
                                 target: t,
                                 reason: format!(
@@ -246,7 +252,9 @@ mod tests {
         // 2 setup CSUs each; a merged plan needs 2 total.
         let leaves: Vec<NodeId> = rsn
             .segments()
-            .filter(|&s| rsn.node(s).name().starts_with("t0") && rsn.node(s).name().ends_with(".seg"))
+            .filter(|&s| {
+                rsn.node(s).name().starts_with("t0") && rsn.node(s).name().ends_with(".seg")
+            })
             .collect();
         assert!(leaves.len() >= 2);
         let merged = rsn

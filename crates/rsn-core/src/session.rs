@@ -41,7 +41,12 @@ pub struct AccessSession<'a> {
 impl<'a> AccessSession<'a> {
     /// Opens a session in the network's reset state.
     pub fn new(rsn: &'a Rsn) -> Self {
-        AccessSession { rsn, state: SimState::reset(rsn), cycles: 0, accesses: 0 }
+        AccessSession {
+            rsn,
+            state: SimState::reset(rsn),
+            cycles: 0,
+            accesses: 0,
+        }
     }
 
     /// The current scan configuration.
@@ -244,7 +249,9 @@ mod tests {
         let rsn = chain(3, 4);
         let s1 = rsn.find("S1").expect("segment");
         let mut session = AccessSession::new(&rsn);
-        let cycles = session.write(s1, &[true, false, false, true]).expect("write");
+        let cycles = session
+            .write(s1, &[true, false, false, true])
+            .expect("write");
         // Single CSU over 12 bits + capture/update.
         assert_eq!(cycles, 14);
     }
@@ -266,7 +273,9 @@ mod tests {
     fn by_name_helpers_resolve_and_reject() {
         let rsn = sib_tree(1, 2, 2);
         let mut session = AccessSession::new(&rsn);
-        session.write_by_name("t00.seg", &[true, true]).expect("write");
+        session
+            .write_by_name("t00.seg", &[true, true])
+            .expect("write");
         let (v, _) = session.read_by_name("t00.seg").expect("read");
         assert_eq!(v, vec![true, true]);
         assert!(session.write_by_name("nope", &[true]).is_err());
@@ -277,7 +286,9 @@ mod tests {
         let rsn = sib_tree(1, 2, 4);
         let mut session = AccessSession::new(&rsn);
         assert_eq!(session.cycles(), 0);
-        session.write_by_name("t00.seg", &[false; 4]).expect("write");
+        session
+            .write_by_name("t00.seg", &[false; 4])
+            .expect("write");
         let after_write = session.cycles();
         assert!(after_write > 0);
         session.read_by_name("t11.seg").expect("read");

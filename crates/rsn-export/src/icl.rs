@@ -14,7 +14,13 @@ use crate::ident;
 
 fn expr_to_icl(rsn: &Rsn, e: &ControlExpr) -> String {
     match e {
-        ControlExpr::Const(b) => if *b { "1'b1".into() } else { "1'b0".into() },
+        ControlExpr::Const(b) => {
+            if *b {
+                "1'b1".into()
+            } else {
+                "1'b0".into()
+            }
+        }
         ControlExpr::Reg(n, bit) => format!("{}[{bit}]", ident(rsn.node(*n).name())),
         ControlExpr::Input(i) => format!("CTL[{}]", i.0),
         ControlExpr::Not(inner) => format!("~{}", expr_to_icl(rsn, inner)),
@@ -89,7 +95,12 @@ pub fn to_icl(rsn: &Rsn) -> String {
                 let _ = writeln!(out, "  // Select := {}", expr_to_icl(rsn, &s.select));
                 let _ = writeln!(out, "  ScanRegister {nm}[{}:0] {{", s.length - 1);
                 let _ = writeln!(out, "    ScanInSource {src};");
-                let _ = writeln!(out, "    ResetValue {}'b{};", s.length, "0".repeat(s.length as usize));
+                let _ = writeln!(
+                    out,
+                    "    ResetValue {}'b{};",
+                    s.length,
+                    "0".repeat(s.length as usize)
+                );
                 if !s.has_shadow {
                     let _ = writeln!(out, "    // read-only register (no update stage)");
                 }
@@ -97,9 +108,12 @@ pub fn to_icl(rsn: &Rsn) -> String {
             }
             NodeKind::Mux(m) => {
                 let nm = ident(n.name());
-                let addr: Vec<String> =
-                    m.addr_bits.iter().map(|e| expr_to_icl(rsn, e)).collect();
-                let hardened = if m.hardened { " // TMR-hardened address" } else { "" };
+                let addr: Vec<String> = m.addr_bits.iter().map(|e| expr_to_icl(rsn, e)).collect();
+                let hardened = if m.hardened {
+                    " // TMR-hardened address"
+                } else {
+                    ""
+                };
                 let _ = writeln!(
                     out,
                     "  ScanMux {nm} SelectedBy {} {{{hardened}",

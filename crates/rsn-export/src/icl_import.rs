@@ -50,7 +50,10 @@ struct ExprParser<'a> {
 
 impl<'a> ExprParser<'a> {
     fn new(s: &'a str) -> Self {
-        ExprParser { s: s.as_bytes(), pos: 0 }
+        ExprParser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -137,7 +140,9 @@ impl<'a> ExprParser<'a> {
                 {
                     self.pos += 1;
                 }
-                let name = std::str::from_utf8(&self.s[start..self.pos]).ok()?.to_string();
+                let name = std::str::from_utf8(&self.s[start..self.pos])
+                    .ok()?
+                    .to_string();
                 if self.s.get(self.pos) != Some(&b'[') {
                     return None;
                 }
@@ -146,8 +151,10 @@ impl<'a> ExprParser<'a> {
                 while self.s.get(self.pos).is_some_and(u8::is_ascii_digit) {
                     self.pos += 1;
                 }
-                let bit: u32 =
-                    std::str::from_utf8(&self.s[num_start..self.pos]).ok()?.parse().ok()?;
+                let bit: u32 = std::str::from_utf8(&self.s[num_start..self.pos])
+                    .ok()?
+                    .parse()
+                    .ok()?;
                 if self.s.get(self.pos) != Some(&b']') {
                     return None;
                 }
@@ -170,10 +177,14 @@ fn resolve(e: &Expr, names: &HashMap<String, NodeId>) -> Option<ControlExpr> {
         Expr::Ctl(i) => ControlExpr::input(*i),
         Expr::Not(inner) => !resolve(inner, names)?,
         Expr::And(es) => ControlExpr::And(
-            es.iter().map(|x| resolve(x, names)).collect::<Option<Vec<_>>>()?,
+            es.iter()
+                .map(|x| resolve(x, names))
+                .collect::<Option<Vec<_>>>()?,
         ),
         Expr::Or(es) => ControlExpr::Or(
-            es.iter().map(|x| resolve(x, names)).collect::<Option<Vec<_>>>()?,
+            es.iter()
+                .map(|x| resolve(x, names))
+                .collect::<Option<Vec<_>>>()?,
         ),
     })
 }
@@ -300,7 +311,13 @@ pub fn from_icl(text: &str) -> Result<Rsn, ParseIclError> {
                             .ok_or_else(|| err(ln, format!("bad address expr {part:?}")))?;
                         address.push(e);
                     }
-                    muxes.push((name.trim().to_string(), PendingMux { address, cases: Vec::new() }));
+                    muxes.push((
+                        name.trim().to_string(),
+                        PendingMux {
+                            address,
+                            cases: Vec::new(),
+                        },
+                    ));
                     ctx = Ctx::Mux;
                 } else if line == "}" {
                     // module end

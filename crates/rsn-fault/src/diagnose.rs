@@ -45,7 +45,9 @@ impl Signature {
     pub fn predicted(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> Self {
         let effect = effect_of(rsn, fault, profile);
         if effect.is_benign() {
-            return Signature { bits: vec![true; rsn.segments().count()] };
+            return Signature {
+                bits: vec![true; rsn.segments().count()],
+            };
         }
         let acc = accessibility(rsn, &effect);
         Signature {
@@ -55,7 +57,9 @@ impl Signature {
 
     /// The fault-free signature (everything accessible).
     pub fn fault_free(rsn: &Rsn) -> Self {
-        Signature { bits: vec![true; rsn.segments().count()] }
+        Signature {
+            bits: vec![true; rsn.segments().count()],
+        }
     }
 
     /// Number of inaccessible segments in the signature.
@@ -98,7 +102,10 @@ impl FaultDictionary {
             let sig = Signature::predicted(rsn, &fault, profile);
             classes.entry(sig).or_default().push(fault);
         }
-        FaultDictionary { segments: rsn.segments().collect(), classes }
+        FaultDictionary {
+            segments: rsn.segments().collect(),
+            classes,
+        }
     }
 
     /// Number of distinct signature classes (diagnostic resolution).
@@ -150,7 +157,11 @@ mod tests {
         let profile = HardeningProfile::unhardened();
         let dict = FaultDictionary::build(&rsn, profile);
         let b = rsn.find("B").expect("B");
-        let fault = Fault { site: FaultSite::SegmentData(b), value: false, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(b),
+            value: false,
+            weight: 2,
+        };
         let observed = Signature::predicted(&rsn, &fault, profile);
         let candidates = dict.diagnose(&observed);
         assert!(candidates.contains(&fault));
@@ -194,8 +205,16 @@ mod tests {
         let l1 = rsn.find("m1.c0.seg").expect("leaf");
         let l2 = rsn.find("m2.c0.seg").expect("leaf");
         let p = HardeningProfile::unhardened();
-        let f1 = Fault { site: FaultSite::SegmentData(l1), value: false, weight: 2 };
-        let f2 = Fault { site: FaultSite::SegmentData(l2), value: false, weight: 2 };
+        let f1 = Fault {
+            site: FaultSite::SegmentData(l1),
+            value: false,
+            weight: 2,
+        };
+        let f2 = Fault {
+            site: FaultSite::SegmentData(l2),
+            value: false,
+            weight: 2,
+        };
         assert_ne!(
             Signature::predicted(&rsn, &f1, p),
             Signature::predicted(&rsn, &f2, p)

@@ -63,7 +63,12 @@ pub fn is_control_segment(rsn: &Rsn, seg: NodeId) -> bool {
 pub fn first_control_bit(rsn: &Rsn, seg: NodeId) -> Option<u32> {
     let mut refs = Vec::new();
     for m in rsn.muxes() {
-        for e in &rsn.node(m).as_mux().expect("muxes() yields muxes").addr_bits {
+        for e in &rsn
+            .node(m)
+            .as_mux()
+            .expect("muxes() yields muxes")
+            .addr_bits
+        {
             e.collect_reg_refs(&mut refs);
         }
     }
@@ -80,7 +85,10 @@ pub fn first_control_bit(rsn: &Rsn, seg: NodeId) -> Option<u32> {
 /// select signal, Sec. III-E-2). With a TMR-hardened multiplexer
 /// (`Mux::hardened`), address-net faults are masked (Sec. III-E-3).
 pub fn effect_of(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> FaultEffect {
-    let mut e = FaultEffect { stuck: Some(fault.value), ..FaultEffect::default() };
+    let mut e = FaultEffect {
+        stuck: Some(fault.value),
+        ..FaultEffect::default()
+    };
     match fault.site {
         FaultSite::SegmentData(n) => {
             e.corrupt_nodes.push(n);
@@ -148,7 +156,6 @@ pub fn effect_of(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> FaultEf
     // fixed point, so no extra bookkeeping is needed here. However, a
     // forced control bit whose expression appears negated must be handled
     // by the engine when inverting address requirements.
-    
 
     // Deduplicate for deterministic comparisons.
     e.corrupt_nodes.sort_unstable();
@@ -193,7 +200,11 @@ mod tests {
     #[test]
     fn data_fault_corrupts_node() {
         let (rsn, a) = fig2_and_a();
-        let f = Fault { site: FaultSite::SegmentData(a), value: false, weight: 2 };
+        let f = Fault {
+            site: FaultSite::SegmentData(a),
+            value: false,
+            weight: 2,
+        };
         let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
         assert_eq!(e.corrupt_nodes, vec![a]);
         assert!(e.forced_bits.is_empty());
@@ -202,7 +213,11 @@ mod tests {
     #[test]
     fn shadow_fault_on_control_segment_forces_bit() {
         let (rsn, a) = fig2_and_a();
-        let f = Fault { site: FaultSite::SegmentShadow(a), value: true, weight: 1 };
+        let f = Fault {
+            site: FaultSite::SegmentShadow(a),
+            value: true,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
         assert_eq!(e.forced_bits.get(&(a, 0)), Some(&true));
         assert!(e.corrupt_nodes.is_empty());
@@ -212,7 +227,11 @@ mod tests {
     fn shadow_fault_on_instrument_segment_is_local_loss() {
         let rsn = fig2();
         let b = rsn.find("B").expect("B");
-        let f = Fault { site: FaultSite::SegmentShadow(b), value: false, weight: 1 };
+        let f = Fault {
+            site: FaultSite::SegmentShadow(b),
+            value: false,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
         assert_eq!(e.local_loss, vec![b]);
         assert!(e.corrupt_nodes.is_empty());
@@ -221,8 +240,16 @@ mod tests {
     #[test]
     fn select_sa0_corrupts_sa1_benign() {
         let (rsn, a) = fig2_and_a();
-        let sa0 = Fault { site: FaultSite::SegmentSelect(a), value: false, weight: 1 };
-        let sa1 = Fault { site: FaultSite::SegmentSelect(a), value: true, weight: 1 };
+        let sa0 = Fault {
+            site: FaultSite::SegmentSelect(a),
+            value: false,
+            weight: 1,
+        };
+        let sa1 = Fault {
+            site: FaultSite::SegmentSelect(a),
+            value: true,
+            weight: 1,
+        };
         let p = HardeningProfile::unhardened();
         assert_eq!(effect_of(&rsn, &sa0, p).corrupt_nodes, vec![a]);
         assert!(effect_of(&rsn, &sa1, p).is_benign());
@@ -231,7 +258,11 @@ mod tests {
     #[test]
     fn hardened_select_masks_stem_fault() {
         let (rsn, a) = fig2_and_a();
-        let sa0 = Fault { site: FaultSite::SegmentSelect(a), value: false, weight: 1 };
+        let sa0 = Fault {
+            site: FaultSite::SegmentSelect(a),
+            value: false,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &sa0, HardeningProfile::hardened());
         assert!(e.is_benign());
     }
@@ -240,10 +271,18 @@ mod tests {
     fn mux_address_fault_forces_input() {
         let rsn = fig2();
         let m = rsn.find("M").expect("mux");
-        let sa1 = Fault { site: FaultSite::MuxAddress(m), value: true, weight: 1 };
+        let sa1 = Fault {
+            site: FaultSite::MuxAddress(m),
+            value: true,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &sa1, HardeningProfile::unhardened());
         assert_eq!(e.forced_mux.get(&m), Some(&1));
-        let sa0 = Fault { site: FaultSite::MuxAddress(m), value: false, weight: 1 };
+        let sa0 = Fault {
+            site: FaultSite::MuxAddress(m),
+            value: false,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &sa0, HardeningProfile::unhardened());
         assert_eq!(e.forced_mux.get(&m), Some(&0));
     }
@@ -252,7 +291,11 @@ mod tests {
     fn mux_input_fault_corrupts_one_edge_only() {
         let rsn = fig2();
         let m = rsn.find("M").expect("mux");
-        let f = Fault { site: FaultSite::MuxInput(m, 1), value: false, weight: 1 };
+        let f = Fault {
+            site: FaultSite::MuxInput(m, 1),
+            value: false,
+            weight: 1,
+        };
         let e = effect_of(&rsn, &f, HardeningProfile::unhardened());
         assert_eq!(e.corrupt_mux_inputs, vec![(m, 1)]);
         assert!(e.corrupt_nodes.is_empty());

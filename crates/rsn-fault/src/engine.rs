@@ -74,19 +74,35 @@ struct BitState {
 
 impl BitState {
     fn pinned(v: bool) -> Self {
-        BitState { can0: !v, can1: v, pinned: true }
+        BitState {
+            can0: !v,
+            can1: v,
+            pinned: true,
+        }
     }
 
     fn known(v: bool) -> Self {
-        BitState { can0: !v, can1: v, pinned: false }
+        BitState {
+            can0: !v,
+            can1: v,
+            pinned: false,
+        }
     }
 
     fn both(self) -> Self {
-        BitState { can0: true, can1: true, pinned: self.pinned }
+        BitState {
+            can0: true,
+            can1: true,
+            pinned: self.pinned,
+        }
     }
 
     fn with_value(self, v: bool) -> Self {
-        BitState { can0: self.can0 || !v, can1: self.can1 || v, pinned: self.pinned }
+        BitState {
+            can0: self.can0 || !v,
+            can1: self.can1 || v,
+            pinned: self.pinned,
+        }
     }
 
     fn is_both(self) -> bool {
@@ -97,11 +113,7 @@ impl BitState {
 /// Decides whether `expr` can be made to evaluate to `want` given the
 /// current control-bit states. Unknown references are conservatively
 /// unsatisfiable.
-fn can_set(
-    expr: &ControlExpr,
-    want: bool,
-    states: &HashMap<(NodeId, u32), BitState>,
-) -> bool {
+fn can_set(expr: &ControlExpr, want: bool, states: &HashMap<(NodeId, u32), BitState>) -> bool {
     match expr {
         ControlExpr::Const(b) => *b == want,
         ControlExpr::Reg(n, bit) => match states.get(&(*n, *bit)) {
@@ -184,8 +196,7 @@ impl<'a> EngineCtx<'a> {
                         mux.inputs.iter().enumerate().any(|(k, &inp)| {
                             inp == u
                                 && self.configurable(v, k)
-                                && (!require_clean
-                                    || !self.corrupt_inputs.contains_key(&(v, k)))
+                                && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
                         })
                     }
                     _ => true,
@@ -219,7 +230,13 @@ impl<'a> EngineCtx<'a> {
                     .enumerate()
                     .map(|(k, &inp)| (inp, Some(k)))
                     .collect(),
-                _ => self.rsn.node(v).source().map(|s| (s, None)).into_iter().collect(),
+                _ => self
+                    .rsn
+                    .node(v)
+                    .source()
+                    .map(|s| (s, None))
+                    .into_iter()
+                    .collect(),
             };
             for (u, edge) in preds {
                 if seen[u.index()] {
@@ -231,8 +248,7 @@ impl<'a> EngineCtx<'a> {
                 let edge_ok = match edge {
                     Some(k) => {
                         self.configurable(v, k)
-                            && (!require_clean
-                                || !self.corrupt_inputs.contains_key(&(v, k)))
+                            && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
                     }
                     None => true,
                 };
@@ -332,7 +348,9 @@ pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
     // fault's stuck value, so it adds exactly that value (the adapted
     // transition relation of Sec. III-A). Monotone increasing, hence
     // terminating; starting pessimistic keeps the verdict sound.
+    let mut rounds_run = 0u64;
     for _ in 0..=2 * bits.len() {
+        rounds_run += 1;
         let reach_clean = ctx.forward(true);
         let reach_any = ctx.forward(false);
         let can_exit = ctx.backward(false);
@@ -343,10 +361,7 @@ pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
                 _ => continue,
             };
             let mut next = cur;
-            if ctx.clean[node.index()]
-                && reach_clean[node.index()]
-                && can_exit[node.index()]
-            {
+            if ctx.clean[node.index()] && reach_clean[node.index()] && can_exit[node.index()] {
                 next = next.both();
             } else if let Some(stuck) = effect.stuck {
                 if reach_any[node.index()] && can_exit[node.index()] {
@@ -362,6 +377,13 @@ pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
             break;
         }
     }
+    // One batched export per call keeps registry lock contention out of
+    // the per-round hot loop (this runs once per fault).
+    rsn_obs::counter_add("fault.engine_rounds", rounds_run);
+    rsn_obs::debug!(
+        "fixed point converged after {rounds_run} rounds over {} control bits",
+        bits.len()
+    );
 
     let reach_clean = ctx.forward(true);
     let exit_clean = ctx.backward(true);
@@ -443,20 +465,27 @@ pub fn engine_internals(
     roots.extend(rsn.secondary_scan_in());
     let mut sinks = vec![rsn.scan_out()];
     sinks.extend(rsn.secondary_scan_out());
-    let mut ctx = EngineCtx { rsn, clean, corrupt_inputs, forced_mux: &effect.forced_mux, states, roots, sinks };
-    let verbose = std::env::var_os("RSN_ENGINE_DEBUG").is_some();
+    let mut ctx = EngineCtx {
+        rsn,
+        clean,
+        corrupt_inputs,
+        forced_mux: &effect.forced_mux,
+        states,
+        roots,
+        sinks,
+    };
+    let mut rounds_run = 0u64;
     for round in 0..=2 * bits.len() {
+        rounds_run += 1;
         let reach_clean = ctx.forward(true);
         let reach_any = ctx.forward(false);
         let can_exit = ctx.backward(false);
-        if verbose {
-            eprintln!(
-                "round {round}: reach_clean {} reach_any {} can_exit {}",
-                reach_clean.iter().filter(|&&b| b).count(),
-                reach_any.iter().filter(|&&b| b).count(),
-                can_exit.iter().filter(|&&b| b).count()
-            );
-        }
+        rsn_obs::debug!(
+            "round {round}: reach_clean {} reach_any {} can_exit {}",
+            reach_clean.iter().filter(|&&b| b).count(),
+            reach_any.iter().filter(|&&b| b).count(),
+            can_exit.iter().filter(|&&b| b).count()
+        );
         let mut changed = false;
         for &(node, bit) in &bits {
             let cur = match ctx.states.get(&(node, bit)) {
@@ -464,10 +493,7 @@ pub fn engine_internals(
                 _ => continue,
             };
             let mut next = cur;
-            if ctx.clean[node.index()]
-                && reach_clean[node.index()]
-                && can_exit[node.index()]
-            {
+            if ctx.clean[node.index()] && reach_clean[node.index()] && can_exit[node.index()] {
                 next = next.both();
             } else if let Some(stuck) = effect.stuck {
                 if reach_any[node.index()] && can_exit[node.index()] {
@@ -475,9 +501,10 @@ pub fn engine_internals(
                 }
             }
             if next != cur {
-                if verbose {
-                    eprintln!("round {round}: grow {}[{bit}] -> {next:?}", rsn.node(node).name());
-                }
+                rsn_obs::trace!(
+                    "round {round}: grow {}[{bit}] -> {next:?}",
+                    rsn.node(node).name()
+                );
                 ctx.states.insert((node, bit), next);
                 changed = true;
             }
@@ -486,6 +513,9 @@ pub fn engine_internals(
             break;
         }
     }
+    // One batched export per call keeps registry lock contention out of
+    // the per-round hot loop.
+    rsn_obs::counter_add("fault.engine_rounds", rounds_run);
     let reach_clean = ctx.forward(true);
     let exit_clean = ctx.backward(true);
     let free: Vec<(NodeId, u32)> = bits
@@ -525,7 +555,11 @@ mod tests {
         let rsn = fig2();
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::ScanInPort(rsn.scan_in()), value: false, weight: 1 },
+            Fault {
+                site: FaultSite::ScanInPort(rsn.scan_in()),
+                value: false,
+                weight: 1,
+            },
         );
         assert_eq!(acc.accessible_segments, 0);
         assert_eq!(acc.segment_fraction(), 0.0);
@@ -538,7 +572,11 @@ mod tests {
         let a = rsn.find("A").expect("A");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentData(a), value: false, weight: 2 },
+            Fault {
+                site: FaultSite::SegmentData(a),
+                value: false,
+                weight: 2,
+            },
         );
         assert_eq!(acc.accessible_segments, 0);
     }
@@ -550,7 +588,11 @@ mod tests {
         let b = rsn.find("B").expect("B");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentData(b), value: false, weight: 2 },
+            Fault {
+                site: FaultSite::SegmentData(b),
+                value: false,
+                weight: 2,
+            },
         );
         assert_eq!(acc.accessible_segments, 3);
         assert!(!acc.accessible[b.index()]);
@@ -567,7 +609,11 @@ mod tests {
         let m = rsn.find("M").expect("mux");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::MuxAddress(m), value: false, weight: 1 },
+            Fault {
+                site: FaultSite::MuxAddress(m),
+                value: false,
+                weight: 1,
+            },
         );
         let c = rsn.find("C").expect("C");
         let b = rsn.find("B").expect("B");
@@ -584,7 +630,11 @@ mod tests {
         let a = rsn.find("A").expect("A");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentData(a), value: true, weight: 2 },
+            Fault {
+                site: FaultSite::SegmentData(a),
+                value: true,
+                weight: 2,
+            },
         );
         assert_eq!(acc.accessible_segments, 0);
     }
@@ -596,7 +646,11 @@ mod tests {
         let leaf1 = rsn.find("m1.c0.seg").expect("leaf");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentData(leaf1), value: false, weight: 2 },
+            Fault {
+                site: FaultSite::SegmentData(leaf1),
+                value: false,
+                weight: 2,
+            },
         );
         // Only that leaf is lost: its SIB and module 2 remain accessible.
         assert_eq!(acc.accessible_segments, acc.total_segments - 1);
@@ -610,7 +664,11 @@ mod tests {
         let sib = rsn.find("m1.sib").expect("sib");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentData(sib), value: false, weight: 2 },
+            Fault {
+                site: FaultSite::SegmentData(sib),
+                value: false,
+                weight: 2,
+            },
         );
         // The module SIB register sits on the one-and-only top-level chain.
         assert_eq!(acc.accessible_segments, 0);
@@ -623,7 +681,11 @@ mod tests {
         let sib = rsn.find("m1.sib").expect("sib");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentShadow(sib), value: false, weight: 1 },
+            Fault {
+                site: FaultSite::SegmentShadow(sib),
+                value: false,
+                weight: 1,
+            },
         );
         // m1's subtree (2 chain SIBs + 2 leaves) is unreachable; the SIB
         // register itself is still on the scan path and accessible, as is
@@ -640,7 +702,11 @@ mod tests {
         let sib = rsn.find("m1.sib").expect("sib");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::SegmentShadow(sib), value: true, weight: 1 },
+            Fault {
+                site: FaultSite::SegmentShadow(sib),
+                value: true,
+                weight: 1,
+            },
         );
         // Stuck-open only forces the subtree onto the path; everything is
         // still reachable and clean.
@@ -657,7 +723,11 @@ mod tests {
         let mux = rsn.find("m1.c0.mux").expect("mux");
         let acc = acc_for(
             &rsn,
-            Fault { site: FaultSite::MuxInput(mux, 0), value: false, weight: 1 },
+            Fault {
+                site: FaultSite::MuxInput(mux, 0),
+                value: false,
+                weight: 1,
+            },
         );
         assert_eq!(acc.accessible_segments, acc.total_segments);
     }

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use rsn_core::{NodeKind, NodeId, Rsn};
+use rsn_core::{NodeId, NodeKind, Rsn};
 
 /// A physical location class where a stuck-at fault is injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,8 +126,16 @@ pub fn fault_universe(rsn: &Rsn) -> Vec<Fault> {
 pub fn fault_universe_weighted(rsn: &Rsn, model: WeightModel) -> Vec<Fault> {
     let mut out = Vec::new();
     let mut push = |site: FaultSite, weight: u32| {
-        out.push(Fault { site, value: false, weight });
-        out.push(Fault { site, value: true, weight });
+        out.push(Fault {
+            site,
+            value: false,
+            weight,
+        });
+        out.push(Fault {
+            site,
+            value: true,
+            weight,
+        });
     };
     for id in rsn.node_ids() {
         match rsn.node(id).kind() {
@@ -199,7 +207,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let f = Fault { site: FaultSite::MuxInput(NodeId(3), 1), value: true, weight: 1 };
+        let f = Fault {
+            site: FaultSite::MuxInput(NodeId(3), 1),
+            value: true,
+            weight: 1,
+        };
         assert_eq!(f.to_string(), "mux_in(n3,1)/sa1");
     }
 }

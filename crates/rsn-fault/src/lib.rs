@@ -47,7 +47,10 @@ pub use diagnose::{FaultDictionary, Signature};
 pub use effect::{effect_of, is_control_segment, FaultEffect};
 pub use engine::{accessibility, Accessibility};
 pub use fault::{fault_universe, fault_universe_weighted, Fault, FaultSite, WeightModel};
-pub use metric::{analyze, analyze_parallel, analyze_parallel_with, analyze_with, FaultToleranceReport, HardeningProfile};
+pub use metric::{
+    analyze, analyze_parallel, analyze_parallel_with, analyze_with, FaultToleranceReport,
+    HardeningProfile,
+};
 pub use multi::{analyze_double_sampled, DoubleFaultReport};
 pub use plan::{plan_faulty_access, FaultyAccessPlan};
 pub use sim::FaultySim;

@@ -21,12 +21,16 @@ pub struct HardeningProfile {
 impl HardeningProfile {
     /// Profile of an original (unhardened) RSN.
     pub fn unhardened() -> Self {
-        HardeningProfile { select_hardened: false }
+        HardeningProfile {
+            select_hardened: false,
+        }
     }
 
     /// Profile of a synthesized fault-tolerant RSN.
     pub fn hardened() -> Self {
-        HardeningProfile { select_hardened: true }
+        HardeningProfile {
+            select_hardened: true,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl fmt::Display for FaultToleranceReport {
         write!(
             f,
             "segments worst {:.3} avg {:.3} | bits worst {:.3} avg {:.3} ({} faults)",
-            self.worst_segments, self.avg_segments, self.worst_bits, self.avg_bits,
+            self.worst_segments,
+            self.avg_segments,
+            self.worst_bits,
+            self.avg_bits,
             self.fault_count
         )
     }
@@ -87,7 +94,9 @@ pub fn analyze_with(
     profile: HardeningProfile,
     model: WeightModel,
 ) -> FaultToleranceReport {
+    let _span = rsn_obs::Span::enter("analyze");
     let faults = fault_universe_weighted(rsn, model);
+    rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
     let mut worst_segments = 1.0f64;
     let mut worst_bits = 1.0f64;
     let mut sum_segments = 0.0f64;
@@ -141,11 +150,22 @@ pub fn analyze_parallel_with(
     model: WeightModel,
 ) -> FaultToleranceReport {
     let faults = fault_universe_weighted(rsn, model);
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16);
     if threads <= 1 || faults.len() < 64 {
         return analyze_with(rsn, profile, model);
     }
+    let _span = rsn_obs::Span::enter("analyze_parallel");
+    rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
     let chunk = faults.len().div_ceil(threads);
+    let chunks_spawned = faults.chunks(chunk).count();
+    rsn_obs::counter_add("fault.parallel_chunks", chunks_spawned as u64);
+    // Fraction of the available worker slots actually filled this call.
+    rsn_obs::gauge_set(
+        "fault.parallel_utilization",
+        chunks_spawned as f64 / threads as f64,
+    );
     let partials: Vec<Partial> = std::thread::scope(|scope| {
         let handles: Vec<_> = faults
             .chunks(chunk)
@@ -174,7 +194,10 @@ pub fn analyze_parallel_with(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut out = Partial::default();

@@ -78,8 +78,7 @@ pub fn analyze_double_sampled(
     stride: usize,
 ) -> DoubleFaultReport {
     let faults = fault_universe(rsn);
-    let effects: Vec<FaultEffect> =
-        faults.iter().map(|f| effect_of(rsn, f, profile)).collect();
+    let effects: Vec<FaultEffect> = faults.iter().map(|f| effect_of(rsn, f, profile)).collect();
     let total_segments = rsn.segments().count();
 
     let mut pairs = 0usize;

@@ -41,12 +41,7 @@ impl FaultyAccessPlan {
 }
 
 /// Evaluates a mux address under a configuration with forced bits applied.
-fn decode_addr(
-    rsn: &Rsn,
-    cfg: &Config,
-    effect: &FaultEffect,
-    mux: NodeId,
-) -> Option<usize> {
+fn decode_addr(rsn: &Rsn, cfg: &Config, effect: &FaultEffect, mux: NodeId) -> Option<usize> {
     if let Some(&k) = effect.forced_mux.get(&mux) {
         return Some(k);
     }
@@ -91,11 +86,7 @@ fn eval_forced(rsn: &Rsn, cfg: &Config, effect: &FaultEffect, e: &ControlExpr) -
 }
 
 /// Traces the structural path under the fault and configuration.
-pub fn trace_faulty(
-    rsn: &Rsn,
-    cfg: &Config,
-    effect: &FaultEffect,
-) -> Option<Vec<NodeId>> {
+pub fn trace_faulty(rsn: &Rsn, cfg: &Config, effect: &FaultEffect) -> Option<Vec<NodeId>> {
     let mut rev = vec![rsn.scan_out()];
     let mut cur = rsn.scan_out();
     let limit = rsn.node_count() + 1;
@@ -170,8 +161,7 @@ fn choose(
 fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<NodeId>> {
     let n = rsn.node_count();
     let corrupt = |id: NodeId| effect.corrupt_nodes.contains(&id);
-    let corrupt_edge =
-        |m: NodeId, k: usize| effect.corrupt_mux_inputs.contains(&(m, k));
+    let corrupt_edge = |m: NodeId, k: usize| effect.corrupt_mux_inputs.contains(&(m, k));
     let usable = |m: NodeId, k: usize| match effect.forced_mux.get(&m) {
         Some(&f) => f == k,
         None => {
@@ -234,8 +224,18 @@ fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<Nod
     }
     while let Some(v) = queue.pop_front() {
         let preds: Vec<(NodeId, Option<usize>)> = match rsn.node(v).kind() {
-            NodeKind::Mux(m) => m.inputs.iter().enumerate().map(|(k, &i)| (i, Some(k))).collect(),
-            _ => rsn.node(v).source().map(|s| (s, None)).into_iter().collect(),
+            NodeKind::Mux(m) => m
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, Some(k)))
+                .collect(),
+            _ => rsn
+                .node(v)
+                .source()
+                .map(|s| (s, None))
+                .into_iter()
+                .collect(),
         };
         for (u, edge) in preds {
             if seen_b[u.index()] || corrupt(u) {
@@ -339,7 +339,11 @@ pub fn plan_faulty_access(
             if fin.iter().any(|n| effect.corrupt_nodes.contains(n)) {
                 return None;
             }
-            return Some(FaultyAccessPlan { target, steps, path: fin });
+            return Some(FaultyAccessPlan {
+                target,
+                steps,
+                path: fin,
+            });
         }
         // Clean prefix of the current path: up to the first corrupt node.
         let taint_at = cur_path
@@ -419,11 +423,7 @@ mod tests {
         // Data round trip. Control registers get a routing-neutral pattern
         // (their value steers multiplexers; writing 1 into a SIB register
         // would reroute the path, possibly into the faulty region).
-        let len = rsn
-            .node(plan.target)
-            .as_segment()
-            .expect("segment")
-            .length as usize;
+        let len = rsn.node(plan.target).as_segment().expect("segment").length as usize;
         let pattern: Vec<bool> = if crate::effect::is_control_segment(rsn, plan.target) {
             vec![false; len]
         } else {
@@ -441,7 +441,11 @@ mod tests {
         let rsn = fig2();
         let b = rsn.find("B").expect("B");
         let c = rsn.find("C").expect("C");
-        let fault = Fault { site: FaultSite::SegmentData(b), value: false, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(b),
+            value: false,
+            weight: 2,
+        };
         let effect = effect_of(&rsn, &fault, HardeningProfile::unhardened());
         let plan = plan_faulty_access(&rsn, &effect, c).expect("C reachable via its branch");
         assert!(!plan.path.contains(&b), "plan must avoid the fault site");
@@ -476,7 +480,10 @@ mod tests {
                     if execute_and_verify(&rsn, fault, &plan) {
                         verified += 1;
                     } else {
-                        panic!("plan for {} under {fault} failed simulation", rsn.node(seg).name());
+                        panic!(
+                            "plan for {} under {fault} failed simulation",
+                            rsn.node(seg).name()
+                        );
                     }
                 } else {
                     assert!(plan.is_none(), "inaccessible {seg} planned under {fault}");
@@ -492,7 +499,11 @@ mod tests {
         let rsn = fig2();
         let m = rsn.find("M").expect("M");
         let b = rsn.find("B").expect("B");
-        let fault = Fault { site: FaultSite::MuxAddress(m), value: false, weight: 1 };
+        let fault = Fault {
+            site: FaultSite::MuxAddress(m),
+            value: false,
+            weight: 1,
+        };
         let effect = effect_of(&rsn, &fault, HardeningProfile::unhardened());
         // Address stuck at 0: B stays reachable, C does not.
         let plan = plan_faulty_access(&rsn, &effect, b).expect("B plannable");

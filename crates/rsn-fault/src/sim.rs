@@ -44,7 +44,11 @@ impl<'a> FaultySim<'a> {
             !matches!(fault.site, FaultSite::SegmentSelect(_)),
             "select-stem faults are not simulated at bit level"
         );
-        let mut sim = FaultySim { rsn, fault, state: SimState::reset(rsn) };
+        let mut sim = FaultySim {
+            rsn,
+            fault,
+            state: SimState::reset(rsn),
+        };
         sim.apply_state_fault();
         sim
     }
@@ -113,8 +117,10 @@ impl<'a> FaultySim<'a> {
             chain.extend_from_slice(self.state.shift_register(seg));
         }
 
-        let in_forced = matches!(self.fault.site, FaultSite::ScanInPort(p) if p == self.rsn.scan_in());
-        let out_forced = matches!(self.fault.site, FaultSite::ScanOutPort(p) if p == self.rsn.scan_out());
+        let in_forced =
+            matches!(self.fault.site, FaultSite::ScanInPort(p) if p == self.rsn.scan_in());
+        let out_forced =
+            matches!(self.fault.site, FaultSite::ScanOutPort(p) if p == self.rsn.scan_out());
 
         let mut out = Vec::with_capacity(scan_in_data.len());
         for &in_bit in scan_in_data {
@@ -124,7 +130,11 @@ impl<'a> FaultySim<'a> {
                 continue;
             }
             let emitted = *chain.last().expect("nonempty");
-            out.push(if out_forced { self.fault.value } else { emitted });
+            out.push(if out_forced {
+                self.fault.value
+            } else {
+                emitted
+            });
             for i in (1..chain.len()).rev() {
                 chain[i] = chain[i - 1];
             }
@@ -171,7 +181,11 @@ impl<'a> FaultySim<'a> {
             let prev = match rsn.node(cur).kind() {
                 NodeKind::Mux(m) => match self.fault.site {
                     FaultSite::MuxAddress(f) if f == cur => {
-                        let idx = if self.fault.value { m.inputs.len() - 1 } else { 0 };
+                        let idx = if self.fault.value {
+                            m.inputs.len() - 1
+                        } else {
+                            0
+                        };
                         m.inputs[idx.min(1)]
                     }
                     _ => rsn.mux_selected_input(cur, &self.state.config)?,
@@ -300,7 +314,11 @@ mod tests {
     fn stuck_cell_corrupts_pass_through_data() {
         let rsn = chain(3, 4);
         let s1 = rsn.find("S1").expect("middle segment");
-        let fault = Fault { site: FaultSite::SegmentData(s1), value: false, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(s1),
+            value: false,
+            weight: 2,
+        };
         let mut sim = FaultySim::new(&rsn, fault);
         // Shift an all-ones pattern through the whole chain (12 bits) and
         // keep shifting another 12 to observe it at scan-out.
@@ -319,7 +337,11 @@ mod tests {
         let rsn = chain(3, 4);
         let s0 = rsn.find("S0").expect("first segment");
         let s2 = rsn.find("S2").expect("last segment");
-        let fault = Fault { site: FaultSite::SegmentData(s2), value: true, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(s2),
+            value: true,
+            weight: 2,
+        };
         let mut sim = FaultySim::new(&rsn, fault);
         let ok = sim
             .write_and_verify(s0, &[true, false, true, false])
@@ -332,10 +354,16 @@ mod tests {
         let rsn = chain(3, 4);
         let s0 = rsn.find("S0").expect("first");
         let s2 = rsn.find("S2").expect("last");
-        let fault = Fault { site: FaultSite::SegmentData(s0), value: false, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(s0),
+            value: false,
+            weight: 2,
+        };
         let mut sim = FaultySim::new(&rsn, fault);
         // Writing 1s into s2 requires passing the stuck-0 cell in s0.
-        let ok = sim.write_and_verify(s2, &[true, true, true, true]).expect("csu");
+        let ok = sim
+            .write_and_verify(s2, &[true, true, true, true])
+            .expect("csu");
         assert!(!ok, "data through the stuck cell must corrupt");
     }
 
@@ -345,7 +373,11 @@ mod tests {
         let s0 = rsn.find("S0").expect("s0");
         let s2 = rsn.find("S2").expect("s2");
         let s1 = rsn.find("S1").expect("s1");
-        let fault = Fault { site: FaultSite::SegmentData(s1), value: false, weight: 2 };
+        let fault = Fault {
+            site: FaultSite::SegmentData(s1),
+            value: false,
+            weight: 2,
+        };
         // Read of s2 (downstream of fault): clean; read of s0: corrupted.
         let mut sim = FaultySim::new(&rsn, fault);
         let got = sim.read(s2, &[true, true]).expect("csu").expect("on path");
@@ -359,7 +391,11 @@ mod tests {
     fn pinned_shadow_bit_stays_pinned() {
         let rsn = fig2();
         let a = rsn.find("A").expect("A");
-        let fault = Fault { site: FaultSite::SegmentShadow(a), value: true, weight: 1 };
+        let fault = Fault {
+            site: FaultSite::SegmentShadow(a),
+            value: true,
+            weight: 1,
+        };
         let mut sim = FaultySim::new(&rsn, fault);
         let off = rsn.shadow_offset(a).expect("shadow") as usize;
         assert!(sim.state.config.bit(off), "pinned at 1 from the start");
@@ -378,7 +414,11 @@ mod tests {
         let rsn = fig2();
         let m = rsn.find("M").expect("mux");
         let c = rsn.find("C").expect("C");
-        let fault = Fault { site: FaultSite::MuxAddress(m), value: true, weight: 1 };
+        let fault = Fault {
+            site: FaultSite::MuxAddress(m),
+            value: true,
+            weight: 1,
+        };
         let sim = FaultySim::new(&rsn, fault);
         let path = sim.trace_faulty_path().expect("trace");
         assert!(path.contains(&c), "stuck-1 address forces the C branch");

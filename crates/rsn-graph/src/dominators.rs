@@ -155,7 +155,16 @@ mod tests {
         use crate::flow::vertex_independent_paths;
         let g = DiGraph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         );
         let idom = dominators(&g, 0);
         for v in 1..7 {

@@ -33,7 +33,9 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `n` vertices.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n] }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -171,10 +173,7 @@ mod tests {
         // path exists.
         //   0 -> 1 -> 2 -> 4
         //   0 -> 3 -> 1 -> 4  (through 1 again)
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 1), (1, 4)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 1), (1, 4)]);
         assert_eq!(max_flow(&g, 0, 4), 2);
         assert_eq!(vertex_independent_paths(&g, 0, 4), 1);
     }

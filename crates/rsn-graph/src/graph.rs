@@ -27,7 +27,11 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { succ: vec![Vec::new(); n], pred: vec![Vec::new(); n], edge_count: 0 }
+        DiGraph {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Creates a graph from an edge list.
@@ -71,7 +75,10 @@ impl DiGraph {
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         self.succ[u].push(v);
         self.pred[v].push(u);
         self.edge_count += 1;
@@ -114,8 +121,7 @@ impl DiGraph {
     pub fn topo_order(&self) -> Option<Vec<usize>> {
         let n = self.len();
         let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);

@@ -1,9 +1,42 @@
 //! Additional graph-algorithm coverage: randomized cross-checks between
 //! max-flow, Menger counts, dominators and brute-force path enumeration.
+//!
+//! Previously written with proptest; now driven by a deterministic
+//! generator so the workspace carries no external dependencies and every
+//! run exercises the same cases.
 
-use proptest::prelude::*;
-use rsn_graph::{dominators, max_flow, vertex_independent_paths, DiGraph};
 use rsn_graph::dominators::dominator_set;
+use rsn_graph::{dominators, max_flow, vertex_independent_paths, DiGraph};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Random DAG on 7 vertices with edges oriented low → high.
+fn small_dag(rng: &mut Rng) -> DiGraph {
+    let mut g = DiGraph::new(7);
+    let n_edges = 3 + rng.below(13);
+    for _ in 0..n_edges {
+        let a = rng.below(7) as usize;
+        let b = rng.below(7) as usize;
+        if a < b {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
 
 /// All simple paths from `s` to `t` (for small graphs only).
 fn simple_paths(g: &DiGraph, s: usize, t: usize) -> Vec<Vec<usize>> {
@@ -53,74 +86,114 @@ fn brute_vertex_disjoint(g: &DiGraph, s: usize, t: usize) -> usize {
     best
 }
 
-fn small_dag() -> impl Strategy<Value = DiGraph> {
-    proptest::collection::vec((0usize..7, 0usize..7), 3..16).prop_map(|edges| {
-        let mut g = DiGraph::new(7);
-        for (a, b) in edges {
-            if a < b {
-                g.add_edge(a, b);
-            }
-        }
-        g
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn menger_matches_brute_force(g in small_dag()) {
+#[test]
+fn menger_matches_brute_force() {
+    let mut rng = Rng(0x6aa9_0001);
+    let mut checked = 0;
+    while checked < 64 {
+        let g = small_dag(&mut rng);
         let paths = simple_paths(&g, 0, 6);
         // Keep the brute force tractable.
-        prop_assume!(paths.len() <= 12);
+        if paths.len() > 12 {
+            continue;
+        }
+        checked += 1;
         let menger = vertex_independent_paths(&g, 0, 6);
         let brute = brute_vertex_disjoint(&g, 0, 6) as i64;
-        prop_assert_eq!(menger, brute);
+        assert_eq!(menger, brute, "edges {:?}", g.edges().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn max_flow_at_least_vertex_disjoint_count(g in small_dag()) {
+#[test]
+fn max_flow_at_least_vertex_disjoint_count() {
+    let mut rng = Rng(0x6aa9_0002);
+    for _case in 0..64 {
+        let g = small_dag(&mut rng);
         let edge_flow = max_flow(&g, 0, 6);
         let vertex_paths = vertex_independent_paths(&g, 0, 6);
-        prop_assert!(edge_flow >= vertex_paths);
+        assert!(
+            edge_flow >= vertex_paths,
+            "edges {:?}",
+            g.edges().collect::<Vec<_>>()
+        );
     }
+}
 
-    #[test]
-    fn dominators_lie_on_every_path(g in small_dag()) {
+#[test]
+fn dominators_lie_on_every_path() {
+    let mut rng = Rng(0x6aa9_0003);
+    let mut checked = 0;
+    while checked < 64 {
+        let g = small_dag(&mut rng);
         let paths = simple_paths(&g, 0, 6);
-        prop_assume!(!paths.is_empty() && paths.len() <= 24);
+        if paths.is_empty() || paths.len() > 24 {
+            continue;
+        }
+        checked += 1;
         let idom = dominators(&g, 0);
         for d in dominator_set(&idom, 0, 6) {
             for p in &paths {
-                prop_assert!(
-                    p.contains(&d),
-                    "dominator {d} missing from path {p:?}"
-                );
+                assert!(p.contains(&d), "dominator {d} missing from path {p:?}");
             }
         }
         // Conversely: any vertex on every path (except endpoints) must be
         // a dominator.
         for v in 1..6 {
             if paths.iter().all(|p| p.contains(&v)) {
-                prop_assert!(
+                assert!(
                     dominator_set(&idom, 0, 6).contains(&v),
                     "common vertex {v} not reported as dominator"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn levels_bound_path_lengths(g in small_dag()) {
+#[test]
+fn levels_bound_path_lengths() {
+    let mut rng = Rng(0x6aa9_0004);
+    for _case in 0..64 {
+        let g = small_dag(&mut rng);
         if let Some(levels) = g.levels() {
             for (u, v) in g.edges() {
-                prop_assert!(levels[v] > levels[u]);
+                assert!(levels[v] > levels[u]);
             }
             // Sources sit at level 0.
             for (v, &lv) in levels.iter().enumerate() {
                 if g.in_degree(v) == 0 {
-                    prop_assert_eq!(lv, 0);
+                    assert_eq!(lv, 0);
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn menger_count_matches_removal_argument() {
+    // Menger sanity: removing any single internal vertex cannot disconnect
+    // s from t if there are >= 2 vertex-independent paths.
+    let mut rng = Rng(0x6aa9_0005);
+    for _case in 0..64 {
+        let mut g = DiGraph::new(8);
+        let n_edges = 4 + rng.below(20);
+        for _ in 0..n_edges {
+            let a = rng.below(8) as usize;
+            let b = rng.below(8) as usize;
+            if a < b {
+                g.add_edge(a, b);
+            }
+        }
+        let (s, t) = (0, 7);
+        let k = vertex_independent_paths(&g, s, t);
+        if k >= 2 {
+            for removed in 1..7 {
+                let mut h = DiGraph::new(8);
+                for (a, b) in g.edges() {
+                    if a != removed && b != removed {
+                        h.add_edge(a, b);
+                    }
+                }
+                assert!(h.reachable_from(s)[t], "vertex {removed} was a cut");
             }
         }
     }

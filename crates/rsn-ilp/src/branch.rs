@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::model::{Constraint, Problem, VarId};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::simplex::{solve_lp_with_stats, LpOutcome};
 
 const INT_EPS: f64 = 1e-6;
 
@@ -48,10 +48,14 @@ pub struct IlpSolution {
     /// Variable values (integral variables are exact 0/1 etc. after
     /// rounding within tolerance).
     pub values: Vec<f64>,
-    /// Number of branch-and-bound nodes explored.
+    /// Number of branch-and-bound nodes explored (accumulated across all
+    /// re-solves when lazy cuts are in play).
     pub nodes: u64,
-    /// Number of lazy-cut rounds performed (0 for plain `solve_ilp`).
+    /// Number of lazy-cut rounds that added at least one cut (0 for plain
+    /// `solve_ilp`).
     pub cut_rounds: u32,
+    /// Total simplex iterations across every LP relaxation solved.
+    pub simplex_iters: u64,
 }
 
 impl IlpSolution {
@@ -90,19 +94,25 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on the bound (BinaryHeap is a max-heap).
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
-fn lp_with_fixings(problem: &Problem, fixings: &[(VarId, f64)]) -> LpOutcome {
-    if fixings.is_empty() {
-        return solve_lp(problem);
-    }
-    let mut p = problem.clone();
-    for &(v, val) in fixings {
-        p.fix_var(v, val);
-    }
-    solve_lp(&p)
+fn lp_with_fixings(problem: &Problem, fixings: &[(VarId, f64)], iters: &mut u64) -> LpOutcome {
+    let (outcome, stats) = if fixings.is_empty() {
+        solve_lp_with_stats(problem)
+    } else {
+        let mut p = problem.clone();
+        for &(v, val) in fixings {
+            p.fix_var(v, val);
+        }
+        solve_lp_with_stats(&p)
+    };
+    *iters += stats.iterations;
+    outcome
 }
 
 /// Solves a minimization 0/1 ILP to optimality by branch & bound.
@@ -112,20 +122,37 @@ fn lp_with_fixings(problem: &Problem, fixings: &[(VarId, f64)]) -> LpOutcome {
 /// * [`IlpError::Infeasible`] if no integral solution exists.
 /// * [`IlpError::Unbounded`] if the relaxation is unbounded.
 /// * [`IlpError::NodeLimit`] after 200 000 nodes without optimality proof.
+///
+/// Each call exports `ilp.solves` and `ilp.nodes` into the global
+/// `rsn-obs` registry (simplex iteration counters are exported by the LP
+/// layer underneath).
 pub fn solve_ilp(problem: &Problem) -> Result<IlpSolution, IlpError> {
-    solve_ilp_impl(problem, 200_000)
+    let result = solve_ilp_impl(problem, 200_000);
+    rsn_obs::counter_add("ilp.solves", 1);
+    if let Ok(sol) = &result {
+        rsn_obs::counter_add("ilp.nodes", sol.nodes);
+    }
+    result
 }
 
 fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, IlpError> {
     let mut heap = BinaryHeap::new();
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut nodes = 0u64;
+    let mut simplex_iters = 0u64;
 
-    match solve_lp(problem) {
-        LpOutcome::Infeasible => return Err(IlpError::Infeasible),
-        LpOutcome::Unbounded => return Err(IlpError::Unbounded),
-        LpOutcome::Optimal { objective, .. } => {
-            heap.push(Node { bound: objective, fixings: Vec::new() });
+    {
+        let (outcome, stats) = solve_lp_with_stats(problem);
+        simplex_iters += stats.iterations;
+        match outcome {
+            LpOutcome::Infeasible => return Err(IlpError::Infeasible),
+            LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+            LpOutcome::Optimal { objective, .. } => {
+                heap.push(Node {
+                    bound: objective,
+                    fixings: Vec::new(),
+                });
+            }
         }
     }
 
@@ -139,7 +166,7 @@ fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, Ilp
                 continue; // bound-dominated
             }
         }
-        let outcome = lp_with_fixings(problem, &node.fixings);
+        let outcome = lp_with_fixings(problem, &node.fixings, &mut simplex_iters);
         let (objective, x) = match outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => return Err(IlpError::Unbounded),
@@ -185,14 +212,23 @@ fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, Ilp
                     fixings.push((v, val));
                     // Cheap child bound: parent objective (LP re-solved on
                     // pop).
-                    heap.push(Node { bound: objective, fixings });
+                    heap.push(Node {
+                        bound: objective,
+                        fixings,
+                    });
                 }
             }
         }
     }
 
     match incumbent {
-        Some((objective, values)) => Ok(IlpSolution { objective, values, nodes, cut_rounds: 0 }),
+        Some((objective, values)) => Ok(IlpSolution {
+            objective,
+            values,
+            nodes,
+            cut_rounds: 0,
+            simplex_iters,
+        }),
         None => Err(IlpError::Infeasible),
     }
 }
@@ -217,13 +253,23 @@ pub fn solve_ilp_with_cuts(
     mut separate: impl FnMut(&[f64]) -> Vec<Constraint>,
 ) -> Result<IlpSolution, IlpError> {
     let mut p = problem.clone();
+    // Telemetry accumulated across re-solves: the caller sees total work,
+    // not just the final round's.
+    let mut total_nodes = 0u64;
+    let mut total_iters = 0u64;
     for round in 0..1000u32 {
         let mut sol = solve_ilp(&p)?;
+        total_nodes += sol.nodes;
+        total_iters += sol.simplex_iters;
         let cuts = separate(&sol.values);
         if cuts.is_empty() {
             sol.cut_rounds = round;
+            sol.nodes = total_nodes;
+            sol.simplex_iters = total_iters;
+            rsn_obs::counter_add("ilp.cut_rounds", u64::from(round));
             return Ok(sol);
         }
+        rsn_obs::counter_add("ilp.cuts_added", cuts.len() as u64);
         for c in cuts {
             p.add_constraint(c);
         }
@@ -257,7 +303,9 @@ mod tests {
     fn vertex_cover_on_a_triangle() {
         // Minimum vertex cover of a triangle needs 2 vertices.
         let mut p = Problem::new();
-        let v: Vec<VarId> = (0..3).map(|i| p.add_binary_var(format!("v{i}"), 1.0)).collect();
+        let v: Vec<VarId> = (0..3)
+            .map(|i| p.add_binary_var(format!("v{i}"), 1.0))
+            .collect();
         for (a, b) in [(0, 1), (1, 2), (0, 2)] {
             p.add_ge([(v[a], 1.0), (v[b], 1.0)], 1.0);
         }
@@ -305,7 +353,9 @@ mod tests {
         // min -x0 - x1 - x2 with xi binary; lazily forbid "all three set"
         // via the cut x0 + x1 + x2 <= 2.
         let mut p = Problem::new();
-        let v: Vec<VarId> = (0..3).map(|i| p.add_binary_var(format!("x{i}"), -1.0)).collect();
+        let v: Vec<VarId> = (0..3)
+            .map(|i| p.add_binary_var(format!("x{i}"), -1.0))
+            .collect();
         let vs = v.clone();
         let sol = solve_ilp_with_cuts(&p, move |x| {
             let total: f64 = vs.iter().map(|&v| x[v.index()]).sum();

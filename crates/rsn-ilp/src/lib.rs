@@ -38,4 +38,4 @@ pub mod simplex;
 
 pub use branch::{solve_ilp, solve_ilp_with_cuts, IlpError, IlpSolution};
 pub use model::{Constraint, ConstraintOp, Problem, VarId};
-pub use simplex::{solve_lp, LpOutcome};
+pub use simplex::{solve_lp, solve_lp_with_stats, LpOutcome, LpStats};

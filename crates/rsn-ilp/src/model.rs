@@ -71,7 +71,12 @@ impl Problem {
     /// `cost` and optional upper bound.
     pub fn add_var(&mut self, name: impl Into<String>, cost: f64, upper: Option<f64>) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarDef { name: name.into(), cost, upper, integer: false });
+        self.vars.push(VarDef {
+            name: name.into(),
+            cost,
+            upper,
+            integer: false,
+        });
         id
     }
 
@@ -79,7 +84,12 @@ impl Problem {
     /// `cost`.
     pub fn add_binary_var(&mut self, name: impl Into<String>, cost: f64) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarDef { name: name.into(), cost, upper: Some(1.0), integer: true });
+        self.vars.push(VarDef {
+            name: name.into(),
+            cost,
+            upper: Some(1.0),
+            integer: true,
+        });
         id
     }
 
@@ -116,7 +126,11 @@ impl Problem {
     /// Fixes a variable to an exact value by pinching its bounds with an
     /// equality constraint.
     pub fn fix_var(&mut self, v: VarId, value: f64) {
-        self.add_constraint(Constraint { terms: vec![(v, 1.0)], op: ConstraintOp::Eq, rhs: value });
+        self.add_constraint(Constraint {
+            terms: vec![(v, 1.0)],
+            op: ConstraintOp::Eq,
+            rhs: value,
+        });
     }
 
     /// Adds a generic constraint.

@@ -37,6 +37,15 @@ impl LpOutcome {
     }
 }
 
+/// Work counters for one LP solve (both simplex phases combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Simplex iterations (pivot attempts), phases 1 and 2 together.
+    pub iterations: u64,
+    /// Iterations run under the Bland anti-cycling rule.
+    pub bland_iterations: u64,
+}
+
 struct Tableau {
     /// Row-major coefficient matrix, `rows × cols`.
     a: Vec<Vec<f64>>,
@@ -85,7 +94,7 @@ impl Tableau {
 
     /// Runs the simplex loop on the given cost vector. Returns `None` on
     /// unboundedness, otherwise the optimal objective value.
-    fn optimize(&mut self, cost: &[f64]) -> Option<f64> {
+    fn optimize(&mut self, cost: &[f64], stats: &mut LpStats) -> Option<f64> {
         // Reduced-cost row, priced out for the current basis.
         let mut red: Vec<f64> = cost.to_vec();
         for i in 0..self.a.len() {
@@ -105,7 +114,11 @@ impl Tableau {
         let bland_after = 50 * (self.a.len() + self.cols);
         loop {
             iterations += 1;
+            stats.iterations += 1;
             let use_bland = iterations > bland_after;
+            if use_bland {
+                stats.bland_iterations += 1;
+            }
             // Entering column.
             let mut enter = None;
             if use_bland {
@@ -187,6 +200,22 @@ impl Tableau {
 /// }
 /// ```
 pub fn solve_lp(problem: &Problem) -> LpOutcome {
+    solve_lp_with_stats(problem).0
+}
+
+/// Like [`solve_lp`], additionally returning the work counters of the
+/// solve. Iteration totals are also exported into the global `rsn-obs`
+/// registry as `ilp.simplex_iters`, `ilp.bland_iters` and `ilp.lp_solves`.
+pub fn solve_lp_with_stats(problem: &Problem) -> (LpOutcome, LpStats) {
+    let mut stats = LpStats::default();
+    let outcome = solve_lp_inner(problem, &mut stats);
+    rsn_obs::counter_add("ilp.lp_solves", 1);
+    rsn_obs::counter_add("ilp.simplex_iters", stats.iterations);
+    rsn_obs::counter_add("ilp.bland_iters", stats.bland_iterations);
+    (outcome, stats)
+}
+
+fn solve_lp_inner(problem: &Problem, stats: &mut LpStats) -> LpOutcome {
     let n = problem.num_vars();
 
     // Collect rows: user constraints + upper-bound rows.
@@ -205,7 +234,11 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
     }
     for j in 0..n {
         if let Some(u) = problem.vars[j].upper {
-            rows.push(Row { terms: vec![(j, 1.0)], op: ConstraintOp::Le, rhs: u });
+            rows.push(Row {
+                terms: vec![(j, 1.0)],
+                op: ConstraintOp::Le,
+                rhs: u,
+            });
         }
     }
 
@@ -286,7 +319,7 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
         let phase1_cost: Vec<f64> = (0..cols)
             .map(|j| if is_artificial[j] { 1.0 } else { 0.0 })
             .collect();
-        match t.optimize(&phase1_cost) {
+        match t.optimize(&phase1_cost, stats) {
             Some(v) if v > 1e-6 => return LpOutcome::Infeasible,
             Some(_) => {}
             None => return LpOutcome::Infeasible, // phase 1 is never unbounded
@@ -320,7 +353,7 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
     for j in 0..n {
         phase2_cost[j] = problem.vars[j].cost;
     }
-    match t.optimize(&phase2_cost) {
+    match t.optimize(&phase2_cost, stats) {
         None => LpOutcome::Unbounded,
         Some(obj) => {
             let mut x = vec![0.0; n];
@@ -479,8 +512,9 @@ mod tests {
         for _ in 0..50 {
             let mut p = Problem::new();
             let n = 3;
-            let vars: Vec<_> =
-                (0..n).map(|i| p.add_var(format!("x{i}"), next() - 5.0, Some(5.0))).collect();
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), next() - 5.0, Some(5.0)))
+                .collect();
             for _ in 0..4 {
                 let terms: Vec<_> = vars.iter().map(|&v| (v, next() - 5.0)).collect();
                 p.add_le(terms, next());

@@ -60,7 +60,10 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
         if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
             continue;
         }
-        let err = |message: String| ParseSocError { line: lineno + 1, message };
+        let err = |message: String| ParseSocError {
+            line: lineno + 1,
+            message,
+        };
         // Header forms: "SocName <name>" or a single bare non-numeric token.
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens[0].eq_ignore_ascii_case("socname") {
@@ -125,7 +128,10 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
     if soc.name.is_empty() {
         soc.name = "unnamed".into();
     }
-    soc.validate().map_err(|m| ParseSocError { line: 0, message: m })?;
+    soc.validate().map_err(|m| ParseSocError {
+        line: 0,
+        message: m,
+    })?;
     Ok(soc)
 }
 

@@ -16,12 +16,20 @@ pub struct Module {
 impl Module {
     /// A top-level module with the given chains.
     pub fn top(name: impl Into<String>, chains: Vec<u32>) -> Self {
-        Module { name: name.into(), parent: None, chains }
+        Module {
+            name: name.into(),
+            parent: None,
+            chains,
+        }
     }
 
     /// A module nested under `parent`.
     pub fn child(name: impl Into<String>, parent: usize, chains: Vec<u32>) -> Self {
-        Module { name: name.into(), parent: Some(parent), chains }
+        Module {
+            name: name.into(),
+            parent: Some(parent),
+            chains,
+        }
     }
 
     /// Total scan bits of this module's own chains.
@@ -90,7 +98,10 @@ impl Soc {
 
     /// Maximum module nesting depth (0 for an SoC without modules).
     pub fn depth(&self) -> usize {
-        (0..self.modules.len()).map(|i| self.module_depth(i)).max().unwrap_or(0)
+        (0..self.modules.len())
+            .map(|i| self.module_depth(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Children of a module.
@@ -177,7 +188,11 @@ mod tests {
         let soc = Soc {
             name: "bad".into(),
             modules: vec![
-                Module { name: "x".into(), parent: Some(1), chains: vec![1] },
+                Module {
+                    name: "x".into(),
+                    parent: Some(1),
+                    chains: vec![1],
+                },
                 Module::top("y", vec![1]),
             ],
             top_registers: vec![],

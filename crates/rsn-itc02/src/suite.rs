@@ -59,19 +59,240 @@ pub struct TableTargets {
 
 /// Table I of the paper, verbatim.
 pub const TABLE1: &[TableTargets] = &[
-    TableTargets { name: "u226", modules: 10, levels: 2, mux: 49, segments: 89, bits: 1465, sib_bits_avg: 0.71, sib_seg_avg: 0.76, ft_bits_worst: 0.93, ft_bits_avg: 0.994, ft_seg_worst: 0.975, ft_seg_avg: 0.994, ratio_mux: 3.67, ratio_bits: 1.38, ratio_nets: 1.54, ratio_area: 1.56 },
-    TableTargets { name: "d281", modules: 9, levels: 2, mux: 58, segments: 108, bits: 3871, sib_bits_avg: 0.81, sib_seg_avg: 0.83, ft_bits_worst: 0.79, ft_bits_avg: 0.995, ft_seg_worst: 0.980, ft_seg_avg: 0.995, ratio_mux: 3.62, ratio_bits: 1.17, ratio_nets: 1.24, ratio_area: 1.25 },
-    TableTargets { name: "d695", modules: 11, levels: 2, mux: 167, segments: 324, bits: 8396, sib_bits_avg: 0.90, sib_seg_avg: 0.90, ft_bits_worst: 0.96, ft_bits_avg: 0.998, ft_seg_worst: 0.994, ft_seg_avg: 0.998, ratio_mux: 3.54, ratio_bits: 1.21, ratio_nets: 1.32, ratio_area: 1.32 },
-    TableTargets { name: "h953", modules: 9, levels: 2, mux: 54, segments: 100, bits: 5640, sib_bits_avg: 0.85, sib_seg_avg: 0.85, ft_bits_worst: 0.94, ft_bits_avg: 0.995, ft_seg_worst: 0.978, ft_seg_avg: 0.995, ratio_mux: 3.59, ratio_bits: 1.10, ratio_nets: 1.15, ratio_area: 1.16 },
-    TableTargets { name: "g1023", modules: 15, levels: 2, mux: 79, segments: 144, bits: 5385, sib_bits_avg: 0.86, sib_seg_avg: 0.86, ft_bits_worst: 0.93, ft_bits_avg: 0.997, ft_seg_worst: 0.985, ft_seg_avg: 0.996, ratio_mux: 3.53, ratio_bits: 1.16, ratio_nets: 1.23, ratio_area: 1.24 },
-    TableTargets { name: "x1331", modules: 7, levels: 4, mux: 31, segments: 56, bits: 4023, sib_bits_avg: 0.75, sib_seg_avg: 0.78, ft_bits_worst: 0.86, ft_bits_avg: 0.991, ft_seg_worst: 0.960, ft_seg_avg: 0.991, ratio_mux: 3.81, ratio_bits: 1.09, ratio_nets: 1.13, ratio_area: 1.14 },
-    TableTargets { name: "f2126", modules: 5, levels: 2, mux: 40, segments: 76, bits: 15829, sib_bits_avg: 0.78, sib_seg_avg: 0.78, ft_bits_worst: 0.94, ft_bits_avg: 0.993, ft_seg_worst: 0.972, ft_seg_avg: 0.993, ratio_mux: 3.60, ratio_bits: 1.03, ratio_nets: 1.04, ratio_area: 1.04 },
-    TableTargets { name: "q12710", modules: 5, levels: 2, mux: 25, segments: 46, bits: 26183, sib_bits_avg: 0.80, sib_seg_avg: 0.80, ft_bits_worst: 0.86, ft_bits_avg: 0.988, ft_seg_worst: 0.952, ft_seg_avg: 0.988, ratio_mux: 3.56, ratio_bits: 1.01, ratio_nets: 1.02, ratio_area: 1.02 },
-    TableTargets { name: "t512505", modules: 31, levels: 2, mux: 159, segments: 287, bits: 77005, sib_bits_avg: 0.85, sib_seg_avg: 0.87, ft_bits_worst: 0.98, ft_bits_avg: 0.998, ft_seg_worst: 0.992, ft_seg_avg: 0.998, ratio_mux: 3.58, ratio_bits: 1.02, ratio_nets: 1.03, ratio_area: 1.03 },
-    TableTargets { name: "a586710", modules: 8, levels: 3, mux: 39, segments: 71, bits: 41674, sib_bits_avg: 0.78, sib_seg_avg: 0.79, ft_bits_worst: 0.94, ft_bits_avg: 0.993, ft_seg_worst: 0.969, ft_seg_avg: 0.993, ratio_mux: 3.72, ratio_bits: 1.01, ratio_nets: 1.02, ratio_area: 1.02 },
-    TableTargets { name: "p22081", modules: 29, levels: 3, mux: 282, segments: 536, bits: 30110, sib_bits_avg: 0.92, sib_seg_avg: 0.93, ft_bits_worst: 0.99, ft_bits_avg: 0.999, ft_seg_worst: 0.996, ft_seg_avg: 0.999, ratio_mux: 3.54, ratio_bits: 1.10, ratio_nets: 1.15, ratio_area: 1.15 },
-    TableTargets { name: "p34392", modules: 20, levels: 3, mux: 122, segments: 225, bits: 23241, sib_bits_avg: 0.87, sib_seg_avg: 0.86, ft_bits_worst: 0.97, ft_bits_avg: 0.998, ft_seg_worst: 0.990, ft_seg_avg: 0.998, ratio_mux: 3.68, ratio_bits: 1.06, ratio_nets: 1.09, ratio_area: 1.09 },
-    TableTargets { name: "p93791", modules: 33, levels: 3, mux: 620, segments: 1208, bits: 98604, sib_bits_avg: 0.66, sib_seg_avg: 0.67, ft_bits_worst: 0.99, ft_bits_avg: 0.999, ft_seg_worst: 0.999, ft_seg_avg: 0.999, ratio_mux: 3.55, ratio_bits: 1.07, ratio_nets: 1.11, ratio_area: 1.10 },
+    TableTargets {
+        name: "u226",
+        modules: 10,
+        levels: 2,
+        mux: 49,
+        segments: 89,
+        bits: 1465,
+        sib_bits_avg: 0.71,
+        sib_seg_avg: 0.76,
+        ft_bits_worst: 0.93,
+        ft_bits_avg: 0.994,
+        ft_seg_worst: 0.975,
+        ft_seg_avg: 0.994,
+        ratio_mux: 3.67,
+        ratio_bits: 1.38,
+        ratio_nets: 1.54,
+        ratio_area: 1.56,
+    },
+    TableTargets {
+        name: "d281",
+        modules: 9,
+        levels: 2,
+        mux: 58,
+        segments: 108,
+        bits: 3871,
+        sib_bits_avg: 0.81,
+        sib_seg_avg: 0.83,
+        ft_bits_worst: 0.79,
+        ft_bits_avg: 0.995,
+        ft_seg_worst: 0.980,
+        ft_seg_avg: 0.995,
+        ratio_mux: 3.62,
+        ratio_bits: 1.17,
+        ratio_nets: 1.24,
+        ratio_area: 1.25,
+    },
+    TableTargets {
+        name: "d695",
+        modules: 11,
+        levels: 2,
+        mux: 167,
+        segments: 324,
+        bits: 8396,
+        sib_bits_avg: 0.90,
+        sib_seg_avg: 0.90,
+        ft_bits_worst: 0.96,
+        ft_bits_avg: 0.998,
+        ft_seg_worst: 0.994,
+        ft_seg_avg: 0.998,
+        ratio_mux: 3.54,
+        ratio_bits: 1.21,
+        ratio_nets: 1.32,
+        ratio_area: 1.32,
+    },
+    TableTargets {
+        name: "h953",
+        modules: 9,
+        levels: 2,
+        mux: 54,
+        segments: 100,
+        bits: 5640,
+        sib_bits_avg: 0.85,
+        sib_seg_avg: 0.85,
+        ft_bits_worst: 0.94,
+        ft_bits_avg: 0.995,
+        ft_seg_worst: 0.978,
+        ft_seg_avg: 0.995,
+        ratio_mux: 3.59,
+        ratio_bits: 1.10,
+        ratio_nets: 1.15,
+        ratio_area: 1.16,
+    },
+    TableTargets {
+        name: "g1023",
+        modules: 15,
+        levels: 2,
+        mux: 79,
+        segments: 144,
+        bits: 5385,
+        sib_bits_avg: 0.86,
+        sib_seg_avg: 0.86,
+        ft_bits_worst: 0.93,
+        ft_bits_avg: 0.997,
+        ft_seg_worst: 0.985,
+        ft_seg_avg: 0.996,
+        ratio_mux: 3.53,
+        ratio_bits: 1.16,
+        ratio_nets: 1.23,
+        ratio_area: 1.24,
+    },
+    TableTargets {
+        name: "x1331",
+        modules: 7,
+        levels: 4,
+        mux: 31,
+        segments: 56,
+        bits: 4023,
+        sib_bits_avg: 0.75,
+        sib_seg_avg: 0.78,
+        ft_bits_worst: 0.86,
+        ft_bits_avg: 0.991,
+        ft_seg_worst: 0.960,
+        ft_seg_avg: 0.991,
+        ratio_mux: 3.81,
+        ratio_bits: 1.09,
+        ratio_nets: 1.13,
+        ratio_area: 1.14,
+    },
+    TableTargets {
+        name: "f2126",
+        modules: 5,
+        levels: 2,
+        mux: 40,
+        segments: 76,
+        bits: 15829,
+        sib_bits_avg: 0.78,
+        sib_seg_avg: 0.78,
+        ft_bits_worst: 0.94,
+        ft_bits_avg: 0.993,
+        ft_seg_worst: 0.972,
+        ft_seg_avg: 0.993,
+        ratio_mux: 3.60,
+        ratio_bits: 1.03,
+        ratio_nets: 1.04,
+        ratio_area: 1.04,
+    },
+    TableTargets {
+        name: "q12710",
+        modules: 5,
+        levels: 2,
+        mux: 25,
+        segments: 46,
+        bits: 26183,
+        sib_bits_avg: 0.80,
+        sib_seg_avg: 0.80,
+        ft_bits_worst: 0.86,
+        ft_bits_avg: 0.988,
+        ft_seg_worst: 0.952,
+        ft_seg_avg: 0.988,
+        ratio_mux: 3.56,
+        ratio_bits: 1.01,
+        ratio_nets: 1.02,
+        ratio_area: 1.02,
+    },
+    TableTargets {
+        name: "t512505",
+        modules: 31,
+        levels: 2,
+        mux: 159,
+        segments: 287,
+        bits: 77005,
+        sib_bits_avg: 0.85,
+        sib_seg_avg: 0.87,
+        ft_bits_worst: 0.98,
+        ft_bits_avg: 0.998,
+        ft_seg_worst: 0.992,
+        ft_seg_avg: 0.998,
+        ratio_mux: 3.58,
+        ratio_bits: 1.02,
+        ratio_nets: 1.03,
+        ratio_area: 1.03,
+    },
+    TableTargets {
+        name: "a586710",
+        modules: 8,
+        levels: 3,
+        mux: 39,
+        segments: 71,
+        bits: 41674,
+        sib_bits_avg: 0.78,
+        sib_seg_avg: 0.79,
+        ft_bits_worst: 0.94,
+        ft_bits_avg: 0.993,
+        ft_seg_worst: 0.969,
+        ft_seg_avg: 0.993,
+        ratio_mux: 3.72,
+        ratio_bits: 1.01,
+        ratio_nets: 1.02,
+        ratio_area: 1.02,
+    },
+    TableTargets {
+        name: "p22081",
+        modules: 29,
+        levels: 3,
+        mux: 282,
+        segments: 536,
+        bits: 30110,
+        sib_bits_avg: 0.92,
+        sib_seg_avg: 0.93,
+        ft_bits_worst: 0.99,
+        ft_bits_avg: 0.999,
+        ft_seg_worst: 0.996,
+        ft_seg_avg: 0.999,
+        ratio_mux: 3.54,
+        ratio_bits: 1.10,
+        ratio_nets: 1.15,
+        ratio_area: 1.15,
+    },
+    TableTargets {
+        name: "p34392",
+        modules: 20,
+        levels: 3,
+        mux: 122,
+        segments: 225,
+        bits: 23241,
+        sib_bits_avg: 0.87,
+        sib_seg_avg: 0.86,
+        ft_bits_worst: 0.97,
+        ft_bits_avg: 0.998,
+        ft_seg_worst: 0.990,
+        ft_seg_avg: 0.998,
+        ratio_mux: 3.68,
+        ratio_bits: 1.06,
+        ratio_nets: 1.09,
+        ratio_area: 1.09,
+    },
+    TableTargets {
+        name: "p93791",
+        modules: 33,
+        levels: 3,
+        mux: 620,
+        segments: 1208,
+        bits: 98604,
+        sib_bits_avg: 0.66,
+        sib_seg_avg: 0.67,
+        ft_bits_worst: 0.99,
+        ft_bits_avg: 0.999,
+        ft_seg_worst: 0.999,
+        ft_seg_avg: 0.999,
+        ratio_mux: 3.55,
+        ratio_bits: 1.07,
+        ratio_nets: 1.11,
+        ratio_area: 1.10,
+    },
 ];
 
 /// The Table I reference row for a benchmark name.
@@ -114,7 +335,10 @@ impl Rng {
 /// Distributes `total` units over `n` buckets, each receiving at least
 /// `min`, remainder spread by seeded weights.
 fn distribute(rng: &mut Rng, total: u64, n: usize, min: u64) -> Vec<u64> {
-    assert!(total >= min * n as u64, "cannot distribute {total} over {n} with min {min}");
+    assert!(
+        total >= min * n as u64,
+        "cannot distribute {total} over {n} with min {min}"
+    );
     let mut out = vec![min; n];
     let mut rest = total - min * n as u64;
     if n == 0 {
@@ -197,7 +421,11 @@ fn fit(t: &TableTargets) -> Soc {
             .take(n_chains)
             .map(|c| u32::try_from(c).expect("chain length fits u32"))
             .collect();
-        modules.push(Module { name: format!("m{i}"), parent: parents[i], chains });
+        modules.push(Module {
+            name: format!("m{i}"),
+            parent: parents[i],
+            chains,
+        });
     }
 
     let soc = Soc {
@@ -256,7 +484,12 @@ mod tests {
                 t.name
             );
             // bits = mux (SIB bits) + payload
-            assert_eq!(t.mux as u64 + soc.payload_bits(), t.bits, "{}: bits", t.name);
+            assert_eq!(
+                t.mux as u64 + soc.payload_bits(),
+                t.bits,
+                "{}: bits",
+                t.name
+            );
             // hierarchy depth = levels - 1
             assert_eq!(soc.depth(), t.levels - 1, "{}: levels", t.name);
             soc.validate().expect("valid");
@@ -267,7 +500,12 @@ mod tests {
     fn every_module_has_a_chain() {
         for soc in suite() {
             for m in &soc.modules {
-                assert!(!m.chains.is_empty(), "{}: module {} empty", soc.name, m.name);
+                assert!(
+                    !m.chains.is_empty(),
+                    "{}: module {} empty",
+                    soc.name,
+                    m.name
+                );
             }
         }
     }

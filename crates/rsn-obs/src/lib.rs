@@ -1,0 +1,45 @@
+//! Observability for the FT-RSN toolchain.
+//!
+//! This crate carries no dependencies and provides four pieces the rest
+//! of the workspace threads through its pipeline:
+//!
+//! * **Spans** ([`Span`], [`timed`]) — hierarchical wall-clock timers.
+//!   Entering a span pushes onto a thread-local stack, so nested phases
+//!   aggregate under slash-joined paths (`synthesize/augment/ilp`), each
+//!   with a call count and total duration.
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`Registry`]) — a
+//!   process-global registry of named `u64` counters and `f64` gauges.
+//!   Counters accumulate, gauges overwrite; snapshots are cheap and
+//!   registries merge for map-reduce style parallel collection.
+//! * **Logging** ([`error!`], [`warn!`], [`info!`], [`debug!`],
+//!   [`trace!`]) — an env-controlled facade. Nothing is printed unless
+//!   `RSN_LOG` selects a level, so library crates stay silent by
+//!   default.
+//! * **Reports** ([`RunReport`]) — a serializable snapshot of all of the
+//!   above, written as JSON by a hand-rolled writer (no serde). A small
+//!   parser ([`json`]) ships for tests and downstream tooling.
+//!
+//! Global state is deliberate: instrumentation crosses crate boundaries
+//! and threading a context handle through every solver call would
+//! dominate the diff. [`reset`] clears everything between benchmark
+//! rows.
+
+pub mod json_impl;
+mod log;
+mod metrics;
+mod report;
+mod span;
+
+pub use json_impl as json;
+pub use log::{log_enabled, log_level, log_message, set_log_level, Level};
+pub use metrics::{counter_add, counter_get, gauge_set, metrics_snapshot, Registry};
+pub use report::RunReport;
+pub use span::{span_snapshot, timed, Span, SpanStat};
+
+/// Clears all global observability state: span aggregates, counters and
+/// gauges. Call between independent runs (e.g. benchmark rows) so each
+/// report reflects exactly one run.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+}

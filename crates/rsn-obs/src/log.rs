@@ -1,0 +1,145 @@
+//! Env-controlled logging facade.
+//!
+//! Library crates log through the [`error!`](crate::error!) …
+//! [`trace!`](crate::trace!) macros; nothing reaches stderr unless the
+//! `RSN_LOG` environment variable selects a level (`error`, `warn`,
+//! `info`, `debug`, `trace`; `off`/unset silences everything). The level
+//! is read once, lazily, and can be overridden programmatically with
+//! [`set_log_level`] (useful in tests).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+const UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn parse_level(s: &str) -> Level {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" | "e" | "1" => Level::Error,
+        "warn" | "warning" | "w" | "2" => Level::Warn,
+        "info" | "i" | "3" => Level::Info,
+        "debug" | "d" | "4" => Level::Debug,
+        "trace" | "t" | "5" => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+fn load_level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNINIT {
+        return Level::from_u8(raw);
+    }
+    let level = std::env::var("RSN_LOG").map_or(Level::Off, |v| parse_level(&v));
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+/// The active log level.
+pub fn log_level() -> Level {
+    load_level()
+}
+
+/// `true` when a message at `level` would be emitted. The log macros
+/// check this before formatting, so disabled logging costs one atomic
+/// load.
+pub fn log_enabled(level: Level) -> bool {
+    level <= load_level() && level != Level::Off
+}
+
+/// Overrides the level (wins over `RSN_LOG`).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Emits one formatted line to stderr. Called by the log macros after a
+/// [`log_enabled`] check; prefer the macros at call sites.
+pub fn log_message(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    eprintln!("[rsn {:5} {}] {}", level.label(), target, args);
+}
+
+/// Logs at error level (`RSN_LOG=error` or lower).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Error) {
+            $crate::log_message($crate::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            $crate::log_message($crate::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at info level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            $crate::log_message($crate::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at debug level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::log_message($crate::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at trace level.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Trace) {
+            $crate::log_message($crate::Level::Trace, module_path!(), format_args!($($arg)*));
+        }
+    };
+}

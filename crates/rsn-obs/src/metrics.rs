@@ -1,0 +1,81 @@
+//! Typed named metrics: monotonically increasing `u64` counters and
+//! last-write-wins `f64` gauges, held in a process-global registry.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A snapshot (or free-standing accumulator) of named metrics. Counters
+/// add on merge; gauges overwrite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Folds `other` into `self`: counters accumulate, gauges take the
+    /// incoming value.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+});
+
+/// Adds `delta` to a counter in the global registry.
+pub fn counter_add(name: &str, delta: u64) {
+    GLOBAL.lock().unwrap().counter_add(name, delta);
+}
+
+/// Current value of a global counter (0 if never touched).
+pub fn counter_get(name: &str) -> u64 {
+    GLOBAL
+        .lock()
+        .unwrap()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Sets a gauge in the global registry.
+pub fn gauge_set(name: &str, value: f64) {
+    GLOBAL.lock().unwrap().gauge_set(name, value);
+}
+
+/// Clones the global registry.
+pub fn metrics_snapshot() -> Registry {
+    GLOBAL.lock().unwrap().clone()
+}
+
+pub(crate) fn reset_metrics() {
+    let mut g = GLOBAL.lock().unwrap();
+    g.counters.clear();
+    g.gauges.clear();
+}

@@ -1,0 +1,78 @@
+//! Machine-readable run reports: one JSON object per instrumented run,
+//! snapshotting the global registry and span tree.
+
+use std::collections::BTreeMap;
+
+use crate::json_impl::Json;
+use crate::metrics::{metrics_snapshot, Registry};
+use crate::span::{span_snapshot, SpanStat};
+
+/// A serializable snapshot of all observability state for one run.
+///
+/// Schema (`to_json`):
+///
+/// ```json
+/// {
+///   "name": "<run name>",
+///   "counters": { "sat.conflicts": 12, ... },
+///   "gauges": { "synth.phases.augment_ms": 0.41, ... },
+///   "spans": {
+///     "synthesize/augment": { "calls": 1, "total_ms": 0.42 },
+///     ...
+///   }
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    pub name: String,
+    pub registry: Registry,
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl RunReport {
+    /// Snapshots the current global counters, gauges and span aggregates
+    /// under the given run name. Does not reset anything; pair with
+    /// [`crate::reset`] to delimit runs.
+    pub fn capture(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            registry: metrics_snapshot(),
+            spans: span_snapshot(),
+        }
+    }
+
+    /// The report as a JSON value (see the struct docs for the schema).
+    pub fn to_json_value(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.registry.counters {
+            counters.set(k, Json::Num(*v as f64));
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.registry.gauges {
+            gauges.set(k, Json::Num(*v));
+        }
+        let mut spans = Json::obj();
+        for (path, stat) in &self.spans {
+            let mut s = Json::obj();
+            s.set("calls", Json::Num(stat.calls as f64));
+            s.set("total_ms", Json::Num(stat.total_ms()));
+            spans.set(path, s);
+        }
+        let mut root = Json::obj();
+        root.set("name", Json::Str(self.name.clone()));
+        root.set("counters", counters);
+        root.set("gauges", gauges);
+        root.set("spans", spans);
+        root
+    }
+
+    /// Compact single-line JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Indented JSON, two spaces per level.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json_value().to_string_pretty(2)
+    }
+}

@@ -1,0 +1,101 @@
+//! Hierarchical wall-clock span timers.
+//!
+//! A [`Span`] measures the time between its creation and drop. Spans
+//! nest through a thread-local stack: a span entered while another is
+//! live aggregates under the parent's path, joined with `/`. Statistics
+//! accumulate in a process-global table so repeated calls to the same
+//! phase fold into one entry with a call count.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Total wall-clock time across all calls, in nanoseconds.
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    /// Total time in fractional milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+static SPANS: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live timing region. Created with [`Span::enter`] (or nested via
+/// [`Span::child`]); records its elapsed time into the global table on
+/// drop. Not `Send`: the span must be dropped on the thread that entered
+/// it, because nesting lives in a thread-local stack.
+pub struct Span {
+    path: String,
+    start: Instant,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Span {
+    /// Enters a span named `name`, nested under whatever span is live on
+    /// this thread (if any).
+    pub fn enter(name: &'static str) -> Span {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        Span {
+            path,
+            start: Instant::now(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Enters a child span. Equivalent to [`Span::enter`] while `self`
+    /// is live; provided for call-site readability.
+    pub fn child(&self, name: &'static str) -> Span {
+        Span::enter(name)
+    }
+
+    /// The slash-joined path of this span, e.g. `synthesize/augment`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut spans = SPANS.lock().unwrap();
+        let stat = spans.entry(std::mem::take(&mut self.path)).or_default();
+        stat.calls += 1;
+        stat.total_ns += elapsed;
+    }
+}
+
+/// Times a closure under a named span and returns its result.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = Span::enter(name);
+    f()
+}
+
+/// Snapshot of all span aggregates, keyed by slash-joined path.
+pub fn span_snapshot() -> BTreeMap<String, SpanStat> {
+    SPANS.lock().unwrap().clone()
+}
+
+pub(crate) fn reset_spans() {
+    SPANS.lock().unwrap().clear();
+}

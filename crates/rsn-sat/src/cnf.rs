@@ -33,7 +33,10 @@ pub struct CnfBuilder {
 impl CnfBuilder {
     /// Creates a builder with an empty solver.
     pub fn new() -> Self {
-        CnfBuilder { solver: Solver::new(), true_lit: None }
+        CnfBuilder {
+            solver: Solver::new(),
+            true_lit: None,
+        }
     }
 
     /// Allocates a fresh variable and returns its positive literal.

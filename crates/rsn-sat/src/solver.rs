@@ -254,13 +254,20 @@ impl Solver {
     ///
     /// Panics if a literal references an unallocated variable.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if self.unsat {
             return false;
         }
         let mut c: Vec<Lit> = lits.into_iter().collect();
         for l in &c {
-            assert!(l.var().index() < self.num_vars(), "unallocated variable {}", l.var());
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unallocated variable {}",
+                l.var()
+            );
         }
         c.sort_unstable();
         c.dedup();
@@ -300,7 +307,12 @@ impl Solver {
         let cref = self.clauses.len();
         self.watches[(!lits[0]).code()].push(cref);
         self.watches[(!lits[1]).code()].push(cref);
-        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
         if learnt {
             self.stats.learnts += 1;
         }
@@ -539,7 +551,25 @@ impl Solver {
     ///
     /// The solver remains usable afterwards (assumptions are retracted), so
     /// incremental querying is supported.
+    ///
+    /// Each call exports its [`Stats`] delta into the global `rsn-obs`
+    /// registry under `sat.conflicts`, `sat.decisions`,
+    /// `sat.propagations`, `sat.restarts` plus `sat.solves` and a
+    /// `sat.sat` / `sat.unsat` outcome counter.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> bool {
+        let before = self.stats;
+        let result = self.solve_with_inner(assumptions);
+        let after = self.stats;
+        rsn_obs::counter_add("sat.solves", 1);
+        rsn_obs::counter_add("sat.conflicts", after.conflicts - before.conflicts);
+        rsn_obs::counter_add("sat.decisions", after.decisions - before.decisions);
+        rsn_obs::counter_add("sat.propagations", after.propagations - before.propagations);
+        rsn_obs::counter_add("sat.restarts", after.restarts - before.restarts);
+        rsn_obs::counter_add(if result { "sat.sat" } else { "sat.unsat" }, 1);
+        result
+    }
+
+    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> bool {
         if self.unsat {
             return false;
         }
@@ -568,7 +598,9 @@ impl Solver {
                 }
                 let (learnt, bt_level) = self.analyze(conflict);
                 // Never backtrack past the assumption levels.
-                let bt = bt_level.max(assumptions.len() as u32).min(self.current_level() - 1);
+                let bt = bt_level
+                    .max(assumptions.len() as u32)
+                    .min(self.current_level() - 1);
                 self.backtrack(bt);
                 if learnt.len() == 1 && bt == 0 {
                     if self.lit_value(learnt[0]) == UNDEF {
@@ -852,7 +884,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _round in 0..200 {

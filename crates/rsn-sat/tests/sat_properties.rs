@@ -1,7 +1,43 @@
-//! Property-based validation of the CDCL solver against brute force.
+//! Randomized validation of the CDCL solver against brute force.
+//!
+//! Previously written with proptest; now driven by a deterministic
+//! xorshift-style generator so the workspace carries no external
+//! dependencies and every run exercises the same cases.
 
-use proptest::prelude::*;
 use rsn_sat::{dimacs::Dimacs, CnfBuilder, Lit, Solver, Var};
+
+/// Deterministic splitmix64-style generator for reproducible cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn random_clauses(rng: &mut Rng, num_vars: u32, max_clauses: u64) -> Vec<Vec<Lit>> {
+    let nc = 1 + rng.below(max_clauses) as usize;
+    (0..nc)
+        .map(|_| {
+            let len = 1 + rng.below(4) as usize;
+            (0..len)
+                .map(|_| Lit::with_polarity(Var(rng.below(num_vars as u64) as u32), rng.bool()))
+                .collect()
+        })
+        .collect()
+}
 
 fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<u32> {
     (0u32..(1 << num_vars)).find(|&m| {
@@ -12,21 +48,11 @@ fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<u32> {
     })
 }
 
-fn clause_strategy(num_vars: u32) -> impl Strategy<Value = Vec<Lit>> {
-    proptest::collection::vec((0..num_vars, any::<bool>()), 1..5).prop_map(|lits| {
-        lits.into_iter()
-            .map(|(v, pos)| Lit::with_polarity(Var(v), pos))
-            .collect()
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn solver_agrees_with_brute_force(
-        clauses in proptest::collection::vec(clause_strategy(8), 1..40)
-    ) {
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = Rng(0x5eed_0001);
+    for _case in 0..128 {
+        let clauses = random_clauses(&mut rng, 8, 40);
         let mut s = Solver::new();
         for _ in 0..8 {
             s.new_var();
@@ -39,20 +65,25 @@ proptest! {
         }
         let expected = brute_force(8, &clauses).is_some();
         let got = if trivially_unsat { false } else { s.solve() };
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "clauses: {clauses:?}");
         if got {
             for c in &clauses {
-                prop_assert!(c.iter().any(|&l| s.lit_value_model(l) == Some(true)));
+                assert!(
+                    c.iter().any(|&l| s.lit_value_model(l) == Some(true)),
+                    "model does not satisfy {c:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn assumptions_partition_the_search_space(
-        clauses in proptest::collection::vec(clause_strategy(6), 1..20),
-        pivot in 0u32..6,
-    ) {
-        // SAT(F) == SAT(F ∧ x) ∨ SAT(F ∧ ¬x) for any pivot variable.
+#[test]
+fn assumptions_partition_the_search_space() {
+    // SAT(F) == SAT(F ∧ x) ∨ SAT(F ∧ ¬x) for any pivot variable.
+    let mut rng = Rng(0x5eed_0002);
+    for _case in 0..128 {
+        let clauses = random_clauses(&mut rng, 6, 20);
+        let pivot = rng.below(6) as u32;
         let mut s = Solver::new();
         for _ in 0..6 {
             s.new_var();
@@ -64,31 +95,39 @@ proptest! {
             }
         }
         if trivially_unsat {
-            return Ok(());
+            continue;
         }
         let v = Var(pivot);
         let pos = s.solve_with(&[Lit::pos(v)]);
         let neg = s.solve_with(&[Lit::neg(v)]);
         let plain = s.solve();
-        prop_assert_eq!(plain, pos || neg);
+        assert_eq!(plain, pos || neg, "pivot {pivot} clauses {clauses:?}");
     }
+}
 
-    #[test]
-    fn dimacs_roundtrip_preserves_satisfiability(
-        clauses in proptest::collection::vec(clause_strategy(6), 1..20)
-    ) {
-        let d = Dimacs { num_vars: 6, clauses: clauses.clone() };
+#[test]
+fn dimacs_roundtrip_preserves_satisfiability() {
+    let mut rng = Rng(0x5eed_0003);
+    for _case in 0..64 {
+        let clauses = random_clauses(&mut rng, 6, 20);
+        let d = Dimacs {
+            num_vars: 6,
+            clauses: clauses.clone(),
+        };
         let text = d.to_dimacs();
         let d2 = Dimacs::parse(&text).expect("reparse");
         let mut s1 = d.to_solver();
         let mut s2 = d2.to_solver();
-        prop_assert_eq!(s1.solve(), s2.solve());
+        assert_eq!(s1.solve(), s2.solve(), "clauses {clauses:?}");
     }
+}
 
-    #[test]
-    fn tseitin_gates_respect_semantics(
-        inputs in proptest::collection::vec(any::<bool>(), 3..6)
-    ) {
+#[test]
+fn tseitin_gates_respect_semantics() {
+    let mut rng = Rng(0x5eed_0004);
+    for _case in 0..64 {
+        let n = 3 + rng.below(3) as usize;
+        let inputs: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
         let mut cnf = CnfBuilder::new();
         let lits: Vec<Lit> = inputs.iter().map(|_| cnf.new_lit()).collect();
         let and = cnf.and(lits.iter().copied());
@@ -96,10 +135,10 @@ proptest! {
         for (l, &v) in lits.iter().zip(&inputs) {
             cnf.assert_lit(if v { *l } else { !*l });
         }
-        prop_assert!(cnf.solver_mut().solve());
+        assert!(cnf.solver_mut().solve());
         let and_v = cnf.solver_mut().lit_value_model(and).expect("assigned");
         let or_v = cnf.solver_mut().lit_value_model(or).expect("assigned");
-        prop_assert_eq!(and_v, inputs.iter().all(|&b| b));
-        prop_assert_eq!(or_v, inputs.iter().any(|&b| b));
+        assert_eq!(and_v, inputs.iter().all(|&b| b), "inputs {inputs:?}");
+        assert_eq!(or_v, inputs.iter().any(|&b| b), "inputs {inputs:?}");
     }
 }

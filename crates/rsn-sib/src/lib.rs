@@ -194,10 +194,7 @@ mod tests {
         use rsn_itc02::{Module, Soc};
         let soc = Soc {
             name: "nest".into(),
-            modules: vec![
-                Module::top("a", vec![2]),
-                Module::child("b", 0, vec![3]),
-            ],
+            modules: vec![Module::top("a", vec![2]), Module::child("b", 0, vec![3])],
             top_registers: vec![],
         };
         let rsn = generate(&soc).expect("generate");

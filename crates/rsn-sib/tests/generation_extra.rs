@@ -42,10 +42,16 @@ fn deep_hierarchy_exposes_levels_incrementally() {
         let id = rsn.find(sib).expect("sib");
         let vis = rsn.find(newly_visible).expect("inner");
         let before = rsn.active_path(&cfg).expect("valid");
-        assert!(!before.contains(vis), "{newly_visible} hidden before opening {sib}");
+        assert!(
+            !before.contains(vis),
+            "{newly_visible} hidden before opening {sib}"
+        );
         cfg.set_bit(rsn.shadow_offset(id).expect("shadow") as usize, true);
         let after = rsn.active_path(&cfg).expect("valid");
-        assert!(after.contains(vis), "{newly_visible} visible after opening {sib}");
+        assert!(
+            after.contains(vis),
+            "{newly_visible} visible after opening {sib}"
+        );
     }
 }
 
@@ -59,7 +65,9 @@ fn csu_simulation_matches_path_lengths() {
     // Shifting exactly `len` bits brings the injected stream to scan-out.
     let pattern: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
     rsn.csu(&mut st, &pattern, &|_| None).expect("csu 1");
-    let out = rsn.csu(&mut st, &vec![false; len], &|_| None).expect("csu 2");
+    let out = rsn
+        .csu(&mut st, &vec![false; len], &|_| None)
+        .expect("csu 2");
     // CSU 2 shifts out what CSU 1 shifted in — unless CSU 1's update
     // reconfigured the path (it wrote SIB registers!). Verify against the
     // new path length instead.
@@ -105,8 +113,7 @@ fn generated_names_are_unique_and_stable() {
 
 #[test]
 fn group_access_spans_modules() {
-    let soc = parse_soc("SocName t\n1 0 0 0 1 : 4\n2 0 0 0 1 : 4\n3 0 0 0 1 : 4\n")
-        .expect("parse");
+    let soc = parse_soc("SocName t\n1 0 0 0 1 : 4\n2 0 0 0 1 : 4\n3 0 0 0 1 : 4\n").expect("parse");
     let rsn = generate(&soc).expect("generate");
     let targets: Vec<_> = (1..=3)
         .map(|i| rsn.find(&format!("m{i}.c0.seg")).expect("leaf"))

@@ -86,8 +86,8 @@ pub fn costs(rsn: &Rsn, model: &AreaModel) -> NetworkCosts {
                 }
                 c.nets += 1; // scan-in interconnect
                 c.nets += 1; // select net
-                // Select logic: materialized expression gates, or the
-                // synthesis-rule estimate of two gates per fan-out stem.
+                             // Select logic: materialized expression gates, or the
+                             // synthesis-rule estimate of two gates per fan-out stem.
                 let gates = match &s.select {
                     ControlExpr::Const(_) => estimate_stem_gates(rsn, id),
                     e => e.gate_count(),
@@ -197,9 +197,17 @@ mod tests {
         let ft = costs(&result.rsn, &model);
         let o = Overhead::between(&orig, &ft);
         assert!(o.mux_ratio > 1.5, "mux ratio {}", o.mux_ratio);
-        assert!(o.bits_ratio > 1.0 && o.bits_ratio < 1.2, "bits {}", o.bits_ratio);
+        assert!(
+            o.bits_ratio > 1.0 && o.bits_ratio < 1.2,
+            "bits {}",
+            o.bits_ratio
+        );
         assert!(o.nets_ratio > 1.0, "nets {}", o.nets_ratio);
-        assert!(o.area_ratio > 1.0 && o.area_ratio < 1.5, "area {}", o.area_ratio);
+        assert!(
+            o.area_ratio > 1.0 && o.area_ratio < 1.5,
+            "area {}",
+            o.area_ratio
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub struct AugmentOptions {
 
 impl Default for AugmentOptions {
     fn default() -> Self {
-        AugmentOptions { alpha: 0.1, max_candidates: 8 }
+        AugmentOptions {
+            alpha: 0.1,
+            max_candidates: 8,
+        }
     }
 }
 
@@ -115,7 +118,9 @@ pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation,
         let mut cur = v;
         while idom[cur] != usize::MAX && idom[cur] != cur {
             cur = idom[cur];
-            if !parents.contains(&cur) && cur != v && !df.is_sink(cur)
+            if !parents.contains(&cur)
+                && cur != v
+                && !df.is_sink(cur)
                 && !existing.contains(&(cur, v))
             {
                 liveness.push((cur, v));
@@ -136,7 +141,10 @@ pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation,
         if v != df.root {
             let mut ins: Vec<usize> = (0..n)
                 .filter(|&u| {
-                    u != v && !df.is_sink(u) && levels[u] <= levels[v] && !existing.contains(&(u, v))
+                    u != v
+                        && !df.is_sink(u)
+                        && levels[u] <= levels[v]
+                        && !existing.contains(&(u, v))
                 })
                 .collect();
             ins.sort_by(|&a, &b| {
@@ -152,7 +160,10 @@ pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation,
         if v != df.sink {
             let mut outs: Vec<usize> = (0..n)
                 .filter(|&w| {
-                    w != v && !df.is_root(w) && levels[w] >= levels[v] && !existing.contains(&(v, w))
+                    w != v
+                        && !df.is_root(w)
+                        && levels[w] >= levels[v]
+                        && !existing.contains(&(v, w))
                 })
                 .collect();
             outs.sort_by(|&a, &b| {
@@ -250,14 +261,16 @@ pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation,
                 for w in 0..cycle.len() {
                     let a = cycle[w];
                     let b = cycle[(w + 1) % cycle.len()];
-                    if let Some(idx) =
-                        edges_for_cuts.iter().position(|&(i, j)| i == a && j == b)
-                    {
+                    if let Some(idx) = edges_for_cuts.iter().position(|&(i, j)| i == a && j == b) {
                         terms.push((vars_for_cuts[idx], 1.0));
                     }
                 }
                 let rhs = terms.len() as f64 - 1.0;
-                vec![Constraint { terms, op: ConstraintOp::Le, rhs }]
+                vec![Constraint {
+                    terms,
+                    op: ConstraintOp::Le,
+                    rhs,
+                }]
             }
         }
     })?;
@@ -310,11 +323,11 @@ pub fn augment_greedy(df: &Dataflow, opts: &AugmentOptions) -> Augmentation {
     }
 
     let add_edge = |u: usize,
-                        v: usize,
-                        chosen: &mut HashSet<(usize, usize)>,
-                        added: &mut Vec<(usize, usize)>,
-                        indeg: &mut Vec<usize>,
-                        outdeg: &mut Vec<usize>|
+                    v: usize,
+                    chosen: &mut HashSet<(usize, usize)>,
+                    added: &mut Vec<(usize, usize)>,
+                    indeg: &mut Vec<usize>,
+                    outdeg: &mut Vec<usize>|
      -> bool {
         if u == v || chosen.contains(&(u, v)) {
             return false;
@@ -368,15 +381,8 @@ pub fn augment_greedy(df: &Dataflow, opts: &AugmentOptions) -> Augmentation {
                 continue;
             }
             while outdeg[u] < 2 {
-                let partner = pick_target(
-                    df,
-                    &by_level,
-                    &pos_in_level,
-                    &chosen,
-                    u,
-                    level,
-                    max_level,
-                );
+                let partner =
+                    pick_target(df, &by_level, &pos_in_level, &chosen, u, level, max_level);
                 match partner {
                     Some(w) => {
                         add_edge(u, w, &mut chosen, &mut added, &mut indeg, &mut outdeg);
@@ -391,7 +397,13 @@ pub fn augment_greedy(df: &Dataflow, opts: &AugmentOptions) -> Augmentation {
         .iter()
         .map(|&(i, j)| edge_cost(levels, opts.alpha, i, j))
         .sum();
-    let mut aug = Augmentation { added, cost, used_ilp: false, cut_rounds: 0, repairs: 0 };
+    let mut aug = Augmentation {
+        added,
+        cost,
+        used_ilp: false,
+        cut_rounds: 0,
+        repairs: 0,
+    };
     repair(df, &mut aug, opts.alpha);
     aug
 }
@@ -423,9 +435,7 @@ fn pick_source(
     let mut cur = v;
     while idom[cur] != usize::MAX && idom[cur] != cur {
         cur = idom[cur];
-        if !parents.contains(&cur) && cur != v && !df.is_sink(cur)
-            && !chosen.contains(&(cur, v))
-        {
+        if !parents.contains(&cur) && cur != v && !df.is_sink(cur) && !chosen.contains(&(cur, v)) {
             return Some(cur);
         }
         if cur == df.root {
@@ -501,20 +511,18 @@ fn repair(df: &Dataflow, aug: &mut Augmentation, alpha: f64) {
         g.add_edge(i, j);
     }
     for v in 0..df.len() {
-        if v != df.root && in_enforceable(df, v)
-            && vertex_independent_paths(&g, df.root, v) < 2 {
-                g.add_edge(df.root, v);
-                aug.added.push((df.root, v));
-                aug.cost += edge_cost(&df.levels, alpha, df.root, v);
-                aug.repairs += 1;
-            }
-        if v != df.sink && out_enforceable(df, v)
-            && vertex_independent_paths(&g, v, df.sink) < 2 {
-                g.add_edge(v, df.sink);
-                aug.added.push((v, df.sink));
-                aug.cost += edge_cost(&df.levels, alpha, v, df.sink);
-                aug.repairs += 1;
-            }
+        if v != df.root && in_enforceable(df, v) && vertex_independent_paths(&g, df.root, v) < 2 {
+            g.add_edge(df.root, v);
+            aug.added.push((df.root, v));
+            aug.cost += edge_cost(&df.levels, alpha, df.root, v);
+            aug.repairs += 1;
+        }
+        if v != df.sink && out_enforceable(df, v) && vertex_independent_paths(&g, v, df.sink) < 2 {
+            g.add_edge(v, df.sink);
+            aug.added.push((v, df.sink));
+            aug.cost += edge_cost(&df.levels, alpha, v, df.sink);
+            aug.repairs += 1;
+        }
     }
 }
 
@@ -553,7 +561,10 @@ mod tests {
         }
         // Level constraint of E_P: level(j) >= level(i) for added edges.
         for &(i, j) in &aug.added {
-            assert!(df.levels[j] >= df.levels[i], "edge ({i},{j}) violates levels");
+            assert!(
+                df.levels[j] >= df.levels[i],
+                "edge ({i},{j}) violates levels"
+            );
         }
     }
 

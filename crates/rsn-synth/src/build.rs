@@ -145,7 +145,11 @@ impl std::fmt::Display for SynthesisReport {
             self.added_muxes,
             self.added_bits,
             if self.used_ilp { "ILP" } else { "greedy" },
-            if self.selects_materialized { ", selects materialized" } else { "" },
+            if self.selects_materialized {
+                ", selects materialized"
+            } else {
+                ""
+            },
             self.cut_rounds,
             self.repairs,
         )
@@ -193,7 +197,12 @@ fn remap_expr(e: &ControlExpr, map: &[NodeId]) -> ControlExpr {
 /// # Ok::<(), rsn_synth::SynthError>(())
 /// ```
 pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult, SynthError> {
-    let df = Dataflow::extract(rsn);
+    let root = rsn_obs::Span::enter("synthesize");
+    rsn_obs::counter_add("synth.runs", 1);
+
+    let df = phase(&root, "dataflow", "synth.phases.dataflow_ms", || {
+        Dataflow::extract(rsn)
+    });
 
     // 0. Connectivity augmentation.
     let use_ilp = match opts.solver {
@@ -201,12 +210,16 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         SolverChoice::Greedy => false,
         SolverChoice::Auto => df.len() <= opts.ilp_max_vertices.max(1),
     };
-    let augmentation = if use_ilp {
-        augment_ilp(&df, &opts.augment)?
-    } else {
-        augment_greedy(&df, &opts.augment)
-    };
+    let augmentation = phase(&root, "augment", "synth.phases.augment_ms", || {
+        if use_ilp {
+            augment_ilp(&df, &opts.augment)
+        } else {
+            Ok(augment_greedy(&df, &opts.augment))
+        }
+    })?;
 
+    let build_span = root.child("build");
+    let build_start = std::time::Instant::now();
     // 1. Rebuild the original structure (which may itself already be a
     // fault-tolerant network with secondary ports and control inputs).
     let mut b = RsnBuilder::new(format!("{}_ft", rsn.name()));
@@ -302,7 +315,9 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
     };
     // Pick, per added edge, the two routing-bit owners.
     let owner_of = |old: NodeId| -> Option<NodeId> {
-        rsn.node(old).as_segment().and_then(|s| s.has_shadow.then_some(old))
+        rsn.node(old)
+            .as_segment()
+            .and_then(|s| s.has_shadow.then_some(old))
     };
     // Second owner: the *target* segment itself. The target stays on the
     // active scan path whenever its multiplexer is forced to the secondary
@@ -347,12 +362,14 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
     // went through a synthesis round (names like "ft.m0" exist then).
     let gen_prefix = {
         let mut g = 0usize;
-        while rsn.find(&format!("ft{g}.m0")).is_some()
-            || (g == 0 && rsn.find("ft.m0").is_some())
-        {
+        while rsn.find(&format!("ft{g}.m0")).is_some() || (g == 0 && rsn.find("ft.m0").is_some()) {
             g += 1;
         }
-        if g == 0 { "ft".to_string() } else { format!("ft{g}") }
+        if g == 0 {
+            "ft".to_string()
+        } else {
+            format!("ft{g}")
+        }
     };
     let mut take_bit = |owner: Option<NodeId>, b: &mut RsnBuilder| -> ControlExpr {
         match owner {
@@ -376,7 +393,11 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         let bit_b = take_bit(ob, &mut b);
         // a XOR b, with both bits reset to 0: original input selected.
         let addr = (bit_a.clone() & !bit_b.clone()) | (!bit_a & bit_b);
-        let m = b.add_mux(format!("{gen_prefix}.m{k}"), vec![current_driver, src], vec![addr]);
+        let m = b.add_mux(
+            format!("{gen_prefix}.m{k}"),
+            vec![current_driver, src],
+            vec![addr],
+        );
         b.connect(m, tgt);
         report.added_muxes += 1;
     }
@@ -441,16 +462,25 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         }
         b.connect(so2_src, so2);
     }
+    drop(build_span);
+    rsn_obs::gauge_set(
+        "synth.phases.build_ms",
+        build_start.elapsed().as_secs_f64() * 1e3,
+    );
 
     // 3. TMR-harden every multiplexer address net.
-    let mux_ids: Vec<NodeId> = (0..b.node_count() as u32)
-        .map(NodeId)
-        .filter(|&n| b.node(n).as_mux().is_some())
-        .collect();
-    for m in mux_ids {
-        b.harden_mux(m);
-    }
+    phase(&root, "harden", "synth.phases.harden_ms", || {
+        let mux_ids: Vec<NodeId> = (0..b.node_count() as u32)
+            .map(NodeId)
+            .filter(|&n| b.node(n).as_mux().is_some())
+            .collect();
+        for m in mux_ids {
+            b.harden_mux(m);
+        }
+    });
 
+    let select_span = root.child("select");
+    let select_start = std::time::Instant::now();
     // 2b. Select synthesis.
     let materialize = match opts.select_mode {
         SelectMode::Always => true,
@@ -475,8 +505,39 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         }
         b.finish()?
     };
+    drop(select_span);
+    rsn_obs::gauge_set(
+        "synth.phases.select_ms",
+        select_start.elapsed().as_secs_f64() * 1e3,
+    );
 
-    Ok(SynthesisResult { rsn: ft, report, augmentation })
+    rsn_obs::counter_add("synth.added_edges", report.added_edges as u64);
+    rsn_obs::counter_add("synth.added_muxes", report.added_muxes as u64);
+    rsn_obs::counter_add("synth.added_bits", report.added_bits);
+    rsn_obs::counter_add(
+        if report.used_ilp {
+            "synth.ilp_runs"
+        } else {
+            "synth.greedy_runs"
+        },
+        1,
+    );
+
+    Ok(SynthesisResult {
+        rsn: ft,
+        report,
+        augmentation,
+    })
+}
+
+/// Runs one pipeline phase under a child span and records its wall time
+/// as a `synth.phases.*` gauge.
+fn phase<T>(root: &rsn_obs::Span, name: &'static str, gauge: &str, f: impl FnOnce() -> T) -> T {
+    let _span = root.child(name);
+    let start = std::time::Instant::now();
+    let out = f();
+    rsn_obs::gauge_set(gauge, start.elapsed().as_secs_f64() * 1e3);
+    out
 }
 
 #[cfg(test)]
@@ -540,7 +601,10 @@ mod tests {
     fn reset_path_of_ft_network_is_traceable() {
         let rsn = fig2();
         let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
-        let path = result.rsn.trace_path(&result.rsn.reset_config()).expect("traceable");
+        let path = result
+            .rsn
+            .trace_path(&result.rsn.reset_config())
+            .expect("traceable");
         assert!(path.nodes().len() > 2);
     }
 

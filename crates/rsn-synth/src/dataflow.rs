@@ -119,7 +119,16 @@ impl Dataflow {
         if let Some(so2) = rsn.secondary_scan_out() {
             sinks.push(node_vertex[so2.index()]);
         }
-        Dataflow { graph, vertex_node, node_vertex, levels, root, sink, roots, sinks }
+        Dataflow {
+            graph,
+            vertex_node,
+            node_vertex,
+            levels,
+            root,
+            sink,
+            roots,
+            sinks,
+        }
     }
 
     /// Number of vertices.

@@ -77,11 +77,7 @@ pub fn derive_selects(rsn: &Rsn) -> HashMap<NodeId, ControlExpr> {
                                     vec![sel.get(&w).cloned().unwrap_or(ControlExpr::FALSE)];
                                 for (bit, e) in mux.addr_bits.iter().enumerate() {
                                     let want = (k >> bit) & 1 == 1;
-                                    conj.push(if want {
-                                        e.clone()
-                                    } else {
-                                        !e.clone()
-                                    });
+                                    conj.push(if want { e.clone() } else { !e.clone() });
                                 }
                                 alts.push(ControlExpr::And(conj));
                             }

@@ -7,9 +7,7 @@ use rsn_itc02::by_name;
 use rsn_sib::generate;
 use rsn_synth::area::{costs, AreaModel, Overhead};
 use rsn_synth::select::derive_selects;
-use rsn_synth::{
-    synthesize, Dataflow, SelectMode, SolverChoice, SynthesisOptions,
-};
+use rsn_synth::{synthesize, Dataflow, SelectMode, SolverChoice, SynthesisOptions};
 
 #[test]
 fn synthesized_selects_have_multiple_stems() {

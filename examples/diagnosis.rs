@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The "defective part": a stuck-at fault we pretend not to know.
     let secret = rsn.find("m2.c0.sib").expect("exists");
-    let injected = Fault { site: FaultSite::SegmentShadow(secret), value: false, weight: 1 };
+    let injected = Fault {
+        site: FaultSite::SegmentShadow(secret),
+        value: false,
+        weight: 1,
+    };
 
     // The tester measures which segments are still accessible.
     let observed = Signature::predicted(&rsn, &injected, profile);
@@ -49,14 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in candidates {
         println!("  {c}  at element {}", rsn.node(c.site.node()).name());
     }
-    assert!(candidates.contains(&injected), "true fault must be a candidate");
+    assert!(
+        candidates.contains(&injected),
+        "true fault must be a candidate"
+    );
 
     // For comparison: the same fault in the fault-tolerant network barely
     // perturbs the signature, which is the point of the synthesis — but
     // the dictionary still distinguishes it from fault-free operation.
     let ft = ftrsn::synth::synthesize(&rsn, &ftrsn::synth::SynthesisOptions::new())?;
     let ft_secret = ft.rsn.find("m2.c0.sib").expect("preserved");
-    let ft_fault = Fault { site: FaultSite::SegmentShadow(ft_secret), value: false, weight: 1 };
+    let ft_fault = Fault {
+        site: FaultSite::SegmentShadow(ft_secret),
+        value: false,
+        weight: 1,
+    };
     let ft_observed = Signature::predicted(&ft.rsn, &ft_fault, HardeningProfile::hardened());
     println!(
         "\nsame fault in the fault-tolerant network: {}/{} segments inaccessible",

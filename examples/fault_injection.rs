@@ -20,7 +20,9 @@ fn report(rsn: &Rsn, profile: HardeningProfile, label: &str) {
     for fault in fault_universe(rsn) {
         let node = fault.site.node();
         let name = rsn.node(node).name();
-        if !interesting.contains(&name) || !matches!(fault.site, ftrsn::fault::FaultSite::SegmentData(_)) {
+        if !interesting.contains(&name)
+            || !matches!(fault.site, ftrsn::fault::FaultSite::SegmentData(_))
+        {
             continue;
         }
         let effect = effect_of(rsn, &fault, profile);
@@ -34,7 +36,11 @@ fn report(rsn: &Rsn, profile: HardeningProfile, label: &str) {
             "fault {fault:<24} accessible {}/{} | lost: {}",
             acc.accessible_segments,
             acc.total_segments,
-            if lost.is_empty() { "-".to_string() } else { lost.join(", ") }
+            if lost.is_empty() {
+                "-".to_string()
+            } else {
+                lost.join(", ")
+            }
         );
     }
 }
@@ -51,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rsn.muxes().count()
     );
 
-    report(&rsn, HardeningProfile::unhardened(), "original SIB-based RSN");
+    report(
+        &rsn,
+        HardeningProfile::unhardened(),
+        "original SIB-based RSN",
+    );
 
     let ft = synthesize(&rsn, &SynthesisOptions::new())?;
     println!(

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.report.added_edges,
         result.report.added_muxes,
         result.report.added_bits,
-        if result.report.used_ilp { "ILP" } else { "greedy" },
+        if result.report.used_ilp {
+            "ILP"
+        } else {
+            "greedy"
+        },
     );
 
     let after = analyze_parallel(&result.rsn, HardeningProfile::hardened());

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {} -> {}", df.name(&rsn, u), df.name(&rsn, v));
     }
     let opts = AugmentOptions::default();
-    println!("potential edges E_P \\ E (cost = 1 + α·Δlevel, α = {}):", opts.alpha);
+    println!(
+        "potential edges E_P \\ E (cost = 1 + α·Δlevel, α = {}):",
+        opts.alpha
+    );
     for i in 0..df.len() {
         for j in 0..df.len() {
             if i == j || j == df.root || i == df.sink || df.levels[j] < df.levels[i] {
@@ -45,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             let cost = ftrsn::synth::augment::edge_cost(&df.levels, opts.alpha, i, j);
-            println!("  {} -> {}  (cost {:.2})", df.name(&rsn, i), df.name(&rsn, j), cost);
+            println!(
+                "  {} -> {}  (cost {:.2})",
+                df.name(&rsn, i),
+                df.name(&rsn, j),
+                cost
+            );
         }
     }
     let aug = augment_ilp(&df, &opts)?;

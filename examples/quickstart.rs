@@ -12,8 +12,12 @@ use ftrsn::synth::{synthesize, SynthesisOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The original network: the paper's Fig. 2 example.
     let rsn = fig2();
-    println!("original network: {} segments, {} muxes, {} bits",
-        rsn.segments().count(), rsn.muxes().count(), rsn.total_bits());
+    println!(
+        "original network: {} segments, {} muxes, {} bits",
+        rsn.segments().count(),
+        rsn.muxes().count(),
+        rsn.total_bits()
+    );
 
     // 2. Quantify its fault tolerance: fraction of segments accessible in
     //    presence of each single stuck-at fault.

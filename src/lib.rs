@@ -10,6 +10,7 @@
 //! * [`bmc`] — bounded model checking of RSN accessibility.
 //! * [`fault`] — stuck-at fault model and the fault-tolerance metric.
 //! * [`ilp`] — simplex / branch-and-bound 0-1 ILP solver.
+//! * [`obs`] — spans, counters/gauges, log facade, run reports.
 //! * [`synth`] — the paper's synthesis: graph augmentation + hardening.
 //! * [`itc02`] — ITC'02 SoC benchmark parsing and the embedded suite.
 //! * [`sib`] — SIB-based RSN generation.
@@ -28,11 +29,12 @@
 
 pub use rsn_bmc as bmc;
 pub use rsn_core as core;
+pub use rsn_export as export;
 pub use rsn_fault as fault;
 pub use rsn_graph as graph;
 pub use rsn_ilp as ilp;
 pub use rsn_itc02 as itc02;
+pub use rsn_obs as obs;
 pub use rsn_sat as sat;
 pub use rsn_sib as sib;
-pub use rsn_export as export;
 pub use rsn_synth as synth;

@@ -13,7 +13,11 @@ fn whole_suite_exports_verilog_and_icl() {
         let rsn = generate(&soc).expect("generate");
         let v = to_verilog(&rsn);
         let icl = to_icl(&rsn);
-        assert!(v.contains(&format!("module {} (", soc.name)), "{}", soc.name);
+        assert!(
+            v.contains(&format!("module {} (", soc.name)),
+            "{}",
+            soc.name
+        );
         assert!(v.contains("endmodule"), "{}", soc.name);
         assert_eq!(
             icl.matches('{').count(),
@@ -41,7 +45,10 @@ fn whole_suite_exports_verilog_and_icl() {
 #[test]
 fn small_suite_ft_exports() {
     for name in ["u226", "x1331", "q12710"] {
-        let soc = suite().into_iter().find(|s| s.name == name).expect("embedded");
+        let soc = suite()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("embedded");
         let rsn = generate(&soc).expect("generate");
         let ft = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
         let v = to_verilog(&ft.rsn);
@@ -54,7 +61,10 @@ fn small_suite_ft_exports() {
 
 #[test]
 fn pdl_scripts_cover_sampled_accesses() {
-    let soc = suite().into_iter().find(|s| s.name == "q12710").expect("embedded");
+    let soc = suite()
+        .into_iter()
+        .find(|s| s.name == "q12710")
+        .expect("embedded");
     let rsn = generate(&soc).expect("generate");
     let reset = rsn.reset_config();
     for seg in rsn.segments().take(10) {

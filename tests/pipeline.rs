@@ -74,10 +74,22 @@ fn overhead_ratios_have_paper_shape() {
         let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
         let o = Overhead::between(&costs(&rsn, &model), &costs(&result.rsn, &model));
         // Mux ratio in the paper's order of magnitude (they report ≈3.5).
-        assert!(o.mux_ratio > 2.0 && o.mux_ratio < 4.5, "{name}: mux {}", o.mux_ratio);
+        assert!(
+            o.mux_ratio > 2.0 && o.mux_ratio < 4.5,
+            "{name}: mux {}",
+            o.mux_ratio
+        );
         // Bit and area overhead bounded and ≥ 1.
-        assert!(o.bits_ratio >= 1.0 && o.bits_ratio < 1.6, "{name}: bits {}", o.bits_ratio);
-        assert!(o.area_ratio >= 1.0 && o.area_ratio < 1.7, "{name}: area {}", o.area_ratio);
+        assert!(
+            o.bits_ratio >= 1.0 && o.bits_ratio < 1.6,
+            "{name}: bits {}",
+            o.bits_ratio
+        );
+        assert!(
+            o.area_ratio >= 1.0 && o.area_ratio < 1.7,
+            "{name}: area {}",
+            o.area_ratio
+        );
         area_by_bits.push((t.bits, o.area_ratio));
     }
     // Paper shape: area overhead shrinks as scan bits dominate.
@@ -99,7 +111,10 @@ fn synthesis_preserves_reset_path() {
         let rsn = generate(&soc).expect("generate");
         let result = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
         let orig_path = rsn.trace_path(&rsn.reset_config()).expect("orig");
-        let ft_path = result.rsn.trace_path(&result.rsn.reset_config()).expect("ft");
+        let ft_path = result
+            .rsn
+            .trace_path(&result.rsn.reset_config())
+            .expect("ft");
         let orig_names: Vec<String> = orig_path
             .segments(&rsn)
             .map(|s| rsn.node(s).name().to_string())

@@ -39,8 +39,12 @@ fn ft_session_accesses_every_original_segment() {
         let len = ft.rsn.node(id).as_segment().expect("segment").length as usize;
         // Routing-neutral pattern: original registers may own routing bits.
         let pattern = vec![false; len];
-        session.write(id, &pattern).unwrap_or_else(|e| panic!("write {name}: {e}"));
-        let (value, _) = session.read(id).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        session
+            .write(id, &pattern)
+            .unwrap_or_else(|e| panic!("write {name}: {e}"));
+        let (value, _) = session
+            .read(id)
+            .unwrap_or_else(|e| panic!("read {name}: {e}"));
         assert_eq!(value, pattern, "{name}");
     }
     assert!(session.accesses() >= 2 * rsn.segments().count() as u64);
@@ -55,5 +59,8 @@ fn session_cycle_accounting_matches_latency_report_scale() {
     let expected = report.cycles(leaf).expect("plannable");
     let mut session = AccessSession::new(&rsn);
     let cycles = session.write(leaf, &[false; 8]).expect("write");
-    assert_eq!(cycles, expected, "session accounting equals the latency report");
+    assert_eq!(
+        cycles, expected,
+        "session accounting equals the latency report"
+    );
 }
