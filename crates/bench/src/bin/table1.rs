@@ -3,6 +3,7 @@
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
 //!        [--paper] [--ablation] [--sweep-alpha] [--json PATH]
+//!        [--bench-access PATH]
 //! ```
 //!
 //! Without arguments, the full table is printed over all 13 embedded
@@ -13,13 +14,21 @@
 //! benchmark row: counters, gauges and the span tree — see the rsn-obs
 //! `RunReport` schema) is written to PATH. Small benchmarks additionally
 //! run a BMC spot check so SAT solver statistics appear in the report.
+//!
+//! With `--bench-access PATH`, only the accessibility-engine throughput
+//! measurement runs (fault-universe size, seconds and faults/sec for the
+//! original and fault-tolerant RSN of each selected benchmark) and a
+//! `bench-access-v1` JSON document is written to PATH next to the recorded
+//! pre-refactor seed baseline. Defaults to `q12710` + `p93791` when no
+//! `--bench` is given.
 
 use std::collections::HashSet;
 use std::env;
 use std::time::Instant;
 
 use bench::{
-    bmc_spot_check, evaluate, evaluate_weighted, evaluate_with, format_row, Row, BENCHMARKS,
+    bench_access, bmc_spot_check, evaluate, evaluate_weighted, evaluate_with, format_row,
+    AccessSweep, Row, BENCHMARKS,
 };
 use rsn_fault::WeightModel;
 use rsn_itc02::by_name;
@@ -61,6 +70,77 @@ fn run_double(names: &[&str]) {
             hard.avg_segments
         );
     }
+}
+
+/// Pre-refactor throughput, measured at the seed commit on the reference
+/// machine (1 hardware thread): `(name, network, faults, faults/sec)`.
+/// Kept in `BENCH_access.json` so the perf trajectory of the
+/// accessibility engine stays visible across PRs. Only sweeps that were
+/// actually timed at the seed are recorded (q12710's FT sweep was not).
+const SEED_BASELINE: [(&str, &str, usize, f64); 3] = [
+    ("q12710", "sib", 480, 55_840.0),
+    ("p93791", "sib", 12_212, 2_560.0),
+    ("p93791", "ft", 26_608, 310.0),
+];
+
+fn sweep_json(s: &AccessSweep) -> Json {
+    let mut o = Json::obj();
+    o.set("faults", Json::Num(s.faults as f64));
+    o.set("seconds", Json::Num(s.seconds));
+    o.set("faults_per_sec", Json::Num(s.faults_per_sec));
+    o.set("avg_segments", Json::Num(s.avg_segments));
+    o
+}
+
+fn run_bench_access(names: &[&str], path: &str) {
+    println!("Accessibility-engine throughput (fault universe, full sweep)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>12} | {:>10} {:>9} {:>12}",
+        "SoC", "sib flts", "sib s", "sib flt/s", "ft flts", "ft s", "ft flt/s"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for name in names {
+        let b = bench_access(name);
+        println!(
+            "{name:<8} {:>10} {:>9.3} {:>12.0} | {:>10} {:>9.3} {:>12.0}",
+            b.sib.faults,
+            b.sib.seconds,
+            b.sib.faults_per_sec,
+            b.ft.faults,
+            b.ft.seconds,
+            b.ft.faults_per_sec
+        );
+        let mut row = Json::obj();
+        row.set("name", Json::Str(b.name.clone()));
+        row.set("sib", sweep_json(&b.sib));
+        row.set("ft", sweep_json(&b.ft));
+        rows.push(row);
+    }
+    let mut seed = Json::obj();
+    for (name, network, faults, fps) in SEED_BASELINE {
+        let mut sweep = Json::obj();
+        sweep.set("faults", Json::Num(faults as f64));
+        sweep.set("faults_per_sec", Json::Num(fps));
+        if let Some(entry) = seed.get(name) {
+            let mut entry = entry.clone();
+            entry.set(network, sweep);
+            seed.set(name, entry);
+        } else {
+            let mut entry = Json::obj();
+            entry.set(network, sweep);
+            seed.set(name, entry);
+        }
+    }
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str("bench-access-v1".to_string()));
+    doc.set(
+        "generated_by",
+        Json::Str("table1 --bench-access".to_string()),
+    );
+    doc.set("seed_baseline", seed);
+    doc.set("rows", Json::Arr(rows));
+    std::fs::write(path, doc.to_string_pretty(2)).expect("write bench-access json");
+    println!("wrote access throughput to {path}");
 }
 
 fn run_latency(names: &[&str]) {
@@ -179,6 +259,7 @@ fn main() {
     let mut double = false;
     let mut weights = WeightModel::Ports;
     let mut json_path: Option<String> = None;
+    let mut bench_access_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -210,12 +291,25 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).expect("--json needs a path").clone());
             }
+            "--bench-access" => {
+                i += 1;
+                bench_access_path = Some(args.get(i).expect("--bench-access needs a path").clone());
+            }
             "--section" => {
                 i += 1; // sections are printed together; flag kept for CLI
             }
             other => panic!("unknown flag {other}"),
         }
         i += 1;
+    }
+    if let Some(path) = bench_access_path {
+        let sel = if names.is_empty() {
+            vec!["q12710", "p93791"]
+        } else {
+            names
+        };
+        run_bench_access(&sel, &path);
+        return;
     }
     if names.is_empty() {
         names = BENCHMARKS.to_vec();

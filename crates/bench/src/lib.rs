@@ -10,7 +10,10 @@
 use std::time::{Duration, Instant};
 
 use rsn_core::Rsn;
-use rsn_fault::{analyze_parallel_with, FaultToleranceReport, HardeningProfile, WeightModel};
+use rsn_fault::{
+    analyze_faults_on, analyze_parallel_with, fault_universe_weighted, AccessEngine,
+    FaultToleranceReport, HardeningProfile, WeightModel,
+};
 use rsn_itc02::{by_name, TableTargets};
 use rsn_sib::generate;
 use rsn_synth::area::{costs, AreaModel, Overhead};
@@ -151,6 +154,85 @@ pub fn bmc_spot_check(rsn: &Rsn, steps: usize, max_nodes: usize, max_targets: us
     rsn_obs::counter_add("bench.bmc_checked", checked);
     rsn_obs::counter_add("bench.bmc_mismatches", mismatches);
     (checked, mismatches)
+}
+
+/// One timed accessibility sweep: the full weighted fault universe of a
+/// network evaluated through a freshly built [`AccessEngine`].
+///
+/// The timed region covers engine construction *and* the per-fault sweep,
+/// so `faults_per_sec` is comparable with an end-to-end
+/// [`analyze_parallel_with`] call (the quantity tracked in
+/// `BENCH_access.json`).
+#[derive(Debug, Clone)]
+pub struct AccessSweep {
+    /// Faults in the universe (each evaluated exactly once).
+    pub faults: usize,
+    /// Wall-clock seconds for engine build + sweep.
+    pub seconds: f64,
+    /// `faults / seconds`.
+    pub faults_per_sec: f64,
+    /// Weighted-average segment accessibility — a correctness anchor so a
+    /// throughput gain can't silently come from computing the wrong thing.
+    pub avg_segments: f64,
+}
+
+/// Engine throughput of one benchmark: the original SIB-RSN and its
+/// synthesized fault-tolerant counterpart, each swept once.
+#[derive(Debug, Clone)]
+pub struct AccessBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Sweep of the original SIB-RSN (unhardened profile).
+    pub sib: AccessSweep,
+    /// Sweep of the fault-tolerant RSN (hardened profile).
+    pub ft: AccessSweep,
+}
+
+fn timed_sweep(rsn: &Rsn, profile: HardeningProfile) -> AccessSweep {
+    let faults = fault_universe_weighted(rsn, WeightModel::Ports);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16)
+        .min(faults.len().div_ceil(64).max(1));
+    let t0 = Instant::now();
+    let engine = AccessEngine::new(rsn);
+    let report = analyze_faults_on(&engine, &faults, profile, threads);
+    let seconds = t0.elapsed().as_secs_f64();
+    AccessSweep {
+        faults: faults.len(),
+        seconds,
+        faults_per_sec: faults.len() as f64 / seconds.max(1e-9),
+        avg_segments: report.avg_segments,
+    }
+}
+
+/// Measures accessibility-engine throughput on one embedded benchmark:
+/// generates the SIB-RSN, sweeps its fault universe, synthesizes the
+/// fault-tolerant RSN and sweeps that too. Records
+/// `bench.access_sib_faults_per_sec` / `bench.access_ft_faults_per_sec`
+/// gauges (the per-sweep `fault.faults_per_sec` gauge is also set by the
+/// inner [`analyze_faults_on`] calls).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the embedded benchmarks or synthesis
+/// fails (the embedded suite is expected to succeed end to end).
+pub fn bench_access(name: &str) -> AccessBench {
+    let _span = rsn_obs::Span::enter("bench_access");
+    let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let rsn = generate(&soc).expect("SIB generation succeeds on embedded suite");
+    let sib = timed_sweep(&rsn, HardeningProfile::unhardened());
+    rsn_obs::gauge_set("bench.access_sib_faults_per_sec", sib.faults_per_sec);
+    let ft_rsn = synthesize(&rsn, &SynthesisOptions::new())
+        .expect("synthesis succeeds")
+        .rsn;
+    let ft = timed_sweep(&ft_rsn, HardeningProfile::hardened());
+    rsn_obs::gauge_set("bench.access_ft_faults_per_sec", ft.faults_per_sec);
+    AccessBench {
+        name: name.to_string(),
+        sib,
+        ft,
+    }
 }
 
 /// The 13 benchmark names in Table I order.

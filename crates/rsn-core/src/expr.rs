@@ -203,6 +203,84 @@ impl Default for ControlExpr {
     }
 }
 
+/// A [`ControlExpr`] with every shadow-register reference resolved to a
+/// dense bit index at compile time.
+///
+/// Fault-analysis engines evaluate the same multiplexer address
+/// expressions once per fault per fixed-point round; resolving `(node,
+/// bit)` register references to indices into a flat state vector up front
+/// turns each evaluation step into an array access instead of a hash-map
+/// lookup. The index space is chosen by the caller of
+/// [`ControlExpr::compile`] (typically the sorted list of all control bits
+/// referenced by any multiplexer of a network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledExpr {
+    /// Constant true/false.
+    Const(bool),
+    /// A resolved shadow-register bit: index into the caller's dense state
+    /// vector.
+    Bit(u32),
+    /// A primary control input (always freely drivable).
+    Input(InputId),
+    /// A register reference the resolver could not map. Consumers must
+    /// treat it conservatively (a fault engine: unsatisfiable either way).
+    Unknown,
+    /// Logical negation.
+    Not(Box<CompiledExpr>),
+    /// Conjunction of all operands (empty conjunction is `true`).
+    And(Vec<CompiledExpr>),
+    /// Disjunction of all operands (empty disjunction is `false`).
+    Or(Vec<CompiledExpr>),
+}
+
+impl ControlExpr {
+    /// Compiles the expression against a dense control-bit index.
+    ///
+    /// `resolve` maps a `(node, bit)` shadow-register reference to its
+    /// dense index; references it returns `None` for become
+    /// [`CompiledExpr::Unknown`].
+    pub fn compile(&self, resolve: &mut dyn FnMut(NodeId, u32) -> Option<u32>) -> CompiledExpr {
+        match self {
+            ControlExpr::Const(b) => CompiledExpr::Const(*b),
+            ControlExpr::Reg(n, bit) => match resolve(*n, *bit) {
+                Some(idx) => CompiledExpr::Bit(idx),
+                None => CompiledExpr::Unknown,
+            },
+            ControlExpr::Input(i) => CompiledExpr::Input(*i),
+            ControlExpr::Not(e) => CompiledExpr::Not(Box::new(e.compile(resolve))),
+            ControlExpr::And(es) => {
+                CompiledExpr::And(es.iter().map(|e| e.compile(resolve)).collect())
+            }
+            ControlExpr::Or(es) => {
+                CompiledExpr::Or(es.iter().map(|e| e.compile(resolve)).collect())
+            }
+        }
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluates the compiled expression with the given valuations.
+    ///
+    /// `bit` returns the value of a dense register-bit index and `input`
+    /// the value of a primary control input; [`CompiledExpr::Unknown`]
+    /// evaluates to `false`.
+    pub fn eval_with(
+        &self,
+        bit: &mut dyn FnMut(u32) -> bool,
+        input: &mut dyn FnMut(InputId) -> bool,
+    ) -> bool {
+        match self {
+            CompiledExpr::Const(b) => *b,
+            CompiledExpr::Bit(i) => bit(*i),
+            CompiledExpr::Input(i) => input(*i),
+            CompiledExpr::Unknown => false,
+            CompiledExpr::Not(e) => !e.eval_with(bit, input),
+            CompiledExpr::And(es) => es.iter().all(|e| e.eval_with(bit, input)),
+            CompiledExpr::Or(es) => es.iter().any(|e| e.eval_with(bit, input)),
+        }
+    }
+}
+
 impl std::ops::Not for ControlExpr {
     type Output = ControlExpr;
     fn not(self) -> ControlExpr {
@@ -368,6 +446,46 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("¬"), "{s}");
         assert!(s.contains("in2"), "{s}");
+    }
+
+    #[test]
+    fn compile_resolves_register_refs_to_dense_indices() {
+        let e = (ControlExpr::reg(NodeId(1), 0) & !ControlExpr::reg(NodeId(2), 4))
+            | ControlExpr::input(0);
+        // Dense index: node 1 bit 0 → 7, node 2 bit 4 → 9, others unknown.
+        let c = e.compile(&mut |n, b| match (n.0, b) {
+            (1, 0) => Some(7),
+            (2, 4) => Some(9),
+            _ => None,
+        });
+        // Compiled and source expressions agree on every bit valuation.
+        for m in 0u8..4 {
+            let src = e.eval_with(
+                &mut |n, b| match (n.0, b) {
+                    (1, 0) => m & 1 == 1,
+                    (2, 4) => m & 2 == 2,
+                    _ => false,
+                },
+                &mut |_| false,
+            );
+            let cmp = c.eval_with(
+                &mut |i| match i {
+                    7 => m & 1 == 1,
+                    9 => m & 2 == 2,
+                    _ => false,
+                },
+                &mut |_| false,
+            );
+            assert_eq!(src, cmp, "m={m}");
+        }
+    }
+
+    #[test]
+    fn compile_maps_unresolved_refs_to_unknown() {
+        let e = ControlExpr::reg(NodeId(3), 1);
+        let c = e.compile(&mut |_, _| None);
+        assert_eq!(c, CompiledExpr::Unknown);
+        assert!(!c.eval_with(&mut |_| true, &mut |_| true));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod session;
 
 pub use config::Config;
 pub use error::{Error, Result};
-pub use expr::{ControlExpr, InputId};
+pub use expr::{CompiledExpr, ControlExpr, InputId};
 pub use lint::LintWarning;
 pub use network::{Mux, Node, NodeId, NodeKind, Rsn, RsnBuilder, Segment};
 pub use path::ScanPath;

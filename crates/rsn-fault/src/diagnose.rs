@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use rsn_core::{NodeId, Rsn};
 
 use crate::effect::effect_of;
-use crate::engine::accessibility;
+use crate::engine::{AccessEngine, Scratch};
 use crate::fault::{fault_universe, Fault};
 use crate::metric::HardeningProfile;
 
@@ -43,13 +43,28 @@ impl Signature {
     /// The predicted signature of a fault: the engine's per-segment
     /// accessibility.
     pub fn predicted(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> Self {
+        let engine = AccessEngine::new(rsn);
+        let mut scratch = engine.scratch();
+        Signature::predicted_on(&engine, &mut scratch, fault, profile)
+    }
+
+    /// [`Signature::predicted`] on a prebuilt [`AccessEngine`] — used by
+    /// [`FaultDictionary::build`] to amortize precomputation over the
+    /// whole fault universe.
+    pub fn predicted_on(
+        engine: &AccessEngine<'_>,
+        scratch: &mut Scratch,
+        fault: &Fault,
+        profile: HardeningProfile,
+    ) -> Self {
+        let rsn = engine.rsn();
         let effect = effect_of(rsn, fault, profile);
         if effect.is_benign() {
             return Signature {
                 bits: vec![true; rsn.segments().count()],
             };
         }
-        let acc = accessibility(rsn, &effect);
+        let acc = engine.accessibility(&effect, scratch);
         Signature {
             bits: rsn.segments().map(|s| acc.accessible[s.index()]).collect(),
         }
@@ -97,9 +112,11 @@ impl FaultDictionary {
     /// assert!(dict.class_count() > 1);
     /// ```
     pub fn build(rsn: &Rsn, profile: HardeningProfile) -> Self {
+        let engine = AccessEngine::new(rsn);
+        let mut scratch = engine.scratch();
         let mut classes: HashMap<Signature, Vec<Fault>> = HashMap::new();
         for fault in fault_universe(rsn) {
-            let sig = Signature::predicted(rsn, &fault, profile);
+            let sig = Signature::predicted_on(&engine, &mut scratch, &fault, profile);
             classes.entry(sig).or_default().push(fault);
         }
         FaultDictionary {

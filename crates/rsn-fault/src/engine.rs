@@ -19,10 +19,24 @@
 //! reset configuration and monotonically *promotes* control bits to fully
 //! controllable once their owner is proven writable — starting pessimistic
 //! keeps the verdict sound (no circular self-justification).
+//!
+//! # Engine architecture
+//!
+//! The fault-tolerance metric evaluates accessibility once per stuck-at
+//! fault, so everything that does not depend on the fault is precomputed
+//! once in [`AccessEngine::new`]: the dense control-bit index, reset
+//! values, roots/sinks, per-node edge lists with multiplexer input
+//! indices, and the multiplexer address expressions *compiled* against the
+//! dense index ([`CompiledExpr`]), so the per-fault fixed point evaluates
+//! over a flat `Vec<BitState>` instead of hash-map lookups. Per-fault
+//! working memory lives in a caller-owned [`Scratch`] so sweeps over
+//! thousands of faults allocate nothing in the hot loop.
+//!
+//! The free function [`accessibility`] remains as a one-shot convenience
+//! wrapper; any caller evaluating more than one fault should build an
+//! engine and reuse it.
 
-use std::collections::HashMap;
-
-use rsn_core::{Config, ControlExpr, NodeId, NodeKind, Rsn};
+use rsn_core::{CompiledExpr, Config, NodeId, NodeKind, Rsn};
 
 use crate::effect::FaultEffect;
 
@@ -110,32 +124,31 @@ impl BitState {
     }
 }
 
-/// Decides whether `expr` can be made to evaluate to `want` given the
-/// current control-bit states. Unknown references are conservatively
-/// unsatisfiable.
-fn can_set(expr: &ControlExpr, want: bool, states: &HashMap<(NodeId, u32), BitState>) -> bool {
+/// Decides whether a compiled expression can be made to evaluate to
+/// `want` given the current control-bit states. Unresolved references are
+/// conservatively unsatisfiable; primary inputs are always drivable.
+fn can_set(expr: &CompiledExpr, want: bool, states: &[BitState]) -> bool {
     match expr {
-        ControlExpr::Const(b) => *b == want,
-        ControlExpr::Reg(n, bit) => match states.get(&(*n, *bit)) {
-            Some(s) => {
-                if want {
-                    s.can1
-                } else {
-                    s.can0
-                }
+        CompiledExpr::Const(b) => *b == want,
+        CompiledExpr::Bit(i) => {
+            let s = states[*i as usize];
+            if want {
+                s.can1
+            } else {
+                s.can0
             }
-            None => false,
-        },
-        ControlExpr::Input(_) => true, // primary inputs are always drivable
-        ControlExpr::Not(e) => can_set(e, !want, states),
-        ControlExpr::And(es) => {
+        }
+        CompiledExpr::Input(_) => true,
+        CompiledExpr::Unknown => false,
+        CompiledExpr::Not(e) => can_set(e, !want, states),
+        CompiledExpr::And(es) => {
             if want {
                 es.iter().all(|e| can_set(e, true, states))
             } else {
                 es.iter().any(|e| can_set(e, false, states))
             }
         }
-        ControlExpr::Or(es) => {
+        CompiledExpr::Or(es) => {
             if want {
                 es.iter().any(|e| can_set(e, true, states))
             } else {
@@ -145,137 +158,529 @@ fn can_set(expr: &ControlExpr, want: bool, states: &HashMap<(NodeId, u32), BitSt
     }
 }
 
-struct EngineCtx<'a> {
-    rsn: &'a Rsn,
-    clean: Vec<bool>,
-    /// corrupt input edges per mux node index.
-    corrupt_inputs: HashMap<(NodeId, usize), ()>,
-    forced_mux: &'a HashMap<NodeId, usize>,
-    states: HashMap<(NodeId, u32), BitState>,
-    roots: Vec<NodeId>,
-    sinks: Vec<NodeId>,
+/// A dataflow edge `u → v` as seen from `u`. `mux_input` is `Some(k)`
+/// when `v` is a multiplexer whose input `k` is driven by `u` (one edge
+/// per matching input index).
+#[derive(Debug, Clone, Copy)]
+struct FwdEdge {
+    to: NodeId,
+    mux_input: Option<u32>,
 }
 
-impl<'a> EngineCtx<'a> {
-    /// `true` if mux input `k` of `m` can be selected under the current
-    /// control states.
-    fn configurable(&self, m: NodeId, k: usize) -> bool {
-        if let Some(&forced) = self.forced_mux.get(&m) {
-            return forced == k;
+/// A dataflow edge `u → v` as seen from `v`. `mux_input` is `Some(k)`
+/// when `v` itself is a multiplexer receiving `u` on input `k`.
+#[derive(Debug, Clone, Copy)]
+struct BwdEdge {
+    from: NodeId,
+    mux_input: Option<u32>,
+}
+
+/// Fault-independent data of one multiplexer: its address bits compiled
+/// against the engine's dense control-bit index.
+#[derive(Debug, Clone)]
+struct MuxInfo {
+    node: NodeId,
+    addr: Vec<CompiledExpr>,
+    inputs: u32,
+}
+
+/// Reusable, fault-independent accessibility engine over one network.
+///
+/// Construction precomputes the dense control-bit index, reset states,
+/// roots/sinks, per-node edge lists and compiled multiplexer addresses;
+/// [`AccessEngine::accessibility`] then evaluates one [`FaultEffect`]
+/// using caller-owned [`Scratch`] buffers.
+///
+/// # Example
+///
+/// ```
+/// use rsn_core::examples::fig2;
+/// use rsn_fault::{AccessEngine, FaultEffect};
+///
+/// let rsn = fig2();
+/// let engine = AccessEngine::new(&rsn);
+/// let mut scratch = engine.scratch();
+/// let acc = engine.accessibility(&FaultEffect::benign(), &mut scratch);
+/// assert_eq!(acc.segment_fraction(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct AccessEngine<'r> {
+    rsn: &'r Rsn,
+    /// All control bits referenced by any multiplexer address, sorted —
+    /// position is the dense index used by `CompiledExpr::Bit`.
+    bits: Vec<(NodeId, u32)>,
+    /// Reset-value bootstrap state per dense bit.
+    reset_states: Vec<BitState>,
+    /// Dataflow roots (primary + secondary scan-in).
+    roots: Vec<NodeId>,
+    /// Dataflow sinks (primary + secondary scan-out).
+    sinks: Vec<NodeId>,
+    /// Compiled multiplexers, in arena order.
+    muxes: Vec<MuxInfo>,
+    /// node index → index into `muxes` (`u32::MAX` for non-mux nodes).
+    mux_slot: Vec<u32>,
+    /// Successor edges per node.
+    fwd: Vec<Vec<FwdEdge>>,
+    /// Predecessor edges per node.
+    bwd: Vec<Vec<BwdEdge>>,
+    /// Segment nodes with their scan-bit lengths.
+    segments: Vec<(NodeId, u64)>,
+    /// Total scan bits over all segments.
+    total_bits: u64,
+    /// Cached reset configuration.
+    reset: Config,
+}
+
+/// Caller-owned per-fault working memory of an [`AccessEngine`].
+///
+/// One `Scratch` serves any number of sequential `accessibility` calls on
+/// the engine that created it; parallel sweeps use one per worker.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Attainable-value state per dense control bit.
+    states: Vec<BitState>,
+    /// Per-node cleanliness under the current fault.
+    clean: Vec<bool>,
+    reach_clean: Vec<bool>,
+    reach_any: Vec<bool>,
+    can_exit: Vec<bool>,
+    /// DFS stack shared by all traversals.
+    stack: Vec<NodeId>,
+    /// Per-mux configurable-input bitmask for the current round (bit `k`
+    /// set ⇔ input `k` selectable; inputs ≥ 64 use the slow path).
+    mux_mask: Vec<u64>,
+    /// Per-address-bit `(can0, can1)` staging used while building masks.
+    addr_can: Vec<(bool, bool)>,
+}
+
+impl<'r> AccessEngine<'r> {
+    /// Precomputes all fault-independent state of `rsn`.
+    pub fn new(rsn: &'r Rsn) -> Self {
+        let n = rsn.node_count();
+
+        // Dense control-bit index: every register bit referenced by any
+        // multiplexer address, sorted and deduplicated.
+        let mut bits = Vec::new();
+        for m in rsn.muxes() {
+            for expr in &rsn
+                .node(m)
+                .as_mux()
+                .expect("muxes() yields muxes")
+                .addr_bits
+            {
+                expr.collect_reg_refs(&mut bits);
+            }
         }
-        let mux = self.rsn.node(m).as_mux().expect("mux");
-        mux.addr_bits.iter().enumerate().all(|(i, expr)| {
+        bits.sort_unstable();
+        bits.dedup();
+
+        let reset = rsn.reset_config();
+        let reset_states: Vec<BitState> = bits
+            .iter()
+            .map(|&(node, bit)| {
+                let v = match rsn.shadow_offset(node) {
+                    Some(off) => reset.bit((off + bit) as usize),
+                    None => false,
+                };
+                BitState::known(v)
+            })
+            .collect();
+
+        // Compiled multiplexers and edge lists.
+        let lookup = |node: NodeId, bit: u32| -> Option<u32> {
+            bits.binary_search(&(node, bit)).ok().map(|i| i as u32)
+        };
+        let mut muxes = Vec::new();
+        let mut mux_slot = vec![u32::MAX; n];
+        let mut fwd: Vec<Vec<FwdEdge>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<BwdEdge>> = vec![Vec::new(); n];
+        for id in rsn.node_ids() {
+            match rsn.node(id).kind() {
+                NodeKind::Mux(m) => {
+                    mux_slot[id.index()] = muxes.len() as u32;
+                    muxes.push(MuxInfo {
+                        node: id,
+                        addr: m
+                            .addr_bits
+                            .iter()
+                            .map(|e| e.compile(&mut |node, bit| lookup(node, bit)))
+                            .collect(),
+                        inputs: m.inputs.len() as u32,
+                    });
+                    for (k, &inp) in m.inputs.iter().enumerate() {
+                        fwd[inp.index()].push(FwdEdge {
+                            to: id,
+                            mux_input: Some(k as u32),
+                        });
+                        bwd[id.index()].push(BwdEdge {
+                            from: inp,
+                            mux_input: Some(k as u32),
+                        });
+                    }
+                }
+                _ => {
+                    if let Some(src) = rsn.node(id).source() {
+                        fwd[src.index()].push(FwdEdge {
+                            to: id,
+                            mux_input: None,
+                        });
+                        bwd[id.index()].push(BwdEdge {
+                            from: src,
+                            mux_input: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut roots = vec![rsn.scan_in()];
+        roots.extend(rsn.secondary_scan_in());
+        let mut sinks = vec![rsn.scan_out()];
+        sinks.extend(rsn.secondary_scan_out());
+
+        let segments: Vec<(NodeId, u64)> = rsn
+            .segments()
+            .map(|s| {
+                (
+                    s,
+                    rsn.node(s)
+                        .as_segment()
+                        .expect("segments() yields segments")
+                        .length as u64,
+                )
+            })
+            .collect();
+        let total_bits = segments.iter().map(|&(_, l)| l).sum();
+
+        AccessEngine {
+            rsn,
+            bits,
+            reset_states,
+            roots,
+            sinks,
+            muxes,
+            mux_slot,
+            fwd,
+            bwd,
+            segments,
+            total_bits,
+            reset,
+        }
+    }
+
+    /// The network this engine was built for.
+    pub fn rsn(&self) -> &'r Rsn {
+        self.rsn
+    }
+
+    /// The cached reset configuration of the network.
+    pub fn reset_config(&self) -> &Config {
+        &self.reset
+    }
+
+    /// Dataflow roots (primary + secondary scan-in ports).
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Dataflow sinks (primary + secondary scan-out ports).
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
+    }
+
+    /// Number of control bits in the dense index.
+    pub fn control_bit_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Allocates a [`Scratch`] sized for this engine.
+    pub fn scratch(&self) -> Scratch {
+        let n = self.rsn.node_count();
+        Scratch {
+            states: vec![BitState::known(false); self.bits.len()],
+            clean: vec![true; n],
+            reach_clean: vec![false; n],
+            reach_any: vec![false; n],
+            can_exit: vec![false; n],
+            stack: Vec::with_capacity(n),
+            mux_mask: vec![0; self.muxes.len()],
+            addr_can: Vec::with_capacity(8),
+        }
+    }
+
+    /// Rebuilds the per-mux configurable-input masks from the current
+    /// control-bit states (called once per fixed-point round — states
+    /// only change *between* traversals).
+    fn refresh_masks(&self, effect: &FaultEffect, scratch: &mut Scratch) {
+        for (slot, info) in self.muxes.iter().enumerate() {
+            if let Some(&forced) = effect.forced_mux.get(&info.node) {
+                scratch.mux_mask[slot] = if forced < 64 { 1u64 << forced } else { 0 };
+                continue;
+            }
+            // Per-address-bit attainability, combined per input index.
+            scratch.addr_can.clear();
+            for e in &info.addr {
+                scratch.addr_can.push((
+                    can_set(e, false, &scratch.states),
+                    can_set(e, true, &scratch.states),
+                ));
+            }
+            let mut mask = 0u64;
+            for k in 0..info.inputs.min(64) {
+                let ok = scratch.addr_can.iter().enumerate().all(|(i, &(c0, c1))| {
+                    if (k >> i) & 1 == 1 {
+                        c1
+                    } else {
+                        c0
+                    }
+                });
+                if ok {
+                    mask |= 1 << k;
+                }
+            }
+            scratch.mux_mask[slot] = mask;
+        }
+    }
+
+    /// `true` if input `k` of mux `v` can be selected under the current
+    /// states (mask fast path; direct evaluation for inputs ≥ 64).
+    fn configurable(&self, effect: &FaultEffect, scratch: &Scratch, v: NodeId, k: u32) -> bool {
+        if k < 64 {
+            return scratch.mux_mask[self.mux_slot[v.index()] as usize] & (1 << k) != 0;
+        }
+        if let Some(&forced) = effect.forced_mux.get(&v) {
+            return forced == k as usize;
+        }
+        let info = &self.muxes[self.mux_slot[v.index()] as usize];
+        info.addr.iter().enumerate().all(|(i, e)| {
             let want = (k >> i) & 1 == 1;
-            can_set(expr, want, &self.states)
+            can_set(e, want, &scratch.states)
         })
     }
 
-    /// Forward reachability from clean roots. `require_clean_nodes`
+    /// Forward reachability from roots into `out`. `require_clean`
     /// restricts traversal to clean nodes and uncorrupted edges.
-    fn forward(&self, require_clean: bool) -> Vec<bool> {
-        let n = self.rsn.node_count();
-        let mut seen = vec![false; n];
-        let mut stack = Vec::new();
+    fn forward(&self, effect: &FaultEffect, scratch: &mut Scratch, require_clean: bool) {
+        let mut out = std::mem::take(if require_clean {
+            &mut scratch.reach_clean
+        } else {
+            &mut scratch.reach_any
+        });
+        out.fill(false);
+        scratch.stack.clear();
         for &r in &self.roots {
-            if !require_clean || self.clean[r.index()] {
-                seen[r.index()] = true;
-                stack.push(r);
+            if !require_clean || scratch.clean[r.index()] {
+                out[r.index()] = true;
+                scratch.stack.push(r);
             }
         }
-        while let Some(u) = stack.pop() {
-            for &v in self.rsn.successors(u) {
-                if seen[v.index()] {
+        while let Some(u) = scratch.stack.pop() {
+            for e in &self.fwd[u.index()] {
+                let v = e.to;
+                if out[v.index()] {
                     continue;
                 }
-                if require_clean && !self.clean[v.index()] {
+                if require_clean && !scratch.clean[v.index()] {
                     continue;
                 }
-                let edge_ok = match self.rsn.node(v).kind() {
-                    NodeKind::Mux(mux) => {
-                        // Several input indices may connect u to v.
-                        mux.inputs.iter().enumerate().any(|(k, &inp)| {
-                            inp == u
-                                && self.configurable(v, k)
-                                && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
-                        })
-                    }
-                    _ => true,
-                };
-                if edge_ok {
-                    seen[v.index()] = true;
-                    stack.push(v);
-                }
-            }
-        }
-        seen
-    }
-
-    /// Backward reachability to sinks. `require_clean` restricts to clean
-    /// sinks, clean nodes and uncorrupted edges.
-    fn backward(&self, require_clean: bool) -> Vec<bool> {
-        let n = self.rsn.node_count();
-        let mut seen = vec![false; n];
-        let mut stack = Vec::new();
-        for &s in &self.sinks {
-            if !require_clean || self.clean[s.index()] {
-                seen[s.index()] = true;
-                stack.push(s);
-            }
-        }
-        while let Some(v) = stack.pop() {
-            let preds: Vec<(NodeId, Option<usize>)> = match self.rsn.node(v).kind() {
-                NodeKind::Mux(mux) => mux
-                    .inputs
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &inp)| (inp, Some(k)))
-                    .collect(),
-                _ => self
-                    .rsn
-                    .node(v)
-                    .source()
-                    .map(|s| (s, None))
-                    .into_iter()
-                    .collect(),
-            };
-            for (u, edge) in preds {
-                if seen[u.index()] {
-                    continue;
-                }
-                if require_clean && !self.clean[u.index()] {
-                    continue;
-                }
-                let edge_ok = match edge {
+                let edge_ok = match e.mux_input {
                     Some(k) => {
-                        self.configurable(v, k)
-                            && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
+                        self.configurable(effect, scratch, v, k)
+                            && (!require_clean
+                                || !effect.corrupt_mux_inputs.contains(&(v, k as usize)))
                     }
                     None => true,
                 };
                 if edge_ok {
-                    seen[u.index()] = true;
-                    stack.push(u);
+                    out[v.index()] = true;
+                    scratch.stack.push(v);
                 }
             }
         }
-        seen
-    }
-}
-
-/// Collects every control bit referenced by any multiplexer address.
-fn control_bits(rsn: &Rsn) -> Vec<(NodeId, u32)> {
-    let mut bits = Vec::new();
-    for m in rsn.muxes() {
-        for expr in &rsn.node(m).as_mux().expect("mux").addr_bits {
-            expr.collect_reg_refs(&mut bits);
+        if require_clean {
+            scratch.reach_clean = out;
+        } else {
+            scratch.reach_any = out;
         }
     }
-    bits.sort_unstable();
-    bits.dedup();
-    bits
+
+    /// Backward reachability from sinks into `scratch.can_exit`.
+    /// `require_clean` restricts to clean sinks, clean nodes and
+    /// uncorrupted edges.
+    fn backward(&self, effect: &FaultEffect, scratch: &mut Scratch, require_clean: bool) {
+        let mut out = std::mem::take(&mut scratch.can_exit);
+        out.fill(false);
+        scratch.stack.clear();
+        for &s in &self.sinks {
+            if !require_clean || scratch.clean[s.index()] {
+                out[s.index()] = true;
+                scratch.stack.push(s);
+            }
+        }
+        while let Some(v) = scratch.stack.pop() {
+            for e in &self.bwd[v.index()] {
+                let u = e.from;
+                if out[u.index()] {
+                    continue;
+                }
+                if require_clean && !scratch.clean[u.index()] {
+                    continue;
+                }
+                let edge_ok = match e.mux_input {
+                    Some(k) => {
+                        self.configurable(effect, scratch, v, k)
+                            && (!require_clean
+                                || !effect.corrupt_mux_inputs.contains(&(v, k as usize)))
+                    }
+                    None => true,
+                };
+                if edge_ok {
+                    out[u.index()] = true;
+                    scratch.stack.push(u);
+                }
+            }
+        }
+        scratch.can_exit = out;
+    }
+
+    /// Loads the per-fault bootstrap into `scratch` (cleanliness and
+    /// initial control-bit states).
+    fn load_effect(&self, effect: &FaultEffect, scratch: &mut Scratch) {
+        scratch.clean.fill(true);
+        for &c in &effect.corrupt_nodes {
+            scratch.clean[c.index()] = false;
+        }
+        // Fault-pinned bits are fixed; bits of a corrupt register are NOT
+        // pinned: they hold the reset value until the first CSU through
+        // the fault, and the dirty-growth rule adds the stuck value. All
+        // other bits start at their reset value and are promoted to
+        // fully-controllable once their owner is proven writable.
+        scratch.states.copy_from_slice(&self.reset_states);
+        for (&(node, bit), &v) in &effect.forced_bits {
+            if let Ok(i) = self.bits.binary_search(&(node, bit)) {
+                scratch.states[i] = BitState::pinned(v);
+            }
+        }
+    }
+
+    /// Runs the control-writability fixed point: grow the attainable-value
+    /// sets from the bootstrap (reset) configuration. A bit becomes fully
+    /// controllable when its owner has a *clean* configurable write path;
+    /// a *dirty* write path (through the fault site) still
+    /// deterministically delivers the fault's stuck value, so it adds
+    /// exactly that value (the adapted transition relation of Sec. III-A).
+    /// Monotone increasing, hence terminating; starting pessimistic keeps
+    /// the verdict sound. Returns the number of rounds run.
+    fn fixed_point(&self, effect: &FaultEffect, scratch: &mut Scratch) -> u64 {
+        let mut rounds_run = 0u64;
+        for _ in 0..=2 * self.bits.len() {
+            rounds_run += 1;
+            self.refresh_masks(effect, scratch);
+            self.forward(effect, scratch, true);
+            self.forward(effect, scratch, false);
+            self.backward(effect, scratch, false);
+            let mut changed = false;
+            for (i, &(node, _)) in self.bits.iter().enumerate() {
+                let cur = scratch.states[i];
+                if cur.pinned || cur.is_both() {
+                    continue;
+                }
+                let mut next = cur;
+                let ni = node.index();
+                if scratch.clean[ni] && scratch.reach_clean[ni] && scratch.can_exit[ni] {
+                    next = next.both();
+                } else if let Some(stuck) = effect.stuck {
+                    if scratch.reach_any[ni] && scratch.can_exit[ni] {
+                        next = next.with_value(stuck);
+                    }
+                }
+                if next != cur {
+                    scratch.states[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        rounds_run
+    }
+
+    /// Computes per-segment accessibility under one fault effect, reusing
+    /// the engine's precomputation and the caller's scratch buffers.
+    pub fn accessibility(&self, effect: &FaultEffect, scratch: &mut Scratch) -> Accessibility {
+        self.load_effect(effect, scratch);
+        let rounds_run = self.fixed_point(effect, scratch);
+        // One batched export per call keeps registry lock contention out
+        // of the per-round hot loop (this runs once per fault).
+        rsn_obs::counter_add("fault.engine_rounds", rounds_run);
+        rsn_obs::debug!(
+            "fixed point converged after {rounds_run} rounds over {} control bits",
+            self.bits.len()
+        );
+
+        self.refresh_masks(effect, scratch);
+        self.forward(effect, scratch, true);
+        self.backward(effect, scratch, true);
+
+        let n = self.rsn.node_count();
+        let mut accessible = vec![false; n];
+        let mut accessible_segments = 0usize;
+        let mut accessible_bits = 0u64;
+        for &(seg, len) in &self.segments {
+            let si = seg.index();
+            let ok = scratch.clean[si]
+                && !effect.local_loss.contains(&seg)
+                && scratch.reach_clean[si]
+                && scratch.can_exit[si];
+            if ok {
+                accessible[si] = true;
+                accessible_segments += 1;
+                accessible_bits += len;
+            }
+        }
+
+        Accessibility {
+            accessible,
+            accessible_segments,
+            total_segments: self.segments.len(),
+            accessible_bits,
+            total_bits: self.total_bits,
+        }
+    }
+
+    /// Diagnostic snapshot of the engine's internal sets for one fault
+    /// effect after the fixed point: clean-reachability/clean-exit flags
+    /// per node and the list of fully-controllable control bits. Intended
+    /// for debugging and tests.
+    pub fn internals(
+        &self,
+        effect: &FaultEffect,
+        scratch: &mut Scratch,
+    ) -> (Vec<bool>, Vec<bool>, Vec<(NodeId, u32)>) {
+        self.load_effect(effect, scratch);
+        let rounds_run = self.fixed_point(effect, scratch);
+        rsn_obs::counter_add("fault.engine_rounds", rounds_run);
+        self.refresh_masks(effect, scratch);
+        self.forward(effect, scratch, true);
+        self.backward(effect, scratch, true);
+        let free: Vec<(NodeId, u32)> = self
+            .bits
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| scratch.states[i].is_both())
+            .map(|(_, &b)| b)
+            .collect();
+        (scratch.reach_clean.clone(), scratch.can_exit.clone(), free)
+    }
 }
 
 /// Computes per-segment accessibility under a fault effect.
+///
+/// One-shot convenience wrapper over [`AccessEngine`]: builds the engine
+/// and a scratch, evaluates one effect, and drops both. Callers
+/// evaluating more than one fault on the same network should build the
+/// engine once and reuse it.
 ///
 /// # Example
 ///
@@ -289,250 +694,304 @@ fn control_bits(rsn: &Rsn) -> Vec<(NodeId, u32)> {
 /// assert_eq!(acc.segment_fraction(), 1.0);
 /// ```
 pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
-    let n = rsn.node_count();
-    let mut clean = vec![true; n];
-    for &c in &effect.corrupt_nodes {
-        clean[c.index()] = false;
-    }
-    let corrupt_inputs: HashMap<(NodeId, usize), ()> =
-        effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
-
-    // Initial control-bit states: fault-pinned bits are fixed; bits of a
-    // corrupt register are frozen at the fault's stuck value (the first
-    // CSU through the fault site writes the stuck value — the adapted
-    // transition relation); all other bits start at their reset value and
-    // are promoted to fully-controllable once their owner is proven
-    // writable through a clean, configurable path.
-    let reset = rsn.reset_config();
-    let bits = control_bits(rsn);
-    let reset_value = |node: NodeId, bit: u32| -> bool {
-        match rsn.shadow_offset(node) {
-            Some(off) => reset_bit(&reset, off + bit),
-            None => false,
-        }
-    };
-    let states: HashMap<(NodeId, u32), BitState> = bits
-        .iter()
-        .map(|&(node, bit)| {
-            let state = match effect.forced_bits.get(&(node, bit)) {
-                Some(&v) => BitState::pinned(v),
-                // Bits of a corrupt register are NOT pinned: they hold the
-                // reset value until the first CSU through the fault, and
-                // the dirty-growth rule below adds the stuck value. Both
-                // values can genuinely be exercised over time.
-                None => BitState::known(reset_value(node, bit)),
-            };
-            ((node, bit), state)
-        })
-        .collect();
-
-    let mut roots = vec![rsn.scan_in()];
-    roots.extend(rsn.secondary_scan_in());
-    let mut sinks = vec![rsn.scan_out()];
-    sinks.extend(rsn.secondary_scan_out());
-
-    let mut ctx = EngineCtx {
-        rsn,
-        clean,
-        corrupt_inputs,
-        forced_mux: &effect.forced_mux,
-        states,
-        roots,
-        sinks,
-    };
-
-    // Fixed point: grow the attainable-value sets from the bootstrap
-    // (reset) configuration. A bit becomes fully controllable when its
-    // owner has a *clean* configurable write path; a *dirty* write path
-    // (through the fault site) still deterministically delivers the
-    // fault's stuck value, so it adds exactly that value (the adapted
-    // transition relation of Sec. III-A). Monotone increasing, hence
-    // terminating; starting pessimistic keeps the verdict sound.
-    let mut rounds_run = 0u64;
-    for _ in 0..=2 * bits.len() {
-        rounds_run += 1;
-        let reach_clean = ctx.forward(true);
-        let reach_any = ctx.forward(false);
-        let can_exit = ctx.backward(false);
-        let mut changed = false;
-        for &(node, bit) in &bits {
-            let cur = match ctx.states.get(&(node, bit)) {
-                Some(s) if !s.pinned && !s.is_both() => *s,
-                _ => continue,
-            };
-            let mut next = cur;
-            if ctx.clean[node.index()] && reach_clean[node.index()] && can_exit[node.index()] {
-                next = next.both();
-            } else if let Some(stuck) = effect.stuck {
-                if reach_any[node.index()] && can_exit[node.index()] {
-                    next = next.with_value(stuck);
-                }
-            }
-            if next != cur {
-                ctx.states.insert((node, bit), next);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    // One batched export per call keeps registry lock contention out of
-    // the per-round hot loop (this runs once per fault).
-    rsn_obs::counter_add("fault.engine_rounds", rounds_run);
-    rsn_obs::debug!(
-        "fixed point converged after {rounds_run} rounds over {} control bits",
-        bits.len()
-    );
-
-    let reach_clean = ctx.forward(true);
-    let exit_clean = ctx.backward(true);
-
-    let mut accessible = vec![false; n];
-    let mut accessible_segments = 0usize;
-    let mut total_segments = 0usize;
-    let mut accessible_bits = 0u64;
-    let mut total_bits = 0u64;
-    for seg in rsn.segments() {
-        total_segments += 1;
-        let len = rsn
-            .node(seg)
-            .as_segment()
-            .expect("segments() yields segments")
-            .length as u64;
-        total_bits += len;
-        let ok = ctx.clean[seg.index()]
-            && !effect.local_loss.contains(&seg)
-            && reach_clean[seg.index()]
-            && exit_clean[seg.index()];
-        if ok {
-            accessible[seg.index()] = true;
-            accessible_segments += 1;
-            accessible_bits += len;
-        }
-    }
-
-    Accessibility {
-        accessible,
-        accessible_segments,
-        total_segments,
-        accessible_bits,
-        total_bits,
-    }
-}
-
-fn reset_bit(cfg: &Config, idx: u32) -> bool {
-    cfg.bit(idx as usize)
+    let engine = AccessEngine::new(rsn);
+    let mut scratch = engine.scratch();
+    engine.accessibility(effect, &mut scratch)
 }
 
 /// Diagnostic snapshot of the engine's internal sets for one fault effect
-/// after the fixed point: reachability/exit flags per node and the list of
-/// fully-controllable control bits. Intended for debugging and tests.
+/// after the fixed point (see [`AccessEngine::internals`]).
 pub fn engine_internals(
     rsn: &Rsn,
     effect: &FaultEffect,
 ) -> (Vec<bool>, Vec<bool>, Vec<(NodeId, u32)>) {
-    let n = rsn.node_count();
-    let mut clean = vec![true; n];
-    for &c in &effect.corrupt_nodes {
-        clean[c.index()] = false;
-    }
-    let corrupt_inputs: HashMap<(NodeId, usize), ()> =
-        effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
-    let reset = rsn.reset_config();
-    let bits = control_bits(rsn);
-    let reset_value = |node: NodeId, bit: u32| -> bool {
-        match rsn.shadow_offset(node) {
-            Some(off) => reset_bit(&reset, off + bit),
-            None => false,
-        }
-    };
-    let states: HashMap<(NodeId, u32), BitState> = bits
-        .iter()
-        .map(|&(node, bit)| {
-            let state = match effect.forced_bits.get(&(node, bit)) {
-                Some(&v) => BitState::pinned(v),
-                // Bits of a corrupt register are NOT pinned: they hold the
-                // reset value until the first CSU through the fault, and
-                // the dirty-growth rule below adds the stuck value. Both
-                // values can genuinely be exercised over time.
-                None => BitState::known(reset_value(node, bit)),
-            };
-            ((node, bit), state)
-        })
-        .collect();
-    let mut roots = vec![rsn.scan_in()];
-    roots.extend(rsn.secondary_scan_in());
-    let mut sinks = vec![rsn.scan_out()];
-    sinks.extend(rsn.secondary_scan_out());
-    let mut ctx = EngineCtx {
-        rsn,
-        clean,
-        corrupt_inputs,
-        forced_mux: &effect.forced_mux,
-        states,
-        roots,
-        sinks,
-    };
-    let mut rounds_run = 0u64;
-    for round in 0..=2 * bits.len() {
-        rounds_run += 1;
-        let reach_clean = ctx.forward(true);
-        let reach_any = ctx.forward(false);
-        let can_exit = ctx.backward(false);
-        rsn_obs::debug!(
-            "round {round}: reach_clean {} reach_any {} can_exit {}",
-            reach_clean.iter().filter(|&&b| b).count(),
-            reach_any.iter().filter(|&&b| b).count(),
-            can_exit.iter().filter(|&&b| b).count()
-        );
-        let mut changed = false;
-        for &(node, bit) in &bits {
-            let cur = match ctx.states.get(&(node, bit)) {
-                Some(s) if !s.pinned && !s.is_both() => *s,
-                _ => continue,
-            };
-            let mut next = cur;
-            if ctx.clean[node.index()] && reach_clean[node.index()] && can_exit[node.index()] {
-                next = next.both();
-            } else if let Some(stuck) = effect.stuck {
-                if reach_any[node.index()] && can_exit[node.index()] {
-                    next = next.with_value(stuck);
+    let engine = AccessEngine::new(rsn);
+    let mut scratch = engine.scratch();
+    engine.internals(effect, &mut scratch)
+}
+
+/// The original HashMap-based accessibility computation, kept verbatim as
+/// a slow reference oracle for the equivalence property tests.
+#[cfg(test)]
+mod reference {
+    use std::collections::HashMap;
+
+    use rsn_core::{Config, ControlExpr, NodeId, NodeKind, Rsn};
+
+    use super::{Accessibility, BitState};
+    use crate::effect::FaultEffect;
+
+    fn can_set(expr: &ControlExpr, want: bool, states: &HashMap<(NodeId, u32), BitState>) -> bool {
+        match expr {
+            ControlExpr::Const(b) => *b == want,
+            ControlExpr::Reg(n, bit) => match states.get(&(*n, *bit)) {
+                Some(s) => {
+                    if want {
+                        s.can1
+                    } else {
+                        s.can0
+                    }
+                }
+                None => false,
+            },
+            ControlExpr::Input(_) => true, // primary inputs are always drivable
+            ControlExpr::Not(e) => can_set(e, !want, states),
+            ControlExpr::And(es) => {
+                if want {
+                    es.iter().all(|e| can_set(e, true, states))
+                } else {
+                    es.iter().any(|e| can_set(e, false, states))
                 }
             }
-            if next != cur {
-                rsn_obs::trace!(
-                    "round {round}: grow {}[{bit}] -> {next:?}",
-                    rsn.node(node).name()
-                );
-                ctx.states.insert((node, bit), next);
-                changed = true;
+            ControlExpr::Or(es) => {
+                if want {
+                    es.iter().any(|e| can_set(e, true, states))
+                } else {
+                    es.iter().all(|e| can_set(e, false, states))
+                }
             }
         }
-        if !changed {
-            break;
+    }
+
+    struct EngineCtx<'a> {
+        rsn: &'a Rsn,
+        clean: Vec<bool>,
+        corrupt_inputs: HashMap<(NodeId, usize), ()>,
+        forced_mux: &'a HashMap<NodeId, usize>,
+        states: HashMap<(NodeId, u32), BitState>,
+        roots: Vec<NodeId>,
+        sinks: Vec<NodeId>,
+    }
+
+    impl EngineCtx<'_> {
+        fn configurable(&self, m: NodeId, k: usize) -> bool {
+            if let Some(&forced) = self.forced_mux.get(&m) {
+                return forced == k;
+            }
+            let mux = self.rsn.node(m).as_mux().expect("mux");
+            mux.addr_bits.iter().enumerate().all(|(i, expr)| {
+                let want = (k >> i) & 1 == 1;
+                can_set(expr, want, &self.states)
+            })
+        }
+
+        fn forward(&self, require_clean: bool) -> Vec<bool> {
+            let n = self.rsn.node_count();
+            let mut seen = vec![false; n];
+            let mut stack = Vec::new();
+            for &r in &self.roots {
+                if !require_clean || self.clean[r.index()] {
+                    seen[r.index()] = true;
+                    stack.push(r);
+                }
+            }
+            while let Some(u) = stack.pop() {
+                for &v in self.rsn.successors(u) {
+                    if seen[v.index()] {
+                        continue;
+                    }
+                    if require_clean && !self.clean[v.index()] {
+                        continue;
+                    }
+                    let edge_ok = match self.rsn.node(v).kind() {
+                        NodeKind::Mux(mux) => mux.inputs.iter().enumerate().any(|(k, &inp)| {
+                            inp == u
+                                && self.configurable(v, k)
+                                && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
+                        }),
+                        _ => true,
+                    };
+                    if edge_ok {
+                        seen[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            seen
+        }
+
+        fn backward(&self, require_clean: bool) -> Vec<bool> {
+            let n = self.rsn.node_count();
+            let mut seen = vec![false; n];
+            let mut stack = Vec::new();
+            for &s in &self.sinks {
+                if !require_clean || self.clean[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+            while let Some(v) = stack.pop() {
+                let preds: Vec<(NodeId, Option<usize>)> = match self.rsn.node(v).kind() {
+                    NodeKind::Mux(mux) => mux
+                        .inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &inp)| (inp, Some(k)))
+                        .collect(),
+                    _ => self
+                        .rsn
+                        .node(v)
+                        .source()
+                        .map(|s| (s, None))
+                        .into_iter()
+                        .collect(),
+                };
+                for (u, edge) in preds {
+                    if seen[u.index()] {
+                        continue;
+                    }
+                    if require_clean && !self.clean[u.index()] {
+                        continue;
+                    }
+                    let edge_ok = match edge {
+                        Some(k) => {
+                            self.configurable(v, k)
+                                && (!require_clean || !self.corrupt_inputs.contains_key(&(v, k)))
+                        }
+                        None => true,
+                    };
+                    if edge_ok {
+                        seen[u.index()] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            seen
         }
     }
-    // One batched export per call keeps registry lock contention out of
-    // the per-round hot loop.
-    rsn_obs::counter_add("fault.engine_rounds", rounds_run);
-    let reach_clean = ctx.forward(true);
-    let exit_clean = ctx.backward(true);
-    let free: Vec<(NodeId, u32)> = bits
-        .iter()
-        .copied()
-        .filter(|key| ctx.states.get(key).is_some_and(|s| s.is_both()))
-        .collect();
-    (reach_clean, exit_clean, free)
+
+    fn control_bits(rsn: &Rsn) -> Vec<(NodeId, u32)> {
+        let mut bits = Vec::new();
+        for m in rsn.muxes() {
+            for expr in &rsn.node(m).as_mux().expect("mux").addr_bits {
+                expr.collect_reg_refs(&mut bits);
+            }
+        }
+        bits.sort_unstable();
+        bits.dedup();
+        bits
+    }
+
+    fn reset_bit(cfg: &Config, idx: u32) -> bool {
+        cfg.bit(idx as usize)
+    }
+
+    /// The pre-engine `accessibility` implementation, verbatim.
+    pub fn accessibility(rsn: &Rsn, effect: &FaultEffect) -> Accessibility {
+        let n = rsn.node_count();
+        let mut clean = vec![true; n];
+        for &c in &effect.corrupt_nodes {
+            clean[c.index()] = false;
+        }
+        let corrupt_inputs: HashMap<(NodeId, usize), ()> =
+            effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
+
+        let reset = rsn.reset_config();
+        let bits = control_bits(rsn);
+        let reset_value = |node: NodeId, bit: u32| -> bool {
+            match rsn.shadow_offset(node) {
+                Some(off) => reset_bit(&reset, off + bit),
+                None => false,
+            }
+        };
+        let states: HashMap<(NodeId, u32), BitState> = bits
+            .iter()
+            .map(|&(node, bit)| {
+                let state = match effect.forced_bits.get(&(node, bit)) {
+                    Some(&v) => BitState::pinned(v),
+                    None => BitState::known(reset_value(node, bit)),
+                };
+                ((node, bit), state)
+            })
+            .collect();
+
+        let mut roots = vec![rsn.scan_in()];
+        roots.extend(rsn.secondary_scan_in());
+        let mut sinks = vec![rsn.scan_out()];
+        sinks.extend(rsn.secondary_scan_out());
+
+        let mut ctx = EngineCtx {
+            rsn,
+            clean,
+            corrupt_inputs,
+            forced_mux: &effect.forced_mux,
+            states,
+            roots,
+            sinks,
+        };
+
+        for _ in 0..=2 * bits.len() {
+            let reach_clean = ctx.forward(true);
+            let reach_any = ctx.forward(false);
+            let can_exit = ctx.backward(false);
+            let mut changed = false;
+            for &(node, bit) in &bits {
+                let cur = match ctx.states.get(&(node, bit)) {
+                    Some(s) if !s.pinned && !s.is_both() => *s,
+                    _ => continue,
+                };
+                let mut next = cur;
+                if ctx.clean[node.index()] && reach_clean[node.index()] && can_exit[node.index()] {
+                    next = next.both();
+                } else if let Some(stuck) = effect.stuck {
+                    if reach_any[node.index()] && can_exit[node.index()] {
+                        next = next.with_value(stuck);
+                    }
+                }
+                if next != cur {
+                    ctx.states.insert((node, bit), next);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let reach_clean = ctx.forward(true);
+        let exit_clean = ctx.backward(true);
+
+        let mut accessible = vec![false; n];
+        let mut accessible_segments = 0usize;
+        let mut total_segments = 0usize;
+        let mut accessible_bits = 0u64;
+        let mut total_bits = 0u64;
+        for seg in rsn.segments() {
+            total_segments += 1;
+            let len = rsn
+                .node(seg)
+                .as_segment()
+                .expect("segments() yields segments")
+                .length as u64;
+            total_bits += len;
+            let ok = ctx.clean[seg.index()]
+                && !effect.local_loss.contains(&seg)
+                && reach_clean[seg.index()]
+                && exit_clean[seg.index()];
+            if ok {
+                accessible[seg.index()] = true;
+                accessible_segments += 1;
+                accessible_bits += len;
+            }
+        }
+
+        Accessibility {
+            accessible,
+            accessible_segments,
+            total_segments,
+            accessible_bits,
+            total_bits,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::effect::effect_of;
-    use crate::fault::{Fault, FaultSite};
+    use crate::fault::{fault_universe, Fault, FaultSite};
     use crate::metric::HardeningProfile;
-    use rsn_core::examples::fig2;
+    use rsn_core::examples::{chain, fig2, sib_tree};
     use rsn_itc02::parse_soc;
     use rsn_sib::generate;
 
@@ -730,5 +1189,138 @@ mod tests {
             },
         );
         assert_eq!(acc.accessible_segments, acc.total_segments);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_faults() {
+        let rsn = fig2();
+        let engine = AccessEngine::new(&rsn);
+        let mut scratch = engine.scratch();
+        let profile = HardeningProfile::unhardened();
+        for fault in fault_universe(&rsn) {
+            let effect = effect_of(&rsn, &fault, profile);
+            let fresh = engine.accessibility(&effect, &mut engine.scratch());
+            let reused = engine.accessibility(&effect, &mut scratch);
+            assert_eq!(fresh, reused, "scratch reuse must not leak state");
+        }
+    }
+
+    #[test]
+    fn internals_report_free_bits_in_fault_free_network() {
+        let rsn = fig2();
+        let (reach, exit, free) = engine_internals(&rsn, &FaultEffect::benign());
+        let a = rsn.find("A").expect("A");
+        assert!(reach[a.index()] && exit[a.index()]);
+        // A[0] is the only control bit and becomes fully controllable.
+        assert_eq!(free, vec![(a, 0)]);
+    }
+
+    /// Deterministic splitmix64 generator for reproducible random cases.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// A random multi-module SIB SoC description: 1–3 modules with 1–3
+    /// scan chains of 1–6 bits each.
+    fn random_sib_rsn(rng: &mut Rng) -> Rsn {
+        let modules = 1 + rng.below(3);
+        let mut text = String::from("SocName rand\n");
+        for m in 1..=modules {
+            let chains = 1 + rng.below(3);
+            let lengths: Vec<String> = (0..chains)
+                .map(|_| (1 + rng.below(6)).to_string())
+                .collect();
+            text.push_str(&format!("{m} 0 0 0 {chains} : {}\n", lengths.join(" ")));
+        }
+        let soc = parse_soc(&text).expect("generated SoC parses");
+        generate(&soc).expect("SIB generation succeeds")
+    }
+
+    fn assert_engine_matches_reference(rsn: &Rsn, label: &str) {
+        let engine = AccessEngine::new(rsn);
+        let mut scratch = engine.scratch();
+        for profile in [HardeningProfile::unhardened(), HardeningProfile::hardened()] {
+            for fault in fault_universe(rsn) {
+                let effect = effect_of(rsn, &fault, profile);
+                let fast = engine.accessibility(&effect, &mut scratch);
+                let slow = reference::accessibility(rsn, &effect);
+                assert_eq!(
+                    fast, slow,
+                    "{label}: engine/reference mismatch under {fault} \
+                     (select_hardened {})",
+                    profile.select_hardened
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_examples() {
+        assert_engine_matches_reference(&fig2(), "fig2");
+        assert_engine_matches_reference(&chain(4, 3), "chain(4,3)");
+        assert_engine_matches_reference(&sib_tree(2, 2, 3), "sib_tree(2,2,3)");
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_sib_networks() {
+        let mut rng = Rng(0x5eed_acce55);
+        for case in 0..12 {
+            let rsn = random_sib_rsn(&mut rng);
+            assert_engine_matches_reference(&rsn, &format!("random case {case}"));
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_synthesized_ft_network() {
+        // The FT network exercises secondary ports, XOR mux addresses and
+        // hardened muxes — the structurally richest family.
+        let rsn = fig2();
+        let ft = rsn_synth_like_fixture(&rsn);
+        assert_engine_matches_reference(&ft, "fig2 double-branch fixture");
+    }
+
+    /// A hand-built network with a secondary scan-in/out and a 4-input
+    /// mux, covering engine paths the SIB family never exercises
+    /// (multi-bit addresses, multiple roots/sinks). rsn-fault cannot
+    /// depend on rsn-synth (cycle), so the fixture is built directly.
+    fn rsn_synth_like_fixture(_base: &Rsn) -> Rsn {
+        use rsn_core::{ControlExpr, RsnBuilder};
+        let mut b = RsnBuilder::new("fixture");
+        let ctl = b.add_segment("CTL", 2);
+        b.set_select(ctl, ControlExpr::TRUE);
+        b.connect(b.scan_in(), ctl);
+        let si2 = b.add_secondary_scan_in("scan_in2");
+        let s0 = b.add_segment("S0", 2);
+        let s1 = b.add_segment("S1", 3);
+        let s2 = b.add_segment("S2", 4);
+        let s3 = b.add_segment("S3", 5);
+        for s in [s0, s1, s2, s3] {
+            b.set_select(s, ControlExpr::TRUE);
+        }
+        b.connect(ctl, s0);
+        b.connect(ctl, s1);
+        b.connect(si2, s2);
+        b.connect(si2, s3);
+        let m = b.add_mux(
+            "M4",
+            vec![s0, s1, s2, s3],
+            vec![ControlExpr::reg(ctl, 0), ControlExpr::reg(ctl, 1)],
+        );
+        let so2 = b.add_secondary_scan_out("scan_out2");
+        b.connect(s3, so2);
+        b.connect(m, b.scan_out());
+        b.finish().expect("fixture is structurally valid")
     }
 }

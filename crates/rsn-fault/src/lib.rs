@@ -45,12 +45,12 @@ pub mod sim;
 
 pub use diagnose::{FaultDictionary, Signature};
 pub use effect::{effect_of, is_control_segment, FaultEffect};
-pub use engine::{accessibility, Accessibility};
+pub use engine::{accessibility, AccessEngine, Accessibility, Scratch};
 pub use fault::{fault_universe, fault_universe_weighted, Fault, FaultSite, WeightModel};
 pub use metric::{
-    analyze, analyze_parallel, analyze_parallel_with, analyze_with, FaultToleranceReport,
-    HardeningProfile,
+    analyze, analyze_faults_on, analyze_parallel, analyze_parallel_with, analyze_with,
+    FaultToleranceReport, HardeningProfile,
 };
-pub use multi::{analyze_double_sampled, DoubleFaultReport};
-pub use plan::{plan_faulty_access, FaultyAccessPlan};
+pub use multi::{analyze_double_sampled, analyze_double_sampled_on, DoubleFaultReport};
+pub use plan::{plan_faulty_access, plan_faulty_access_on, FaultyAccessPlan};
 pub use sim::FaultySim;

@@ -2,11 +2,12 @@
 //! all single stuck-at faults (paper Sec. III-A, Table I).
 
 use std::fmt;
+use std::time::Instant;
 
 use rsn_core::Rsn;
 
 use crate::effect::effect_of;
-use crate::engine::accessibility;
+use crate::engine::{AccessEngine, Scratch};
 use crate::fault::{fault_universe_weighted, Fault, WeightModel};
 
 /// Which hardening measures of the fault-tolerant synthesis apply when
@@ -96,109 +97,48 @@ pub fn analyze_with(
 ) -> FaultToleranceReport {
     let _span = rsn_obs::Span::enter("analyze");
     let faults = fault_universe_weighted(rsn, model);
-    rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
-    let mut worst_segments = 1.0f64;
-    let mut worst_bits = 1.0f64;
-    let mut sum_segments = 0.0f64;
-    let mut sum_bits = 0.0f64;
-    let mut total_weight = 0u64;
-    let mut worst_fault = None;
-
-    for fault in &faults {
-        let effect = effect_of(rsn, fault, profile);
-        let (seg_frac, bit_frac) = if effect.is_benign() {
-            (1.0, 1.0)
-        } else {
-            let acc = accessibility(rsn, &effect);
-            (acc.segment_fraction(), acc.bit_fraction())
-        };
-        let w = fault.weight as f64;
-        sum_segments += seg_frac * w;
-        sum_bits += bit_frac * w;
-        total_weight += fault.weight as u64;
-        if seg_frac < worst_segments {
-            worst_segments = seg_frac;
-            worst_fault = Some(*fault);
-        }
-        worst_bits = worst_bits.min(bit_frac);
-    }
-
-    let denom = total_weight.max(1) as f64;
-    FaultToleranceReport {
-        fault_count: faults.len(),
-        total_weight,
-        worst_segments,
-        avg_segments: sum_segments / denom,
-        worst_bits,
-        avg_bits: sum_bits / denom,
-        worst_fault,
-    }
+    let engine = AccessEngine::new(rsn);
+    analyze_faults_on(&engine, &faults, profile, 1)
 }
 
-/// Multi-threaded version of [`analyze`]: the fault universe is split
-/// across `std::thread::available_parallelism` workers. Results are
-/// identical to the sequential version (the aggregation is order-insensitive
-/// up to the choice of witness `worst_fault`).
-pub fn analyze_parallel(rsn: &Rsn, profile: HardeningProfile) -> FaultToleranceReport {
-    analyze_parallel_with(rsn, profile, WeightModel::Ports)
-}
-
-/// [`analyze_parallel`] with an explicit fault-class [`WeightModel`].
-pub fn analyze_parallel_with(
-    rsn: &Rsn,
+/// Computes the metric over an explicit fault list on a prebuilt engine
+/// with `threads` workers sharing it (one [`Scratch`] each). Exposed so
+/// callers that already hold an [`AccessEngine`] — hardening selection,
+/// benchmarks — skip the per-call precomputation entirely.
+pub fn analyze_faults_on(
+    engine: &AccessEngine<'_>,
+    faults: &[Fault],
     profile: HardeningProfile,
-    model: WeightModel,
+    threads: usize,
 ) -> FaultToleranceReport {
-    let faults = fault_universe_weighted(rsn, model);
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(16);
-    if threads <= 1 || faults.len() < 64 {
-        return analyze_with(rsn, profile, model);
-    }
-    let _span = rsn_obs::Span::enter("analyze_parallel");
     rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
-    let chunk = faults.len().div_ceil(threads);
-    let chunks_spawned = faults.chunks(chunk).count();
+    let start = Instant::now();
+
+    // One chunk per worker; a single chunk (serial case, small universes)
+    // runs inline on the calling thread — same code path either way.
+    let chunk = faults.len().div_ceil(threads.max(1)).max(1);
+    let chunks_spawned = faults.chunks(chunk).count().max(1);
     rsn_obs::counter_add("fault.parallel_chunks", chunks_spawned as u64);
     // Fraction of the available worker slots actually filled this call.
     rsn_obs::gauge_set(
         "fault.parallel_utilization",
-        chunks_spawned as f64 / threads as f64,
+        chunks_spawned as f64 / threads.max(1) as f64,
     );
-    let partials: Vec<Partial> = std::thread::scope(|scope| {
-        let handles: Vec<_> = faults
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut p = Partial::default();
-                    for fault in slice {
-                        let effect = effect_of(rsn, fault, profile);
-                        let (seg_frac, bit_frac) = if effect.is_benign() {
-                            (1.0, 1.0)
-                        } else {
-                            let acc = accessibility(rsn, &effect);
-                            (acc.segment_fraction(), acc.bit_fraction())
-                        };
-                        let w = fault.weight as f64;
-                        p.sum_segments += seg_frac * w;
-                        p.sum_bits += bit_frac * w;
-                        p.total_weight += fault.weight as u64;
-                        if seg_frac < p.worst_segments {
-                            p.worst_segments = seg_frac;
-                            p.worst_fault = Some(*fault);
-                        }
-                        p.worst_bits = p.worst_bits.min(bit_frac);
-                    }
-                    p
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+
+    let partials: Vec<Partial> = if chunks_spawned == 1 {
+        vec![partial_over(engine, faults, profile)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || partial_over(engine, slice, profile)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
 
     let mut out = Partial::default();
     for p in partials {
@@ -211,6 +151,12 @@ pub fn analyze_parallel_with(
         }
         out.worst_bits = out.worst_bits.min(p.worst_bits);
     }
+
+    let secs = start.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        rsn_obs::gauge_set("fault.faults_per_sec", faults.len() as f64 / secs);
+    }
+
     let denom = out.total_weight.max(1) as f64;
     FaultToleranceReport {
         fault_count: faults.len(),
@@ -221,6 +167,59 @@ pub fn analyze_parallel_with(
         avg_bits: out.sum_bits / denom,
         worst_fault: out.worst_fault,
     }
+}
+
+/// Folds one fault slice into a [`Partial`] — the single accumulation
+/// loop shared by the serial and parallel paths.
+fn partial_over(engine: &AccessEngine<'_>, faults: &[Fault], profile: HardeningProfile) -> Partial {
+    let rsn = engine.rsn();
+    let mut scratch: Scratch = engine.scratch();
+    let mut p = Partial::default();
+    for fault in faults {
+        let effect = effect_of(rsn, fault, profile);
+        let (seg_frac, bit_frac) = if effect.is_benign() {
+            (1.0, 1.0)
+        } else {
+            let acc = engine.accessibility(&effect, &mut scratch);
+            (acc.segment_fraction(), acc.bit_fraction())
+        };
+        let w = fault.weight as f64;
+        p.sum_segments += seg_frac * w;
+        p.sum_bits += bit_frac * w;
+        p.total_weight += fault.weight as u64;
+        if seg_frac < p.worst_segments {
+            p.worst_segments = seg_frac;
+            p.worst_fault = Some(*fault);
+        }
+        p.worst_bits = p.worst_bits.min(bit_frac);
+    }
+    p
+}
+
+/// Multi-threaded version of [`analyze`]: the fault universe is split
+/// across `std::thread::available_parallelism` workers sharing one
+/// [`AccessEngine`] (one [`Scratch`] per worker). Results are identical
+/// to the sequential version (the aggregation is order-insensitive up to
+/// the choice of witness `worst_fault`).
+pub fn analyze_parallel(rsn: &Rsn, profile: HardeningProfile) -> FaultToleranceReport {
+    analyze_parallel_with(rsn, profile, WeightModel::Ports)
+}
+
+/// [`analyze_parallel`] with an explicit fault-class [`WeightModel`].
+pub fn analyze_parallel_with(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+) -> FaultToleranceReport {
+    let _span = rsn_obs::Span::enter("analyze_parallel");
+    let faults = fault_universe_weighted(rsn, model);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16)
+        // No point spawning for universes smaller than a chunk's worth.
+        .min(faults.len().div_ceil(64).max(1));
+    let engine = AccessEngine::new(rsn);
+    analyze_faults_on(&engine, &faults, profile, threads)
 }
 
 #[derive(Debug, Clone, Copy)]

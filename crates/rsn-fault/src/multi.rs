@@ -12,7 +12,7 @@
 use rsn_core::Rsn;
 
 use crate::effect::{effect_of, FaultEffect};
-use crate::engine::accessibility;
+use crate::engine::AccessEngine;
 use crate::fault::{fault_universe, Fault};
 use crate::metric::HardeningProfile;
 
@@ -77,6 +77,20 @@ pub fn analyze_double_sampled(
     profile: HardeningProfile,
     stride: usize,
 ) -> DoubleFaultReport {
+    let engine = AccessEngine::new(rsn);
+    analyze_double_sampled_on(&engine, profile, stride)
+}
+
+/// [`analyze_double_sampled`] on a prebuilt [`AccessEngine`] — the pair
+/// sweep is quadratic in the fault universe, so reusing the engine's
+/// precomputation matters more here than anywhere else.
+pub fn analyze_double_sampled_on(
+    engine: &AccessEngine<'_>,
+    profile: HardeningProfile,
+    stride: usize,
+) -> DoubleFaultReport {
+    let rsn = engine.rsn();
+    let mut scratch = engine.scratch();
     let faults = fault_universe(rsn);
     let effects: Vec<FaultEffect> = faults.iter().map(|f| effect_of(rsn, f, profile)).collect();
     let total_segments = rsn.segments().count();
@@ -100,7 +114,9 @@ pub fn analyze_double_sampled(
         let frac = if combined.is_benign() {
             1.0
         } else {
-            accessibility(rsn, &combined).segment_fraction()
+            engine
+                .accessibility(&combined, &mut scratch)
+                .segment_fraction()
         };
         pairs += 1;
         sum += frac;
@@ -125,6 +141,7 @@ pub fn analyze_double_sampled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::accessibility;
     use rsn_core::examples::fig2;
     use rsn_itc02::parse_soc;
     use rsn_sib::generate;
@@ -185,6 +202,100 @@ mod tests {
             hard.lost_histogram,
             hard.pairs
         );
+    }
+
+    #[test]
+    fn fig2_data_faults_on_both_branches_block_everything() {
+        // B and C are each avoidable alone, but corrupting both leaves the
+        // mux with no clean input: no segment has a clean path.
+        let rsn = fig2();
+        let profile = HardeningProfile::unhardened();
+        let b = rsn.find("B").expect("B");
+        let c = rsn.find("C").expect("C");
+        let eb = effect_of(
+            &rsn,
+            &Fault {
+                site: crate::fault::FaultSite::SegmentData(b),
+                value: false,
+                weight: 2,
+            },
+            profile,
+        );
+        let ec = effect_of(
+            &rsn,
+            &Fault {
+                site: crate::fault::FaultSite::SegmentData(c),
+                value: false,
+                weight: 2,
+            },
+            profile,
+        );
+        let engine = AccessEngine::new(&rsn);
+        let mut scratch = engine.scratch();
+        let acc = engine.accessibility(&combine_effects(&eb, &ec), &mut scratch);
+        assert_eq!(acc.accessible_segments, 0);
+    }
+
+    #[test]
+    fn fig2_double_local_loss_spares_dataflow() {
+        // Shadow faults on B and C break only their instrument interfaces:
+        // the scan path stays intact, so exactly A and D stay accessible.
+        let rsn = fig2();
+        let profile = HardeningProfile::unhardened();
+        let b = rsn.find("B").expect("B");
+        let c = rsn.find("C").expect("C");
+        let eb = effect_of(
+            &rsn,
+            &Fault {
+                site: crate::fault::FaultSite::SegmentShadow(b),
+                value: false,
+                weight: 1,
+            },
+            profile,
+        );
+        let ec = effect_of(
+            &rsn,
+            &Fault {
+                site: crate::fault::FaultSite::SegmentShadow(c),
+                value: false,
+                weight: 1,
+            },
+            profile,
+        );
+        let engine = AccessEngine::new(&rsn);
+        let mut scratch = engine.scratch();
+        let acc = engine.accessibility(&combine_effects(&eb, &ec), &mut scratch);
+        assert_eq!(acc.accessible_segments, 2);
+        for (name, expect) in [("A", true), ("B", false), ("C", false), ("D", true)] {
+            let id = rsn.find(name).expect("exists");
+            assert_eq!(acc.accessible[id.index()], expect, "segment {name}");
+        }
+    }
+
+    #[test]
+    fn fig2_dense_double_fault_sweep_golden() {
+        let rsn = fig2();
+        let report = analyze_double_sampled(&rsn, HardeningProfile::unhardened(), 1);
+        let n = fault_universe(&rsn).len();
+        assert_eq!(report.pairs, n * (n - 1) / 2);
+        // Any pair involving a data fault on A disconnects everything.
+        assert_eq!(report.worst_segments, 0.0);
+        assert!(report.worst_pair.is_some());
+        assert!(report.avg_segments > 0.0 && report.avg_segments < 1.0);
+        let hist_total: usize = report.lost_histogram.iter().sum();
+        assert_eq!(hist_total, report.pairs);
+        // The histogram tail (all 4 segments lost) must be populated: A's
+        // data fault alone already loses the full network.
+        assert!(report.lost_histogram[4] > 0, "{:?}", report.lost_histogram);
+    }
+
+    #[test]
+    fn engine_reuse_matches_one_shot_sweep() {
+        let rsn = fig2();
+        let engine = AccessEngine::new(&rsn);
+        let via_engine = analyze_double_sampled_on(&engine, HardeningProfile::unhardened(), 3);
+        let one_shot = analyze_double_sampled(&rsn, HardeningProfile::unhardened(), 3);
+        assert_eq!(via_engine, one_shot);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use rsn_core::{Config, ControlExpr, NodeId, NodeKind, Rsn};
 
 use crate::effect::FaultEffect;
+use crate::engine::AccessEngine;
 
 /// A concrete faulty-access plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +113,7 @@ pub fn trace_faulty(rsn: &Rsn, cfg: &Config, effect: &FaultEffect) -> Option<Vec
 /// avoiding bits pinned to the opposite value.
 fn choose(
     rsn: &Rsn,
+    reset: &Config,
     effect: &FaultEffect,
     expr: &ControlExpr,
     want: bool,
@@ -130,8 +132,7 @@ fn choose(
                             Some(o) => o,
                             None => return false,
                         };
-                        let reset = rsn.reset_config().bit((off + *bit) as usize);
-                        return reset == want;
+                        return reset.bit((off + *bit) as usize) == want;
                     }
                     out.push((*n, *bit, want));
                     true
@@ -139,13 +140,15 @@ fn choose(
             }
         }
         ControlExpr::Input(_) => !want, // inputs held low by the planner
-        ControlExpr::Not(e) => choose(rsn, effect, e, !want, out),
-        ControlExpr::And(es) if want => es.iter().all(|e| choose(rsn, effect, e, true, out)),
-        ControlExpr::Or(es) if !want => es.iter().all(|e| choose(rsn, effect, e, false, out)),
+        ControlExpr::Not(e) => choose(rsn, reset, effect, e, !want, out),
+        ControlExpr::And(es) if want => es.iter().all(|e| choose(rsn, reset, effect, e, true, out)),
+        ControlExpr::Or(es) if !want => {
+            es.iter().all(|e| choose(rsn, reset, effect, e, false, out))
+        }
         ControlExpr::And(es) | ControlExpr::Or(es) => {
             for e in es {
                 let mut tmp = Vec::new();
-                if choose(rsn, effect, e, want, &mut tmp) {
+                if choose(rsn, reset, effect, e, want, &mut tmp) {
                     out.extend(tmp);
                     return true;
                 }
@@ -158,7 +161,13 @@ fn choose(
 /// Computes a clean scan path through `target` avoiding corrupt elements,
 /// using BFS over edges that *could* be configured (ignoring current
 /// register values — configurability is resolved by `choose`).
-fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<NodeId>> {
+fn clean_path(
+    engine: &AccessEngine<'_>,
+    effect: &FaultEffect,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    let rsn = engine.rsn();
+    let reset = engine.reset_config();
     let n = rsn.node_count();
     let corrupt = |id: NodeId| effect.corrupt_nodes.contains(&id);
     let corrupt_edge = |m: NodeId, k: usize| effect.corrupt_mux_inputs.contains(&(m, k));
@@ -169,7 +178,7 @@ fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<Nod
             let mut tmp = Vec::new();
             mux.addr_bits.iter().enumerate().all(|(i, e)| {
                 let want = (k >> i) & 1 == 1;
-                choose(rsn, effect, e, want, &mut tmp)
+                choose(rsn, reset, effect, e, want, &mut tmp)
             })
         }
     };
@@ -178,9 +187,7 @@ fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<Nod
     let mut parent_f: Vec<Option<NodeId>> = vec![None; n];
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
-    let mut roots = vec![rsn.scan_in()];
-    roots.extend(rsn.secondary_scan_in());
-    for r in roots {
+    for &r in engine.roots() {
         if !corrupt(r) {
             seen[r.index()] = true;
             queue.push_back(r);
@@ -214,9 +221,7 @@ fn clean_path(rsn: &Rsn, effect: &FaultEffect, target: NodeId) -> Option<Vec<Nod
     let mut parent_b: Vec<Option<NodeId>> = vec![None; n];
     let mut seen_b = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
-    let mut sinks = vec![rsn.scan_out()];
-    sinks.extend(rsn.secondary_scan_out());
-    for s in sinks {
+    for &s in engine.sinks() {
         if !corrupt(s) {
             seen_b[s.index()] = true;
             queue.push_back(s);
@@ -284,10 +289,24 @@ pub fn plan_faulty_access(
     effect: &FaultEffect,
     target: NodeId,
 ) -> Option<FaultyAccessPlan> {
+    let engine = AccessEngine::new(rsn);
+    plan_faulty_access_on(&engine, effect, target)
+}
+
+/// [`plan_faulty_access`] on a prebuilt [`AccessEngine`], reusing its
+/// cached reset configuration and root/sink lists across many planning
+/// calls (one per fault × segment in repair sweeps).
+pub fn plan_faulty_access_on(
+    engine: &AccessEngine<'_>,
+    effect: &FaultEffect,
+    target: NodeId,
+) -> Option<FaultyAccessPlan> {
+    let rsn = engine.rsn();
+    let reset = engine.reset_config();
     if effect.corrupt_nodes.contains(&target) || effect.local_loss.contains(&target) {
         return None;
     }
-    let path = clean_path(rsn, effect, target)?;
+    let path = clean_path(engine, effect, target)?;
 
     // Address requirements of the path's muxes.
     let mut required: HashMap<(NodeId, u32), bool> = HashMap::new();
@@ -301,7 +320,7 @@ pub fn plan_faulty_access(
             let mut assignment = Vec::new();
             for (i, e) in m.addr_bits.iter().enumerate() {
                 let want = (k >> i) & 1 == 1;
-                if !choose(rsn, effect, e, want, &mut assignment) {
+                if !choose(rsn, reset, effect, e, want, &mut assignment) {
                     return None;
                 }
             }
@@ -319,7 +338,7 @@ pub fn plan_faulty_access(
     // Order the writes: repeatedly trace the current faulty path and write
     // every still-wrong bit whose owner sits on the clean prefix (before
     // any corrupt element on the path).
-    let mut cfg = rsn.reset_config();
+    let mut cfg = reset.clone();
     let mut steps = Vec::new();
     for _round in 0..=rsn.node_count() {
         let cur_path = trace_faulty(rsn, &cfg, effect)?;
@@ -460,6 +479,8 @@ mod tests {
         let soc = parse_soc("SocName t\n1 0 0 0 2 : 3 2\n2 0 0 0 1 : 4\n").expect("parse");
         let rsn = generate(&soc).expect("generate");
         let profile = HardeningProfile::unhardened();
+        let engine = AccessEngine::new(&rsn);
+        let mut scratch = engine.scratch();
         let mut planned = 0usize;
         let mut verified = 0usize;
         for fault in fault_universe(&rsn) {
@@ -467,9 +488,9 @@ mod tests {
                 continue; // not simulatable at bit level
             }
             let effect = effect_of(&rsn, &fault, profile);
-            let acc = crate::engine::accessibility(&rsn, &effect);
+            let acc = engine.accessibility(&effect, &mut scratch);
             for seg in rsn.segments() {
-                let plan = plan_faulty_access(&rsn, &effect, seg);
+                let plan = plan_faulty_access_on(&engine, &effect, seg);
                 if acc.accessible[seg.index()] {
                     // Clean-write plans cover the SIB networks entirely
                     // (no dirty-write recovery needed there).

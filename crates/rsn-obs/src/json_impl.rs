@@ -73,13 +73,6 @@ impl Json {
         }
     }
 
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Serializes with `indent` spaces per nesting level.
     pub fn to_string_pretty(&self, indent: usize) -> String {
         let mut out = String::new();
@@ -140,6 +133,16 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Compact (no-whitespace) JSON serialization; `to_string()` comes for
+/// free via `ToString`.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

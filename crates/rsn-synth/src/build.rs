@@ -29,6 +29,7 @@ use rsn_ilp::IlpError;
 
 use crate::augment::{augment_greedy, augment_ilp, AugmentOptions, Augmentation};
 use crate::dataflow::Dataflow;
+use crate::harden::{apply_mux_hardening, select_mux_hardening};
 use crate::select::{apply_selects, derive_selects};
 
 /// Which augmentation solver to run.
@@ -69,10 +70,15 @@ pub struct SynthesisOptions {
     pub secondary_ports: bool,
     /// `Auto` solver threshold on dataflow vertices.
     pub ilp_max_vertices: usize,
+    /// TMR-harden at most this many multiplexer address nets, chosen by
+    /// accessibility gain ([`crate::harden`]). `None` hardens every mux
+    /// (the paper's Sec. III-E-3 default).
+    pub harden_budget: Option<usize>,
 }
 
 impl SynthesisOptions {
-    /// Paper-faithful defaults: auto solver, secondary ports on.
+    /// Paper-faithful defaults: auto solver, secondary ports on, every
+    /// multiplexer address hardened.
     pub fn new() -> Self {
         SynthesisOptions {
             augment: AugmentOptions::default(),
@@ -80,6 +86,7 @@ impl SynthesisOptions {
             select_mode: SelectMode::Auto,
             secondary_ports: true,
             ilp_max_vertices: 24,
+            harden_budget: None,
         }
     }
 }
@@ -134,6 +141,9 @@ pub struct SynthesisReport {
     pub repairs: usize,
     /// Whether select expressions were materialized.
     pub selects_materialized: bool,
+    /// Multiplexer address nets TMR-hardened (all of them unless
+    /// `harden_budget` restricted the set).
+    pub hardened_muxes: usize,
 }
 
 impl std::fmt::Display for SynthesisReport {
@@ -468,16 +478,34 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         build_start.elapsed().as_secs_f64() * 1e3,
     );
 
-    // 3. TMR-harden every multiplexer address net.
+    // 3. TMR-harden multiplexer address nets: all of them (paper default)
+    // or the best `harden_budget` by accessibility gain.
     phase(&root, "harden", "synth.phases.harden_ms", || {
-        let mux_ids: Vec<NodeId> = (0..b.node_count() as u32)
-            .map(NodeId)
-            .filter(|&n| b.node(n).as_mux().is_some())
-            .collect();
-        for m in mux_ids {
-            b.harden_mux(m);
+        match opts.harden_budget {
+            None => {
+                let mux_ids: Vec<NodeId> = (0..b.node_count() as u32)
+                    .map(NodeId)
+                    .filter(|&n| b.node(n).as_mux().is_some())
+                    .collect();
+                report.hardened_muxes = mux_ids.len();
+                for m in mux_ids {
+                    b.harden_mux(m);
+                }
+                Ok(())
+            }
+            Some(budget) => {
+                // Probe network: arena ids survive `finish`, so a plan
+                // computed on the probe applies directly to the builder.
+                let probe = b.clone().finish()?;
+                let plan =
+                    select_mux_hardening(&probe, budget, rsn_fault::HardeningProfile::hardened());
+                report.hardened_muxes = plan.chosen.len();
+                apply_mux_hardening(&mut b, &plan.chosen);
+                Ok(())
+            }
         }
-    });
+    })
+    .map_err(SynthError::Build)?;
 
     let select_span = root.child("select");
     let select_start = std::time::Instant::now();
@@ -655,6 +683,26 @@ mod tests {
         let so2 = ft.secondary_scan_out().expect("secondary scan-out");
         assert!(!ft.successors(si2).is_empty());
         assert!(ft.node(so2).source().is_some());
+    }
+
+    #[test]
+    fn harden_budget_limits_tmr_muxes() {
+        let rsn = fig2();
+        let mut opts = SynthesisOptions::new();
+        opts.harden_budget = Some(2);
+        let result = synthesize(&rsn, &opts).expect("synthesize");
+        let hardened = result
+            .rsn
+            .muxes()
+            .filter(|&m| result.rsn.node(m).as_mux().expect("mux").hardened)
+            .count();
+        assert_eq!(hardened, result.report.hardened_muxes);
+        assert!(hardened <= 2, "budget must cap hardening: {hardened}");
+        let total = result.rsn.muxes().count();
+        assert!(hardened < total, "fig2 FT network has > 2 muxes");
+        // The unrestricted default hardens everything.
+        let full = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        assert_eq!(full.report.hardened_muxes, full.rsn.muxes().count());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod area;
 pub mod augment;
 pub mod build;
 pub mod dataflow;
+pub mod harden;
 pub mod select;
 
 pub use area::{AreaModel, NetworkCosts, Overhead};
@@ -39,3 +40,5 @@ pub use build::{
     SynthesisResult,
 };
 pub use dataflow::Dataflow;
+pub use harden::{apply_mux_hardening, select_mux_hardening, MuxHardeningPlan};
+pub use select::{select_hardness, SelectHardnessReport};

@@ -110,6 +110,58 @@ pub fn apply_selects(builder: &mut RsnBuilder, selects: &HashMap<NodeId, Control
     }
 }
 
+/// Per-segment fan-out stem report: how many independent assertion paths
+/// each segment's select can be derived from.
+///
+/// The Sec. III-E-2 hardening argument needs at least two outgoing
+/// dataflow edges per segment — each stem is an independent disjunct of
+/// the derived select, so a single stem stuck-at-0 is masked. Segments
+/// with a single stem remain select-vulnerable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectHardnessReport {
+    /// `(segment, stem count)` in arena order.
+    pub stems: Vec<(NodeId, usize)>,
+}
+
+impl SelectHardnessReport {
+    /// Fraction of segments with ≥ 2 independent stems (1.0 for an empty
+    /// network).
+    pub fn hardened_fraction(&self) -> f64 {
+        if self.stems.is_empty() {
+            return 1.0;
+        }
+        let ok = self.stems.iter().filter(|&&(_, n)| n >= 2).count();
+        ok as f64 / self.stems.len() as f64
+    }
+
+    /// Segments with fewer than two stems (still select-vulnerable).
+    pub fn vulnerable(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.stems
+            .iter()
+            .filter(|&&(_, n)| n < 2)
+            .map(|&(seg, _)| seg)
+    }
+}
+
+/// Counts the independent select stems of every segment (its outgoing
+/// dataflow edges, counting each multiplexer input separately).
+pub fn select_hardness(rsn: &Rsn) -> SelectHardnessReport {
+    let stems = rsn
+        .segments()
+        .map(|seg| {
+            let mut count = 0usize;
+            for &w in rsn.successors(seg) {
+                count += match rsn.node(w).kind() {
+                    NodeKind::Mux(m) => m.inputs.iter().filter(|&&i| i == seg).count(),
+                    _ => 1,
+                };
+            }
+            (seg, count)
+        })
+        .collect();
+    SelectHardnessReport { stems }
+}
+
 /// Renders the select equation of a segment in the style of the paper's
 /// Fig. 5 (`Select(B) := …`).
 pub fn select_equation(rsn: &Rsn, selects: &HashMap<NodeId, ControlExpr>, seg: NodeId) -> String {
@@ -182,6 +234,32 @@ mod tests {
         // B is selected when the mux forwards it (address 0).
         assert_eq!(selects[&b], (!ControlExpr::reg(a, 0)).simplified());
         assert_eq!(selects[&c], ControlExpr::reg(a, 0));
+    }
+
+    #[test]
+    fn hardness_report_flags_single_stem_segments() {
+        let rsn = fig2();
+        let report = select_hardness(&rsn);
+        let a = rsn.find("A").expect("A");
+        // A fans out to both branches; B, C, D each have one successor.
+        let stems_of = |n| report.stems.iter().find(|&&(s, _)| s == n).unwrap().1;
+        assert_eq!(stems_of(a), 2);
+        assert_eq!(report.hardened_fraction(), 0.25);
+        assert_eq!(report.vulnerable().count(), 3);
+    }
+
+    #[test]
+    fn synthesis_hardens_every_select_stem() {
+        use crate::{synthesize, SynthesisOptions};
+        let rsn = fig2();
+        let ft = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
+        let report = select_hardness(&ft.rsn);
+        assert_eq!(
+            report.hardened_fraction(),
+            1.0,
+            "vulnerable: {:?}",
+            report.vulnerable().collect::<Vec<_>>()
+        );
     }
 
     #[test]
