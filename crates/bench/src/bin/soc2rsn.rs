@@ -4,13 +4,20 @@
 //! ```text
 //! soc2rsn <input.soc | embedded-name> [--ft] [--out DIR]
 //!         [--solver auto|ilp|greedy] [--alpha F] [--no-ports]
-//!         [--report] [--lint]
+//!         [--report] [--lint] [--verify]
 //! ```
 //!
 //! Writes `<name>.v` (structural Verilog) and `<name>.icl` (IEEE 1687
 //! ICL); with `--ft`, synthesizes the fault-tolerant network first and
 //! writes `<name>_ft.*` as well. `--report` prints the fault-tolerance
 //! metric of everything it produced.
+//!
+//! `--lint` statically verifies every emitted network with `rsn-verify`
+//! (SAT proofs over all configurations plus graph passes) and prints the
+//! structured diagnostics; error-severity findings make the exit code
+//! non-zero. `--verify` additionally gates the synthesis itself: the
+//! fault-tolerant network is verified (including the
+//! ineffective-augmentation check) before it is accepted.
 
 use std::env;
 use std::fs;
@@ -26,7 +33,8 @@ use rsn_synth::{synthesize, SolverChoice, SynthesisOptions};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: soc2rsn <input.soc | embedded-name> [--ft] [--out DIR] \
-         [--solver auto|ilp|greedy] [--alpha F] [--no-ports] [--report] [--lint]"
+         [--solver auto|ilp|greedy] [--alpha F] [--no-ports] [--report] \
+         [--lint] [--verify]"
     );
     ExitCode::FAILURE
 }
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
             "--ft" => ft = true,
             "--report" => report = true,
             "--lint" => lint = true,
+            "--verify" => opts.verify = true,
             "--no-ports" => opts.secondary_ports = false,
             "--out" => {
                 i += 1;
@@ -104,7 +113,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut emitted: Vec<(String, rsn_core::Rsn)> = vec![(soc.name.clone(), rsn.clone())];
+    let mut lint_errors = 0usize;
+    // (name, network, selects materialized): placeholder selects on large
+    // networks are expected to disagree with path membership, so lint
+    // skips select checks for them just like the synthesis-time gate.
+    let mut emitted: Vec<(String, rsn_core::Rsn, bool)> =
+        vec![(soc.name.clone(), rsn.clone(), true)];
     if ft {
         match synthesize(&rsn, &opts) {
             Ok(result) => {
@@ -119,7 +133,8 @@ fn main() -> ExitCode {
                         "greedy"
                     }
                 );
-                emitted.push((format!("{}_ft", soc.name), result.rsn));
+                let materialized = result.report.selects_materialized;
+                emitted.push((format!("{}_ft", soc.name), result.rsn, materialized));
             }
             Err(e) => {
                 eprintln!("error: synthesis failed: {e}");
@@ -128,7 +143,7 @@ fn main() -> ExitCode {
         }
     }
 
-    for (name, network) in &emitted {
+    for (name, network, selects_materialized) in &emitted {
         let v = out_dir.join(format!("{name}.v"));
         let icl = out_dir.join(format!("{name}.icl"));
         if let Err(e) = fs::write(&v, to_verilog(network)) {
@@ -148,9 +163,14 @@ fn main() -> ExitCode {
             icl.display()
         );
         if lint {
-            for w in network.lint(64) {
-                println!("  lint: {w}");
-            }
+            let vopts = if *selects_materialized {
+                rsn_verify::VerifyOptions::default()
+            } else {
+                rsn_verify::VerifyOptions::without_select_checks()
+            };
+            let vreport = rsn_verify::verify_with(network, vopts);
+            print!("{}", indent(&vreport.render()));
+            lint_errors += vreport.error_count();
         }
         if report {
             let profile = if name.ends_with("_ft") {
@@ -162,5 +182,15 @@ fn main() -> ExitCode {
             println!("  metric: {m}");
         }
     }
+    if lint_errors > 0 {
+        eprintln!("error: static verification found {lint_errors} error-severity diagnostic(s)");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("  lint: {l}\n"))
+        .collect::<String>()
 }

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
-//!        [--paper] [--ablation] [--sweep-alpha] [--json PATH]
+//!        [--paper] [--verify] [--ablation] [--sweep-alpha] [--json PATH]
 //!        [--bench-access PATH]
 //! ```
+//!
+//! With `--verify`, every synthesized fault-tolerant network is statically
+//! verified (`rsn-verify`: SAT proofs plus graph passes, including the
+//! ineffective-augmentation check); error-severity findings abort the run.
 //!
 //! Without arguments, the full table is printed over all 13 embedded
 //! benchmarks with measured accessibility and overhead values, next to the
@@ -253,6 +257,7 @@ fn main() {
     let mut names: Vec<&str> = Vec::new();
     let mut show_paper = false;
     let mut timing = false;
+    let mut verify = false;
     let mut ablation = false;
     let mut sweep_alpha = false;
     let mut latency = false;
@@ -275,6 +280,7 @@ fn main() {
             }
             "--paper" => show_paper = true,
             "--timing" => timing = true,
+            "--verify" => verify = true,
             "--ablation" => ablation = true,
             "--sweep-alpha" => sweep_alpha = true,
             "--latency" => latency = true,
@@ -345,12 +351,24 @@ fn main() {
             // One report per row: clear global counters/spans between rows.
             rsn_obs::reset();
         }
-        let row = if weights == WeightModel::Ports {
+        let row = if verify {
+            // Post-synthesis static verification gates every row:
+            // error-severity diagnostics abort inside `synthesize`.
+            evaluate_weighted(name, &rsn_synth::SynthesisOptions::verified(), weights)
+        } else if weights == WeightModel::Ports {
             evaluate(name)
         } else {
             evaluate_weighted(name, &rsn_synth::SynthesisOptions::new(), weights)
         };
         println!("{}", format_row(&row));
+        if let Some(v) = &row.synthesis.verification {
+            println!(
+                "         verified: {} error(s), {} warning(s), {} SAT queries",
+                v.error_count(),
+                v.warning_count(),
+                v.sat_queries
+            );
+        }
         if show_paper {
             println!("{}", paper_row(&row));
         }

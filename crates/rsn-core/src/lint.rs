@@ -6,6 +6,12 @@
 //! elements, multiplexers that can never switch, segments that can never
 //! be selected, or select predicates that disagree with path membership in
 //! sampled configurations.
+//!
+//! `Rsn::lint` is the legacy sampling-based entry point, kept as a thin
+//! compatibility wrapper: its structural passes live in
+//! [`structural_findings`] so the exhaustive `rsn-verify` engine reuses
+//! them verbatim, and only the select/path probing here is
+//! sample-bounded (`rsn-verify` replaces it with a SAT proof).
 
 use std::fmt;
 
@@ -67,93 +73,163 @@ impl fmt::Display for LintWarning {
     }
 }
 
+/// Findings of the purely structural lint passes: no configuration is
+/// evaluated, only graph reachability and expression syntax.
+///
+/// The same passes back both the legacy [`Rsn::lint`] and the exhaustive
+/// `rsn-verify` engine (which upgrades the syntactic constancy checks to
+/// SAT proofs and maps each field onto a stable diagnostic code).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructuralFindings {
+    /// Nodes unreachable from every scan-in port.
+    pub unreachable: Vec<NodeId>,
+    /// Nodes from which no scan-out port is reachable.
+    pub unobservable: Vec<NodeId>,
+    /// Muxes whose address expressions reference no register and no
+    /// primary input (syntactically constant address).
+    pub constant_address_muxes: Vec<NodeId>,
+    /// Segments whose select is the syntactic constant `false`.
+    pub never_selected: Vec<NodeId>,
+    /// `(mux, register)` pairs where a mux address reads a register
+    /// without a shadow (never controllable).
+    pub shadowless_addresses: Vec<(NodeId, NodeId)>,
+}
+
+/// Runs the structural lint passes (reachability in both directions,
+/// constant mux addresses, constant-false selects, shadow-less address
+/// sources). Exhaustive by construction — no sampling is involved.
+pub fn structural_findings(rsn: &Rsn) -> StructuralFindings {
+    let mut out = StructuralFindings::default();
+
+    // Reachability in both directions.
+    let n = rsn.node_count();
+    let mut fwd = vec![false; n];
+    let mut stack: Vec<NodeId> = rsn
+        .node_ids()
+        .filter(|&id| matches!(rsn.node(id).kind(), NodeKind::ScanIn))
+        .collect();
+    for &r in &stack {
+        fwd[r.index()] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &v in rsn.successors(u) {
+            if !fwd[v.index()] {
+                fwd[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    let mut bwd = vec![false; n];
+    let mut stack: Vec<NodeId> = rsn
+        .node_ids()
+        .filter(|&id| matches!(rsn.node(id).kind(), NodeKind::ScanOut))
+        .collect();
+    for &s in &stack {
+        bwd[s.index()] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for p in rsn.predecessors(u) {
+            if !bwd[p.index()] {
+                bwd[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    for id in rsn.node_ids() {
+        if !fwd[id.index()] {
+            out.unreachable.push(id);
+        }
+        if !bwd[id.index()] {
+            out.unobservable.push(id);
+        }
+    }
+
+    // Constant addresses and shadow-less address sources.
+    for m in rsn.muxes() {
+        let mux = rsn.node(m).as_mux().expect("mux");
+        let mut refs = Vec::new();
+        for e in &mux.addr_bits {
+            e.collect_reg_refs(&mut refs);
+        }
+        if refs.is_empty()
+            && !mux
+                .addr_bits
+                .iter()
+                .any(|e| matches!(e, crate::ControlExpr::Input(_)))
+        {
+            out.constant_address_muxes.push(m);
+        }
+        for (reg, _) in refs {
+            if rsn.shadow_offset(reg).is_none() {
+                out.shadowless_addresses.push((m, reg));
+            }
+        }
+    }
+
+    // Constant-false selects.
+    for seg in rsn.segments() {
+        if rsn
+            .node(seg)
+            .as_segment()
+            .expect("segment")
+            .select
+            .is_false()
+        {
+            out.never_selected.push(seg);
+        }
+    }
+
+    out
+}
+
+impl StructuralFindings {
+    /// Renders the findings as legacy [`LintWarning`]s.
+    pub fn to_warnings(&self) -> Vec<LintWarning> {
+        let mut out = Vec::new();
+        let both: Vec<NodeId> = {
+            let mut ids: Vec<NodeId> = self
+                .unreachable
+                .iter()
+                .chain(&self.unobservable)
+                .copied()
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        for id in both {
+            if self.unreachable.contains(&id) {
+                out.push(LintWarning::UnreachableFromScanIn(id));
+            }
+            if self.unobservable.contains(&id) {
+                out.push(LintWarning::CannotReachScanOut(id));
+            }
+        }
+        for &m in &self.constant_address_muxes {
+            out.push(LintWarning::MuxNeverSwitches(m));
+        }
+        for &(mux, register) in &self.shadowless_addresses {
+            out.push(LintWarning::AddressWithoutShadow { mux, register });
+        }
+        for &seg in &self.never_selected {
+            out.push(LintWarning::NeverSelected(seg));
+        }
+        out
+    }
+}
+
 impl Rsn {
     /// Lints the network, returning all findings. `samples` bounds the
     /// number of random-ish configurations probed for select/path
     /// agreement (deterministic sampling).
+    ///
+    /// This is the legacy compatibility entry point: the structural
+    /// passes are exhaustive ([`structural_findings`]), but select/path
+    /// agreement is only *sampled*. The `rsn-verify` crate proves the
+    /// same properties over every configuration via SAT and should be
+    /// preferred for correctness gating.
     pub fn lint(&self, samples: usize) -> Vec<LintWarning> {
-        let mut out = Vec::new();
-
-        // Reachability in both directions.
-        let n = self.node_count();
-        let mut fwd = vec![false; n];
-        let mut stack: Vec<NodeId> = self
-            .node_ids()
-            .filter(|&id| matches!(self.node(id).kind(), NodeKind::ScanIn))
-            .collect();
-        for &r in &stack {
-            fwd[r.index()] = true;
-        }
-        while let Some(u) = stack.pop() {
-            for &v in self.successors(u) {
-                if !fwd[v.index()] {
-                    fwd[v.index()] = true;
-                    stack.push(v);
-                }
-            }
-        }
-        let mut bwd = vec![false; n];
-        let mut stack: Vec<NodeId> = self
-            .node_ids()
-            .filter(|&id| matches!(self.node(id).kind(), NodeKind::ScanOut))
-            .collect();
-        for &s in &stack {
-            bwd[s.index()] = true;
-        }
-        while let Some(u) = stack.pop() {
-            for p in self.predecessors(u) {
-                if !bwd[p.index()] {
-                    bwd[p.index()] = true;
-                    stack.push(p);
-                }
-            }
-        }
-        for id in self.node_ids() {
-            if !fwd[id.index()] {
-                out.push(LintWarning::UnreachableFromScanIn(id));
-            }
-            if !bwd[id.index()] {
-                out.push(LintWarning::CannotReachScanOut(id));
-            }
-        }
-
-        // Constant addresses and shadow-less address sources.
-        for m in self.muxes() {
-            let mux = self.node(m).as_mux().expect("mux");
-            let mut refs = Vec::new();
-            for e in &mux.addr_bits {
-                e.collect_reg_refs(&mut refs);
-            }
-            if refs.is_empty()
-                && !mux
-                    .addr_bits
-                    .iter()
-                    .any(|e| matches!(e, crate::ControlExpr::Input(_)))
-            {
-                out.push(LintWarning::MuxNeverSwitches(m));
-            }
-            for (reg, _) in refs {
-                if self.shadow_offset(reg).is_none() {
-                    out.push(LintWarning::AddressWithoutShadow {
-                        mux: m,
-                        register: reg,
-                    });
-                }
-            }
-        }
-
-        // Constant-false selects.
-        for seg in self.segments() {
-            if self
-                .node(seg)
-                .as_segment()
-                .expect("segment")
-                .select
-                .is_false()
-            {
-                out.push(LintWarning::NeverSelected(seg));
-            }
-        }
+        let mut out = structural_findings(self).to_warnings();
 
         // Sampled validity probing: flip one shadow bit at a time from
         // reset (plus the reset configuration itself).
@@ -163,20 +239,34 @@ impl Rsn {
             c.set_bit(bit, !c.bit(bit));
             cfgs.push(c);
         }
+        // A segment is "on path" when any scan-out port's traced path
+        // contains it — secondary ports observe segments just like the
+        // primary one does.
+        let sinks: Vec<NodeId> = self
+            .node_ids()
+            .filter(|&id| matches!(self.node(id).kind(), NodeKind::ScanOut))
+            .collect();
         for cfg in cfgs {
-            if let Ok(path) = self.trace_path(&cfg) {
-                for seg in self.segments() {
-                    let selected = match self.select(seg, &cfg) {
-                        Ok(v) => v,
-                        Err(_) => continue,
-                    };
-                    if selected != path.contains(seg) {
-                        out.push(LintWarning::SelectPathMismatch {
-                            segment: seg,
-                            config: cfg.clone(),
-                        });
-                        break; // one witness per configuration
-                    }
+            // Skip configurations that fail to decode somewhere, as the
+            // single-port version always did.
+            let Ok(paths) = sinks
+                .iter()
+                .map(|&p| self.trace_path_from(p, &cfg))
+                .collect::<Result<Vec<_>, _>>()
+            else {
+                continue;
+            };
+            for seg in self.segments() {
+                let selected = match self.select(seg, &cfg) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                if selected != paths.iter().any(|p| p.contains(seg)) {
+                    out.push(LintWarning::SelectPathMismatch {
+                        segment: seg,
+                        config: cfg.clone(),
+                    });
+                    break; // one witness per configuration
                 }
             }
         }
@@ -267,5 +357,26 @@ mod tests {
     fn warnings_render() {
         let w = LintWarning::MuxNeverSwitches(NodeId(3));
         assert!(!w.to_string().is_empty());
+    }
+
+    #[test]
+    fn structural_findings_match_lint_on_clean_and_broken_networks() {
+        for rsn in [fig2(), chain(4, 2), sib_tree(1, 2, 3)] {
+            let s = structural_findings(&rsn);
+            assert_eq!(s, StructuralFindings::default(), "{}", rsn.name());
+            assert!(s.to_warnings().is_empty());
+        }
+        let mut b = RsnBuilder::new("w");
+        let s = b.add_segment("S", 1);
+        b.connect(b.scan_in(), s);
+        b.connect(s, b.scan_out());
+        let rsn = b.finish().expect("valid structure");
+        let f = structural_findings(&rsn);
+        assert_eq!(f.never_selected, vec![s]);
+        // Every structural warning also appears in the legacy lint.
+        let lint = rsn.lint(4);
+        for w in f.to_warnings() {
+            assert!(lint.contains(&w), "{w}");
+        }
     }
 }

@@ -258,6 +258,12 @@ pub fn from_icl(text: &str) -> Result<Rsn, ParseIclError> {
         if line.starts_with("//") {
             continue;
         }
+        // Trailing annotations (e.g. "{ // TMR-hardened address") are
+        // comments too; only the leading "// Select :=" form is semantic.
+        let line = match line.find("//") {
+            Some(i) => line[..i].trim_end(),
+            None => line,
+        };
         match ctx {
             Ctx::Top => {
                 if let Some(rest) = line.strip_prefix("Module ") {
@@ -388,6 +394,12 @@ pub fn from_icl(text: &str) -> Result<Rsn, ParseIclError> {
         };
         names.insert(name.clone(), id);
     }
+    // The secondary scan-in must exist before mux inputs resolve: FT
+    // networks route it into bypass multiplexers.
+    if secondary_in {
+        let si2 = b.add_secondary_scan_in("scan_in2");
+        names.insert("SI2".into(), si2);
+    }
     for (name, mux) in &muxes {
         let mut cases = mux.cases.clone();
         cases.sort_by_key(|&(i, _)| i);
@@ -403,10 +415,6 @@ pub fn from_icl(text: &str) -> Result<Rsn, ParseIclError> {
             .collect::<Result<_, _>>()?;
         let id = b.add_mux(name.clone(), inputs, addr);
         names.insert(name.clone(), id);
-    }
-    let si2 = secondary_in.then(|| b.add_secondary_scan_in("scan_in2"));
-    if let Some(si2) = si2 {
-        names.insert("SI2".into(), si2);
     }
     // Connections and selects.
     for (name, reg) in &registers {
@@ -516,6 +524,23 @@ mod tests {
         for seg in back.segments().take(8) {
             assert!(back.is_accessible(seg), "{}", back.node(seg).name());
         }
+    }
+
+    #[test]
+    fn synthesized_ft_network_roundtrips() {
+        // FT netlists exercise the importer corners: a secondary scan-in
+        // feeding bypass muxes (SI2 must resolve as a mux input), a
+        // secondary scan-out, and trailing "// TMR-hardened address"
+        // comments on ScanMux lines.
+        let rsn = fig2();
+        let result =
+            rsn_synth::synthesize(&rsn, &rsn_synth::SynthesisOptions::new()).expect("synthesize");
+        let icl = to_icl(&result.rsn);
+        assert!(icl.contains("ScanInPort SI2;"), "fixture lost its FT port");
+        let back = from_icl(&icl).expect("parse FT dialect");
+        assert_eq!(back.segments().count(), result.rsn.segments().count());
+        assert_eq!(back.muxes().count(), result.rsn.muxes().count());
+        assert_eq!(back.total_bits(), result.rsn.total_bits());
     }
 
     #[test]

@@ -237,6 +237,81 @@ impl DiGraph {
         seen
     }
 
+    /// Strongly connected components (iterative Tarjan), in reverse
+    /// topological order of the condensation.
+    ///
+    /// Every vertex appears in exactly one component; trivial components
+    /// (single vertex, no self-loop) are included. Use
+    /// [`DiGraph::cyclic_components`] to keep only components that
+    /// actually contain a cycle.
+    pub fn strongly_connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        // DFS frames: (vertex, next successor position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != UNSET {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (u, ref mut i)) = frames.last_mut() {
+                if *i < self.succ[u].len() {
+                    let v = self.succ[u][*i];
+                    *i += 1;
+                    if index[v] == UNSET {
+                        index[v] = next_index;
+                        lowlink[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        frames.push((v, 0));
+                    } else if on_stack[v] {
+                        lowlink[u] = lowlink[u].min(index[v]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        lowlink[p] = lowlink[p].min(lowlink[u]);
+                    }
+                    if lowlink[u] == index[u] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("root is on the stack");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Strongly connected components that contain at least one cycle: all
+    /// components of size ≥ 2 plus single vertices with a self-loop.
+    pub fn cyclic_components(&self) -> Vec<Vec<usize>> {
+        self.strongly_connected_components()
+            .into_iter()
+            .filter(|c| c.len() > 1 || self.has_edge(c[0], c[0]))
+            .collect()
+    }
+
     /// Shortest path (edge count) from `s` to `t`, as a vertex list, or
     /// `None` if unreachable.
     pub fn shortest_path(&self, s: usize, t: usize) -> Option<Vec<usize>> {
@@ -346,6 +421,57 @@ mod tests {
         let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
         assert_eq!(g.shortest_path(0, 3), Some(vec![0, 3]));
         assert_eq!(g.shortest_path(3, 0), None);
+    }
+
+    #[test]
+    fn scc_partitions_vertices() {
+        // Two nontrivial components {1,2,3} and {4,5}, plus trivial 0, 6.
+        let g = DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+                (5, 6),
+            ],
+        );
+        let mut sccs = g.strongly_connected_components();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0], vec![1, 2, 3], vec![4, 5], vec![6]]);
+        let mut cyclic = g.cyclic_components();
+        cyclic.sort();
+        assert_eq!(cyclic, vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn scc_reports_self_loops_as_cyclic() {
+        let g = DiGraph::from_edges(3, &[(0, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.strongly_connected_components().len(), 3);
+        assert_eq!(g.cyclic_components(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let sccs = g.strongly_connected_components();
+        assert_eq!(sccs.len(), 5);
+        assert!(g.cyclic_components().is_empty());
+        // Reverse topological order of the condensation: each component is
+        // emitted only after everything it reaches.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 5];
+            for (i, c) in sccs.iter().enumerate() {
+                pos[c[0]] = i;
+            }
+            pos
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[v] < pos[u], "{sccs:?}");
+        }
     }
 
     #[test]

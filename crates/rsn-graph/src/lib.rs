@@ -12,7 +12,7 @@
 //!   Menger-style *vertex-independent path* counts
 //!   ([`vertex_independent_paths`]) — the connectivity requirement of
 //!   fault-tolerant RSNs (Sec. III-C).
-//! * Dominators ([`dominators`]) — single-point-of-failure analysis: a
+//! * Dominators ([`dominators()`]) — single-point-of-failure analysis: a
 //!   vertex dominating `s` on every root→s path is a single point of
 //!   failure for accessing `s`.
 //!

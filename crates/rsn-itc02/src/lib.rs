@@ -9,7 +9,7 @@
 //!   optional direct top-level test data registers.
 //! * [`parse_soc`] — a parser for the classic ITC'02 `.soc` line format, so
 //!   real benchmark files can be dropped in.
-//! * [`suite`] / [`by_name`] — an embedded 13-SoC suite (u226 … p93791)
+//! * [`suite()`] / [`by_name`] — an embedded 13-SoC suite (u226 … p93791)
 //!   fitted so that the *generated SIB-RSN characteristics* (multiplexers,
 //!   segments, scan bits, hierarchy levels) match Table I of the paper
 //!   exactly; chain-length distributions are seeded deterministically.
@@ -30,6 +30,6 @@ pub mod parser;
 pub mod soc;
 pub mod suite;
 
-pub use parser::{parse_soc, ParseSocError};
+pub use parser::{parse_soc, ParseSocError, SocErrorKind};
 pub use soc::{Module, Soc};
 pub use suite::{by_name, suite, table_targets, TableTargets, TABLE1};

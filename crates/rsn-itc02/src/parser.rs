@@ -18,11 +18,38 @@ use std::fmt;
 
 use crate::soc::{Module, Soc};
 
+/// What went wrong, independent of the human-readable message. Lets
+/// callers and tests match on the failure class without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocErrorKind {
+    /// A token that should have been a number was not.
+    BadNumber,
+    /// A numeric field was negative.
+    NegativeValue,
+    /// A chain length or register width exceeds the representable range.
+    WidthOutOfRange,
+    /// A module line ended before the five mandatory fields.
+    TruncatedLine,
+    /// The declared chain count disagrees with the listed lengths.
+    ChainCountMismatch,
+    /// A chain of length zero was declared.
+    ZeroLengthChain,
+    /// Two module lines carry the same module id.
+    DuplicateModule,
+    /// A token that fits no production of the grammar.
+    UnexpectedToken,
+    /// The assembled [`Soc`] failed [`Soc::validate`].
+    InvalidStructure,
+}
+
 /// Error from [`parse_soc`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseSocError {
-    /// 1-based line number.
+    /// 1-based line number (0 for whole-file validation errors).
     pub line: usize,
+    /// Failure class.
+    pub kind: SocErrorKind,
     /// Explanation.
     pub message: String,
 }
@@ -55,13 +82,15 @@ impl std::error::Error for ParseSocError {}
 /// ```
 pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
     let mut soc = Soc::default();
+    let mut seen_ids = std::collections::HashSet::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
             continue;
         }
-        let err = |message: String| ParseSocError {
+        let err = |kind: SocErrorKind, message: String| ParseSocError {
             line: lineno + 1,
+            kind,
             message,
         };
         // Header forms: "SocName <name>" or a single bare non-numeric token.
@@ -75,7 +104,10 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
                 soc.name = tokens[0].to_string();
                 continue;
             }
-            return Err(err(format!("unexpected token {:?}", tokens[0])));
+            return Err(err(
+                SocErrorKind::UnexpectedToken,
+                format!("unexpected token {:?}", tokens[0]),
+            ));
         }
         // Module line.
         let mut nums = Vec::new();
@@ -89,12 +121,15 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
             let v: i64 = t
                 .trim_end_matches(':')
                 .parse()
-                .map_err(|e| err(format!("bad number {t:?}: {e}")))?;
+                .map_err(|e| err(SocErrorKind::BadNumber, format!("bad number {t:?}: {e}")))?;
             if v < 0 {
-                return Err(err(format!("negative value {v}")));
+                return Err(err(
+                    SocErrorKind::NegativeValue,
+                    format!("negative value {v}"),
+                ));
             }
             if after_colon {
-                lens.push(v as u32);
+                lens.push(chain_len(v).map_err(|m| err(SocErrorKind::WidthOutOfRange, m))?);
             } else {
                 nums.push(v as u64);
             }
@@ -103,25 +138,42 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
             }
         }
         if nums.len() < 5 {
-            return Err(err(format!(
-                "module line needs 5 numbers (id in out bidir chains), got {}",
-                nums.len()
-            )));
+            return Err(err(
+                SocErrorKind::TruncatedLine,
+                format!(
+                    "module line needs 5 numbers (id in out bidir chains), got {}",
+                    nums.len()
+                ),
+            ));
         }
         let declared_chains = nums[4] as usize;
         // Chain lengths may also follow without a colon.
         if lens.is_empty() && nums.len() > 5 {
-            lens = nums[5..].iter().map(|&v| v as u32).collect();
+            for &v in &nums[5..] {
+                lens.push(chain_len(v as i64).map_err(|m| err(SocErrorKind::WidthOutOfRange, m))?);
+            }
         }
         if lens.len() != declared_chains {
-            return Err(err(format!(
-                "module {} declares {declared_chains} chains but lists {}",
-                nums[0],
-                lens.len()
-            )));
+            return Err(err(
+                SocErrorKind::ChainCountMismatch,
+                format!(
+                    "module {} declares {declared_chains} chains but lists {}",
+                    nums[0],
+                    lens.len()
+                ),
+            ));
         }
         if lens.contains(&0) {
-            return Err(err(format!("module {} has a zero-length chain", nums[0])));
+            return Err(err(
+                SocErrorKind::ZeroLengthChain,
+                format!("module {} has a zero-length chain", nums[0]),
+            ));
+        }
+        if !seen_ids.insert(nums[0]) {
+            return Err(err(
+                SocErrorKind::DuplicateModule,
+                format!("duplicate module id {}", nums[0]),
+            ));
         }
         soc.modules.push(Module::top(format!("m{}", nums[0]), lens));
     }
@@ -130,9 +182,16 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
     }
     soc.validate().map_err(|m| ParseSocError {
         line: 0,
+        kind: SocErrorKind::InvalidStructure,
         message: m,
     })?;
     Ok(soc)
+}
+
+/// Range-checks a chain length: ITC'02 widths must fit `u32` (anything
+/// larger would already have silently truncated under `as u32`).
+fn chain_len(v: i64) -> Result<u32, String> {
+    u32::try_from(v).map_err(|_| format!("chain length {v} exceeds u32 range"))
 }
 
 /// Emits a [`Soc`] in the classic line format (hierarchy flattened; only
@@ -194,7 +253,63 @@ mod tests {
     #[test]
     fn short_module_line_is_error() {
         let err = parse_soc("1 0 0\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::TruncatedLine);
+        assert_eq!(err.line, 1);
         assert!(err.message.contains("5 numbers"));
+    }
+
+    #[test]
+    fn truncated_chain_list_is_error() {
+        // Declares 3 chains, file cut off after the second length.
+        let err = parse_soc("SocName cut\n1 0 0 0 3 : 10 20").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::ChainCountMismatch);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn oversized_chain_width_is_error_not_truncation() {
+        // 2^32 used to wrap to 0 under `as u32`; it must be rejected.
+        let err = parse_soc("1 0 0 0 1 : 4294967296\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::WidthOutOfRange);
+        let err = parse_soc("1 0 0 0 1 4294967296\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::WidthOutOfRange);
+    }
+
+    #[test]
+    fn duplicate_module_id_is_error() {
+        let err = parse_soc("1 0 0 0 1 : 5\n2 0 0 0 1 : 6\n1 0 0 0 1 : 7\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::DuplicateModule);
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate module id 1"));
+    }
+
+    #[test]
+    fn duplicate_module_name_fails_validation() {
+        use crate::soc::{Module, Soc};
+        let soc = Soc {
+            name: "dup".into(),
+            modules: vec![Module::top("x", vec![1]), Module::top("x", vec![2])],
+            top_registers: vec![],
+        };
+        assert!(soc
+            .validate()
+            .unwrap_err()
+            .contains("duplicate module name"));
+    }
+
+    #[test]
+    fn non_numeric_field_is_error() {
+        let err = parse_soc("1 0 zz 0 1 : 5\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::BadNumber);
+        let err = parse_soc("1 0 -3 0 1 : 5\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::NegativeValue);
+    }
+
+    #[test]
+    fn stray_token_after_header_is_error() {
+        let err = parse_soc("SocName a\nstray\n").unwrap_err();
+        assert_eq!(err.kind, SocErrorKind::UnexpectedToken);
+        assert_eq!(err.line, 2);
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Soc {
     ///
     /// Returns a human-readable description of the first problem found.
     pub fn validate(&self) -> Result<(), String> {
+        let mut names = std::collections::HashSet::new();
         for (i, m) in self.modules.iter().enumerate() {
             if let Some(p) = m.parent {
                 if p >= i {
@@ -133,6 +134,9 @@ impl Soc {
             }
             if m.chains.contains(&0) {
                 return Err(format!("module {i} ({}) has a zero-length chain", m.name));
+            }
+            if !names.insert(m.name.as_str()) {
+                return Err(format!("duplicate module name {:?}", m.name));
             }
         }
         if self.top_registers.contains(&0) {

@@ -80,6 +80,23 @@ pub fn generate(soc: &Soc) -> Result<Rsn> {
     b.finish()
 }
 
+/// Generates a SIB-based RSN and statically verifies it with `rsn-verify`
+/// (SAT proofs of select/path agreement over *all* configurations, plus
+/// the structural passes).
+///
+/// Returns the network together with the verification report; a
+/// generated network is expected to verify clean, so callers typically
+/// assert [`VerifyReport::is_clean`](rsn_verify::VerifyReport::is_clean).
+///
+/// # Errors
+///
+/// Propagates structural validation errors from the RSN builder.
+pub fn generate_verified(soc: &Soc) -> Result<(Rsn, rsn_verify::VerifyReport)> {
+    let rsn = generate(soc)?;
+    let report = rsn_verify::verify(&rsn);
+    Ok((rsn, report))
+}
+
 /// Builds the SIB + subnetwork of module `idx`; returns its exit node.
 fn build_module(
     b: &mut RsnBuilder,
@@ -153,6 +170,18 @@ pub fn stats(rsn: &Rsn, soc: &Soc) -> SibStats {
 mod tests {
     use super::*;
     use rsn_itc02::{by_name, parse_soc, suite, TABLE1};
+
+    #[test]
+    fn generated_networks_verify_clean() {
+        for name in ["u226", "d695"] {
+            let soc = by_name(name).expect("embedded");
+            let (rsn, report) = generate_verified(&soc).expect("generate");
+            assert!(report.is_clean(), "{name}:\n{}", report.render());
+            assert_eq!(report.warning_count(), 0, "{name}:\n{}", report.render());
+            assert_eq!(rsn.name(), name);
+            assert!(report.sat_queries > 0);
+        }
+    }
 
     #[test]
     fn tiny_soc_generates_expected_structure() {

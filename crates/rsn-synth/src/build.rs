@@ -74,6 +74,14 @@ pub struct SynthesisOptions {
     /// accessibility gain ([`crate::harden`]). `None` hardens every mux
     /// (the paper's Sec. III-E-3 default).
     pub harden_budget: Option<usize>,
+    /// Statically verify the synthesized network with `rsn-verify` (SAT
+    /// proofs over all configurations plus graph passes, including the
+    /// ineffective-augmentation check over the added edges). Error-severity
+    /// findings fail the synthesis with [`SynthError::Verify`]; the full
+    /// report lands in [`SynthesisResult::verification`]. Select-predicate
+    /// checks are skipped automatically when selects were not
+    /// materialized (placeholder constant-true selects).
+    pub verify: bool,
 }
 
 impl SynthesisOptions {
@@ -87,6 +95,15 @@ impl SynthesisOptions {
             secondary_ports: true,
             ilp_max_vertices: 24,
             harden_budget: None,
+            verify: false,
+        }
+    }
+
+    /// Paper-faithful defaults plus post-synthesis static verification.
+    pub fn verified() -> Self {
+        SynthesisOptions {
+            verify: true,
+            ..SynthesisOptions::new()
         }
     }
 }
@@ -99,6 +116,9 @@ pub enum SynthError {
     Ilp(IlpError),
     /// Rebuilding the network failed structurally.
     Build(rsn_core::Error),
+    /// Post-synthesis static verification found error-severity
+    /// diagnostics (only with [`SynthesisOptions::verify`]).
+    Verify(Box<rsn_verify::VerifyReport>),
 }
 
 impl fmt::Display for SynthError {
@@ -106,6 +126,12 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::Ilp(e) => write!(f, "augmentation ilp failed: {e}"),
             SynthError::Build(e) => write!(f, "network construction failed: {e}"),
+            SynthError::Verify(report) => write!(
+                f,
+                "synthesized network failed static verification with {} error(s):\n{}",
+                report.error_count(),
+                report.render()
+            ),
         }
     }
 }
@@ -175,6 +201,8 @@ pub struct SynthesisResult {
     pub report: SynthesisReport,
     /// The augmentation that was integrated.
     pub augmentation: Augmentation,
+    /// Static verification report (only with [`SynthesisOptions::verify`]).
+    pub verification: Option<rsn_verify::VerifyReport>,
 }
 
 fn remap_expr(e: &ControlExpr, map: &[NodeId]) -> ControlExpr {
@@ -551,10 +579,63 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         1,
     );
 
+    // 5. Optional post-synthesis static verification: SAT proofs over
+    // all configurations plus graph passes, including the
+    // ineffective-augmentation check over the edges just integrated.
+    let verification = if opts.verify {
+        let vreport = phase(&root, "verify", "synth.phases.verify_ms", || {
+            let vopts = if report.selects_materialized {
+                rsn_verify::VerifyOptions::default()
+            } else {
+                // Placeholder constant-true selects: proving select/path
+                // agreement would only re-discover the placeholder.
+                rsn_verify::VerifyOptions::without_select_checks()
+            };
+            let mut vreport = rsn_verify::verify_with(&ft, vopts);
+            // Augmentation effectiveness on the *augmented* dataflow graph.
+            let mut augmented = df.graph.clone();
+            for &(i, j) in &augmentation.added {
+                augmented.add_edge(i, j);
+            }
+            for ineffective in rsn_verify::ineffective_augmentation(
+                &augmented,
+                &augmentation.added,
+                df.root,
+                df.sink,
+            ) {
+                let (vi, vj) = ineffective.edge;
+                let tgt = map[df.vertex_node[vj].index()];
+                vreport.diagnostics.push(
+                    rsn_verify::Diagnostic::new(
+                        rsn_verify::Code::IneffectiveAugmentation,
+                        &ft,
+                        tgt,
+                        format!(
+                            "augmentation edge {} → {} raises no vertex-independent \
+                             path count",
+                            ft.node(map[df.vertex_node[vi].index()]).name(),
+                            ft.node(tgt).name()
+                        ),
+                    )
+                    .with_related(vec![map[df.vertex_node[vi].index()]]),
+                );
+            }
+            vreport.checks_run.push("augmentation");
+            vreport
+        });
+        if !vreport.is_clean() {
+            return Err(SynthError::Verify(Box::new(vreport)));
+        }
+        Some(vreport)
+    } else {
+        None
+    };
+
     Ok(SynthesisResult {
         rsn: ft,
         report,
         augmentation,
+        verification,
     })
 }
 
@@ -703,6 +784,40 @@ mod tests {
         // The unrestricted default hardens everything.
         let full = synthesize(&rsn, &SynthesisOptions::new()).expect("synthesize");
         assert_eq!(full.report.hardened_muxes, full.rsn.muxes().count());
+    }
+
+    #[test]
+    fn verified_synthesis_is_clean_on_fig2() {
+        let rsn = fig2();
+        let result = synthesize(&rsn, &SynthesisOptions::verified()).expect("synthesize");
+        let vreport = result.verification.expect("verification ran");
+        assert!(vreport.is_clean(), "{}", vreport.render());
+        assert!(
+            vreport.checks_run.contains(&"selects"),
+            "fig2 is small: selects materialized and checked"
+        );
+        assert!(vreport.checks_run.contains(&"augmentation"));
+        assert!(vreport.sat_queries > 0);
+    }
+
+    #[test]
+    fn verified_synthesis_skips_select_checks_without_materialization() {
+        let rsn = fig2();
+        let mut opts = SynthesisOptions::verified();
+        opts.select_mode = SelectMode::Never;
+        let result = synthesize(&rsn, &opts).expect("synthesize");
+        let vreport = result.verification.expect("verification ran");
+        assert!(!vreport.checks_run.contains(&"selects"));
+        assert!(vreport.is_clean(), "{}", vreport.render());
+    }
+
+    #[test]
+    fn verified_synthesis_is_clean_on_sib_benchmark() {
+        let soc = by_name("u226").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let result = synthesize(&rsn, &SynthesisOptions::verified()).expect("synthesize");
+        let vreport = result.verification.expect("verification ran");
+        assert!(vreport.is_clean(), "{}", vreport.render());
     }
 
     #[test]

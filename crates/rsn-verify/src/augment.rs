@@ -1,0 +1,137 @@
+//! Ineffective-augmentation check (`RSN011`): an edge added by the
+//! fault-tolerance synthesis earns its keep only if it raises the number
+//! of vertex-independent paths somewhere — from the root to a vertex or
+//! from a vertex to the sink. The check is exact: path counts are
+//! computed by max-flow with vertex splitting, with the candidate edge
+//! present and removed.
+
+use rsn_graph::{vertex_independent_paths, DiGraph};
+
+/// An augmentation edge that does not increase any vertex-independent
+/// path count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IneffectiveEdge {
+    /// Index into the `added` slice passed to [`ineffective_augmentation`].
+    pub index: usize,
+    /// The edge itself, as dataflow vertex indices.
+    pub edge: (usize, usize),
+}
+
+/// Returns the augmentation edges of `added` that change no
+/// vertex-independent path count `root → v` or `v → sink` for any vertex
+/// `v` of `graph`. `graph` must already contain all the added edges.
+///
+/// A duplicate of an existing edge is always ineffective: vertex-disjoint
+/// paths cannot use two parallel edges, so the counts cannot move.
+pub fn ineffective_augmentation(
+    graph: &DiGraph,
+    added: &[(usize, usize)],
+    root: usize,
+    sink: usize,
+) -> Vec<IneffectiveEdge> {
+    let n = graph.len();
+    if n == 0 || added.is_empty() {
+        return Vec::new();
+    }
+
+    // Path counts with every edge present, computed once.
+    let from_root: Vec<i64> = (0..n)
+        .map(|v| vertex_independent_paths(graph, root, v))
+        .collect();
+    let to_sink: Vec<i64> = (0..n)
+        .map(|v| vertex_independent_paths(graph, v, sink))
+        .collect();
+
+    let mut out = Vec::new();
+    for (index, &(a, b)) in added.iter().enumerate() {
+        let reduced = remove_one_edge(graph, a, b);
+        // A parallel duplicate survives as an identical edge: it shares
+        // both endpoints with the original, so it cannot add tolerance
+        // against any vertex fault. (The raw path count *does* move for
+        // the endpoints themselves — two adjacent vertices have no
+        // internal vertex to collide on — hence the explicit case.)
+        if reduced.has_edge(a, b) {
+            out.push(IneffectiveEdge {
+                index,
+                edge: (a, b),
+            });
+            continue;
+        }
+        // Removing a → b can only affect `root → v` counts for v reachable
+        // from b, and `v → sink` counts for v reaching a.
+        let affected_fwd = reduced.reachable_from(b);
+        let affected_bwd = reduced.reaching(a);
+        let mut effective = false;
+        for v in 0..n {
+            if (affected_fwd[v] || v == b)
+                && vertex_independent_paths(&reduced, root, v) != from_root[v]
+            {
+                effective = true;
+                break;
+            }
+            if (affected_bwd[v] || v == a)
+                && vertex_independent_paths(&reduced, v, sink) != to_sink[v]
+            {
+                effective = true;
+                break;
+            }
+        }
+        if !effective {
+            out.push(IneffectiveEdge {
+                index,
+                edge: (a, b),
+            });
+        }
+    }
+    out
+}
+
+/// A copy of `graph` with one copy of the edge `a → b` removed.
+fn remove_one_edge(graph: &DiGraph, a: usize, b: usize) -> DiGraph {
+    let mut g = DiGraph::new(graph.len());
+    let mut skipped = false;
+    for (u, v) in graph.edges() {
+        if !skipped && u == a && v == b {
+            skipped = true;
+            continue;
+        }
+        g.add_edge(u, v);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_duplicate_edge_is_ineffective() {
+        // 0 → 1 → 2 plus a duplicate 1 → 2.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (1, 2)]);
+        let found = ineffective_augmentation(&g, &[(1, 2)], 0, 2);
+        assert_eq!(
+            found,
+            vec![IneffectiveEdge {
+                index: 0,
+                edge: (1, 2)
+            }]
+        );
+    }
+
+    #[test]
+    fn bypass_edge_is_effective() {
+        // Chain 0 → 1 → 2 → 3 augmented with the bypass 0 → 2: two
+        // vertex-independent paths now reach vertex 2.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let found = ineffective_augmentation(&g, &[(0, 2)], 0, 3);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn mixed_added_edges_are_classified_individually() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 2)]);
+        let found = ineffective_augmentation(&g, &[(0, 2), (1, 2)], 0, 3);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].edge, (1, 2));
+    }
+}

@@ -1,0 +1,242 @@
+//! The check catalog: graph-theoretic passes and SAT-proven properties.
+//!
+//! Every check here is exhaustive — either a reachability/SCC argument
+//! over the dataflow graph or a satisfiability proof over *all*
+//! configurations. Nothing samples.
+
+use std::collections::BTreeMap;
+
+use rsn_core::{structural_findings, NodeId, NodeKind, Rsn};
+use rsn_graph::DiGraph;
+
+use crate::diag::{Code, Diagnostic};
+use crate::encode::NetworkSat;
+
+/// Structural passes shared with the legacy lint: reachability in both
+/// directions (`RSN007`, `RSN008`) and shadow-less address sources
+/// (`RSN006`).
+pub(crate) fn structural(rsn: &Rsn) -> Vec<Diagnostic> {
+    let f = structural_findings(rsn);
+    let mut out = Vec::new();
+    for &n in &f.unreachable {
+        out.push(Diagnostic::new(
+            Code::UnreachableFromScanIn,
+            rsn,
+            n,
+            "node is unreachable from any scan-in port",
+        ));
+    }
+    for &n in &f.unobservable {
+        out.push(Diagnostic::new(
+            Code::CannotReachScanOut,
+            rsn,
+            n,
+            "no scan-out port is reachable from the node",
+        ));
+    }
+    for &(mux, register) in &f.shadowless_addresses {
+        out.push(
+            Diagnostic::new(
+                Code::AddressWithoutShadow,
+                rsn,
+                mux,
+                format!(
+                    "mux address reads register {} ({}) which has no shadow",
+                    register,
+                    rsn.node(register).name()
+                ),
+            )
+            .with_related(vec![register]),
+        );
+    }
+    out
+}
+
+/// Select checks (`RSN002`, `RSN001`): for every segment, prove that the
+/// select predicate is satisfiable and that it agrees with active-path
+/// membership in *every* configuration, or extract a witness.
+pub(crate) fn select_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for s in rsn.segments() {
+        let sel = sat.select(s);
+        if !sat.satisfiable(&[sel]) {
+            out.push(Diagnostic::new(
+                Code::NeverSelected,
+                rsn,
+                s,
+                "select predicate is unsatisfiable: the segment can never be selected",
+            ));
+        }
+        let mismatch = sat.select_mismatch(s);
+        if let Some(witness) = sat.witness(rsn, &[mismatch]) {
+            out.push(
+                Diagnostic::new(
+                    Code::SelectPathMismatch,
+                    rsn,
+                    s,
+                    "a configuration exists where the select predicate disagrees \
+                     with active-scan-path membership",
+                )
+                .with_witness(witness),
+            );
+        }
+    }
+    out
+}
+
+/// Multiplexer checks (`RSN003`, `RSN004`, `RSN005`): per input, prove
+/// selectability; per mux, prove the decoded address stays in range.
+pub(crate) fn mux_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for m in rsn.muxes() {
+        let mux = rsn.node(m).as_mux().expect("mux");
+        let n_inputs = mux.inputs.len();
+        let mut alive = Vec::with_capacity(n_inputs);
+        for k in 0..n_inputs {
+            let c = sat.mux_cond(m, k);
+            alive.push(sat.satisfiable(&[c]));
+        }
+        let alive_count = alive.iter().filter(|&&a| a).count();
+        if alive_count <= 1 {
+            out.push(Diagnostic::new(
+                Code::MuxNeverSwitches,
+                rsn,
+                m,
+                format!(
+                    "at most one of {n_inputs} inputs is ever selectable: \
+                     the multiplexer never switches"
+                ),
+            ));
+        } else {
+            for (k, &a) in alive.iter().enumerate() {
+                if !a {
+                    out.push(
+                        Diagnostic::new(
+                            Code::DeadMuxInput,
+                            rsn,
+                            m,
+                            format!(
+                                "input {k} (driven by {}) is never selectable",
+                                rsn.node(mux.inputs[k]).name()
+                            ),
+                        )
+                        .with_related(vec![mux.inputs[k]]),
+                    );
+                }
+            }
+        }
+        if let Some(overflow) = sat.addr_overflow(m) {
+            if let Some(witness) = sat.witness(rsn, &[overflow]) {
+                out.push(
+                    Diagnostic::new(
+                        Code::MuxAddressOverflow,
+                        rsn,
+                        m,
+                        format!(
+                            "a configuration decodes an address beyond the \
+                             {n_inputs} inputs"
+                        ),
+                    )
+                    .with_witness(witness),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Shadow-controllability (`RSN010`): every register whose bits feed
+/// control logic must be placeable on a scan path, otherwise the control
+/// state is stuck at its reset value forever.
+pub(crate) fn controllability(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+    let consumers = control_consumers(rsn);
+    let mut out = Vec::new();
+    for (reg, users) in consumers {
+        if rsn.shadow_offset(reg).is_none() {
+            continue; // reported as RSN006 by the structural pass
+        }
+        let on = sat.onpath(reg);
+        if !sat.satisfiable(&[on]) {
+            out.push(
+                Diagnostic::new(
+                    Code::UncontrollableControlRegister,
+                    rsn,
+                    reg,
+                    format!(
+                        "shadow register drives control logic of {} node(s) but can \
+                         never lie on a scan path: its bits are stuck at reset",
+                        users.len()
+                    ),
+                )
+                .with_related(users),
+            );
+        }
+    }
+    out
+}
+
+/// Control-dependency cycles (`RSN009`): SCCs of the graph with an edge
+/// `owner → consumer` whenever a consumer's control expression reads the
+/// owner's shadow register. Self-loops are excluded — a segment gating
+/// itself is idiomatic (SIB-style) and routing bits of the synthesis
+/// live in the segment they steer.
+pub(crate) fn control_cycles(rsn: &Rsn) -> Vec<Diagnostic> {
+    let n = rsn.node_count();
+    let mut g = DiGraph::new(n);
+    for (owner, users) in control_consumers(rsn) {
+        for u in users {
+            if u != owner {
+                g.add_edge(owner.index(), u.index());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for comp in g.cyclic_components() {
+        let members: Vec<NodeId> = comp.iter().map(|&v| NodeId(v as u32)).collect();
+        let names: Vec<&str> = members.iter().map(|&m| rsn.node(m).name()).collect();
+        out.push(
+            Diagnostic::new(
+                Code::ControlDependencyCycle,
+                rsn,
+                members[0],
+                format!(
+                    "cyclic control dependency between {{{}}}: no update order \
+                     can change these registers independently",
+                    names.join(", ")
+                ),
+            )
+            .with_related(members),
+        );
+    }
+    out
+}
+
+/// `register → nodes whose control expressions read it`, deterministic
+/// order, deduplicated.
+fn control_consumers(rsn: &Rsn) -> BTreeMap<NodeId, Vec<NodeId>> {
+    let mut map: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut refs = Vec::new();
+    for id in rsn.node_ids() {
+        refs.clear();
+        match rsn.node(id).kind() {
+            NodeKind::Segment(s) => {
+                s.select.collect_reg_refs(&mut refs);
+                s.capture_disable.collect_reg_refs(&mut refs);
+                s.update_disable.collect_reg_refs(&mut refs);
+            }
+            NodeKind::Mux(m) => {
+                for e in &m.addr_bits {
+                    e.collect_reg_refs(&mut refs);
+                }
+            }
+            _ => {}
+        }
+        for &(reg, _) in refs.iter() {
+            let users = map.entry(reg).or_default();
+            if users.last() != Some(&id) {
+                users.push(id);
+            }
+        }
+    }
+    map
+}

@@ -1,0 +1,230 @@
+//! One-shot CNF encoding of a network's control logic and active-path
+//! membership, queried incrementally through solver assumptions.
+//!
+//! The encoding mirrors the semantics of `rsn_core::path`: a node is *on
+//! path* iff some successor chain reaches a scan-out port (primary or
+//! secondary) with every traversed multiplexer steered to the traversed
+//! input — equivalently, iff some `trace_path_from(port, cfg)` contains
+//! the node. Every
+//! check of the exhaustive engine is a satisfiability question over this
+//! single formula, so the CNF is built once per network and each query is
+//! one [`Solver::solve_with`](rsn_sat::Solver::solve_with) call — learnt
+//! clauses carry over between queries.
+
+use std::collections::HashMap;
+
+use rsn_core::{Config, ControlExpr, InputId, NodeId, NodeKind, Rsn};
+use rsn_sat::{CnfBuilder, Lit};
+
+/// The CNF model of one network: variables for every shadow bit and
+/// primary input, plus derived literals for select predicates, mux input
+/// conditions and on-path membership.
+pub struct NetworkSat {
+    cnf: CnfBuilder,
+    /// One literal per shadow bit (config bit order).
+    bits: Vec<Lit>,
+    /// One literal per primary control input.
+    inputs: Vec<Lit>,
+    /// `onpath[node]`: the node lies on the active path to the primary
+    /// scan-out port.
+    onpath: Vec<Lit>,
+    /// `select[node]`: the segment's select predicate (segments only).
+    select: Vec<Option<Lit>>,
+    /// `(mux, input index)` → address decodes to that input.
+    cond: HashMap<(NodeId, usize), Lit>,
+    /// `mismatch[node] = select XOR onpath` (segments only).
+    mismatch: Vec<Option<Lit>>,
+    /// Mux → address decodes beyond the input count (only present when
+    /// the address space is wider than the input list).
+    overflow: HashMap<NodeId, Lit>,
+    /// SAT queries issued so far.
+    queries: usize,
+}
+
+impl NetworkSat {
+    /// Builds the CNF for `rsn`. Linear in network plus expression size.
+    pub fn build(rsn: &Rsn) -> NetworkSat {
+        let mut cnf = CnfBuilder::new();
+        let bits: Vec<Lit> = (0..rsn.shadow_bits()).map(|_| cnf.new_lit()).collect();
+        let inputs: Vec<Lit> = (0..rsn.num_inputs()).map(|_| cnf.new_lit()).collect();
+
+        let mut me = NetworkSat {
+            cnf,
+            bits,
+            inputs,
+            onpath: Vec::new(),
+            select: vec![None; rsn.node_count()],
+            cond: HashMap::new(),
+            mismatch: vec![None; rsn.node_count()],
+            overflow: HashMap::new(),
+            queries: 0,
+        };
+
+        // Select predicates.
+        for s in rsn.segments() {
+            let e = &rsn.node(s).as_segment().expect("segment").select;
+            let l = me.expr_lit(rsn, e);
+            me.select[s.index()] = Some(l);
+        }
+
+        // Mux input conditions: address equals the input index.
+        for m in rsn.muxes() {
+            let mux = rsn.node(m).as_mux().expect("mux").clone();
+            let addr: Vec<Lit> = mux.addr_bits.iter().map(|e| me.expr_lit(rsn, e)).collect();
+            for k in 0..mux.inputs.len() {
+                let conj: Vec<Lit> = addr
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| if (k >> i) & 1 == 1 { b } else { !b })
+                    .collect();
+                let lit = me.cnf.and(conj);
+                me.cond.insert((m, k), lit);
+            }
+        }
+
+        // On-path membership in reverse topological order (the formula of
+        // `rsn-bmc`'s select-consistency check, factored here so every
+        // check shares it).
+        let n = rsn.node_count();
+        let fals = me.cnf.lit_false();
+        me.onpath = vec![fals; n];
+        for &v in rsn.topo_order().iter().rev() {
+            let l = match rsn.node(v).kind() {
+                // Every scan-out port terminates a scan path: a segment
+                // steered toward a secondary port is as observable (and as
+                // much "selected") as one on the primary path.
+                NodeKind::ScanOut => me.cnf.lit_true(),
+                _ => {
+                    let mut alts = Vec::new();
+                    for &w in rsn.successors(v) {
+                        match rsn.node(w).kind() {
+                            NodeKind::Mux(mux) => {
+                                for (k, &inp) in mux.inputs.iter().enumerate() {
+                                    if inp == v {
+                                        let c = me.cond[&(w, k)];
+                                        let a = me.cnf.and([me.onpath[w.index()], c]);
+                                        alts.push(a);
+                                    }
+                                }
+                            }
+                            _ => alts.push(me.onpath[w.index()]),
+                        }
+                    }
+                    me.cnf.or(alts)
+                }
+            };
+            me.onpath[v.index()] = l;
+        }
+
+        // Derived query gates, built upfront: the solver only accepts new
+        // clauses at decision level 0, i.e. before the first query.
+        for s in rsn.segments() {
+            let sel = me.select[s.index()].expect("select literal");
+            let on = me.onpath[s.index()];
+            me.mismatch[s.index()] = Some(me.cnf.xor(sel, on));
+        }
+        for m in rsn.muxes() {
+            let mux = rsn.node(m).as_mux().expect("mux");
+            let n_inputs = mux.inputs.len();
+            let span = 1usize << mux.addr_bits.len().min(usize::BITS as usize - 1);
+            if n_inputs < span {
+                // The input conditions partition the address space, so an
+                // out-of-range decode is exactly "no valid condition holds".
+                let conds: Vec<Lit> = (0..n_inputs).map(|k| me.cond[&(m, k)]).collect();
+                let in_range = me.cnf.or(conds);
+                me.overflow.insert(m, !in_range);
+            }
+        }
+
+        me
+    }
+
+    /// Encodes a control expression over the state literals.
+    fn expr_lit(&mut self, rsn: &Rsn, e: &ControlExpr) -> Lit {
+        match e {
+            ControlExpr::Const(b) => self.cnf.constant(*b),
+            ControlExpr::Reg(node, bit) => {
+                let off = rsn.shadow_offset(*node).expect("validated reference");
+                self.bits[(off + *bit) as usize]
+            }
+            ControlExpr::Input(i) => self.inputs[i.0 as usize],
+            ControlExpr::Not(inner) => !self.expr_lit(rsn, inner),
+            ControlExpr::And(es) => {
+                let lits: Vec<Lit> = es.iter().map(|x| self.expr_lit(rsn, x)).collect();
+                self.cnf.and(lits)
+            }
+            ControlExpr::Or(es) => {
+                let lits: Vec<Lit> = es.iter().map(|x| self.expr_lit(rsn, x)).collect();
+                self.cnf.or(lits)
+            }
+        }
+    }
+
+    /// On-path literal of a node.
+    pub fn onpath(&self, node: NodeId) -> Lit {
+        self.onpath[node.index()]
+    }
+
+    /// Select literal of a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a segment.
+    pub fn select(&self, node: NodeId) -> Lit {
+        self.select[node.index()].expect("select literal of a segment")
+    }
+
+    /// Condition literal for mux `m` decoding input `k`.
+    pub fn mux_cond(&self, m: NodeId, k: usize) -> Lit {
+        self.cond[&(m, k)]
+    }
+
+    /// `select XOR onpath` literal of a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a segment.
+    pub fn select_mismatch(&self, node: NodeId) -> Lit {
+        self.mismatch[node.index()].expect("mismatch literal of a segment")
+    }
+
+    /// Out-of-range-decode literal of mux `m`, or `None` when the address
+    /// space exactly covers the inputs.
+    pub fn addr_overflow(&self, m: NodeId) -> Option<Lit> {
+        self.overflow.get(&m).copied()
+    }
+
+    /// Asks whether the formula is satisfiable under `assumptions`; on
+    /// success extracts the witness configuration from the model.
+    pub fn witness(&mut self, rsn: &Rsn, assumptions: &[Lit]) -> Option<Config> {
+        self.queries += 1;
+        let solver = self.cnf.solver_mut();
+        if !solver.solve_with(assumptions) {
+            return None;
+        }
+        let mut config = Config::zeroed(self.bits.len(), rsn.num_inputs());
+        for (i, &l) in self.bits.iter().enumerate() {
+            if solver.lit_value_model(l) == Some(true) {
+                config.set_bit(i, true);
+            }
+        }
+        for (i, &l) in self.inputs.iter().enumerate() {
+            if solver.lit_value_model(l) == Some(true) {
+                config.set_input(InputId(i as u32), true);
+            }
+        }
+        Some(config)
+    }
+
+    /// Asks whether the formula is satisfiable under `assumptions`
+    /// without extracting a model.
+    pub fn satisfiable(&mut self, assumptions: &[Lit]) -> bool {
+        self.queries += 1;
+        self.cnf.solver_mut().solve_with(assumptions)
+    }
+
+    /// Number of SAT queries issued so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+}

@@ -1,0 +1,335 @@
+//! SAT-backed static verification of reconfigurable scan networks.
+//!
+//! Where `Rsn::lint` samples random configurations and can miss rare
+//! misconfigurations, this crate *proves* properties over all
+//! configurations: every select predicate is checked for satisfiability
+//! and for agreement with active-scan-path membership by a SAT query over
+//! the network's control CNF, multiplexer decode logic is checked per
+//! input, and shadow registers that feed control logic are proven
+//! placeable on a scan path. Graph passes cover reachability, cyclic
+//! control dependencies (SCC) and — given the synthesis's augmentation
+//! edges — redundant fault-tolerance edges that raise no
+//! vertex-independent path count.
+//!
+//! Findings come back as [`Diagnostic`]s with stable `RSN0xx` codes,
+//! severities, node provenance and — for existence findings — a witness
+//! [`Config`](rsn_core::Config) that reproduces the issue through the
+//! simulator. See `DESIGN.md` for the full check catalog.
+//!
+//! ```
+//! let rsn = rsn_core::examples::fig2();
+//! let report = rsn_verify::verify(&rsn);
+//! assert!(report.is_clean());
+//! println!("{}", report.render());
+//! ```
+
+mod augment;
+mod checks;
+mod diag;
+mod encode;
+
+pub use augment::{ineffective_augmentation, IneffectiveEdge};
+pub use diag::{Code, Diagnostic, Severity, VerifyReport};
+pub use encode::NetworkSat;
+
+use rsn_core::Rsn;
+
+/// Which check families [`verify_with`] runs. All are on by default.
+///
+/// Select and mux checks are meaningless on networks whose selects were
+/// never materialized (`SelectMode::Never` leaves constant-true
+/// placeholders); callers synthesizing such networks disable them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Per-segment select satisfiability and select/path agreement
+    /// (`RSN001`, `RSN002`).
+    pub select_checks: bool,
+    /// Multiplexer decode checks (`RSN003`, `RSN004`, `RSN005`).
+    pub mux_checks: bool,
+    /// Shadow-controllability of control registers (`RSN010`).
+    pub controllability: bool,
+    /// Reachability and shadow-less address sources (`RSN006`, `RSN007`,
+    /// `RSN008`).
+    pub structural: bool,
+    /// Cyclic control dependencies (`RSN009`).
+    pub control_cycles: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            select_checks: true,
+            mux_checks: true,
+            controllability: true,
+            structural: true,
+            control_cycles: true,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Options for networks with placeholder (non-materialized) selects:
+    /// select-predicate checks are off, everything else on.
+    pub fn without_select_checks() -> Self {
+        VerifyOptions {
+            select_checks: false,
+            ..VerifyOptions::default()
+        }
+    }
+}
+
+/// Verifies `rsn` with every check enabled.
+pub fn verify(rsn: &Rsn) -> VerifyReport {
+    verify_with(rsn, VerifyOptions::default())
+}
+
+/// Verifies `rsn` with the selected check families.
+///
+/// Builds one CNF model of the network's control logic and active-path
+/// membership, then answers every semantic question with an incremental
+/// assumption query against it. The returned report orders diagnostics
+/// by check family, then by node.
+pub fn verify_with(rsn: &Rsn, opts: VerifyOptions) -> VerifyReport {
+    let start = std::time::Instant::now();
+    let mut report = VerifyReport {
+        network: rsn.name().to_string(),
+        nodes: rsn.node_count(),
+        ..VerifyReport::default()
+    };
+
+    if opts.structural {
+        report.checks_run.push("structural");
+        report.diagnostics.extend(checks::structural(rsn));
+    }
+
+    let needs_sat = opts.select_checks || opts.mux_checks || opts.controllability;
+    if needs_sat {
+        let mut sat = NetworkSat::build(rsn);
+        if opts.select_checks {
+            report.checks_run.push("selects");
+            report
+                .diagnostics
+                .extend(checks::select_checks(rsn, &mut sat));
+        }
+        if opts.mux_checks {
+            report.checks_run.push("muxes");
+            report.diagnostics.extend(checks::mux_checks(rsn, &mut sat));
+        }
+        if opts.controllability {
+            report.checks_run.push("controllability");
+            report
+                .diagnostics
+                .extend(checks::controllability(rsn, &mut sat));
+        }
+        report.sat_queries = sat.queries();
+    }
+
+    if opts.control_cycles {
+        report.checks_run.push("control-cycles");
+        report.diagnostics.extend(checks::control_cycles(rsn));
+    }
+
+    rsn_obs::counter_add("lint.runs", 1);
+    rsn_obs::counter_add("lint.errors", report.error_count() as u64);
+    rsn_obs::counter_add("lint.warnings", report.warning_count() as u64);
+    rsn_obs::counter_add("lint.sat_queries", report.sat_queries as u64);
+    rsn_obs::gauge_set("lint.verify_ms", start.elapsed().as_secs_f64() * 1e3);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::{examples, ControlExpr, RsnBuilder};
+
+    #[test]
+    fn example_networks_verify_clean() {
+        for rsn in [
+            examples::fig2(),
+            examples::chain(4, 8),
+            examples::sib_tree(2, 2, 4),
+        ] {
+            let report = verify(&rsn);
+            assert!(
+                report.is_clean(),
+                "{} not clean:\n{}",
+                rsn.name(),
+                report.render()
+            );
+            assert_eq!(report.warning_count(), 0, "{}", report.render());
+            assert!(report.sat_queries > 0);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_select_is_proven_never_selected() {
+        // select = in0 AND NOT in0 — sampling sees a plain `false`, the
+        // solver proves it without enumerating.
+        let mut b = RsnBuilder::new("unsat-select");
+        let i = b.add_inputs(1);
+        let s = b.add_segment("seg", 4);
+        b.connect(b.scan_in(), s);
+        b.connect(s, b.scan_out());
+        b.set_select(
+            s,
+            ControlExpr::And(vec![
+                ControlExpr::input(i),
+                ControlExpr::Not(Box::new(ControlExpr::input(i))),
+            ]),
+        );
+        let rsn = b.finish().unwrap();
+        let report = verify(&rsn);
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::NeverSelected), "{}", report.render());
+        // Never selected but always on the structural path: also a
+        // select/path mismatch, with a witness.
+        let mismatch = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::SelectPathMismatch)
+            .expect("mismatch diagnostic");
+        assert!(mismatch.witness.is_some());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn select_path_mismatch_witness_replays_through_simulator() {
+        // Two parallel branches behind a mux, but branch selects ignore
+        // the mux address: whichever branch is deselected while routed is
+        // a mismatch, and the witness must reproduce it in the simulator.
+        let mut b = RsnBuilder::new("mismatch");
+        let i = b.add_inputs(1);
+        let a = b.add_segment("a", 2);
+        let c = b.add_segment("c", 2);
+        let m = b.add_mux("m", vec![a, c], vec![ControlExpr::input(i)]);
+        b.connect(b.scan_in(), a);
+        b.connect(b.scan_in(), c);
+        b.connect(m, b.scan_out());
+        b.set_select(a, ControlExpr::Const(true));
+        b.set_select(c, ControlExpr::Const(true));
+        let rsn = b.finish().unwrap();
+
+        let report = verify(&rsn);
+        let mismatches: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::SelectPathMismatch)
+            .collect();
+        assert!(!mismatches.is_empty(), "{}", report.render());
+        for d in &mismatches {
+            let seg = d.node.unwrap();
+            let cfg = d.witness.as_ref().expect("witness");
+            let on_path = rsn
+                .trace_path(cfg)
+                .map(|p| p.contains(seg))
+                .unwrap_or(false);
+            let selected = rsn.select(seg, cfg).unwrap();
+            assert_ne!(
+                selected, on_path,
+                "witness does not reproduce the mismatch for {}",
+                d.node_name
+            );
+        }
+    }
+
+    #[test]
+    fn dead_mux_input_and_overflow_are_found() {
+        // A 3-input mux on 2 address bits where bit1 is tied low: input 2
+        // is dead and address 3 (binary 11) is unreachable... tie bit1
+        // high instead so address can overflow to 3.
+        let mut b = RsnBuilder::new("mux-overflow");
+        let i = b.add_inputs(1);
+        let s0 = b.add_segment("s0", 1);
+        let s1 = b.add_segment("s1", 1);
+        let s2 = b.add_segment("s2", 1);
+        let m = b.add_mux(
+            "m",
+            vec![s0, s1, s2],
+            vec![ControlExpr::input(i), ControlExpr::input(i)],
+        );
+        b.connect(b.scan_in(), s0);
+        b.connect(b.scan_in(), s1);
+        b.connect(b.scan_in(), s2);
+        b.connect(m, b.scan_out());
+        let rsn = b.finish().unwrap();
+
+        let report = verify(&rsn);
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        // addr = (i, i): reaches 00 and 11 only → inputs 1 and 2 dead at
+        // most one alive... actually 00 selects input 0, 11 overflows.
+        assert!(
+            codes.contains(&Code::MuxAddressOverflow),
+            "{}",
+            report.render()
+        );
+        let overflow = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::MuxAddressOverflow)
+            .unwrap();
+        let cfg = overflow.witness.as_ref().expect("witness");
+        assert!(rsn.mux_selected_input(m, cfg).is_err());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn options_disable_check_families() {
+        let rsn = examples::fig2();
+        let report = verify_with(
+            &rsn,
+            VerifyOptions {
+                select_checks: false,
+                mux_checks: false,
+                controllability: false,
+                structural: true,
+                control_cycles: true,
+            },
+        );
+        assert_eq!(report.sat_queries, 0);
+        assert!(!report.checks_run.contains(&"selects"));
+        assert!(report.checks_run.contains(&"structural"));
+    }
+
+    #[test]
+    fn report_json_has_stable_shape() {
+        let rsn = examples::fig2();
+        let report = verify(&rsn);
+        let json = report.to_json().to_string_pretty(0);
+        assert!(json.contains("\"network\""));
+        assert!(json.contains("\"diagnostics\""));
+        assert!(json.contains("\"sat_queries\""));
+    }
+
+    #[test]
+    fn verify_findings_superset_of_sampled_lint() {
+        for rsn in [
+            examples::fig2(),
+            examples::chain(3, 5),
+            examples::sib_tree(2, 3, 4),
+        ] {
+            let report = verify(&rsn);
+            let proved = report.to_lint_warnings();
+            for w in rsn.lint(64) {
+                assert!(
+                    proved.iter().any(|p| same_finding(p, &w)),
+                    "{}: lint found {w:?} but verify did not",
+                    rsn.name()
+                );
+            }
+        }
+    }
+
+    /// Same (code, node) finding, ignoring witness configs (the solver's
+    /// witness need not equal the sampled one).
+    fn same_finding(a: &rsn_core::LintWarning, b: &rsn_core::LintWarning) -> bool {
+        use rsn_core::LintWarning as W;
+        match (a, b) {
+            (
+                W::SelectPathMismatch { segment: x, .. },
+                W::SelectPathMismatch { segment: y, .. },
+            ) => x == y,
+            _ => a == b,
+        }
+    }
+}

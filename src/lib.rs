@@ -38,3 +38,4 @@ pub use rsn_obs as obs;
 pub use rsn_sat as sat;
 pub use rsn_sib as sib;
 pub use rsn_synth as synth;
+pub use rsn_verify as verify;
