@@ -3,8 +3,20 @@
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
 //!        [--paper] [--verify] [--ablation] [--sweep-alpha] [--json PATH]
-//!        [--bench-access PATH]
+//!        [--bench-access PATH] [--budget SECS] [--resume]
 //! ```
+//!
+//! With `--budget SECS`, every row runs under a fresh wall-clock budget of
+//! SECS seconds shared by all of its stages. Budget exhaustion never
+//! aborts: metric sweeps keep their evaluated prefix and the row is
+//! marked `TIMED OUT`, the augmentation ILP degrades to the greedy
+//! heuristic (`DEGRADED`), and the BMC spot check stops early. With
+//! `--json`, each row report carries `timed_out` / `degraded` keys.
+//!
+//! With `--json PATH`, a checkpoint (schema `table1-partial-v1`, path
+//! PATH with `.json` replaced by `.partial.json`) is rewritten after
+//! every completed row; `--resume` loads it and skips the rows it
+//! already contains, so an interrupted run continues where it stopped.
 //!
 //! With `--verify`, every synthesized fault-tolerant network is statically
 //! verified (`rsn-verify`: SAT proofs plus graph passes, including the
@@ -26,21 +38,31 @@
 //! pre-refactor seed baseline. Defaults to `q12710` + `p93791` when no
 //! `--bench` is given.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::env;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::{
-    bench_access, bmc_spot_check, evaluate, evaluate_weighted, evaluate_with, format_row,
-    AccessSweep, Row, BENCHMARKS,
+    bench_access, bmc_spot_check, bmc_spot_check_under, evaluate, evaluate_budgeted,
+    evaluate_weighted, evaluate_with, format_row, AccessSweep, Row, BENCHMARKS,
 };
+use rsn_budget::Budget;
 use rsn_fault::WeightModel;
 use rsn_itc02::by_name;
 use rsn_obs::{json::Json, RunReport};
 use rsn_sib::generate;
 use rsn_synth::{
-    augment_greedy, augment_ilp, AugmentOptions, Dataflow, SolverChoice, SynthesisOptions,
+    augment_greedy, augment_ilp, augment_ilp_under, AugmentOptions, Dataflow, SolverChoice,
+    SynthesisOptions,
 };
+
+/// The checkpoint path for a `--json PATH` run: `.json` → `.partial.json`.
+fn partial_path(json_path: &str) -> String {
+    match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.partial.json"),
+        None => format!("{json_path}.partial.json"),
+    }
+}
 
 fn run_double(names: &[&str]) {
     println!("\nExtension E1: sampled double-fault accessibility (segments)");
@@ -265,6 +287,8 @@ fn main() {
     let mut weights = WeightModel::Ports;
     let mut json_path: Option<String> = None;
     let mut bench_access_path: Option<String> = None;
+    let mut budget_secs: Option<f64> = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -301,6 +325,17 @@ fn main() {
                 i += 1;
                 bench_access_path = Some(args.get(i).expect("--bench-access needs a path").clone());
             }
+            "--budget" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .expect("--budget needs seconds")
+                    .parse()
+                    .expect("--budget needs a number of seconds");
+                assert!(secs >= 0.0, "--budget must be non-negative");
+                budget_secs = Some(secs);
+            }
+            "--resume" => resume = true,
             "--section" => {
                 i += 1; // sections are printed together; flag kept for CLI
             }
@@ -343,15 +378,52 @@ fn main() {
         return;
     }
 
+    // Checkpoint rows completed by an interrupted `--json` run, by name.
+    let mut resumed: HashMap<String, Json> = HashMap::new();
+    if resume {
+        let path = json_path
+            .as_deref()
+            .expect("--resume requires --json PATH (the checkpoint lives next to it)");
+        let ppath = partial_path(path);
+        if let Ok(text) = std::fs::read_to_string(&ppath) {
+            let doc = rsn_obs::json::parse(&text)
+                .unwrap_or_else(|e| panic!("malformed checkpoint {ppath}: {e}"));
+            for r in doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(n) = r.get("name").and_then(Json::as_str) {
+                    resumed.insert(n.to_string(), r.clone());
+                }
+            }
+            println!("resuming: {} completed row(s) in {ppath}", resumed.len());
+        } else {
+            println!("resuming: no checkpoint at {ppath}, starting fresh");
+        }
+    }
+
     header();
     let t0 = Instant::now();
     let mut reports: Vec<Json> = Vec::new();
     for name in &names {
         if json_path.is_some() {
+            if let Some(r) = resumed.remove(*name) {
+                println!("{name:<8} (resumed from checkpoint)");
+                reports.push(r);
+                continue;
+            }
             // One report per row: clear global counters/spans between rows.
             rsn_obs::reset();
         }
-        let row = if verify {
+        // A fresh budget per row: one slow benchmark cannot starve the
+        // rows after it.
+        let row_budget = budget_secs
+            .map(|secs| Budget::unlimited().with_deadline(Duration::from_secs_f64(secs)));
+        let row = if let Some(b) = &row_budget {
+            let opts = if verify {
+                rsn_synth::SynthesisOptions::verified()
+            } else {
+                rsn_synth::SynthesisOptions::new()
+            };
+            evaluate_budgeted(name, &opts, weights, b)
+        } else if verify {
             // Post-synthesis static verification gates every row:
             // error-severity diagnostics abort inside `synthesize`.
             evaluate_weighted(name, &rsn_synth::SynthesisOptions::verified(), weights)
@@ -361,6 +433,15 @@ fn main() {
             evaluate_weighted(name, &rsn_synth::SynthesisOptions::new(), weights)
         };
         println!("{}", format_row(&row));
+        if row.timed_out {
+            println!(
+                "         TIMED OUT: metric sweeps partial ({} + {} faults skipped)",
+                row.sib.skipped, row.ft.skipped
+            );
+        }
+        if row.degraded {
+            println!("         DEGRADED: augmentation ILP budget exhausted, greedy fallback used");
+        }
         if let Some(v) = &row.synthesis.verification {
             println!(
                 "         verified: {} error(s), {} warning(s), {} SAT queries",
@@ -378,13 +459,16 @@ fn main() {
                 row.synthesis_time, row.metric_time, row.sib.fault_count, row.ft.fault_count
             );
         }
-        if json_path.is_some() {
+        if let Some(path) = &json_path {
             // Size-gated BMC validation of the original network: the only
             // stage of the default pipeline that exercises the SAT solver.
             let soc = by_name(name).expect("embedded");
             let rsn = generate(&soc).expect("generate");
             let steps = row.levels + 2;
-            let (checked, mismatches) = bmc_spot_check(&rsn, steps, 150, 8);
+            let (checked, mismatches) = match &row_budget {
+                Some(b) => bmc_spot_check_under(&rsn, steps, 150, 8, b),
+                None => bmc_spot_check(&rsn, steps, 150, 8),
+            };
             if mismatches > 0 {
                 eprintln!("warning: {name}: {mismatches}/{checked} BMC spot checks disagree");
             }
@@ -394,9 +478,24 @@ fn main() {
             let df = Dataflow::extract(&rsn);
             if df.len() <= 60 {
                 let _s = rsn_obs::Span::enter("ilp_reference");
-                let _ = augment_ilp(&df, &AugmentOptions::default());
+                let _ = match &row_budget {
+                    Some(b) => augment_ilp_under(&df, &AugmentOptions::default(), b),
+                    None => augment_ilp(&df, &AugmentOptions::default()),
+                };
             }
-            reports.push(RunReport::capture(name).to_json_value());
+            let mut report = RunReport::capture(name).to_json_value();
+            if budget_secs.is_some() {
+                report.set("timed_out", Json::Bool(row.timed_out));
+                report.set("degraded", Json::Bool(row.degraded));
+            }
+            reports.push(report);
+            // Rewrite the checkpoint after every row so an interrupted run
+            // can pick up with `--resume`.
+            let mut doc = Json::obj();
+            doc.set("schema", Json::Str("table1-partial-v1".to_string()));
+            doc.set("rows", Json::Arr(reports.clone()));
+            std::fs::write(partial_path(path), doc.to_string_pretty(2))
+                .expect("write checkpoint json");
         }
     }
     if timing {

@@ -9,15 +9,16 @@
 
 use std::time::{Duration, Instant};
 
+use rsn_budget::Budget;
 use rsn_core::Rsn;
 use rsn_fault::{
-    analyze_faults_on, analyze_parallel_with, fault_universe_weighted, AccessEngine,
+    analyze_faults_on, analyze_parallel_budgeted, fault_universe_weighted, AccessEngine,
     FaultToleranceReport, HardeningProfile, WeightModel,
 };
 use rsn_itc02::{by_name, TableTargets};
 use rsn_sib::generate;
 use rsn_synth::area::{costs, AreaModel, Overhead};
-use rsn_synth::{synthesize, SynthesisOptions, SynthesisResult};
+use rsn_synth::{synthesize, synthesize_under, SynthesisOptions, SynthesisResult};
 
 /// One evaluated row of Table I: characteristics, accessibility of the
 /// original and fault-tolerant RSN, and overhead ratios.
@@ -49,6 +50,12 @@ pub struct Row {
     pub paper: &'static TableTargets,
     /// Synthesis diagnostics.
     pub synthesis: SynthesisResult,
+    /// `true` if a row budget expired before either metric sweep covered
+    /// its full fault universe: the accessibility columns are partial.
+    pub timed_out: bool,
+    /// `true` if a row budget forced the synthesis to degrade from the
+    /// exact ILP to the greedy heuristic.
+    pub degraded: bool,
 }
 
 /// Runs the full pipeline for one embedded benchmark.
@@ -74,6 +81,25 @@ pub fn evaluate_with(name: &str, opts: &SynthesisOptions) -> Row {
 /// T1-weights: sensitivity of the averages to cell- vs port-level
 /// weighting).
 pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel) -> Row {
+    evaluate_budgeted(name, opts, model, &Budget::unlimited())
+}
+
+/// Full pipeline bounded by a per-row [`Budget`] shared by every stage.
+///
+/// Degradation is fail-soft: a starved metric sweep keeps its evaluated
+/// prefix and sets [`Row::timed_out`]; a starved augmentation ILP falls
+/// back to the greedy heuristic and sets [`Row::degraded`]. With an
+/// unlimited budget the row is identical to [`evaluate_weighted`].
+///
+/// # Panics
+///
+/// See [`evaluate`]; budget exhaustion never panics.
+pub fn evaluate_budgeted(
+    name: &str,
+    opts: &SynthesisOptions,
+    model: WeightModel,
+    budget: &Budget,
+) -> Row {
     let pipeline = rsn_obs::Span::enter("pipeline");
     let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let paper = rsn_itc02::table_targets(name).expect("paper row exists");
@@ -84,16 +110,16 @@ pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel
     let t0 = Instant::now();
     let sib = {
         let _s = pipeline.child("metric_sib");
-        analyze_parallel_with(&rsn, HardeningProfile::unhardened(), model)
+        analyze_parallel_budgeted(&rsn, HardeningProfile::unhardened(), model, budget)
     };
     let synth_t0 = Instant::now();
     let synthesis = rsn_obs::timed("synth", || {
-        synthesize(&rsn, opts).expect("synthesis succeeds")
+        synthesize_under(&rsn, opts, budget).expect("synthesis succeeds")
     });
     let synthesis_time = synth_t0.elapsed();
     let ft = {
         let _s = pipeline.child("metric_ft");
-        analyze_parallel_with(&synthesis.rsn, HardeningProfile::hardened(), model)
+        analyze_parallel_budgeted(&synthesis.rsn, HardeningProfile::hardened(), model, budget)
     };
     let metric_time = t0.elapsed() - synthesis_time;
 
@@ -102,6 +128,8 @@ pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel
         Overhead::between(&costs(&rsn, &model), &costs(&synthesis.rsn, &model))
     });
 
+    let timed_out = sib.skipped > 0 || ft.skipped > 0;
+    let degraded = synthesis.report.degraded;
     Row {
         name: name.to_string(),
         modules: soc.modules.len(),
@@ -116,6 +144,8 @@ pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel
         metric_time,
         paper,
         synthesis,
+        timed_out,
+        degraded,
     }
 }
 
@@ -129,6 +159,20 @@ pub fn evaluate_weighted(name: &str, opts: &SynthesisOptions, model: WeightModel
 /// network exceeds `max_nodes` — the CSU unrolling grows quadratically —
 /// or has secondary scan ports (not modeled by the BMC).
 pub fn bmc_spot_check(rsn: &Rsn, steps: usize, max_nodes: usize, max_targets: usize) -> (u64, u64) {
+    bmc_spot_check_under(rsn, steps, max_nodes, max_targets, &Budget::unlimited())
+}
+
+/// [`bmc_spot_check`] bounded by a [`Budget`]: an [`rsn_bmc::Verdict::Unknown`]
+/// verdict stops the sweep (remaining targets are neither checked nor
+/// counted), so a spot check on an already expired row budget costs one
+/// solver entry check and nothing more.
+pub fn bmc_spot_check_under(
+    rsn: &Rsn,
+    steps: usize,
+    max_nodes: usize,
+    max_targets: usize,
+    budget: &Budget,
+) -> (u64, u64) {
     if rsn.node_count() > max_nodes
         || rsn.secondary_scan_in().is_some()
         || rsn.secondary_scan_out().is_some()
@@ -140,7 +184,10 @@ pub fn bmc_spot_check(rsn: &Rsn, steps: usize, max_nodes: usize, max_targets: us
     let mut checked = 0u64;
     let mut mismatches = 0u64;
     for seg in rsn.segments().take(max_targets) {
-        let bmc = checker.accessible(seg);
+        let bmc = match checker.accessible_under(seg, budget) {
+            rsn_bmc::Verdict::Unknown { .. } => break,
+            verdict => verdict.is_accessible(),
+        };
         let structural = rsn.is_accessible(seg);
         checked += 1;
         if bmc != structural {
@@ -161,7 +208,7 @@ pub fn bmc_spot_check(rsn: &Rsn, steps: usize, max_nodes: usize, max_targets: us
 ///
 /// The timed region covers engine construction *and* the per-fault sweep,
 /// so `faults_per_sec` is comparable with an end-to-end
-/// [`analyze_parallel_with`] call (the quantity tracked in
+/// [`rsn_fault::analyze_parallel_with`] call (the quantity tracked in
 /// `BENCH_access.json`).
 #[derive(Debug, Clone)]
 pub struct AccessSweep {
@@ -287,5 +334,37 @@ mod tests {
         let row = evaluate("q12710");
         let s = format_row(&row);
         assert!(s.starts_with("q12710"));
+    }
+
+    #[test]
+    fn exhausted_row_budget_times_out_but_still_produces_a_row() {
+        // A zero work budget starves both metric sweeps deterministically;
+        // the row must still come back whole, marked rather than aborted.
+        let budget = Budget::unlimited().with_work_limit(0);
+        let row = evaluate_budgeted(
+            "q12710",
+            &SynthesisOptions::new(),
+            WeightModel::Ports,
+            &budget,
+        );
+        assert!(row.timed_out);
+        assert!(row.sib.skipped > 0 && row.ft.skipped > 0);
+        assert_eq!(row.segments, 46, "characteristics survive starvation");
+        assert!(row.overhead.mux_ratio > 1.0, "synthesis still ran");
+    }
+
+    #[test]
+    fn unlimited_budget_row_matches_unbudgeted() {
+        let plain = evaluate("q12710");
+        let budgeted = evaluate_budgeted(
+            "q12710",
+            &SynthesisOptions::new(),
+            WeightModel::Ports,
+            &Budget::unlimited(),
+        );
+        assert!(!budgeted.timed_out && !budgeted.degraded);
+        assert_eq!(plain.sib, budgeted.sib);
+        assert_eq!(plain.ft, budgeted.ft);
+        assert_eq!(plain.synthesis.report, budgeted.synthesis.report);
     }
 }

@@ -42,9 +42,37 @@ pub use selects::{verify_select_consistency, SelectMismatch};
 
 use std::collections::HashMap;
 
+use rsn_budget::Budget;
 use rsn_core::{ControlExpr, NodeId, NodeKind, Rsn};
 use rsn_fault::FaultEffect;
-use rsn_sat::{CnfBuilder, Lit};
+use rsn_sat::{CnfBuilder, Lit, SolveOutcome};
+
+/// Tri-state accessibility verdict from a budgeted BMC query
+/// ([`BmcChecker::accessible_under`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A valid CSU sequence reaching the target with a clean path exists.
+    Accessible,
+    /// Proven unreachable within the unroll depth.
+    Inaccessible,
+    /// The budget ran out before the SAT query concluded.
+    Unknown {
+        /// The unroll depth (CSU steps) the undecided query was posed at.
+        bound_reached: usize,
+    },
+}
+
+impl Verdict {
+    /// `true` only for a proven [`Verdict::Accessible`].
+    pub fn is_accessible(self) -> bool {
+        self == Verdict::Accessible
+    }
+
+    /// `true` if the budget ran out before a verdict.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Verdict::Unknown { .. })
+    }
+}
 
 /// A bounded model checker for one network and one (optional) fault,
 /// reusable across target segments through incremental solving.
@@ -309,20 +337,45 @@ impl BmcChecker {
     /// valid CSU transitions after which the target lies on the active
     /// scan path and the path is clean end to end?
     pub fn accessible(&mut self, target: NodeId) -> bool {
+        match self.accessible_under(target, &Budget::unlimited()) {
+            Verdict::Accessible => true,
+            Verdict::Inaccessible => false,
+            Verdict::Unknown { .. } => unreachable!("unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// Like [`BmcChecker::accessible`], bounded by a [`Budget`] threaded
+    /// into the underlying SAT solve (one work unit per conflict).
+    ///
+    /// Exhaustion yields [`Verdict::Unknown`] carrying the unroll bound
+    /// at which the query was left undecided; the checker stays usable
+    /// and the query can be retried with a fresh budget. Structural
+    /// short-circuits (infeasible encodings, local instrument loss) are
+    /// decided without consulting the budget.
+    pub fn accessible_under(&mut self, target: NodeId, budget: &Budget) -> Verdict {
         if !self.feasible || self.local_loss.contains(&target) {
-            return false;
+            return Verdict::Inaccessible;
         }
         let on = self.onpath[self.steps][target.index()];
         let clean = !self.taint[self.steps][self.scan_out.index()];
         let _span = rsn_obs::Span::enter("bmc_solve");
         let start = std::time::Instant::now();
-        let result = self.cnf.solver_mut().solve_with(&[on, clean]);
+        let outcome = self.cnf.solver_mut().solve_with_under(&[on, clean], budget);
         rsn_obs::counter_add("bmc.queries", 1);
         rsn_obs::counter_add(
             &format!("bmc.unroll.{}.solve_ns", self.steps),
             start.elapsed().as_nanos() as u64,
         );
-        result
+        match outcome {
+            SolveOutcome::Sat => Verdict::Accessible,
+            SolveOutcome::Unsat => Verdict::Inaccessible,
+            SolveOutcome::Unknown { .. } => {
+                rsn_obs::counter_add("bmc.unknown", 1);
+                Verdict::Unknown {
+                    bound_reached: self.steps,
+                }
+            }
+        }
     }
 }
 
@@ -478,6 +531,50 @@ mod tests {
                     rsn.node(s).name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_unknown_with_bound() {
+        let rsn = fig2();
+        let mut checker = BmcChecker::new(&rsn, 2);
+        let c = rsn.find("C").expect("C");
+        let verdict = checker.accessible_under(c, &Budget::unlimited().with_work_limit(0));
+        assert_eq!(verdict, Verdict::Unknown { bound_reached: 2 });
+        assert!(verdict.is_unknown());
+        // Checker survives exhaustion: a fresh budget decides the query.
+        assert_eq!(
+            checker.accessible_under(c, &Budget::unlimited()),
+            Verdict::Accessible
+        );
+    }
+
+    #[test]
+    fn structural_short_circuits_ignore_the_budget() {
+        // Local instrument loss is decided without a SAT query, so even a
+        // dead budget gets a definitive Inaccessible.
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let mut effect = FaultEffect::benign();
+        effect.local_loss.push(b);
+        let mut checker = BmcChecker::with_fault(&rsn, 2, &effect);
+        let dead = Budget::unlimited().with_work_limit(0);
+        assert_eq!(checker.accessible_under(b, &dead), Verdict::Inaccessible);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_verdicts() {
+        let rsn = fig2();
+        let generous = Budget::unlimited().with_work_limit(1_000_000);
+        let mut budgeted = BmcChecker::new(&rsn, 2);
+        let mut plain = BmcChecker::new(&rsn, 2);
+        for s in rsn.segments() {
+            let expect = if plain.accessible(s) {
+                Verdict::Accessible
+            } else {
+                Verdict::Inaccessible
+            };
+            assert_eq!(budgeted.accessible_under(s, &generous), expect);
         }
     }
 

@@ -48,8 +48,9 @@ pub use effect::{effect_of, is_control_segment, FaultEffect};
 pub use engine::{accessibility, AccessEngine, Accessibility, Scratch};
 pub use fault::{fault_universe, fault_universe_weighted, Fault, FaultSite, WeightModel};
 pub use metric::{
-    analyze, analyze_faults_on, analyze_parallel, analyze_parallel_with, analyze_with,
-    FaultToleranceReport, HardeningProfile,
+    analyze, analyze_faults_on, analyze_faults_on_budget, analyze_parallel,
+    analyze_parallel_budgeted, analyze_parallel_with, analyze_with, FaultToleranceReport,
+    HardeningProfile,
 };
 pub use multi::{analyze_double_sampled, analyze_double_sampled_on, DoubleFaultReport};
 pub use plan::{plan_faulty_access, plan_faulty_access_on, FaultyAccessPlan};

@@ -2,8 +2,10 @@
 //! all single stuck-at faults (paper Sec. III-A, Table I).
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use rsn_budget::Budget;
 use rsn_core::Rsn;
 
 use crate::effect::effect_of;
@@ -53,6 +55,20 @@ pub struct FaultToleranceReport {
     pub avg_bits: f64,
     /// A fault achieving the worst segment accessibility.
     pub worst_fault: Option<Fault>,
+    /// Faults whose evaluation panicked and was isolated; their weight is
+    /// excluded from every aggregate.
+    pub quarantined: usize,
+    /// Faults left unevaluated because the [`Budget`] ran out; their
+    /// weight is excluded from every aggregate.
+    pub skipped: usize,
+}
+
+impl FaultToleranceReport {
+    /// `true` if every fault in the universe was actually evaluated
+    /// (nothing quarantined, nothing budget-skipped).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined == 0 && self.skipped == 0
+    }
 }
 
 impl fmt::Display for FaultToleranceReport {
@@ -65,7 +81,15 @@ impl fmt::Display for FaultToleranceReport {
             self.worst_bits,
             self.avg_bits,
             self.fault_count
-        )
+        )?;
+        if !self.is_complete() {
+            write!(
+                f,
+                " [incomplete: {} quarantined, {} skipped]",
+                self.quarantined, self.skipped
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -111,6 +135,30 @@ pub fn analyze_faults_on(
     profile: HardeningProfile,
     threads: usize,
 ) -> FaultToleranceReport {
+    analyze_faults_on_budget(engine, faults, profile, threads, &Budget::unlimited())
+}
+
+/// [`analyze_faults_on`] bounded by a [`Budget`] shared across all
+/// workers (their combined work counts against one limit; one work unit
+/// per fault).
+///
+/// Degradation is fail-soft on two axes:
+///
+/// * **Budget exhaustion** — remaining faults are skipped; the report's
+///   aggregates cover the evaluated prefix and
+///   [`FaultToleranceReport::skipped`] counts what was left out (also
+///   counted into `budget.exhausted`).
+/// * **Panic isolation** — a fault whose evaluation panics is caught via
+///   `catch_unwind`, quarantined ([`FaultToleranceReport::quarantined`],
+///   counter `fault.quarantined`) and the worker continues with a fresh
+///   [`Scratch`] instead of poisoning the whole run.
+pub fn analyze_faults_on_budget(
+    engine: &AccessEngine<'_>,
+    faults: &[Fault],
+    profile: HardeningProfile,
+    threads: usize,
+    budget: &Budget,
+) -> FaultToleranceReport {
     rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
     let start = Instant::now();
 
@@ -126,12 +174,12 @@ pub fn analyze_faults_on(
     );
 
     let partials: Vec<Partial> = if chunks_spawned == 1 {
-        vec![partial_over(engine, faults, profile)]
+        vec![partial_over(engine, faults, profile, budget)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = faults
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move || partial_over(engine, slice, profile)))
+                .map(|slice| scope.spawn(move || partial_over(engine, slice, profile, budget)))
                 .collect();
             handles
                 .into_iter()
@@ -150,6 +198,16 @@ pub fn analyze_faults_on(
             out.worst_fault = p.worst_fault;
         }
         out.worst_bits = out.worst_bits.min(p.worst_bits);
+        out.quarantined += p.quarantined;
+        out.skipped += p.skipped;
+    }
+
+    if out.quarantined > 0 {
+        rsn_obs::counter_add("fault.quarantined", out.quarantined as u64);
+    }
+    if out.skipped > 0 {
+        rsn_obs::counter_add("fault.skipped", out.skipped as u64);
+        rsn_obs::counter_add("budget.exhausted", 1);
     }
 
     let secs = start.elapsed().as_secs_f64();
@@ -166,22 +224,45 @@ pub fn analyze_faults_on(
         worst_bits: out.worst_bits,
         avg_bits: out.sum_bits / denom,
         worst_fault: out.worst_fault,
+        quarantined: out.quarantined,
+        skipped: out.skipped,
     }
 }
 
 /// Folds one fault slice into a [`Partial`] — the single accumulation
 /// loop shared by the serial and parallel paths.
-fn partial_over(engine: &AccessEngine<'_>, faults: &[Fault], profile: HardeningProfile) -> Partial {
+fn partial_over(
+    engine: &AccessEngine<'_>,
+    faults: &[Fault],
+    profile: HardeningProfile,
+    budget: &Budget,
+) -> Partial {
     let rsn = engine.rsn();
     let mut scratch: Scratch = engine.scratch();
     let mut p = Partial::default();
-    for fault in faults {
-        let effect = effect_of(rsn, fault, profile);
-        let (seg_frac, bit_frac) = if effect.is_benign() {
-            (1.0, 1.0)
-        } else {
-            let acc = engine.accessibility(&effect, &mut scratch);
-            (acc.segment_fraction(), acc.bit_fraction())
+    for (i, fault) in faults.iter().enumerate() {
+        if budget.check().is_err() {
+            p.skipped += faults.len() - i;
+            break;
+        }
+        let evaluated = catch_unwind(AssertUnwindSafe(|| {
+            let effect = effect_of(rsn, fault, profile);
+            if effect.is_benign() {
+                (1.0, 1.0)
+            } else {
+                let acc = engine.accessibility(&effect, &mut scratch);
+                (acc.segment_fraction(), acc.bit_fraction())
+            }
+        }));
+        let (seg_frac, bit_frac) = match evaluated {
+            Ok(fracs) => fracs,
+            Err(_) => {
+                // The fixed-point may have been left half-done; start the
+                // next fault from a clean scratch.
+                scratch = engine.scratch();
+                p.quarantined += 1;
+                continue;
+            }
         };
         let w = fault.weight as f64;
         p.sum_segments += seg_frac * w;
@@ -211,6 +292,17 @@ pub fn analyze_parallel_with(
     profile: HardeningProfile,
     model: WeightModel,
 ) -> FaultToleranceReport {
+    analyze_parallel_budgeted(rsn, profile, model, &Budget::unlimited())
+}
+
+/// [`analyze_parallel_with`] bounded by a [`Budget`] (see
+/// [`analyze_faults_on_budget`] for the degradation semantics).
+pub fn analyze_parallel_budgeted(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+    budget: &Budget,
+) -> FaultToleranceReport {
     let _span = rsn_obs::Span::enter("analyze_parallel");
     let faults = fault_universe_weighted(rsn, model);
     let threads = std::thread::available_parallelism()
@@ -219,7 +311,7 @@ pub fn analyze_parallel_with(
         // No point spawning for universes smaller than a chunk's worth.
         .min(faults.len().div_ceil(64).max(1));
     let engine = AccessEngine::new(rsn);
-    analyze_faults_on(&engine, &faults, profile, threads)
+    analyze_faults_on_budget(&engine, &faults, profile, threads, budget)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -230,6 +322,8 @@ struct Partial {
     worst_segments: f64,
     worst_bits: f64,
     worst_fault: Option<Fault>,
+    quarantined: usize,
+    skipped: usize,
 }
 
 impl Default for Partial {
@@ -241,6 +335,8 @@ impl Default for Partial {
             worst_segments: 1.0,
             worst_bits: 1.0,
             worst_fault: None,
+            quarantined: 0,
+            skipped: 0,
         }
     }
 }
@@ -300,6 +396,130 @@ mod tests {
         let plain = analyze(&rsn, HardeningProfile::unhardened());
         let hard = analyze(&rsn, HardeningProfile::hardened());
         assert!(hard.avg_segments >= plain.avg_segments);
+    }
+
+    /// Runs `f` with the default panic hook silenced, so intentional
+    /// panics don't spam test output. Serialized: the hook is global.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn zero_budget_skips_all_faults() {
+        let rsn = fig2();
+        let faults = crate::fault::fault_universe(&rsn);
+        let engine = AccessEngine::new(&rsn);
+        let budget = Budget::unlimited().with_work_limit(0);
+        let report =
+            analyze_faults_on_budget(&engine, &faults, HardeningProfile::unhardened(), 1, &budget);
+        assert_eq!(report.skipped, faults.len());
+        assert_eq!(report.total_weight, 0, "nothing evaluated");
+        assert!(!report.is_complete());
+        assert!(report.to_string().contains("incomplete"), "{report}");
+    }
+
+    #[test]
+    fn partial_budget_keeps_evaluated_prefix() {
+        let rsn = fig2();
+        let faults = crate::fault::fault_universe(&rsn);
+        assert!(faults.len() > 4);
+        let engine = AccessEngine::new(&rsn);
+        let budget = Budget::unlimited().with_work_limit(4);
+        let report =
+            analyze_faults_on_budget(&engine, &faults, HardeningProfile::unhardened(), 1, &budget);
+        // 4 admitted checks → 4 evaluated, rest skipped; the evaluated
+        // prefix aggregates match a run over just that prefix.
+        assert_eq!(report.skipped, faults.len() - 4);
+        let prefix = analyze_faults_on(&engine, &faults[..4], HardeningProfile::unhardened(), 1);
+        assert_eq!(report.total_weight, prefix.total_weight);
+        assert_eq!(report.worst_segments, prefix.worst_segments);
+        assert_eq!(report.avg_bits, prefix.avg_bits);
+    }
+
+    #[test]
+    fn panicking_fault_is_quarantined_not_fatal() {
+        use rsn_core::NodeId;
+        let rsn = fig2();
+        let mut faults = crate::fault::fault_universe(&rsn);
+        let clean = analyze(&rsn, HardeningProfile::unhardened());
+        // A fault pointing at a nonexistent node makes effect_of index out
+        // of bounds — exactly the class of bug quarantine must contain.
+        let poison = Fault {
+            site: crate::fault::FaultSite::SegmentData(NodeId(9999)),
+            value: false,
+            weight: 1,
+        };
+        faults.insert(faults.len() / 2, poison);
+        let engine = AccessEngine::new(&rsn);
+        let report = with_quiet_panics(|| {
+            analyze_faults_on_budget(
+                &engine,
+                &faults,
+                HardeningProfile::unhardened(),
+                1,
+                &Budget::unlimited(),
+            )
+        });
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.skipped, 0);
+        // Every healthy fault was still evaluated; aggregates match the
+        // clean run exactly (the poison fault contributes no weight).
+        assert_eq!(report.total_weight, clean.total_weight);
+        assert_eq!(report.worst_segments, clean.worst_segments);
+        assert_eq!(report.avg_segments, clean.avg_segments);
+    }
+
+    #[test]
+    fn quarantine_works_across_parallel_workers() {
+        use rsn_core::NodeId;
+        let rsn = fig2();
+        let mut faults = crate::fault::fault_universe(&rsn);
+        for pos in [0, faults.len() / 2, faults.len()] {
+            faults.insert(
+                pos,
+                Fault {
+                    site: crate::fault::FaultSite::SegmentData(NodeId(9999)),
+                    value: true,
+                    weight: 1,
+                },
+            );
+        }
+        let engine = AccessEngine::new(&rsn);
+        let report = with_quiet_panics(|| {
+            analyze_faults_on_budget(
+                &engine,
+                &faults,
+                HardeningProfile::unhardened(),
+                4,
+                &Budget::unlimited(),
+            )
+        });
+        assert_eq!(report.quarantined, 3);
+        let clean = analyze(&rsn, HardeningProfile::unhardened());
+        assert_eq!(report.total_weight, clean.total_weight);
+    }
+
+    #[test]
+    fn unlimited_budget_report_is_identical_to_unbudgeted() {
+        let rsn = fig2();
+        let faults = crate::fault::fault_universe(&rsn);
+        let engine = AccessEngine::new(&rsn);
+        let plain = analyze_faults_on(&engine, &faults, HardeningProfile::unhardened(), 2);
+        let budgeted = analyze_faults_on_budget(
+            &engine,
+            &faults,
+            HardeningProfile::unhardened(),
+            2,
+            &Budget::unlimited(),
+        );
+        assert_eq!(plain, budgeted);
+        assert!(plain.is_complete());
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use rsn_budget::Budget;
+
 use crate::model::{Constraint, Problem, VarId};
 use crate::simplex::{solve_lp_with_stats, LpOutcome};
 
@@ -24,8 +26,13 @@ pub enum IlpError {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
-    /// The node limit was exhausted before proving optimality.
+    /// The node limit was exhausted before *any* integral solution was
+    /// found. When an incumbent exists, exhaustion instead returns it
+    /// with [`IlpSolution::proven_optimal`] `false`.
     NodeLimit,
+    /// The [`Budget`] was exhausted before any integral solution was
+    /// found (same incumbent rule as [`IlpError::NodeLimit`]).
+    Budget,
 }
 
 impl fmt::Display for IlpError {
@@ -33,7 +40,8 @@ impl fmt::Display for IlpError {
         match self {
             IlpError::Infeasible => write!(f, "integer program is infeasible"),
             IlpError::Unbounded => write!(f, "integer program is unbounded"),
-            IlpError::NodeLimit => write!(f, "node limit exhausted before optimality"),
+            IlpError::NodeLimit => write!(f, "node limit exhausted before a feasible solution"),
+            IlpError::Budget => write!(f, "budget exhausted before a feasible solution"),
         }
     }
 }
@@ -56,6 +64,10 @@ pub struct IlpSolution {
     pub cut_rounds: u32,
     /// Total simplex iterations across every LP relaxation solved.
     pub simplex_iters: u64,
+    /// `true` if the search proved optimality; `false` if a node limit or
+    /// budget stopped the search first, making this the best incumbent
+    /// found so far (always feasible, possibly suboptimal).
+    pub proven_optimal: bool,
 }
 
 impl IlpSolution {
@@ -121,25 +133,61 @@ fn lp_with_fixings(problem: &Problem, fixings: &[(VarId, f64)], iters: &mut u64)
 ///
 /// * [`IlpError::Infeasible`] if no integral solution exists.
 /// * [`IlpError::Unbounded`] if the relaxation is unbounded.
-/// * [`IlpError::NodeLimit`] after 200 000 nodes without optimality proof.
+/// * [`IlpError::NodeLimit`] after 200 000 nodes without *any* feasible
+///   solution; if an incumbent exists it is returned instead, flagged
+///   [`IlpSolution::proven_optimal`] `false`.
 ///
 /// Each call exports `ilp.solves` and `ilp.nodes` into the global
 /// `rsn-obs` registry (simplex iteration counters are exported by the LP
 /// layer underneath).
 pub fn solve_ilp(problem: &Problem) -> Result<IlpSolution, IlpError> {
-    let result = solve_ilp_impl(problem, 200_000);
+    solve_ilp_under(problem, &Budget::unlimited())
+}
+
+/// Like [`solve_ilp`], bounded by a [`Budget`].
+///
+/// One work unit is spent per branch-and-bound node, so a work-unit
+/// limit bounds the tree size and a deadline is honoured within one
+/// clock stride of nodes. On exhaustion the best incumbent (if any) is
+/// returned with [`IlpSolution::proven_optimal`] `false`; without an
+/// incumbent the search fails with [`IlpError::Budget`]. Either way a
+/// `budget.exhausted` event is counted.
+///
+/// # Errors
+///
+/// Those of [`solve_ilp`], plus [`IlpError::Budget`] when the budget ran
+/// out before any feasible solution was found.
+pub fn solve_ilp_under(problem: &Problem, budget: &Budget) -> Result<IlpSolution, IlpError> {
+    let result = solve_ilp_impl(problem, 200_000, budget);
     rsn_obs::counter_add("ilp.solves", 1);
     if let Ok(sol) = &result {
         rsn_obs::counter_add("ilp.nodes", sol.nodes);
+        if !sol.proven_optimal {
+            rsn_obs::counter_add("ilp.unproven", 1);
+            rsn_obs::counter_add("budget.exhausted", 1);
+        }
+    } else if result == Err(IlpError::Budget) {
+        rsn_obs::counter_add("budget.exhausted", 1);
     }
     result
 }
 
-fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, IlpError> {
+/// Which resource stopped the tree search before an optimality proof.
+enum LimitHit {
+    Nodes,
+    Budget,
+}
+
+fn solve_ilp_impl(
+    problem: &Problem,
+    node_limit: u64,
+    budget: &Budget,
+) -> Result<IlpSolution, IlpError> {
     let mut heap = BinaryHeap::new();
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut nodes = 0u64;
     let mut simplex_iters = 0u64;
+    let mut limit_hit: Option<LimitHit> = None;
 
     {
         let (outcome, stats) = solve_lp_with_stats(problem);
@@ -159,7 +207,12 @@ fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, Ilp
     while let Some(node) = heap.pop() {
         nodes += 1;
         if nodes > node_limit {
-            return Err(IlpError::NodeLimit);
+            limit_hit = Some(LimitHit::Nodes);
+            break;
+        }
+        if budget.check().is_err() {
+            limit_hit = Some(LimitHit::Budget);
+            break;
         }
         if let Some((best, _)) = &incumbent {
             if node.bound >= *best - INT_EPS {
@@ -221,15 +274,18 @@ fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, Ilp
         }
     }
 
-    match incumbent {
-        Some((objective, values)) => Ok(IlpSolution {
+    match (incumbent, limit_hit) {
+        (Some((objective, values)), limit) => Ok(IlpSolution {
             objective,
             values,
             nodes,
             cut_rounds: 0,
             simplex_iters,
+            proven_optimal: limit.is_none(),
         }),
-        None => Err(IlpError::Infeasible),
+        (None, None) => Err(IlpError::Infeasible),
+        (None, Some(LimitHit::Nodes)) => Err(IlpError::NodeLimit),
+        (None, Some(LimitHit::Budget)) => Err(IlpError::Budget),
     }
 }
 
@@ -250,7 +306,27 @@ fn solve_ilp_impl(problem: &Problem, node_limit: u64) -> Result<IlpSolution, Ilp
 /// reported as [`IlpError::NodeLimit`].
 pub fn solve_ilp_with_cuts(
     problem: &Problem,
+    separate: impl FnMut(&[f64]) -> Vec<Constraint>,
+) -> Result<IlpSolution, IlpError> {
+    solve_ilp_with_cuts_under(problem, separate, &Budget::unlimited())
+}
+
+/// Like [`solve_ilp_with_cuts`], bounded by a [`Budget`] shared across
+/// all cut rounds.
+///
+/// An incumbent returned under exhaustion satisfies every *separated*
+/// constraint: if the budget trips mid-round and the unproven incumbent
+/// still violates lazy cuts, it is unusable for the full model and the
+/// call fails with [`IlpError::Budget`] instead of returning it.
+///
+/// # Errors
+///
+/// Those of [`solve_ilp_with_cuts`], plus [`IlpError::Budget`] when the
+/// budget ran out before any fully lazily-feasible solution was found.
+pub fn solve_ilp_with_cuts_under(
+    problem: &Problem,
     mut separate: impl FnMut(&[f64]) -> Vec<Constraint>,
+    budget: &Budget,
 ) -> Result<IlpSolution, IlpError> {
     let mut p = problem.clone();
     // Telemetry accumulated across re-solves: the caller sees total work,
@@ -258,7 +334,7 @@ pub fn solve_ilp_with_cuts(
     let mut total_nodes = 0u64;
     let mut total_iters = 0u64;
     for round in 0..1000u32 {
-        let mut sol = solve_ilp(&p)?;
+        let mut sol = solve_ilp_under(&p, budget)?;
         total_nodes += sol.nodes;
         total_iters += sol.simplex_iters;
         let cuts = separate(&sol.values);
@@ -268,6 +344,11 @@ pub fn solve_ilp_with_cuts(
             sol.simplex_iters = total_iters;
             rsn_obs::counter_add("ilp.cut_rounds", u64::from(round));
             return Ok(sol);
+        }
+        if !sol.proven_optimal {
+            // Budget ran out and the incumbent still violates lazy
+            // constraints: nothing feasible to hand back.
+            return Err(IlpError::Budget);
         }
         rsn_obs::counter_add("ilp.cuts_added", cuts.len() as u64);
         for c in cuts {
@@ -374,6 +455,118 @@ mod tests {
         assert_eq!(sol.cut_rounds, 1);
         let set = v.iter().filter(|&&x| sol.is_set(x)).count();
         assert_eq!(set, 2);
+    }
+
+    /// A knapsack with a known optimum of -20, feasible at every node
+    /// depth (used for limit-exhaustion regressions).
+    fn knapsack() -> (Problem, f64) {
+        let mut p = Problem::new();
+        let x0 = p.add_binary_var("x0", -10.0);
+        let x1 = p.add_binary_var("x1", -13.0);
+        let x2 = p.add_binary_var("x2", -7.0);
+        p.add_le([(x0, 3.0), (x1, 4.0), (x2, 2.0)], 6.0);
+        (p, -20.0)
+    }
+
+    #[test]
+    fn node_limit_preserves_feasible_incumbent() {
+        // Regression: a tripped node limit used to discard the incumbent
+        // and surface as Err(NodeLimit) even for feasible problems. Walk
+        // the limit up from 1: every outcome must be either a NodeLimit
+        // error (no incumbent yet) or a *feasible* solution, and once the
+        // limit stops binding the solution must be proven optimal.
+        let (p, optimum) = knapsack();
+        let unconstrained = solve_ilp(&p).expect("solvable");
+        assert!(unconstrained.proven_optimal);
+        let mut saw_unproven = false;
+        for limit in 1..=unconstrained.nodes + 1 {
+            match solve_ilp_impl(&p, limit, &Budget::unlimited()) {
+                Ok(sol) => {
+                    assert!(
+                        p.is_feasible(&sol.values, 1e-6),
+                        "limit {limit}: infeasible incumbent returned"
+                    );
+                    assert!(sol.objective >= optimum - 1e-6);
+                    if sol.proven_optimal {
+                        assert!((sol.objective - optimum).abs() < 1e-6);
+                    } else {
+                        saw_unproven = true;
+                    }
+                }
+                Err(IlpError::NodeLimit) => {} // stopped before any incumbent
+                Err(e) => panic!("limit {limit}: unexpected {e:?}"),
+            }
+        }
+        assert!(saw_unproven, "no limit produced an unproven incumbent");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_incumbent_or_budget_error() {
+        let (p, optimum) = knapsack();
+        for limit in 0..=40u64 {
+            let budget = Budget::unlimited().with_work_limit(limit);
+            match solve_ilp_under(&p, &budget) {
+                Ok(sol) => {
+                    assert!(p.is_feasible(&sol.values, 1e-6));
+                    if budget.exhausted().is_some() {
+                        assert!(!sol.proven_optimal);
+                    } else {
+                        assert!(sol.proven_optimal);
+                        assert!((sol.objective - optimum).abs() < 1e-6);
+                    }
+                }
+                Err(IlpError::Budget) => {
+                    assert!(budget.exhausted().is_some());
+                }
+                Err(e) => panic!("budget {limit}: unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_fails_without_incumbent() {
+        let (p, _) = knapsack();
+        let budget = Budget::unlimited().with_work_limit(0);
+        assert_eq!(solve_ilp_under(&p, &budget), Err(IlpError::Budget));
+    }
+
+    #[test]
+    fn budgeted_cuts_never_return_lazily_infeasible_solutions() {
+        // Same model as `lazy_cuts_are_separated`, under a budget tight
+        // enough to trip in the first round on some runs: the result is
+        // either Err(Budget) or a solution respecting the lazy cut.
+        for limit in 0..=40u64 {
+            let mut p = Problem::new();
+            let v: Vec<VarId> = (0..3)
+                .map(|i| p.add_binary_var(format!("x{i}"), -1.0))
+                .collect();
+            let vs = v.clone();
+            let budget = Budget::unlimited().with_work_limit(limit);
+            let result = solve_ilp_with_cuts_under(
+                &p,
+                move |x| {
+                    let total: f64 = vs.iter().map(|&v| x[v.index()]).sum();
+                    if total > 2.5 {
+                        vec![Constraint {
+                            terms: vs.iter().map(|&v| (v, 1.0)).collect(),
+                            op: ConstraintOp::Le,
+                            rhs: 2.0,
+                        }]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                &budget,
+            );
+            match result {
+                Ok(sol) => {
+                    let set = v.iter().filter(|&&x| sol.is_set(x)).count();
+                    assert!(set <= 2, "limit {limit}: lazy cut violated");
+                }
+                Err(IlpError::Budget) => {}
+                Err(e) => panic!("limit {limit}: unexpected {e:?}"),
+            }
+        }
     }
 
     #[test]

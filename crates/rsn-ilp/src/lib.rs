@@ -36,6 +36,9 @@ pub mod branch;
 pub mod model;
 pub mod simplex;
 
-pub use branch::{solve_ilp, solve_ilp_with_cuts, IlpError, IlpSolution};
+pub use branch::{
+    solve_ilp, solve_ilp_under, solve_ilp_with_cuts, solve_ilp_with_cuts_under, IlpError,
+    IlpSolution,
+};
 pub use model::{Constraint, ConstraintOp, Problem, VarId};
 pub use simplex::{solve_lp, solve_lp_with_stats, LpOutcome, LpStats};

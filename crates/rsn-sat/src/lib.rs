@@ -32,4 +32,4 @@ pub mod solver;
 
 pub use cnf::CnfBuilder;
 pub use lit::{Lit, Var};
-pub use solver::Solver;
+pub use solver::{SolveOutcome, Solver};

@@ -7,6 +7,7 @@
 
 #![allow(clippy::needless_range_loop)]
 use crate::lit::{Lit, Var};
+use rsn_budget::{Budget, Reason};
 
 /// Undefined/true/false assignment value.
 const UNDEF: u8 = 2;
@@ -121,6 +122,44 @@ pub struct Stats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: u64,
+}
+
+/// Tri-state result of a budgeted solve ([`Solver::solve_under`]).
+///
+/// `Unknown` means the budget ran out before the solver reached a
+/// verdict — the formula may be either satisfiable or unsatisfiable. The
+/// solver itself stays consistent (trail unwound to level 0, learnt
+/// clauses kept) and may be re-solved with a fresh budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Satisfiable; the model is available through [`Solver::value`].
+    Sat,
+    /// Proven unsatisfiable (under the given assumptions).
+    Unsat,
+    /// Budget exhausted before a verdict.
+    Unknown {
+        /// Conflicts spent in this call before giving up.
+        conflicts: u64,
+        /// Which budget limit tripped.
+        reason: Reason,
+    },
+}
+
+impl SolveOutcome {
+    /// `true` only for a proven [`SolveOutcome::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveOutcome::Sat
+    }
+
+    /// `true` only for a proven [`SolveOutcome::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveOutcome::Unsat
+    }
+
+    /// `true` if the budget ran out before a verdict.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, SolveOutcome::Unknown { .. })
+    }
 }
 
 /// A CDCL SAT solver.
@@ -557,26 +596,65 @@ impl Solver {
     /// `sat.propagations`, `sat.restarts` plus `sat.solves` and a
     /// `sat.sat` / `sat.unsat` outcome counter.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> bool {
+        match self.solve_with_under(assumptions, &Budget::unlimited()) {
+            SolveOutcome::Sat => true,
+            SolveOutcome::Unsat => false,
+            SolveOutcome::Unknown { .. } => unreachable!("unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// Solves the formula under a [`Budget`], without assumptions.
+    pub fn solve_under(&mut self, budget: &Budget) -> SolveOutcome {
+        self.solve_with_under(&[], budget)
+    }
+
+    /// Solves under assumptions and a [`Budget`].
+    ///
+    /// One work unit is spent on entry (so a zero budget deterministically
+    /// yields `Unknown`) and one per conflict, so a work-unit limit
+    /// bounds the number of conflicts and a deadline is honoured within
+    /// one clock stride of conflicts. On exhaustion the trail is unwound to
+    /// level 0 and [`SolveOutcome::Unknown`] is returned; the solver
+    /// stays usable (learnt clauses are kept), and an exhausted budget
+    /// makes every later call return `Unknown` immediately.
+    ///
+    /// Unknown outcomes count into `sat.unknown` and `budget.exhausted`.
+    pub fn solve_with_under(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         let before = self.stats;
-        let result = self.solve_with_inner(assumptions);
+        let result = self.solve_with_inner(assumptions, budget);
         let after = self.stats;
         rsn_obs::counter_add("sat.solves", 1);
         rsn_obs::counter_add("sat.conflicts", after.conflicts - before.conflicts);
         rsn_obs::counter_add("sat.decisions", after.decisions - before.decisions);
         rsn_obs::counter_add("sat.propagations", after.propagations - before.propagations);
         rsn_obs::counter_add("sat.restarts", after.restarts - before.restarts);
-        rsn_obs::counter_add(if result { "sat.sat" } else { "sat.unsat" }, 1);
+        match result {
+            SolveOutcome::Sat => rsn_obs::counter_add("sat.sat", 1),
+            SolveOutcome::Unsat => rsn_obs::counter_add("sat.unsat", 1),
+            SolveOutcome::Unknown { .. } => {
+                rsn_obs::counter_add("sat.unknown", 1);
+                rsn_obs::counter_add("budget.exhausted", 1);
+            }
+        }
         result
     }
 
-    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> bool {
+    fn solve_with_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         if self.unsat {
-            return false;
+            return SolveOutcome::Unsat;
+        }
+        let conflicts_at_entry = self.stats.conflicts;
+        // An already-exhausted (or zero) budget admits no search at all.
+        if let Err(e) = budget.check() {
+            return SolveOutcome::Unknown {
+                conflicts: 0,
+                reason: e.reason,
+            };
         }
         self.backtrack(0);
         if self.propagate().is_some() {
             self.unsat = true;
-            return false;
+            return SolveOutcome::Unsat;
         }
 
         let mut luby_index = 0u32;
@@ -594,7 +672,14 @@ impl Solver {
                         self.unsat = true;
                     }
                     self.backtrack(0);
-                    return false;
+                    return SolveOutcome::Unsat;
+                }
+                if let Err(e) = budget.check() {
+                    self.backtrack(0);
+                    return SolveOutcome::Unknown {
+                        conflicts: self.stats.conflicts - conflicts_at_entry,
+                        reason: e.reason,
+                    };
                 }
                 let (learnt, bt_level) = self.analyze(conflict);
                 // Never backtrack past the assumption levels.
@@ -610,7 +695,7 @@ impl Solver {
                             self.unsat = true;
                         }
                         self.backtrack(0);
-                        return false;
+                        return SolveOutcome::Unsat;
                     }
                 } else if learnt.len() == 1 {
                     // Asserting unit but we could not go to level 0 due to
@@ -619,7 +704,7 @@ impl Solver {
                         self.enqueue(learnt[0], None);
                     } else if self.lit_is_false(learnt[0]) {
                         self.backtrack(0);
-                        return false;
+                        return SolveOutcome::Unsat;
                     }
                 } else {
                     let cref = self.attach_clause(learnt.clone(), true);
@@ -630,7 +715,7 @@ impl Solver {
                         if assumptions.is_empty() {
                             self.unsat = true;
                         }
-                        return false;
+                        return SolveOutcome::Unsat;
                     }
                 }
                 self.var_inc /= 0.95;
@@ -647,6 +732,15 @@ impl Solver {
                     conflicts_until_restart = 100 * luby(luby_index);
                     self.stats.restarts += 1;
                     self.backtrack(assumptions.len() as u32);
+                    // Restart boundary: re-read the wall clock even if no
+                    // conflict crossed a stride since the last check.
+                    if let Some(reason) = budget.poll() {
+                        self.backtrack(0);
+                        return SolveOutcome::Unknown {
+                            conflicts: self.stats.conflicts - conflicts_at_entry,
+                            reason,
+                        };
+                    }
                 }
                 // Place assumptions as pseudo-decisions.
                 if (self.current_level() as usize) < assumptions.len() {
@@ -659,14 +753,14 @@ impl Solver {
                     }
                     if self.lit_is_false(a) {
                         self.backtrack(0);
-                        return false;
+                        return SolveOutcome::Unsat;
                     }
                     self.trail_lim.push(self.trail.len());
                     self.enqueue(a, None);
                     continue;
                 }
                 if !self.decide() {
-                    return true; // full assignment, SAT
+                    return SolveOutcome::Sat; // full assignment
                 }
             }
         }
@@ -862,6 +956,127 @@ mod tests {
         assert!(s.add_clause([lp(a), lp(a), lp(b)]));
         s.add_clause([ln(a)]);
         assert!(s.solve());
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    /// 4 pigeons / 3 holes: small but guaranteed to conflict.
+    fn pigeonhole_4_3() -> Solver {
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 3]; 4];
+        for i in 0..4 {
+            for j in 0..3 {
+                p[i][j] = s.new_var();
+            }
+        }
+        for i in 0..4 {
+            s.add_clause((0..3).map(|j| lp(p[i][j])));
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause([ln(p[i1][j]), ln(p[i2][j])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn zero_budget_returns_unknown() {
+        use rsn_budget::Budget;
+        let mut s = pigeonhole_4_3();
+        let out = s.solve_under(&Budget::unlimited().with_work_limit(0));
+        match out {
+            SolveOutcome::Unknown { conflicts, reason } => {
+                assert_eq!(conflicts, 0);
+                assert_eq!(reason, Reason::WorkLimit);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // Solver is still usable: an unconstrained solve proves unsat.
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn zero_deadline_returns_unknown() {
+        use rsn_budget::Budget;
+        use std::time::Duration;
+        let mut s = pigeonhole_4_3();
+        let out = s.solve_under(&Budget::unlimited().with_deadline(Duration::ZERO));
+        assert_eq!(
+            out,
+            SolveOutcome::Unknown {
+                conflicts: 0,
+                reason: Reason::Deadline
+            }
+        );
+    }
+
+    #[test]
+    fn conflict_budget_bounds_search_and_preserves_solver() {
+        use rsn_budget::Budget;
+        let mut s = pigeonhole_4_3();
+        // 1 entry unit + conflict units; the conflict whose check trips
+        // is already counted, so at most `limit` conflicts happen.
+        let out = s.solve_under(&Budget::unlimited().with_work_limit(3));
+        match out {
+            SolveOutcome::Unknown { conflicts, reason } => {
+                assert!(conflicts <= 3, "overran conflict budget: {conflicts}");
+                assert_eq!(reason, Reason::WorkLimit);
+            }
+            // A 12-var pigeonhole needs more than 2 conflicts.
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // Re-solving with a fresh, bigger budget finishes the proof.
+        let out = s.solve_under(&Budget::unlimited().with_work_limit(1_000_000));
+        assert_eq!(out, SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn exhausted_budget_is_latched_across_solves() {
+        use rsn_budget::Budget;
+        let budget = Budget::unlimited().with_work_limit(0);
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([lp(a)]);
+        assert!(s.solve_under(&budget).is_unknown());
+        // Same budget again: still Unknown, even for a trivial formula.
+        assert!(s.solve_under(&budget).is_unknown());
+        // A fresh budget resolves it.
+        assert!(s.solve_under(&Budget::unlimited()).is_sat());
+    }
+
+    #[test]
+    fn cancel_token_aborts_solve() {
+        use rsn_budget::Budget;
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let mut s = pigeonhole_4_3();
+        assert_eq!(
+            s.solve_under(&budget),
+            SolveOutcome::Unknown {
+                conflicts: 0,
+                reason: Reason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn budgeted_outcomes_match_unbudgeted_verdicts() {
+        use rsn_budget::Budget;
+        let generous = Budget::unlimited().with_work_limit(10_000_000);
+        let mut s = pigeonhole_4_3();
+        assert_eq!(s.solve_under(&generous), SolveOutcome::Unsat);
+
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([lp(a), lp(b)]);
+        s.add_clause([ln(a), lp(b)]);
+        assert_eq!(
+            s.solve_with_under(&[lp(a)], &Budget::unlimited()),
+            SolveOutcome::Sat
+        );
         assert_eq!(s.value(b), Some(true));
     }
 

@@ -24,8 +24,9 @@
 
 use std::collections::HashSet;
 
+use rsn_budget::Budget;
 use rsn_graph::{dominators, vertex_independent_paths, DiGraph};
-use rsn_ilp::{solve_ilp_with_cuts, Constraint, ConstraintOp, IlpError, Problem, VarId};
+use rsn_ilp::{solve_ilp_with_cuts_under, Constraint, ConstraintOp, IlpError, Problem, VarId};
 
 use crate::dataflow::Dataflow;
 
@@ -99,6 +100,23 @@ fn out_enforceable(df: &Dataflow, v: usize) -> bool {
 /// Propagates [`IlpError`] from the solver (infeasibility can only occur
 /// on degenerate graphs).
 pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation, IlpError> {
+    augment_ilp_under(df, opts, &Budget::unlimited())
+}
+
+/// Like [`augment_ilp`], bounded by a [`Budget`] shared across all lazy
+/// cut rounds.
+///
+/// # Errors
+///
+/// [`IlpError::Budget`] when the budget trips before a usable incumbent
+/// exists; other [`IlpError`]s as for [`augment_ilp`]. A returned
+/// augmentation always satisfies every separated acyclicity cut, but may
+/// be suboptimal if the solve finished on an unproven incumbent.
+pub fn augment_ilp_under(
+    df: &Dataflow,
+    opts: &AugmentOptions,
+    budget: &Budget,
+) -> Result<Augmentation, IlpError> {
     let n = df.len();
     let levels = &df.levels;
     let existing: HashSet<(usize, usize)> = df.graph.edges().collect();
@@ -246,34 +264,40 @@ pub fn augment_ilp(df: &Dataflow, opts: &AugmentOptions) -> Result<Augmentation,
     let edges_for_cuts = edges.clone();
     let vars_for_cuts = vars.clone();
     let n_for_cuts = n;
-    let solution = solve_ilp_with_cuts(&problem, move |x| {
-        let mut g = DiGraph::new(n_for_cuts);
-        for (idx, &(i, j)) in edges_for_cuts.iter().enumerate() {
-            if x[vars_for_cuts[idx].index()] > 0.5 {
-                g.add_edge(i, j);
-            }
-        }
-        match g.find_cycle() {
-            None => Vec::new(),
-            Some(cycle) => {
-                // Σ x_e over the cycle ≤ |cycle| − 1.
-                let mut terms = Vec::new();
-                for w in 0..cycle.len() {
-                    let a = cycle[w];
-                    let b = cycle[(w + 1) % cycle.len()];
-                    if let Some(idx) = edges_for_cuts.iter().position(|&(i, j)| i == a && j == b) {
-                        terms.push((vars_for_cuts[idx], 1.0));
-                    }
+    let solution = solve_ilp_with_cuts_under(
+        &problem,
+        move |x| {
+            let mut g = DiGraph::new(n_for_cuts);
+            for (idx, &(i, j)) in edges_for_cuts.iter().enumerate() {
+                if x[vars_for_cuts[idx].index()] > 0.5 {
+                    g.add_edge(i, j);
                 }
-                let rhs = terms.len() as f64 - 1.0;
-                vec![Constraint {
-                    terms,
-                    op: ConstraintOp::Le,
-                    rhs,
-                }]
             }
-        }
-    })?;
+            match g.find_cycle() {
+                None => Vec::new(),
+                Some(cycle) => {
+                    // Σ x_e over the cycle ≤ |cycle| − 1.
+                    let mut terms = Vec::new();
+                    for w in 0..cycle.len() {
+                        let a = cycle[w];
+                        let b = cycle[(w + 1) % cycle.len()];
+                        if let Some(idx) =
+                            edges_for_cuts.iter().position(|&(i, j)| i == a && j == b)
+                        {
+                            terms.push((vars_for_cuts[idx], 1.0));
+                        }
+                    }
+                    let rhs = terms.len() as f64 - 1.0;
+                    vec![Constraint {
+                        terms,
+                        op: ConstraintOp::Le,
+                        rhs,
+                    }]
+                }
+            }
+        },
+        budget,
+    )?;
 
     let mut added = Vec::new();
     let mut cost = 0.0;

@@ -27,7 +27,9 @@ use std::fmt;
 use rsn_core::{ControlExpr, NodeId, NodeKind, Rsn, RsnBuilder};
 use rsn_ilp::IlpError;
 
-use crate::augment::{augment_greedy, augment_ilp, AugmentOptions, Augmentation};
+use rsn_budget::Budget;
+
+use crate::augment::{augment_greedy, augment_ilp_under, AugmentOptions, Augmentation};
 use crate::dataflow::Dataflow;
 use crate::harden::{apply_mux_hardening, select_mux_hardening};
 use crate::select::{apply_selects, derive_selects};
@@ -170,6 +172,10 @@ pub struct SynthesisReport {
     /// Multiplexer address nets TMR-hardened (all of them unless
     /// `harden_budget` restricted the set).
     pub hardened_muxes: usize,
+    /// `true` if a resource budget forced a fallback from the exact ILP
+    /// to the greedy heuristic: the network is valid but possibly
+    /// suboptimal.
+    pub degraded: bool,
 }
 
 impl std::fmt::Display for SynthesisReport {
@@ -188,7 +194,11 @@ impl std::fmt::Display for SynthesisReport {
             },
             self.cut_rounds,
             self.repairs,
-        )
+        )?;
+        if self.degraded {
+            write!(f, " [degraded: budget fallback]")?;
+        }
+        Ok(())
     }
 }
 
@@ -235,6 +245,26 @@ fn remap_expr(e: &ControlExpr, map: &[NodeId]) -> ControlExpr {
 /// # Ok::<(), rsn_synth::SynthError>(())
 /// ```
 pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult, SynthError> {
+    synthesize_under(rsn, opts, &Budget::unlimited())
+}
+
+/// Like [`synthesize`], bounded by a [`Budget`].
+///
+/// The budget governs the augmentation ILP (one work unit per
+/// branch-and-bound node). When it trips before the ILP finds a usable
+/// solution, synthesis falls back to the greedy heuristic instead of
+/// failing and flags the result via [`SynthesisReport::degraded`]; a
+/// `budget.degraded_fallbacks` event is counted. With an unlimited
+/// budget the result is identical to [`synthesize`].
+///
+/// # Errors
+///
+/// As for [`synthesize`]; budget exhaustion is not an error.
+pub fn synthesize_under(
+    rsn: &Rsn,
+    opts: &SynthesisOptions,
+    budget: &Budget,
+) -> Result<SynthesisResult, SynthError> {
     let root = rsn_obs::Span::enter("synthesize");
     rsn_obs::counter_add("synth.runs", 1);
 
@@ -248,13 +278,26 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         SolverChoice::Greedy => false,
         SolverChoice::Auto => df.len() <= opts.ilp_max_vertices.max(1),
     };
+    let mut degraded = false;
     let augmentation = phase(&root, "augment", "synth.phases.augment_ms", || {
         if use_ilp {
-            augment_ilp(&df, &opts.augment)
+            match augment_ilp_under(&df, &opts.augment, budget) {
+                // A budget-starved ILP degrades to the heuristic rather
+                // than failing: the greedy augmentation is always valid,
+                // just possibly costlier.
+                Err(IlpError::Budget) => {
+                    degraded = true;
+                    Ok(augment_greedy(&df, &opts.augment))
+                }
+                other => other,
+            }
         } else {
             Ok(augment_greedy(&df, &opts.augment))
         }
     })?;
+    if degraded {
+        rsn_obs::counter_add("budget.degraded_fallbacks", 1);
+    }
 
     let build_span = root.child("build");
     let build_start = std::time::Instant::now();
@@ -349,6 +392,7 @@ pub fn synthesize(rsn: &Rsn, opts: &SynthesisOptions) -> Result<SynthesisResult,
         used_ilp: augmentation.used_ilp,
         cut_rounds: augmentation.cut_rounds,
         repairs: augmentation.repairs,
+        degraded,
         ..SynthesisReport::default()
     };
     // Pick, per added edge, the two routing-bit owners.
@@ -827,5 +871,52 @@ mod tests {
         let b = synthesize(&rsn, &SynthesisOptions::new()).expect("b");
         assert_eq!(a.augmentation, b.augmentation);
         assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn zero_budget_ilp_synthesis_degrades_to_greedy() {
+        let rsn = fig2();
+        let mut opts = SynthesisOptions::new();
+        opts.solver = SolverChoice::Ilp;
+        let budget = Budget::unlimited().with_work_limit(0);
+        let result = synthesize_under(&rsn, &opts, &budget).expect("degraded synthesis succeeds");
+        assert!(result.report.degraded, "zero budget must flag degradation");
+        assert!(!result.report.used_ilp, "fallback must be the heuristic");
+        assert!(!result.augmentation.used_ilp);
+        assert!(
+            format!("{}", result.report).contains("degraded"),
+            "degradation must be visible in the rendered report"
+        );
+        // The fallback network is still a valid fault-tolerant RSN: it
+        // matches what a direct greedy synthesis produces.
+        let mut greedy_opts = SynthesisOptions::new();
+        greedy_opts.solver = SolverChoice::Greedy;
+        let greedy = synthesize(&rsn, &greedy_opts).expect("greedy");
+        assert_eq!(result.augmentation, greedy.augmentation);
+    }
+
+    #[test]
+    fn unlimited_budget_synthesis_matches_unbudgeted() {
+        let rsn = fig2();
+        let opts = SynthesisOptions::new();
+        let plain = synthesize(&rsn, &opts).expect("plain");
+        let budgeted =
+            synthesize_under(&rsn, &opts, &Budget::unlimited()).expect("unlimited budget");
+        assert_eq!(plain.report, budgeted.report);
+        assert_eq!(plain.augmentation, budgeted.augmentation);
+        assert!(!budgeted.report.degraded);
+    }
+
+    #[test]
+    fn generous_budget_keeps_exact_ilp_result() {
+        let rsn = fig2();
+        let mut opts = SynthesisOptions::new();
+        opts.solver = SolverChoice::Ilp;
+        let budget = Budget::unlimited().with_work_limit(1_000_000);
+        let budgeted = synthesize_under(&rsn, &opts, &budget).expect("budgeted");
+        let plain = synthesize(&rsn, &opts).expect("plain");
+        assert!(!budgeted.report.degraded);
+        assert!(budgeted.report.used_ilp);
+        assert_eq!(plain.report, budgeted.report);
     }
 }

@@ -34,10 +34,12 @@ pub mod harden;
 pub mod select;
 
 pub use area::{AreaModel, NetworkCosts, Overhead};
-pub use augment::{augment_greedy, augment_ilp, augmented_graph, AugmentOptions, Augmentation};
+pub use augment::{
+    augment_greedy, augment_ilp, augment_ilp_under, augmented_graph, AugmentOptions, Augmentation,
+};
 pub use build::{
-    synthesize, SelectMode, SolverChoice, SynthError, SynthesisOptions, SynthesisReport,
-    SynthesisResult,
+    synthesize, synthesize_under, SelectMode, SolverChoice, SynthError, SynthesisOptions,
+    SynthesisReport, SynthesisResult,
 };
 pub use dataflow::Dataflow;
 pub use harden::{apply_mux_hardening, select_mux_hardening, MuxHardeningPlan};

@@ -224,6 +224,10 @@ pub struct VerifyReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Checks that ran (stable names, see DESIGN.md).
     pub checks_run: Vec<&'static str>,
+    /// Checks that were requested but starved by a resource budget; their
+    /// properties are *unproven*, not passed (stable names, as in
+    /// [`VerifyReport::checks_run`]).
+    pub incomplete: Vec<&'static str>,
     /// Number of SAT queries issued.
     pub sat_queries: usize,
 }
@@ -247,8 +251,17 @@ impl VerifyReport {
     }
 
     /// `true` if no error-severity finding was made.
+    ///
+    /// A clean but [incomplete](VerifyReport::is_complete) report is *not*
+    /// a proof: starved check families were never run.
     pub fn is_clean(&self) -> bool {
         self.error_count() == 0
+    }
+
+    /// `true` if every requested check family actually ran (none was
+    /// starved by a resource budget).
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
     }
 
     /// Renders the report for terminals: one line per diagnostic plus a
@@ -268,6 +281,13 @@ impl VerifyReport {
             self.checks_run.len(),
             self.sat_queries,
         );
+        if !self.incomplete.is_empty() {
+            let _ = writeln!(
+                out,
+                "INCOMPLETE: budget exhausted before {} — unproven, not passed",
+                self.incomplete.join(", "),
+            );
+        }
         out
     }
 
@@ -288,6 +308,17 @@ impl VerifyReport {
                     .collect(),
             ),
         );
+        if !self.incomplete.is_empty() {
+            obj.set(
+                "incomplete",
+                Json::Arr(
+                    self.incomplete
+                        .iter()
+                        .map(|c| Json::Str((*c).into()))
+                        .collect(),
+                ),
+            );
+        }
         obj.set(
             "diagnostics",
             Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),

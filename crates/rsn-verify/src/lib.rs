@@ -32,6 +32,7 @@ pub use augment::{ineffective_augmentation, IneffectiveEdge};
 pub use diag::{Code, Diagnostic, Severity, VerifyReport};
 pub use encode::NetworkSat;
 
+use rsn_budget::Budget;
 use rsn_core::Rsn;
 
 /// Which check families [`verify_with`] runs. All are on by default.
@@ -90,6 +91,18 @@ pub fn verify(rsn: &Rsn) -> VerifyReport {
 /// assumption query against it. The returned report orders diagnostics
 /// by check family, then by node.
 pub fn verify_with(rsn: &Rsn, opts: VerifyOptions) -> VerifyReport {
+    verify_under(rsn, opts, &Budget::unlimited())
+}
+
+/// Like [`verify_with`], bounded by a [`Budget`].
+///
+/// One work unit is spent per check family. Families the budget starves
+/// are recorded in [`VerifyReport::incomplete`] — their properties are
+/// *unproven*, never silently passed — and `lint.incomplete` /
+/// `budget.exhausted` events are counted. Families that did run report
+/// exactly as under [`verify_with`]; with an unlimited budget the result
+/// is identical.
+pub fn verify_under(rsn: &Rsn, opts: VerifyOptions, budget: &Budget) -> VerifyReport {
     let start = std::time::Instant::now();
     let mut report = VerifyReport {
         network: rsn.name().to_string(),
@@ -98,41 +111,67 @@ pub fn verify_with(rsn: &Rsn, opts: VerifyOptions) -> VerifyReport {
     };
 
     if opts.structural {
-        report.checks_run.push("structural");
-        report.diagnostics.extend(checks::structural(rsn));
+        if budget.check().is_ok() {
+            report.checks_run.push("structural");
+            report.diagnostics.extend(checks::structural(rsn));
+        } else {
+            report.incomplete.push("structural");
+        }
     }
 
     let needs_sat = opts.select_checks || opts.mux_checks || opts.controllability;
     if needs_sat {
-        let mut sat = NetworkSat::build(rsn);
+        // Built lazily so a fully starved run skips the CNF encoding.
+        let mut sat: Option<NetworkSat> = None;
         if opts.select_checks {
-            report.checks_run.push("selects");
-            report
-                .diagnostics
-                .extend(checks::select_checks(rsn, &mut sat));
+            if budget.check().is_ok() {
+                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                report.checks_run.push("selects");
+                report.diagnostics.extend(checks::select_checks(rsn, sat));
+            } else {
+                report.incomplete.push("selects");
+            }
         }
         if opts.mux_checks {
-            report.checks_run.push("muxes");
-            report.diagnostics.extend(checks::mux_checks(rsn, &mut sat));
+            if budget.check().is_ok() {
+                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                report.checks_run.push("muxes");
+                report.diagnostics.extend(checks::mux_checks(rsn, sat));
+            } else {
+                report.incomplete.push("muxes");
+            }
         }
         if opts.controllability {
-            report.checks_run.push("controllability");
-            report
-                .diagnostics
-                .extend(checks::controllability(rsn, &mut sat));
+            if budget.check().is_ok() {
+                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                report.checks_run.push("controllability");
+                report.diagnostics.extend(checks::controllability(rsn, sat));
+            } else {
+                report.incomplete.push("controllability");
+            }
         }
-        report.sat_queries = sat.queries();
+        if let Some(sat) = &sat {
+            report.sat_queries = sat.queries();
+        }
     }
 
     if opts.control_cycles {
-        report.checks_run.push("control-cycles");
-        report.diagnostics.extend(checks::control_cycles(rsn));
+        if budget.check().is_ok() {
+            report.checks_run.push("control-cycles");
+            report.diagnostics.extend(checks::control_cycles(rsn));
+        } else {
+            report.incomplete.push("control-cycles");
+        }
     }
 
     rsn_obs::counter_add("lint.runs", 1);
     rsn_obs::counter_add("lint.errors", report.error_count() as u64);
     rsn_obs::counter_add("lint.warnings", report.warning_count() as u64);
     rsn_obs::counter_add("lint.sat_queries", report.sat_queries as u64);
+    if !report.incomplete.is_empty() {
+        rsn_obs::counter_add("lint.incomplete", report.incomplete.len() as u64);
+        rsn_obs::counter_add("budget.exhausted", 1);
+    }
     rsn_obs::gauge_set("lint.verify_ms", start.elapsed().as_secs_f64() * 1e3);
 
     report
@@ -289,6 +328,58 @@ mod tests {
         assert_eq!(report.sat_queries, 0);
         assert!(!report.checks_run.contains(&"selects"));
         assert!(report.checks_run.contains(&"structural"));
+    }
+
+    #[test]
+    fn zero_budget_marks_every_family_incomplete() {
+        let rsn = examples::fig2();
+        let budget = Budget::unlimited().with_work_limit(0);
+        let report = verify_under(&rsn, VerifyOptions::default(), &budget);
+        assert!(!report.is_complete());
+        assert!(report.checks_run.is_empty());
+        assert_eq!(
+            report.incomplete,
+            vec![
+                "structural",
+                "selects",
+                "muxes",
+                "controllability",
+                "control-cycles"
+            ]
+        );
+        // Starved checks never issue SAT queries and never claim findings.
+        assert_eq!(report.sat_queries, 0);
+        assert!(report.diagnostics.is_empty());
+        // The starvation is loud in both renderings.
+        assert!(report.render().contains("INCOMPLETE"));
+        assert!(report
+            .to_json()
+            .to_string_pretty(0)
+            .contains("\"incomplete\""));
+    }
+
+    #[test]
+    fn partial_budget_keeps_completed_family_results() {
+        let rsn = examples::fig2();
+        // Two work units: structural and selects run, the rest starve.
+        let budget = Budget::unlimited().with_work_limit(2);
+        let report = verify_under(&rsn, VerifyOptions::default(), &budget);
+        assert_eq!(report.checks_run, vec!["structural", "selects"]);
+        assert_eq!(
+            report.incomplete,
+            vec!["muxes", "controllability", "control-cycles"]
+        );
+        assert!(report.sat_queries > 0, "the selects family did run");
+    }
+
+    #[test]
+    fn unlimited_budget_verify_matches_unbudgeted() {
+        let rsn = examples::fig2();
+        let plain = verify_with(&rsn, VerifyOptions::default());
+        let budgeted = verify_under(&rsn, VerifyOptions::default(), &Budget::unlimited());
+        assert_eq!(plain, budgeted);
+        assert!(budgeted.is_complete());
+        assert!(!budgeted.render().contains("INCOMPLETE"));
     }
 
     #[test]

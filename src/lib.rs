@@ -8,6 +8,7 @@
 //! * [`graph`] — directed-graph algorithms (levels, max-flow, Menger).
 //! * [`sat`] — CDCL SAT solver and CNF construction.
 //! * [`bmc`] — bounded model checking of RSN accessibility.
+//! * [`budget`] — deadlines, work budgets, cooperative cancellation.
 //! * [`fault`] — stuck-at fault model and the fault-tolerance metric.
 //! * [`ilp`] — simplex / branch-and-bound 0-1 ILP solver.
 //! * [`obs`] — spans, counters/gauges, log facade, run reports.
@@ -28,6 +29,7 @@
 //! ```
 
 pub use rsn_bmc as bmc;
+pub use rsn_budget as budget;
 pub use rsn_core as core;
 pub use rsn_export as export;
 pub use rsn_fault as fault;
