@@ -3,8 +3,13 @@
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
 //!        [--paper] [--verify] [--ablation] [--sweep-alpha] [--json PATH]
-//!        [--bench-access PATH] [--budget SECS] [--resume]
+//!        [--bench-access PATH] [--budget SECS] [--resume] [--no-collapse]
 //! ```
+//!
+//! `--no-collapse` disables ATPG-style fault collapsing in every metric
+//! sweep (each fault evaluated individually) — an escape hatch for
+//! cross-checking the collapsed fast path; aggregates are identical
+//! either way.
 //!
 //! With `--budget SECS`, every row runs under a fresh wall-clock budget of
 //! SECS seconds shared by all of its stages. Budget exhaustion never
@@ -32,19 +37,22 @@
 //! run a BMC spot check so SAT solver statistics appear in the report.
 //!
 //! With `--bench-access PATH`, only the accessibility-engine throughput
-//! measurement runs (fault-universe size, seconds and faults/sec for the
-//! original and fault-tolerant RSN of each selected benchmark) and a
-//! `bench-access-v1` JSON document is written to PATH next to the recorded
-//! pre-refactor seed baseline. Defaults to `q12710` + `p93791` when no
-//! `--bench` is given.
+//! measurement runs (fault-universe size, class count, seconds and
+//! faults/sec for the original and fault-tolerant RSN of each selected
+//! benchmark) and a `bench-access-v1` JSON document (`schema_version` 2:
+//! per-sweep `classes`/`collapse_ratio` plus the host thread count) is
+//! written to PATH next to the recorded pre-refactor seed baseline. When
+//! PATH already holds a previous document, the per-sweep faults/sec delta
+//! against it is printed before it is overwritten. Defaults to
+//! `q12710` + `p93791` when no `--bench` is given.
 
 use std::collections::{HashMap, HashSet};
 use std::env;
 use std::time::{Duration, Instant};
 
 use bench::{
-    bench_access, bmc_spot_check, bmc_spot_check_under, evaluate, evaluate_budgeted,
-    evaluate_weighted, evaluate_with, format_row, AccessSweep, Row, BENCHMARKS,
+    bmc_spot_check, bmc_spot_check_under, evaluate, evaluate_budgeted, evaluate_weighted,
+    evaluate_with, format_row, AccessSweep, Row, BENCHMARKS,
 };
 use rsn_budget::Budget;
 use rsn_fault::WeightModel;
@@ -112,30 +120,73 @@ const SEED_BASELINE: [(&str, &str, usize, f64); 3] = [
 fn sweep_json(s: &AccessSweep) -> Json {
     let mut o = Json::obj();
     o.set("faults", Json::Num(s.faults as f64));
+    o.set("classes", Json::Num(s.classes as f64));
+    o.set("collapse_ratio", Json::Num(s.collapse_ratio));
     o.set("seconds", Json::Num(s.seconds));
     o.set("faults_per_sec", Json::Num(s.faults_per_sec));
     o.set("avg_segments", Json::Num(s.avg_segments));
     o
 }
 
-fn run_bench_access(names: &[&str], path: &str) {
+/// Per-sweep `faults_per_sec` values of a previously written
+/// `--bench-access` document, keyed `(name, "sib"|"ft")`.
+fn previous_throughput(path: &str) -> HashMap<(String, String), f64> {
+    let mut out = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let Ok(doc) = rsn_obs::json::parse(&text) else {
+        return out;
+    };
+    for row in doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        for network in ["sib", "ft"] {
+            if let Some(fps) = row
+                .get(network)
+                .and_then(|s| s.get("faults_per_sec"))
+                .and_then(Json::as_f64)
+            {
+                out.insert((name.to_string(), network.to_string()), fps);
+            }
+        }
+    }
+    out
+}
+
+fn run_bench_access(names: &[&str], path: &str, collapse: bool) {
+    let previous = previous_throughput(path);
     println!("Accessibility-engine throughput (fault universe, full sweep)");
     println!(
-        "{:<8} {:>10} {:>9} {:>12} | {:>10} {:>9} {:>12}",
-        "SoC", "sib flts", "sib s", "sib flt/s", "ft flts", "ft s", "ft flt/s"
+        "{:<8} {:>10} {:>7} {:>9} {:>12} | {:>10} {:>7} {:>9} {:>12}",
+        "SoC", "sib flts", "cls", "sib s", "sib flt/s", "ft flts", "cls", "ft s", "ft flt/s"
     );
     let mut rows: Vec<Json> = Vec::new();
     for name in names {
-        let b = bench_access(name);
+        let b = bench::bench_access_with(name, collapse);
         println!(
-            "{name:<8} {:>10} {:>9.3} {:>12.0} | {:>10} {:>9.3} {:>12.0}",
+            "{name:<8} {:>10} {:>7} {:>9.3} {:>12.0} | {:>10} {:>7} {:>9.3} {:>12.0}",
             b.sib.faults,
+            b.sib.classes,
             b.sib.seconds,
             b.sib.faults_per_sec,
             b.ft.faults,
+            b.ft.classes,
             b.ft.seconds,
             b.ft.faults_per_sec
         );
+        for (network, sweep) in [("sib", &b.sib), ("ft", &b.ft)] {
+            if let Some(&old) = previous.get(&(name.to_string(), network.to_string())) {
+                if old > 0.0 {
+                    println!(
+                        "         {network}: {old:.0} -> {:.0} faults/s ({:+.1}%)",
+                        sweep.faults_per_sec,
+                        100.0 * (sweep.faults_per_sec - old) / old
+                    );
+                }
+            }
+        }
         let mut row = Json::obj();
         row.set("name", Json::Str(b.name.clone()));
         row.set("sib", sweep_json(&b.sib));
@@ -159,6 +210,14 @@ fn run_bench_access(names: &[&str], path: &str) {
     }
     let mut doc = Json::obj();
     doc.set("schema", Json::Str("bench-access-v1".to_string()));
+    // Bumped when a field is added or its meaning changes; v2 added
+    // classes/collapse_ratio per sweep plus host_threads.
+    doc.set("schema_version", Json::Num(2.0));
+    doc.set(
+        "host_threads",
+        Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+    );
+    doc.set("collapse", Json::Bool(collapse));
     doc.set(
         "generated_by",
         Json::Str("table1 --bench-access".to_string()),
@@ -289,6 +348,7 @@ fn main() {
     let mut bench_access_path: Option<String> = None;
     let mut budget_secs: Option<f64> = None;
     let mut resume = false;
+    let mut collapse = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -336,6 +396,7 @@ fn main() {
                 budget_secs = Some(secs);
             }
             "--resume" => resume = true,
+            "--no-collapse" => collapse = false,
             "--section" => {
                 i += 1; // sections are printed together; flag kept for CLI
             }
@@ -349,7 +410,7 @@ fn main() {
         } else {
             names
         };
-        run_bench_access(&sel, &path);
+        run_bench_access(&sel, &path, collapse);
         return;
     }
     if names.is_empty() {
@@ -416,7 +477,15 @@ fn main() {
         // rows after it.
         let row_budget = budget_secs
             .map(|secs| Budget::unlimited().with_deadline(Duration::from_secs_f64(secs)));
-        let row = if let Some(b) = &row_budget {
+        let row = if !collapse {
+            let opts = if verify {
+                rsn_synth::SynthesisOptions::verified()
+            } else {
+                rsn_synth::SynthesisOptions::new()
+            };
+            let b = row_budget.clone().unwrap_or_else(Budget::unlimited);
+            bench::evaluate_budgeted_with_collapse(name, &opts, weights, &b, false)
+        } else if let Some(b) = &row_budget {
             let opts = if verify {
                 rsn_synth::SynthesisOptions::verified()
             } else {

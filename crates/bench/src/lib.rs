@@ -100,17 +100,36 @@ pub fn evaluate_budgeted(
     model: WeightModel,
     budget: &Budget,
 ) -> Row {
+    evaluate_budgeted_with_collapse(name, opts, model, budget, true)
+}
+
+/// [`evaluate_budgeted`] with fault collapsing switched on or off for
+/// both metric sweeps — `table1 --no-collapse` routes here.
+pub fn evaluate_budgeted_with_collapse(
+    name: &str,
+    opts: &SynthesisOptions,
+    model: WeightModel,
+    budget: &Budget,
+    collapse: bool,
+) -> Row {
     let pipeline = rsn_obs::Span::enter("pipeline");
     let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let paper = rsn_itc02::table_targets(name).expect("paper row exists");
     let rsn = rsn_obs::timed("generate", || {
         generate(&soc).expect("SIB generation succeeds on embedded suite")
     });
+    let sweep = |rsn: &Rsn, profile: HardeningProfile| {
+        if collapse {
+            analyze_parallel_budgeted(rsn, profile, model, budget)
+        } else {
+            rsn_fault::analyze_parallel_budgeted_uncollapsed(rsn, profile, model, budget)
+        }
+    };
 
     let t0 = Instant::now();
     let sib = {
         let _s = pipeline.child("metric_sib");
-        analyze_parallel_budgeted(&rsn, HardeningProfile::unhardened(), model, budget)
+        sweep(&rsn, HardeningProfile::unhardened())
     };
     let synth_t0 = Instant::now();
     let synthesis = rsn_obs::timed("synth", || {
@@ -119,7 +138,7 @@ pub fn evaluate_budgeted(
     let synthesis_time = synth_t0.elapsed();
     let ft = {
         let _s = pipeline.child("metric_ft");
-        analyze_parallel_budgeted(&synthesis.rsn, HardeningProfile::hardened(), model, budget)
+        sweep(&synthesis.rsn, HardeningProfile::hardened())
     };
     let metric_time = t0.elapsed() - synthesis_time;
 
@@ -212,8 +231,13 @@ pub fn bmc_spot_check_under(
 /// `BENCH_access.json`).
 #[derive(Debug, Clone)]
 pub struct AccessSweep {
-    /// Faults in the universe (each evaluated exactly once).
+    /// Faults in the universe (each accounted exactly once).
     pub faults: usize,
+    /// Equivalence classes actually evaluated (== `faults` with
+    /// collapsing off).
+    pub classes: usize,
+    /// `faults / classes`, never below 1.0.
+    pub collapse_ratio: f64,
     /// Wall-clock seconds for engine build + sweep.
     pub seconds: f64,
     /// `faults / seconds`.
@@ -235,18 +259,29 @@ pub struct AccessBench {
     pub ft: AccessSweep,
 }
 
-fn timed_sweep(rsn: &Rsn, profile: HardeningProfile) -> AccessSweep {
+fn timed_sweep(rsn: &Rsn, profile: HardeningProfile, collapse: bool) -> AccessSweep {
     let faults = fault_universe_weighted(rsn, WeightModel::Ports);
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
-        .min(16)
-        .min(faults.len().div_ceil(64).max(1));
+        .min(16);
     let t0 = Instant::now();
     let engine = AccessEngine::new(rsn);
-    let report = analyze_faults_on(&engine, &faults, profile, threads);
+    let report = if collapse {
+        analyze_faults_on(&engine, &faults, profile, threads)
+    } else {
+        rsn_fault::analyze_faults_on_budget_uncollapsed(
+            &engine,
+            &faults,
+            profile,
+            threads,
+            &Budget::unlimited(),
+        )
+    };
     let seconds = t0.elapsed().as_secs_f64();
     AccessSweep {
         faults: faults.len(),
+        classes: report.classes,
+        collapse_ratio: report.collapse_ratio,
         seconds,
         faults_per_sec: faults.len() as f64 / seconds.max(1e-9),
         avg_segments: report.avg_segments,
@@ -265,15 +300,22 @@ fn timed_sweep(rsn: &Rsn, profile: HardeningProfile) -> AccessSweep {
 /// Panics if `name` is not one of the embedded benchmarks or synthesis
 /// fails (the embedded suite is expected to succeed end to end).
 pub fn bench_access(name: &str) -> AccessBench {
+    bench_access_with(name, true)
+}
+
+/// [`bench_access`] with fault collapsing switched on or off — the
+/// `--no-collapse` escape hatch measures the raw per-fault engine
+/// throughput without class sharing.
+pub fn bench_access_with(name: &str, collapse: bool) -> AccessBench {
     let _span = rsn_obs::Span::enter("bench_access");
     let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let rsn = generate(&soc).expect("SIB generation succeeds on embedded suite");
-    let sib = timed_sweep(&rsn, HardeningProfile::unhardened());
+    let sib = timed_sweep(&rsn, HardeningProfile::unhardened(), collapse);
     rsn_obs::gauge_set("bench.access_sib_faults_per_sec", sib.faults_per_sec);
     let ft_rsn = synthesize(&rsn, &SynthesisOptions::new())
         .expect("synthesis succeeds")
         .rsn;
-    let ft = timed_sweep(&ft_rsn, HardeningProfile::hardened());
+    let ft = timed_sweep(&ft_rsn, HardeningProfile::hardened(), collapse);
     rsn_obs::gauge_set("bench.access_ft_faults_per_sec", ft.faults_per_sec);
     AccessBench {
         name: name.to_string(),

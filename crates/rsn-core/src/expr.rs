@@ -281,6 +281,29 @@ impl CompiledExpr {
     }
 }
 
+impl CompiledExpr {
+    /// Collects every dense register-bit index referenced by the
+    /// expression into `out` (duplicates preserved — sorting and
+    /// deduplication are the caller's concern).
+    ///
+    /// Engines that re-evaluate compiled expressions incrementally use
+    /// this to build a bit → consumer dependency index once, so that a
+    /// state change on one bit only touches the expressions that actually
+    /// read it.
+    pub fn collect_bits(&self, out: &mut Vec<u32>) {
+        match self {
+            CompiledExpr::Bit(i) => out.push(*i),
+            CompiledExpr::Not(e) => e.collect_bits(out),
+            CompiledExpr::And(es) | CompiledExpr::Or(es) => {
+                for e in es {
+                    e.collect_bits(out);
+                }
+            }
+            CompiledExpr::Const(_) | CompiledExpr::Input(_) | CompiledExpr::Unknown => {}
+        }
+    }
+}
+
 impl std::ops::Not for ControlExpr {
     type Output = ControlExpr;
     fn not(self) -> ControlExpr {

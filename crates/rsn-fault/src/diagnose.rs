@@ -25,6 +25,7 @@ use crate::effect::effect_of;
 use crate::engine::{AccessEngine, Scratch};
 use crate::fault::{fault_universe, Fault};
 use crate::metric::HardeningProfile;
+use crate::sweep::run_stealing;
 
 /// Observable behavior under the probe schedule: per-segment access
 /// success, in segment arena order.
@@ -113,10 +114,21 @@ impl FaultDictionary {
     /// ```
     pub fn build(rsn: &Rsn, profile: HardeningProfile) -> Self {
         let engine = AccessEngine::new(rsn);
-        let mut scratch = engine.scratch();
+        let faults = fault_universe(rsn);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(16);
+        // Predict signatures with the shared work-stealing scheduler, then
+        // group serially in fault order so each class lists its members
+        // deterministically.
+        let signatures = run_stealing(
+            faults.len(),
+            threads,
+            || engine.scratch(),
+            |scratch, i| Signature::predicted_on(&engine, scratch, &faults[i], profile),
+        );
         let mut classes: HashMap<Signature, Vec<Fault>> = HashMap::new();
-        for fault in fault_universe(rsn) {
-            let sig = Signature::predicted_on(&engine, &mut scratch, &fault, profile);
+        for (fault, sig) in faults.into_iter().zip(signatures) {
             classes.entry(sig).or_default().push(fault);
         }
         FaultDictionary {

@@ -78,6 +78,57 @@ pub fn first_control_bit(rsn: &Rsn, seg: NodeId) -> Option<u32> {
         .min()
 }
 
+/// Precomputed control-ownership index of a network: which segments drive
+/// some multiplexer address, and the first such bit per segment.
+///
+/// [`first_control_bit`] rescans every multiplexer per call; sweeps that
+/// derive thousands of fault effects build this once and use
+/// [`effect_of_indexed`] instead.
+#[derive(Debug, Clone, Default)]
+pub struct ControlBitIndex {
+    first_bit: HashMap<NodeId, u32>,
+}
+
+impl ControlBitIndex {
+    /// Scans the network's multiplexer addresses once.
+    pub fn new(rsn: &Rsn) -> Self {
+        let mut refs = Vec::new();
+        for m in rsn.muxes() {
+            for e in &rsn
+                .node(m)
+                .as_mux()
+                .expect("muxes() yields muxes")
+                .addr_bits
+            {
+                e.collect_reg_refs(&mut refs);
+            }
+        }
+        let mut first_bit = HashMap::new();
+        for (n, bit) in refs {
+            first_bit
+                .entry(n)
+                .and_modify(|b: &mut u32| *b = (*b).min(bit))
+                .or_insert(bit);
+        }
+        ControlBitIndex { first_bit }
+    }
+
+    /// See [`first_control_bit`].
+    pub fn first_control_bit(&self, seg: NodeId) -> Option<u32> {
+        self.first_bit.get(&seg).copied()
+    }
+
+    /// See [`is_control_segment`].
+    pub fn is_control_segment(&self, seg: NodeId) -> bool {
+        self.first_bit.contains_key(&seg)
+    }
+
+    /// All segments that drive some multiplexer address.
+    pub fn owners(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.first_bit.keys().copied()
+    }
+}
+
 /// Computes the effect of a fault under the given hardening profile.
 ///
 /// With `profile.select_hardened`, select-stem faults are masked (the
@@ -85,6 +136,26 @@ pub fn first_control_bit(rsn: &Rsn, seg: NodeId) -> Option<u32> {
 /// select signal, Sec. III-E-2). With a TMR-hardened multiplexer
 /// (`Mux::hardened`), address-net faults are masked (Sec. III-E-3).
 pub fn effect_of(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> FaultEffect {
+    effect_impl(rsn, fault, profile, &mut |n| first_control_bit(rsn, n))
+}
+
+/// [`effect_of`] using a prebuilt [`ControlBitIndex`], so sweeps over many
+/// faults resolve shadow-cell control ownership in O(1) per fault.
+pub fn effect_of_indexed(
+    rsn: &Rsn,
+    fault: &Fault,
+    profile: HardeningProfile,
+    ctl: &ControlBitIndex,
+) -> FaultEffect {
+    effect_impl(rsn, fault, profile, &mut |n| ctl.first_control_bit(n))
+}
+
+fn effect_impl(
+    rsn: &Rsn,
+    fault: &Fault,
+    profile: HardeningProfile,
+    first_bit: &mut dyn FnMut(NodeId) -> Option<u32>,
+) -> FaultEffect {
     let mut e = FaultEffect {
         stuck: Some(fault.value),
         ..FaultEffect::default()
@@ -110,7 +181,7 @@ pub fn effect_of(rsn: &Rsn, fault: &Fault, profile: HardeningProfile) -> FaultEf
             // accessibility.
         }
         FaultSite::SegmentShadow(n) => {
-            match first_control_bit(rsn, n) {
+            match first_bit(n) {
                 Some(bit) => {
                     // The stuck cell pins the driven address source (the
                     // first mux-referenced bit of the register represents

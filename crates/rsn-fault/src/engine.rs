@@ -158,22 +158,20 @@ fn can_set(expr: &CompiledExpr, want: bool, states: &[BitState]) -> bool {
     }
 }
 
-/// A dataflow edge `u → v` as seen from `u`. `mux_input` is `Some(k)`
-/// when `v` is a multiplexer whose input `k` is driven by `u` (one edge
-/// per matching input index).
+/// One dataflow edge in the flat CSR adjacency arrays. `other` is the
+/// far endpoint (target for forward edges, source for backward edges);
+/// `slot` is the guarding multiplexer's slot (`u32::MAX` for plain
+/// edges) and `k` its input index. The guarding mux is the edge's target
+/// node in both directions, so its slot is inlined here to keep the
+/// flood inner loop free of `mux_slot` indirections.
 #[derive(Debug, Clone, Copy)]
-struct FwdEdge {
-    to: NodeId,
-    mux_input: Option<u32>,
+struct CsrEdge {
+    other: u32,
+    slot: u32,
+    k: u32,
 }
 
-/// A dataflow edge `u → v` as seen from `v`. `mux_input` is `Some(k)`
-/// when `v` itself is a multiplexer receiving `u` on input `k`.
-#[derive(Debug, Clone, Copy)]
-struct BwdEdge {
-    from: NodeId,
-    mux_input: Option<u32>,
-}
+const NO_MUX: u32 = u32::MAX;
 
 /// Fault-independent data of one multiplexer: its address bits compiled
 /// against the engine's dense control-bit index.
@@ -182,6 +180,9 @@ struct MuxInfo {
     node: NodeId,
     addr: Vec<CompiledExpr>,
     inputs: u32,
+    /// Driving node of each input, in input order (for incremental edge
+    /// enabling: mask bit `k` gained ⇒ edge `input_nodes[k] → node`).
+    input_nodes: Vec<NodeId>,
 }
 
 /// Reusable, fault-independent accessibility engine over one network.
@@ -219,16 +220,48 @@ pub struct AccessEngine<'r> {
     muxes: Vec<MuxInfo>,
     /// node index → index into `muxes` (`u32::MAX` for non-mux nodes).
     mux_slot: Vec<u32>,
-    /// Successor edges per node.
-    fwd: Vec<Vec<FwdEdge>>,
-    /// Predecessor edges per node.
-    bwd: Vec<Vec<BwdEdge>>,
+    /// CSR offsets into `fwd_edges` (length `node_count + 1`).
+    fwd_off: Vec<u32>,
+    /// Successor edges, grouped by source node (CSR layout — one flat
+    /// allocation so the flood inner loops stay cache-resident).
+    fwd_edges: Vec<CsrEdge>,
+    /// CSR offsets into `bwd_edges` (length `node_count + 1`).
+    bwd_off: Vec<u32>,
+    /// Predecessor edges, grouped by target node (CSR layout).
+    bwd_edges: Vec<CsrEdge>,
     /// Segment nodes with their scan-bit lengths.
     segments: Vec<(NodeId, u64)>,
     /// Total scan bits over all segments.
     total_bits: u64,
     /// Cached reset configuration.
     reset: Config,
+    /// Per-mux configurability masks under the reset control-bit states
+    /// (the fault-free round-1 masks — every warm start copies these).
+    reset_masks: Vec<u64>,
+    /// Fault-free round-1 any-reachability from roots under `reset_masks`.
+    /// Any-traversals ignore corruption, so effects without forced bits or
+    /// a forced mux can memcpy this instead of re-walking the network.
+    baseline_reach_any: Vec<bool>,
+    /// Fault-free round-1 any-exit (backward from sinks) under
+    /// `reset_masks`; same reuse rule as `baseline_reach_any`.
+    baseline_exit_any: Vec<bool>,
+    /// Dense bit index → mux slots whose address reads that bit (the
+    /// dirty-frontier dependency index: a promoted bit only re-derives the
+    /// masks of these muxes).
+    bit_muxes: Vec<Vec<u32>>,
+    /// Number of distinct control bits each mux's address reads.
+    mux_dep_count: Vec<u32>,
+    /// Per-mux configurability masks with every control bit fully
+    /// controllable. A mux whose address deps are all `both` must have
+    /// exactly this mask (`can_set` only reads the deps), so the warm
+    /// path's delta rounds copy it instead of re-evaluating the address
+    /// expressions — the dominant cost of a sweep on synthesized
+    /// networks.
+    full_masks: Vec<u64>,
+    /// `true` if any mux has more than 64 inputs: those edges bypass the
+    /// mask fast path, so incremental mask deltas cannot see them and the
+    /// engine falls back to the cold whole-network fixed point.
+    wide_mux: bool,
 }
 
 /// Caller-owned per-fault working memory of an [`AccessEngine`].
@@ -243,7 +276,11 @@ pub struct Scratch {
     clean: Vec<bool>,
     reach_clean: Vec<bool>,
     reach_any: Vec<bool>,
+    /// Backward any-reachability from sinks (the fixed point's exit set).
     can_exit: Vec<bool>,
+    /// Backward *clean* reachability from sinks (the final verdict's exit
+    /// set — kept separate so the warm path never clobbers `can_exit`).
+    exit_clean: Vec<bool>,
     /// DFS stack shared by all traversals.
     stack: Vec<NodeId>,
     /// Per-mux configurable-input bitmask for the current round (bit `k`
@@ -251,6 +288,22 @@ pub struct Scratch {
     mux_mask: Vec<u64>,
     /// Per-address-bit `(can0, can1)` staging used while building masks.
     addr_can: Vec<(bool, bool)>,
+    /// Warm-path worklist: dense bit indices not yet fully controllable.
+    pending: Vec<u32>,
+    /// Warm-path bits promoted in the current round.
+    changed: Vec<u32>,
+    /// Warm-path mux slots whose mask may have grown this round.
+    touched: Vec<u32>,
+    /// Per-slot dedup stamp for `touched` (`== stamp` ⇔ already queued
+    /// this round); replaces a sort + dedup in the round hot loop.
+    touch_stamp: Vec<u32>,
+    /// Current round's stamp value.
+    stamp: u32,
+    /// Per-mux count of address deps not yet fully controllable; at zero
+    /// the mask is the engine's precomputed `full_masks` entry.
+    deps_not_both: Vec<u32>,
+    /// Warm-path newly enabled edges `(src, mux, input)` this round.
+    new_edges: Vec<(NodeId, NodeId, u32)>,
 }
 
 impl<'r> AccessEngine<'r> {
@@ -292,12 +345,13 @@ impl<'r> AccessEngine<'r> {
         };
         let mut muxes = Vec::new();
         let mut mux_slot = vec![u32::MAX; n];
-        let mut fwd: Vec<Vec<FwdEdge>> = vec![Vec::new(); n];
-        let mut bwd: Vec<Vec<BwdEdge>> = vec![Vec::new(); n];
+        let mut fwd: Vec<Vec<CsrEdge>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<CsrEdge>> = vec![Vec::new(); n];
         for id in rsn.node_ids() {
             match rsn.node(id).kind() {
                 NodeKind::Mux(m) => {
-                    mux_slot[id.index()] = muxes.len() as u32;
+                    let slot = muxes.len() as u32;
+                    mux_slot[id.index()] = slot;
                     muxes.push(MuxInfo {
                         node: id,
                         addr: m
@@ -306,32 +360,49 @@ impl<'r> AccessEngine<'r> {
                             .map(|e| e.compile(&mut |node, bit| lookup(node, bit)))
                             .collect(),
                         inputs: m.inputs.len() as u32,
+                        input_nodes: m.inputs.clone(),
                     });
                     for (k, &inp) in m.inputs.iter().enumerate() {
-                        fwd[inp.index()].push(FwdEdge {
-                            to: id,
-                            mux_input: Some(k as u32),
+                        fwd[inp.index()].push(CsrEdge {
+                            other: id.index() as u32,
+                            slot,
+                            k: k as u32,
                         });
-                        bwd[id.index()].push(BwdEdge {
-                            from: inp,
-                            mux_input: Some(k as u32),
+                        bwd[id.index()].push(CsrEdge {
+                            other: inp.index() as u32,
+                            slot,
+                            k: k as u32,
                         });
                     }
                 }
                 _ => {
                     if let Some(src) = rsn.node(id).source() {
-                        fwd[src.index()].push(FwdEdge {
-                            to: id,
-                            mux_input: None,
+                        fwd[src.index()].push(CsrEdge {
+                            other: id.index() as u32,
+                            slot: NO_MUX,
+                            k: 0,
                         });
-                        bwd[id.index()].push(BwdEdge {
-                            from: src,
-                            mux_input: None,
+                        bwd[id.index()].push(CsrEdge {
+                            other: src.index() as u32,
+                            slot: NO_MUX,
+                            k: 0,
                         });
                     }
                 }
             }
         }
+        let flatten = |lists: Vec<Vec<CsrEdge>>| -> (Vec<u32>, Vec<CsrEdge>) {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            let mut edges = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+            off.push(0);
+            for list in lists {
+                edges.extend_from_slice(&list);
+                off.push(edges.len() as u32);
+            }
+            (off, edges)
+        };
+        let (fwd_off, fwd_edges) = flatten(fwd);
+        let (bwd_off, bwd_edges) = flatten(bwd);
 
         let mut roots = vec![rsn.scan_in()];
         roots.extend(rsn.secondary_scan_in());
@@ -352,7 +423,25 @@ impl<'r> AccessEngine<'r> {
             .collect();
         let total_bits = segments.iter().map(|&(_, l)| l).sum();
 
-        AccessEngine {
+        // Bit → mux dependency index and the wide-mux escape hatch.
+        let mut bit_muxes: Vec<Vec<u32>> = vec![Vec::new(); bits.len()];
+        let mut mux_dep_count = vec![0u32; muxes.len()];
+        let mut refs = Vec::new();
+        for (slot, info) in muxes.iter().enumerate() {
+            for e in &info.addr {
+                e.collect_bits(&mut refs);
+            }
+            refs.sort_unstable();
+            refs.dedup();
+            mux_dep_count[slot] = refs.len() as u32;
+            for &b in &refs {
+                bit_muxes[b as usize].push(slot as u32);
+            }
+            refs.clear();
+        }
+        let wide_mux = muxes.iter().any(|m| m.inputs > 64);
+
+        let mut engine = AccessEngine {
             rsn,
             bits,
             reset_states,
@@ -360,12 +449,41 @@ impl<'r> AccessEngine<'r> {
             sinks,
             muxes,
             mux_slot,
-            fwd,
-            bwd,
+            fwd_off,
+            fwd_edges,
+            bwd_off,
+            bwd_edges,
             segments,
             total_bits,
             reset,
+            reset_masks: Vec::new(),
+            baseline_reach_any: Vec::new(),
+            baseline_exit_any: Vec::new(),
+            bit_muxes,
+            mux_dep_count,
+            full_masks: Vec::new(),
+            wide_mux,
+        };
+
+        // Fault-free baseline caches: reset-state masks, the round-1
+        // any-traversals, and the all-bits-controllable masks. Computed
+        // once per engine; every warm start copies these instead of
+        // re-deriving them.
+        let benign = FaultEffect::benign();
+        let mut scratch = engine.scratch();
+        scratch.states.copy_from_slice(&engine.reset_states);
+        engine.refresh_masks(&benign, &mut scratch);
+        engine.reset_masks = scratch.mux_mask.clone();
+        engine.forward(&benign, &mut scratch, false);
+        engine.backward(&benign, &mut scratch, false);
+        engine.baseline_reach_any = scratch.reach_any.clone();
+        engine.baseline_exit_any = scratch.can_exit.clone();
+        for s in scratch.states.iter_mut() {
+            *s = s.both();
         }
+        engine.refresh_masks(&benign, &mut scratch);
+        engine.full_masks = scratch.mux_mask.clone();
+        engine
     }
 
     /// The network this engine was built for.
@@ -402,9 +520,17 @@ impl<'r> AccessEngine<'r> {
             reach_clean: vec![false; n],
             reach_any: vec![false; n],
             can_exit: vec![false; n],
+            exit_clean: vec![false; n],
             stack: Vec::with_capacity(n),
             mux_mask: vec![0; self.muxes.len()],
             addr_can: Vec::with_capacity(8),
+            pending: Vec::with_capacity(self.bits.len()),
+            changed: Vec::new(),
+            touched: Vec::new(),
+            touch_stamp: vec![0; self.muxes.len()],
+            stamp: 0,
+            deps_not_both: vec![0; self.muxes.len()],
+            new_edges: Vec::new(),
         }
     }
 
@@ -412,46 +538,62 @@ impl<'r> AccessEngine<'r> {
     /// control-bit states (called once per fixed-point round — states
     /// only change *between* traversals).
     fn refresh_masks(&self, effect: &FaultEffect, scratch: &mut Scratch) {
-        for (slot, info) in self.muxes.iter().enumerate() {
-            if let Some(&forced) = effect.forced_mux.get(&info.node) {
+        for slot in 0..self.muxes.len() {
+            if let Some(&forced) = effect.forced_mux.get(&self.muxes[slot].node) {
                 scratch.mux_mask[slot] = if forced < 64 { 1u64 << forced } else { 0 };
                 continue;
             }
-            // Per-address-bit attainability, combined per input index.
-            scratch.addr_can.clear();
-            for e in &info.addr {
-                scratch.addr_can.push((
-                    can_set(e, false, &scratch.states),
-                    can_set(e, true, &scratch.states),
-                ));
-            }
-            let mut mask = 0u64;
-            for k in 0..info.inputs.min(64) {
-                let ok = scratch.addr_can.iter().enumerate().all(|(i, &(c0, c1))| {
-                    if (k >> i) & 1 == 1 {
-                        c1
-                    } else {
-                        c0
-                    }
-                });
-                if ok {
-                    mask |= 1 << k;
-                }
-            }
-            scratch.mux_mask[slot] = mask;
+            scratch.mux_mask[slot] = self.mask_for(slot, scratch);
         }
     }
 
-    /// `true` if input `k` of mux `v` can be selected under the current
-    /// states (mask fast path; direct evaluation for inputs ≥ 64).
-    fn configurable(&self, effect: &FaultEffect, scratch: &Scratch, v: NodeId, k: u32) -> bool {
-        if k < 64 {
-            return scratch.mux_mask[self.mux_slot[v.index()] as usize] & (1 << k) != 0;
+    /// Derives one mux's configurable-input mask from the current
+    /// control-bit states (per-address-bit attainability, combined per
+    /// input index). Does not apply `forced_mux` pins — callers do.
+    fn mask_for(&self, slot: usize, scratch: &mut Scratch) -> u64 {
+        let info = &self.muxes[slot];
+        scratch.addr_can.clear();
+        for e in &info.addr {
+            scratch.addr_can.push((
+                can_set(e, false, &scratch.states),
+                can_set(e, true, &scratch.states),
+            ));
         }
-        if let Some(&forced) = effect.forced_mux.get(&v) {
+        let mut mask = 0u64;
+        for k in 0..info.inputs.min(64) {
+            let ok =
+                scratch.addr_can.iter().enumerate().all(
+                    |(i, &(c0, c1))| {
+                        if (k >> i) & 1 == 1 {
+                            c1
+                        } else {
+                            c0
+                        }
+                    },
+                );
+            if ok {
+                mask |= 1 << k;
+            }
+        }
+        mask
+    }
+
+    /// `true` if input `k` of the mux in `slot` can be selected under the
+    /// current states (mask fast path; direct evaluation for inputs ≥ 64).
+    fn configurable_slot(
+        &self,
+        effect: &FaultEffect,
+        scratch: &Scratch,
+        slot: u32,
+        k: u32,
+    ) -> bool {
+        if k < 64 {
+            return scratch.mux_mask[slot as usize] & (1 << k) != 0;
+        }
+        let info = &self.muxes[slot as usize];
+        if let Some(&forced) = effect.forced_mux.get(&info.node) {
             return forced == k as usize;
         }
-        let info = &self.muxes[self.mux_slot[v.index()] as usize];
         info.addr.iter().enumerate().all(|(i, e)| {
             let want = (k >> i) & 1 == 1;
             can_set(e, want, &scratch.states)
@@ -474,29 +616,7 @@ impl<'r> AccessEngine<'r> {
                 scratch.stack.push(r);
             }
         }
-        while let Some(u) = scratch.stack.pop() {
-            for e in &self.fwd[u.index()] {
-                let v = e.to;
-                if out[v.index()] {
-                    continue;
-                }
-                if require_clean && !scratch.clean[v.index()] {
-                    continue;
-                }
-                let edge_ok = match e.mux_input {
-                    Some(k) => {
-                        self.configurable(effect, scratch, v, k)
-                            && (!require_clean
-                                || !effect.corrupt_mux_inputs.contains(&(v, k as usize)))
-                    }
-                    None => true,
-                };
-                if edge_ok {
-                    out[v.index()] = true;
-                    scratch.stack.push(v);
-                }
-            }
-        }
+        self.flood_forward(effect, scratch, require_clean, &mut out);
         if require_clean {
             scratch.reach_clean = out;
         } else {
@@ -504,11 +624,52 @@ impl<'r> AccessEngine<'r> {
         }
     }
 
-    /// Backward reachability from sinks into `scratch.can_exit`.
-    /// `require_clean` restricts to clean sinks, clean nodes and
-    /// uncorrupted edges.
+    /// Drains `scratch.stack`, growing `out` along forward edges under the
+    /// current masks (the DFS body shared by full and incremental forward
+    /// traversals — seeds must already be marked in `out`).
+    fn flood_forward(
+        &self,
+        effect: &FaultEffect,
+        scratch: &mut Scratch,
+        require_clean: bool,
+        out: &mut [bool],
+    ) {
+        let mut stack = std::mem::take(&mut scratch.stack);
+        while let Some(u) = stack.pop() {
+            let (lo, hi) = (self.fwd_off[u.index()], self.fwd_off[u.index() + 1]);
+            for e in &self.fwd_edges[lo as usize..hi as usize] {
+                let vi = e.other as usize;
+                if out[vi] {
+                    continue;
+                }
+                if require_clean && !scratch.clean[vi] {
+                    continue;
+                }
+                let edge_ok = e.slot == NO_MUX || {
+                    self.configurable_slot(effect, scratch, e.slot, e.k)
+                        && (!require_clean
+                            || !effect
+                                .corrupt_mux_inputs
+                                .contains(&(NodeId(e.other), e.k as usize)))
+                };
+                if edge_ok {
+                    out[vi] = true;
+                    stack.push(NodeId(e.other));
+                }
+            }
+        }
+        scratch.stack = stack;
+    }
+
+    /// Backward reachability from sinks: the any variant fills
+    /// `scratch.can_exit` (the fixed point's exit set), the clean variant
+    /// fills `scratch.exit_clean` (the final verdict's exit set).
     fn backward(&self, effect: &FaultEffect, scratch: &mut Scratch, require_clean: bool) {
-        let mut out = std::mem::take(&mut scratch.can_exit);
+        let mut out = std::mem::take(if require_clean {
+            &mut scratch.exit_clean
+        } else {
+            &mut scratch.can_exit
+        });
         out.fill(false);
         scratch.stack.clear();
         for &s in &self.sinks {
@@ -517,30 +678,46 @@ impl<'r> AccessEngine<'r> {
                 scratch.stack.push(s);
             }
         }
-        while let Some(v) = scratch.stack.pop() {
-            for e in &self.bwd[v.index()] {
-                let u = e.from;
-                if out[u.index()] {
+        self.flood_backward(effect, scratch, require_clean, &mut out);
+        if require_clean {
+            scratch.exit_clean = out;
+        } else {
+            scratch.can_exit = out;
+        }
+    }
+
+    /// Drains `scratch.stack`, growing `out` along backward edges (the
+    /// DFS body shared by full and incremental backward traversals).
+    fn flood_backward(
+        &self,
+        effect: &FaultEffect,
+        scratch: &mut Scratch,
+        require_clean: bool,
+        out: &mut [bool],
+    ) {
+        let mut stack = std::mem::take(&mut scratch.stack);
+        while let Some(v) = stack.pop() {
+            let (lo, hi) = (self.bwd_off[v.index()], self.bwd_off[v.index() + 1]);
+            for e in &self.bwd_edges[lo as usize..hi as usize] {
+                let ui = e.other as usize;
+                if out[ui] {
                     continue;
                 }
-                if require_clean && !scratch.clean[u.index()] {
+                if require_clean && !scratch.clean[ui] {
                     continue;
                 }
-                let edge_ok = match e.mux_input {
-                    Some(k) => {
-                        self.configurable(effect, scratch, v, k)
-                            && (!require_clean
-                                || !effect.corrupt_mux_inputs.contains(&(v, k as usize)))
-                    }
-                    None => true,
+                let edge_ok = e.slot == NO_MUX || {
+                    self.configurable_slot(effect, scratch, e.slot, e.k)
+                        && (!require_clean
+                            || !effect.corrupt_mux_inputs.contains(&(v, e.k as usize)))
                 };
                 if edge_ok {
-                    out[u.index()] = true;
-                    scratch.stack.push(u);
+                    out[ui] = true;
+                    stack.push(NodeId(e.other));
                 }
             }
         }
-        scratch.can_exit = out;
+        scratch.stack = stack;
     }
 
     /// Loads the per-fault bootstrap into `scratch` (cleanliness and
@@ -606,13 +783,285 @@ impl<'r> AccessEngine<'r> {
         rounds_run
     }
 
+    /// The warm-start fixed point: identical trajectory to
+    /// [`AccessEngine::fixed_point`], but instead of re-deriving every
+    /// mask and re-walking the whole network each round it
+    ///
+    /// 1. memcpys the cached reset masks and (when the effect pins
+    ///    nothing) the cached fault-free round-1 any-traversals,
+    /// 2. keeps a worklist of still-promotable bits, and
+    /// 3. after each promotion round re-derives only the masks of muxes
+    ///    whose address reads a promoted bit (`bit_muxes`), growing the
+    ///    three reachability sets incrementally from the newly enabled
+    ///    edges.
+    ///
+    /// Exactness: the bit states grow monotonically and `can_set` is
+    /// monotone in them, so masks only ever gain bits; a reachability set
+    /// grown by flooding from every newly enabled edge equals the set
+    /// recomputed from scratch under the grown masks. On convergence
+    /// `reach_clean` therefore already equals the final clean forward
+    /// pass, and only the clean backward pass still needs a full walk.
+    ///
+    /// Not valid for engines with > 64-input muxes (edges beyond the mask
+    /// fast path would never appear as mask deltas) — callers dispatch on
+    /// `wide_mux`.
+    fn fixed_point_warm(&self, effect: &FaultEffect, scratch: &mut Scratch) -> u64 {
+        debug_assert!(!self.wide_mux);
+        // Effects that corrupt nothing (pin-only faults) keep every node
+        // clean, so the clean traversals coincide with the any-traversals
+        // bit for bit: skip them and copy instead.
+        let no_corrupt = effect.corrupt_nodes.is_empty() && effect.corrupt_mux_inputs.is_empty();
+        // Round-1 masks: reset masks plus the effect's pins.
+        scratch.mux_mask.copy_from_slice(&self.reset_masks);
+        let pins = !effect.forced_mux.is_empty() || !effect.forced_bits.is_empty();
+        if pins {
+            for &(node, bit) in effect.forced_bits.keys() {
+                if let Ok(i) = self.bits.binary_search(&(node, bit)) {
+                    for &slot in &self.bit_muxes[i] {
+                        scratch.mux_mask[slot as usize] = self.mask_for(slot as usize, scratch);
+                    }
+                }
+            }
+            for (&m, &forced) in &effect.forced_mux {
+                let slot = self.mux_slot[m.index()];
+                if slot != u32::MAX {
+                    scratch.mux_mask[slot as usize] = if forced < 64 { 1u64 << forced } else { 0 };
+                }
+            }
+        }
+
+        // Round-1 traversals. The any-traversals ignore cleanliness and
+        // corrupt edges entirely, so without pins they equal the cached
+        // fault-free baselines bit for bit.
+        if pins {
+            self.forward(effect, scratch, false);
+            self.backward(effect, scratch, false);
+        } else {
+            scratch.reach_any.copy_from_slice(&self.baseline_reach_any);
+            scratch.can_exit.copy_from_slice(&self.baseline_exit_any);
+        }
+        if !no_corrupt {
+            self.forward(effect, scratch, true);
+        }
+
+        scratch.pending.clear();
+        for (i, s) in scratch.states.iter().enumerate() {
+            if !s.pinned && !s.is_both() {
+                scratch.pending.push(i as u32);
+            }
+        }
+        scratch.deps_not_both.copy_from_slice(&self.mux_dep_count);
+
+        let mut rounds_run = 0u64;
+        for _ in 0..=2 * self.bits.len() {
+            rounds_run += 1;
+            // Promotion round over the unresolved bits (same rule as the
+            // cold path; resolved bits leave the worklist). Newly
+            // fully-controllable bits retire from their muxes'
+            // `deps_not_both` counters.
+            scratch.changed.clear();
+            let mut kept = 0usize;
+            for r in 0..scratch.pending.len() {
+                let i = scratch.pending[r] as usize;
+                let cur = scratch.states[i];
+                let ni = self.bits[i].0.index();
+                let mut next = cur;
+                let rc = if no_corrupt {
+                    scratch.reach_any[ni]
+                } else {
+                    scratch.clean[ni] && scratch.reach_clean[ni]
+                };
+                if rc && scratch.can_exit[ni] {
+                    next = next.both();
+                } else if let Some(stuck) = effect.stuck {
+                    if scratch.reach_any[ni] && scratch.can_exit[ni] {
+                        next = next.with_value(stuck);
+                    }
+                }
+                if next != cur {
+                    scratch.states[i] = next;
+                    scratch.changed.push(i as u32);
+                    if next.is_both() {
+                        for &slot in &self.bit_muxes[i] {
+                            scratch.deps_not_both[slot as usize] -= 1;
+                        }
+                    }
+                }
+                if !next.is_both() {
+                    scratch.pending[kept] = i as u32;
+                    kept += 1;
+                }
+            }
+            scratch.pending.truncate(kept);
+            if scratch.changed.is_empty() {
+                break;
+            }
+
+            // Mask deltas: only muxes reading a promoted bit can change,
+            // and monotonicity means they only gain input bits. A mux
+            // whose deps are all fully controllable copies its
+            // precomputed full mask; only muxes straddling the promotion
+            // wave re-evaluate their address expressions.
+            scratch.stamp = scratch.stamp.wrapping_add(1);
+            if scratch.stamp == 0 {
+                // Wrapped: invalidate every stale stamp once per 2^32
+                // rounds.
+                scratch.touch_stamp.fill(u32::MAX);
+                scratch.stamp = 1;
+            }
+            scratch.touched.clear();
+            for r in 0..scratch.changed.len() {
+                let i = scratch.changed[r] as usize;
+                for &slot in &self.bit_muxes[i] {
+                    if scratch.touch_stamp[slot as usize] != scratch.stamp {
+                        scratch.touch_stamp[slot as usize] = scratch.stamp;
+                        scratch.touched.push(slot);
+                    }
+                }
+            }
+            let touched = std::mem::take(&mut scratch.touched);
+            let mut new_edges = std::mem::take(&mut scratch.new_edges);
+            new_edges.clear();
+            for &slot in &touched {
+                let sl = slot as usize;
+                let info = &self.muxes[sl];
+                if !effect.forced_mux.is_empty() && effect.forced_mux.contains_key(&info.node) {
+                    continue;
+                }
+                let old = scratch.mux_mask[sl];
+                let new = if scratch.deps_not_both[sl] == 0 {
+                    self.full_masks[sl]
+                } else {
+                    self.mask_for(sl, scratch)
+                };
+                debug_assert_eq!(old & !new, 0, "masks must grow monotonically");
+                if new != old {
+                    scratch.mux_mask[sl] = new;
+                    let mut gained = new & !old;
+                    while gained != 0 {
+                        let k = gained.trailing_zeros();
+                        gained &= gained - 1;
+                        new_edges.push((info.input_nodes[k as usize], info.node, k));
+                    }
+                }
+            }
+            scratch.touched = touched;
+
+            // Incremental growth of the reachability sets from the newly
+            // enabled edges (the clean set needs no growth pass when
+            // nothing is corrupt — it is read through `reach_any` then).
+            if !new_edges.is_empty() {
+                if !no_corrupt {
+                    self.expand_forward(effect, scratch, true, &new_edges);
+                }
+                self.expand_forward(effect, scratch, false, &new_edges);
+                self.expand_backward(effect, scratch, &new_edges);
+            }
+            scratch.new_edges = new_edges;
+        }
+        if no_corrupt {
+            // Re-sync the clean sets the fast path skipped — the verdict
+            // and callers read them.
+            let (rc, ra) = (&mut scratch.reach_clean, &scratch.reach_any);
+            rc.copy_from_slice(ra);
+        }
+        rounds_run
+    }
+
+    /// Grows a forward reachability set from newly enabled mux edges.
+    fn expand_forward(
+        &self,
+        effect: &FaultEffect,
+        scratch: &mut Scratch,
+        require_clean: bool,
+        edges: &[(NodeId, NodeId, u32)],
+    ) {
+        let mut out = std::mem::take(if require_clean {
+            &mut scratch.reach_clean
+        } else {
+            &mut scratch.reach_any
+        });
+        scratch.stack.clear();
+        for &(src, mux, k) in edges {
+            if !out[src.index()] || out[mux.index()] {
+                continue;
+            }
+            if require_clean
+                && (!scratch.clean[mux.index()]
+                    || effect.corrupt_mux_inputs.contains(&(mux, k as usize)))
+            {
+                continue;
+            }
+            out[mux.index()] = true;
+            scratch.stack.push(mux);
+        }
+        self.flood_forward(effect, scratch, require_clean, &mut out);
+        if require_clean {
+            scratch.reach_clean = out;
+        } else {
+            scratch.reach_any = out;
+        }
+    }
+
+    /// Grows the backward any-exit set from newly enabled mux edges.
+    fn expand_backward(
+        &self,
+        effect: &FaultEffect,
+        scratch: &mut Scratch,
+        edges: &[(NodeId, NodeId, u32)],
+    ) {
+        let mut out = std::mem::take(&mut scratch.can_exit);
+        scratch.stack.clear();
+        for &(src, mux, _) in edges {
+            if out[mux.index()] && !out[src.index()] {
+                out[src.index()] = true;
+                scratch.stack.push(src);
+            }
+        }
+        self.flood_backward(effect, scratch, false, &mut out);
+        scratch.can_exit = out;
+    }
+
     /// Computes per-segment accessibility under one fault effect, reusing
     /// the engine's precomputation and the caller's scratch buffers.
+    ///
+    /// Uses the delta-propagation warm start (baseline memcpy + dirty
+    /// frontier); engines with > 64-input muxes fall back to
+    /// [`AccessEngine::accessibility_cold`]. Both paths produce identical
+    /// results — the property tests enforce it.
     pub fn accessibility(&self, effect: &FaultEffect, scratch: &mut Scratch) -> Accessibility {
+        if self.wide_mux {
+            return self.accessibility_cold(effect, scratch);
+        }
         self.load_effect(effect, scratch);
-        let rounds_run = self.fixed_point(effect, scratch);
+        let rounds_run = self.fixed_point_warm(effect, scratch);
         // One batched export per call keeps registry lock contention out
         // of the per-round hot loop (this runs once per fault).
+        rsn_obs::counter_add("fault.engine_rounds", rounds_run);
+        rsn_obs::debug!(
+            "warm fixed point converged after {rounds_run} rounds over {} control bits",
+            self.bits.len()
+        );
+        // reach_clean is maintained incrementally and already final; only
+        // the clean exit set needs its (single) full backward walk — and
+        // even that collapses to a copy when the effect corrupts nothing
+        // (all nodes clean ⇒ clean exit ≡ any exit).
+        if effect.corrupt_nodes.is_empty() && effect.corrupt_mux_inputs.is_empty() {
+            let (ec, ce) = (&mut scratch.exit_clean, &scratch.can_exit);
+            ec.copy_from_slice(ce);
+        } else {
+            self.backward(effect, scratch, true);
+        }
+        self.verdict(effect, scratch)
+    }
+
+    /// The cold whole-network evaluation (the pre-warm-start path, kept
+    /// verbatim): full mask refresh + three full traversals per round.
+    /// Reference semantics for the equivalence tests and the fallback for
+    /// wide-mux engines.
+    pub fn accessibility_cold(&self, effect: &FaultEffect, scratch: &mut Scratch) -> Accessibility {
+        self.load_effect(effect, scratch);
+        let rounds_run = self.fixed_point(effect, scratch);
         rsn_obs::counter_add("fault.engine_rounds", rounds_run);
         rsn_obs::debug!(
             "fixed point converged after {rounds_run} rounds over {} control bits",
@@ -622,7 +1071,11 @@ impl<'r> AccessEngine<'r> {
         self.refresh_masks(effect, scratch);
         self.forward(effect, scratch, true);
         self.backward(effect, scratch, true);
+        self.verdict(effect, scratch)
+    }
 
+    /// Final per-segment verdict from the converged scratch sets.
+    fn verdict(&self, effect: &FaultEffect, scratch: &Scratch) -> Accessibility {
         let n = self.rsn.node_count();
         let mut accessible = vec![false; n];
         let mut accessible_segments = 0usize;
@@ -632,7 +1085,7 @@ impl<'r> AccessEngine<'r> {
             let ok = scratch.clean[si]
                 && !effect.local_loss.contains(&seg)
                 && scratch.reach_clean[si]
-                && scratch.can_exit[si];
+                && scratch.exit_clean[si];
             if ok {
                 accessible[si] = true;
                 accessible_segments += 1;
@@ -671,7 +1124,11 @@ impl<'r> AccessEngine<'r> {
             .filter(|&(i, _)| scratch.states[i].is_both())
             .map(|(_, &b)| b)
             .collect();
-        (scratch.reach_clean.clone(), scratch.can_exit.clone(), free)
+        (
+            scratch.reach_clean.clone(),
+            scratch.exit_clean.clone(),
+            free,
+        )
     }
 }
 
@@ -1255,7 +1712,14 @@ mod tests {
             for fault in fault_universe(rsn) {
                 let effect = effect_of(rsn, &fault, profile);
                 let fast = engine.accessibility(&effect, &mut scratch);
+                let cold = engine.accessibility_cold(&effect, &mut scratch);
                 let slow = reference::accessibility(rsn, &effect);
+                assert_eq!(
+                    fast, cold,
+                    "{label}: warm/cold engine mismatch under {fault} \
+                     (select_hardened {})",
+                    profile.select_hardened
+                );
                 assert_eq!(
                     fast, slow,
                     "{label}: engine/reference mismatch under {fault} \

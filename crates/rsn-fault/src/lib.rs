@@ -34,6 +34,7 @@
 //! assert!(report.avg_segments > 0.0 && report.avg_segments < 1.0);
 //! ```
 
+pub mod collapse;
 pub mod diagnose;
 pub mod effect;
 pub mod engine;
@@ -42,16 +43,19 @@ pub mod metric;
 pub mod multi;
 pub mod plan;
 pub mod sim;
+pub(crate) mod sweep;
 
+pub use collapse::{ClassKind, FaultClass, FaultClasses};
 pub use diagnose::{FaultDictionary, Signature};
-pub use effect::{effect_of, is_control_segment, FaultEffect};
+pub use effect::{effect_of, effect_of_indexed, is_control_segment, ControlBitIndex, FaultEffect};
 pub use engine::{accessibility, AccessEngine, Accessibility, Scratch};
 pub use fault::{fault_universe, fault_universe_weighted, Fault, FaultSite, WeightModel};
 pub use metric::{
-    analyze, analyze_faults_on, analyze_faults_on_budget, analyze_parallel,
-    analyze_parallel_budgeted, analyze_parallel_with, analyze_with, FaultToleranceReport,
-    HardeningProfile,
+    analyze, analyze_classes_on_budget, analyze_faults_on, analyze_faults_on_budget,
+    analyze_faults_on_budget_uncollapsed, analyze_parallel, analyze_parallel_budgeted,
+    analyze_parallel_budgeted_uncollapsed, analyze_parallel_with, analyze_with,
+    FaultToleranceReport, HardeningProfile,
 };
 pub use multi::{analyze_double_sampled, analyze_double_sampled_on, DoubleFaultReport};
-pub use plan::{plan_faulty_access, plan_faulty_access_on, FaultyAccessPlan};
+pub use plan::{plan_faulty_access, plan_faulty_access_on, plan_targets_on, FaultyAccessPlan};
 pub use sim::FaultySim;

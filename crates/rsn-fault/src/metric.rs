@@ -8,9 +8,10 @@ use std::time::Instant;
 use rsn_budget::Budget;
 use rsn_core::Rsn;
 
-use crate::effect::effect_of;
-use crate::engine::{AccessEngine, Scratch};
+use crate::collapse::{ClassKind, FaultClasses};
+use crate::engine::AccessEngine;
 use crate::fault::{fault_universe_weighted, Fault, WeightModel};
+use crate::sweep::run_stealing;
 
 /// Which hardening measures of the fault-tolerant synthesis apply when
 /// interpreting fault effects.
@@ -41,8 +42,13 @@ impl HardeningProfile {
 /// columns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultToleranceReport {
-    /// Number of collapsed fault classes analyzed (both polarities).
+    /// Number of faults in the analyzed universe (both polarities).
     pub fault_count: usize,
+    /// Number of equivalence classes actually evaluated (one
+    /// representative each; equals `fault_count` with collapsing off).
+    pub classes: usize,
+    /// `fault_count / classes` — never below 1.0.
+    pub collapse_ratio: f64,
     /// Sum of fault weights (port-level site count).
     pub total_weight: u64,
     /// Worst-case fraction of accessible segments over all faults.
@@ -126,7 +132,8 @@ pub fn analyze_with(
 }
 
 /// Computes the metric over an explicit fault list on a prebuilt engine
-/// with `threads` workers sharing it (one [`Scratch`] each). Exposed so
+/// with `threads` workers sharing it (one [`Scratch`](crate::Scratch)
+/// each). Exposed so
 /// callers that already hold an [`AccessEngine`] — hardening selection,
 /// benchmarks — skip the per-call precomputation entirely.
 pub fn analyze_faults_on(
@@ -140,18 +147,29 @@ pub fn analyze_faults_on(
 
 /// [`analyze_faults_on`] bounded by a [`Budget`] shared across all
 /// workers (their combined work counts against one limit; one work unit
-/// per fault).
+/// per fault, charged per class before its representative runs).
+///
+/// The universe is first partitioned into equivalence classes
+/// ([`FaultClasses::build`]) and one representative per class is
+/// evaluated by a work-stealing scheduler (workers claim small batches
+/// from a shared cursor — the crate-private `sweep` module). Results are
+/// then
+/// expanded back over class members *serially in original fault order*,
+/// which makes every aggregate — including the f64 summation order and
+/// the `worst_fault` witness — bit-identical to an uncollapsed
+/// single-threaded sweep, independent of thread count.
 ///
 /// Degradation is fail-soft on two axes:
 ///
-/// * **Budget exhaustion** — remaining faults are skipped; the report's
-///   aggregates cover the evaluated prefix and
-///   [`FaultToleranceReport::skipped`] counts what was left out (also
-///   counted into `budget.exhausted`).
-/// * **Panic isolation** — a fault whose evaluation panics is caught via
-///   `catch_unwind`, quarantined ([`FaultToleranceReport::quarantined`],
-///   counter `fault.quarantined`) and the worker continues with a fresh
-///   [`Scratch`] instead of poisoning the whole run.
+/// * **Budget exhaustion** — classes whose charge is refused are skipped
+///   whole (no half-evaluated class); every member counts into
+///   [`FaultToleranceReport::skipped`] (also counted into
+///   `budget.exhausted`). Aggregates cover the evaluated classes only.
+/// * **Panic isolation** — a class whose evaluation panics is caught via
+///   `catch_unwind`, all members are quarantined
+///   ([`FaultToleranceReport::quarantined`], counter
+///   `fault.quarantined`) and the worker continues with a fresh
+///   [`crate::Scratch`] instead of poisoning the whole run.
 pub fn analyze_faults_on_budget(
     engine: &AccessEngine<'_>,
     faults: &[Fault],
@@ -159,54 +177,109 @@ pub fn analyze_faults_on_budget(
     threads: usize,
     budget: &Budget,
 ) -> FaultToleranceReport {
+    let classes = FaultClasses::build(engine.rsn(), faults, profile);
+    analyze_classes_on_budget(engine, faults, &classes, threads, budget)
+}
+
+/// [`analyze_faults_on_budget`] without fault collapsing: one singleton
+/// class per fault, preserving the legacy one-unit-per-fault budget
+/// prefix semantics exactly. The `--no-collapse` escape hatch.
+pub fn analyze_faults_on_budget_uncollapsed(
+    engine: &AccessEngine<'_>,
+    faults: &[Fault],
+    profile: HardeningProfile,
+    threads: usize,
+    budget: &Budget,
+) -> FaultToleranceReport {
+    let classes = FaultClasses::uncollapsed(engine.rsn(), faults, profile);
+    analyze_classes_on_budget(engine, faults, &classes, threads, budget)
+}
+
+/// Per-class sweep outcome, expanded over members during aggregation.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Evaluated(f64, f64),
+    Quarantined,
+    Skipped,
+}
+
+/// Evaluates a prebuilt class partition over `faults` and aggregates.
+pub fn analyze_classes_on_budget(
+    engine: &AccessEngine<'_>,
+    faults: &[Fault],
+    classes: &FaultClasses,
+    threads: usize,
+    budget: &Budget,
+) -> FaultToleranceReport {
+    assert_eq!(
+        classes.fault_count(),
+        faults.len(),
+        "class partition must cover the fault slice"
+    );
     rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
+    rsn_obs::counter_add("fault.classes_evaluated", classes.len() as u64);
+    rsn_obs::gauge_set("fault.collapse_ratio", classes.collapse_ratio());
     let start = Instant::now();
 
-    // One chunk per worker; a single chunk (serial case, small universes)
-    // runs inline on the calling thread — same code path either way.
-    let chunk = faults.len().div_ceil(threads.max(1)).max(1);
-    let chunks_spawned = faults.chunks(chunk).count().max(1);
-    rsn_obs::counter_add("fault.parallel_chunks", chunks_spawned as u64);
-    // Fraction of the available worker slots actually filled this call.
-    rsn_obs::gauge_set(
-        "fault.parallel_utilization",
-        chunks_spawned as f64 / threads.max(1) as f64,
+    let outcomes: Vec<Outcome> = run_stealing(
+        classes.len(),
+        threads,
+        || engine.scratch(),
+        |scratch, ci| {
+            let class = &classes.classes()[ci];
+            // One budget unit per member: a skipped class accounts for
+            // exactly the faults it represents, never a partial class.
+            if budget.spend(class.members.len() as u64).is_err() {
+                return Outcome::Skipped;
+            }
+            match &class.kind {
+                ClassKind::Benign => Outcome::Evaluated(1.0, 1.0),
+                ClassKind::Poison => Outcome::Quarantined,
+                ClassKind::Effect(effect) => {
+                    let evaluated = catch_unwind(AssertUnwindSafe(|| {
+                        let acc = engine.accessibility(effect, scratch);
+                        (acc.segment_fraction(), acc.bit_fraction())
+                    }));
+                    match evaluated {
+                        Ok((seg, bits)) => Outcome::Evaluated(seg, bits),
+                        Err(_) => {
+                            // The fixed point may have been left half-done;
+                            // start the next class from a clean scratch.
+                            *scratch = engine.scratch();
+                            Outcome::Quarantined
+                        }
+                    }
+                }
+            }
+        },
     );
 
-    let partials: Vec<Partial> = if chunks_spawned == 1 {
-        vec![partial_over(engine, faults, profile, budget)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = faults
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move || partial_over(engine, slice, profile, budget)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-
-    let mut out = Partial::default();
-    for p in partials {
-        out.sum_segments += p.sum_segments;
-        out.sum_bits += p.sum_bits;
-        out.total_weight += p.total_weight;
-        if p.worst_segments < out.worst_segments {
-            out.worst_segments = p.worst_segments;
-            out.worst_fault = p.worst_fault;
+    // Serial expansion in original fault order: f64 sums and the worst
+    // witness are deterministic and thread-count independent.
+    let mut p = Partial::default();
+    for (i, fault) in faults.iter().enumerate() {
+        match outcomes[classes.class_of(i)] {
+            Outcome::Skipped => p.skipped += 1,
+            Outcome::Quarantined => p.quarantined += 1,
+            Outcome::Evaluated(seg_frac, bit_frac) => {
+                let w = fault.weight as f64;
+                p.sum_segments += seg_frac * w;
+                p.sum_bits += bit_frac * w;
+                p.total_weight += fault.weight as u64;
+                if seg_frac < p.worst_segments {
+                    p.worst_segments = seg_frac;
+                    p.worst_fault = Some(*fault);
+                }
+                p.worst_bits = p.worst_bits.min(bit_frac);
+            }
         }
-        out.worst_bits = out.worst_bits.min(p.worst_bits);
-        out.quarantined += p.quarantined;
-        out.skipped += p.skipped;
     }
 
-    if out.quarantined > 0 {
-        rsn_obs::counter_add("fault.quarantined", out.quarantined as u64);
+    if p.quarantined > 0 {
+        rsn_obs::counter_add("fault.quarantined", p.quarantined as u64);
     }
-    if out.skipped > 0 {
-        rsn_obs::counter_add("fault.skipped", out.skipped as u64);
+    if p.skipped > 0 {
+        rsn_obs::counter_add("fault.skipped", p.skipped as u64);
         rsn_obs::counter_add("budget.exhausted", 1);
     }
 
@@ -215,73 +288,27 @@ pub fn analyze_faults_on_budget(
         rsn_obs::gauge_set("fault.faults_per_sec", faults.len() as f64 / secs);
     }
 
-    let denom = out.total_weight.max(1) as f64;
+    let denom = p.total_weight.max(1) as f64;
     FaultToleranceReport {
         fault_count: faults.len(),
-        total_weight: out.total_weight,
-        worst_segments: out.worst_segments,
-        avg_segments: out.sum_segments / denom,
-        worst_bits: out.worst_bits,
-        avg_bits: out.sum_bits / denom,
-        worst_fault: out.worst_fault,
-        quarantined: out.quarantined,
-        skipped: out.skipped,
+        classes: classes.len(),
+        collapse_ratio: classes.collapse_ratio(),
+        total_weight: p.total_weight,
+        worst_segments: p.worst_segments,
+        avg_segments: p.sum_segments / denom,
+        worst_bits: p.worst_bits,
+        avg_bits: p.sum_bits / denom,
+        worst_fault: p.worst_fault,
+        quarantined: p.quarantined,
+        skipped: p.skipped,
     }
 }
 
-/// Folds one fault slice into a [`Partial`] — the single accumulation
-/// loop shared by the serial and parallel paths.
-fn partial_over(
-    engine: &AccessEngine<'_>,
-    faults: &[Fault],
-    profile: HardeningProfile,
-    budget: &Budget,
-) -> Partial {
-    let rsn = engine.rsn();
-    let mut scratch: Scratch = engine.scratch();
-    let mut p = Partial::default();
-    for (i, fault) in faults.iter().enumerate() {
-        if budget.check().is_err() {
-            p.skipped += faults.len() - i;
-            break;
-        }
-        let evaluated = catch_unwind(AssertUnwindSafe(|| {
-            let effect = effect_of(rsn, fault, profile);
-            if effect.is_benign() {
-                (1.0, 1.0)
-            } else {
-                let acc = engine.accessibility(&effect, &mut scratch);
-                (acc.segment_fraction(), acc.bit_fraction())
-            }
-        }));
-        let (seg_frac, bit_frac) = match evaluated {
-            Ok(fracs) => fracs,
-            Err(_) => {
-                // The fixed-point may have been left half-done; start the
-                // next fault from a clean scratch.
-                scratch = engine.scratch();
-                p.quarantined += 1;
-                continue;
-            }
-        };
-        let w = fault.weight as f64;
-        p.sum_segments += seg_frac * w;
-        p.sum_bits += bit_frac * w;
-        p.total_weight += fault.weight as u64;
-        if seg_frac < p.worst_segments {
-            p.worst_segments = seg_frac;
-            p.worst_fault = Some(*fault);
-        }
-        p.worst_bits = p.worst_bits.min(bit_frac);
-    }
-    p
-}
-
-/// Multi-threaded version of [`analyze`]: the fault universe is split
-/// across `std::thread::available_parallelism` workers sharing one
-/// [`AccessEngine`] (one [`Scratch`] per worker). Results are identical
-/// to the sequential version (the aggregation is order-insensitive up to
-/// the choice of witness `worst_fault`).
+/// Multi-threaded version of [`analyze`]: up to
+/// `std::thread::available_parallelism` workers share one
+/// [`AccessEngine`] (one [`crate::Scratch`] per worker) and steal class
+/// batches from a shared cursor. Reports are bit-identical to the
+/// sequential version, including the `worst_fault` witness.
 pub fn analyze_parallel(rsn: &Rsn, profile: HardeningProfile) -> FaultToleranceReport {
     analyze_parallel_with(rsn, profile, WeightModel::Ports)
 }
@@ -303,15 +330,38 @@ pub fn analyze_parallel_budgeted(
     model: WeightModel,
     budget: &Budget,
 ) -> FaultToleranceReport {
+    analyze_parallel_impl(rsn, profile, model, budget, true)
+}
+
+/// [`analyze_parallel_budgeted`] with fault collapsing switched off —
+/// every fault evaluated individually (`--no-collapse` escape hatch).
+pub fn analyze_parallel_budgeted_uncollapsed(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+    budget: &Budget,
+) -> FaultToleranceReport {
+    analyze_parallel_impl(rsn, profile, model, budget, false)
+}
+
+fn analyze_parallel_impl(
+    rsn: &Rsn,
+    profile: HardeningProfile,
+    model: WeightModel,
+    budget: &Budget,
+    collapse: bool,
+) -> FaultToleranceReport {
     let _span = rsn_obs::Span::enter("analyze_parallel");
     let faults = fault_universe_weighted(rsn, model);
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
-        .min(16)
-        // No point spawning for universes smaller than a chunk's worth.
-        .min(faults.len().div_ceil(64).max(1));
+        .min(16);
     let engine = AccessEngine::new(rsn);
-    analyze_faults_on_budget(&engine, &faults, profile, threads, budget)
+    if collapse {
+        analyze_faults_on_budget(&engine, &faults, profile, threads, budget)
+    } else {
+        analyze_faults_on_budget_uncollapsed(&engine, &faults, profile, threads, budget)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -431,8 +481,15 @@ mod tests {
         assert!(faults.len() > 4);
         let engine = AccessEngine::new(&rsn);
         let budget = Budget::unlimited().with_work_limit(4);
-        let report =
-            analyze_faults_on_budget(&engine, &faults, HardeningProfile::unhardened(), 1, &budget);
+        // Uncollapsed: one unit per fault, so exactly the first 4 faults
+        // are admitted and the rest skipped.
+        let report = analyze_faults_on_budget_uncollapsed(
+            &engine,
+            &faults,
+            HardeningProfile::unhardened(),
+            1,
+            &budget,
+        );
         // 4 admitted checks → 4 evaluated, rest skipped; the evaluated
         // prefix aggregates match a run over just that prefix.
         assert_eq!(report.skipped, faults.len() - 4);
@@ -440,6 +497,82 @@ mod tests {
         assert_eq!(report.total_weight, prefix.total_weight);
         assert_eq!(report.worst_segments, prefix.worst_segments);
         assert_eq!(report.avg_bits, prefix.avg_bits);
+    }
+
+    #[test]
+    fn one_unit_budget_mid_sweep_counts_skips_per_class() {
+        // With collapsing on, budget is charged per class (all members at
+        // once). Simulate the charge sequence in class-index order — the
+        // single-threaded scheduler claims classes in exactly that order —
+        // and check the report's skip count matches to the fault.
+        let rsn = fig2();
+        let faults = crate::fault::fault_universe(&rsn);
+        let engine = AccessEngine::new(&rsn);
+        let classes = FaultClasses::build(&rsn, &faults, HardeningProfile::unhardened());
+        assert!(classes.len() > 1);
+        let mut left: i64 = 1;
+        let mut expect_skipped = 0usize;
+        let mut expect_weight = 0u64;
+        for class in classes.classes() {
+            let cost = class.members.len() as i64;
+            if left >= cost {
+                left -= cost;
+                for &m in &class.members {
+                    expect_weight += faults[m as usize].weight as u64;
+                }
+            } else {
+                left = 0; // a refused charge latches the budget
+                expect_skipped += class.members.len();
+            }
+        }
+        let budget = Budget::unlimited().with_work_limit(1);
+        let report =
+            analyze_faults_on_budget(&engine, &faults, HardeningProfile::unhardened(), 1, &budget);
+        assert_eq!(report.skipped, expect_skipped);
+        assert!(report.skipped > 0, "1 unit cannot cover fig2");
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.total_weight, expect_weight);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_report_bit() {
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let faults = crate::fault::fault_universe(&rsn);
+        let engine = AccessEngine::new(&rsn);
+        let serial = analyze_faults_on(&engine, &faults, HardeningProfile::unhardened(), 1);
+        let parallel = analyze_faults_on(&engine, &faults, HardeningProfile::unhardened(), 4);
+        // PartialEq compares every f64 exactly: serial re-aggregation in
+        // fault order makes the sweep bit-identical at any thread count.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn collapse_matches_uncollapsed_exactly() {
+        let soc = by_name("q12710").expect("embedded");
+        let rsn = generate(&soc).expect("generate");
+        let faults = crate::fault::fault_universe(&rsn);
+        let engine = AccessEngine::new(&rsn);
+        for profile in [HardeningProfile::unhardened(), HardeningProfile::hardened()] {
+            let collapsed = analyze_faults_on(&engine, &faults, profile, 1);
+            let reference = analyze_faults_on_budget_uncollapsed(
+                &engine,
+                &faults,
+                profile,
+                1,
+                &Budget::unlimited(),
+            );
+            assert!(collapsed.collapse_ratio > 1.0, "{collapsed:?}");
+            assert!(collapsed.classes < faults.len());
+            // Everything except the class bookkeeping must be bitwise
+            // identical.
+            assert_eq!(collapsed.worst_segments, reference.worst_segments);
+            assert_eq!(collapsed.avg_segments, reference.avg_segments);
+            assert_eq!(collapsed.worst_bits, reference.worst_bits);
+            assert_eq!(collapsed.avg_bits, reference.avg_bits);
+            assert_eq!(collapsed.total_weight, reference.total_weight);
+            assert_eq!(collapsed.worst_fault, reference.worst_fault);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::effect::{effect_of, FaultEffect};
 use crate::engine::AccessEngine;
 use crate::fault::{fault_universe, Fault};
 use crate::metric::HardeningProfile;
+use crate::sweep::run_stealing;
 
 /// Combines two fault effects into one (union of corruptions and
 /// forcings; the first fault's stuck value wins for dirty-write modeling —
@@ -84,41 +85,57 @@ pub fn analyze_double_sampled(
 /// [`analyze_double_sampled`] on a prebuilt [`AccessEngine`] — the pair
 /// sweep is quadratic in the fault universe, so reusing the engine's
 /// precomputation matters more here than anywhere else.
+///
+/// The sampled pairs are evaluated by the shared work-stealing scheduler
+/// (one [`crate::Scratch`] per worker) and aggregated serially in sample
+/// order, so the report is bit-identical at any worker count.
 pub fn analyze_double_sampled_on(
     engine: &AccessEngine<'_>,
     profile: HardeningProfile,
     stride: usize,
 ) -> DoubleFaultReport {
     let rsn = engine.rsn();
-    let mut scratch = engine.scratch();
     let faults = fault_universe(rsn);
     let effects: Vec<FaultEffect> = faults.iter().map(|f| effect_of(rsn, f, profile)).collect();
     let total_segments = rsn.segments().count();
 
-    let mut pairs = 0usize;
-    let mut worst = 1.0f64;
-    let mut sum = 0.0f64;
-    let mut worst_pair = None;
-    let mut hist = vec![0usize; 9];
-
+    // Materialize the deterministic sample: every `stride`-th entry of
+    // the cross product, keeping each unordered pair once.
     let n = faults.len();
     let stride = stride.max(1);
+    let mut sampled: Vec<(usize, usize)> = Vec::new();
     let mut idx = 0usize;
     while idx < n * n {
         let (i, j) = (idx / n, idx % n);
         idx += stride;
-        if j <= i {
-            continue; // unordered pairs once
+        if j > i {
+            sampled.push((i, j));
         }
-        let combined = combine_effects(&effects[i], &effects[j]);
-        let frac = if combined.is_benign() {
-            1.0
-        } else {
-            engine
-                .accessibility(&combined, &mut scratch)
-                .segment_fraction()
-        };
-        pairs += 1;
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(16);
+    let fracs: Vec<f64> = run_stealing(
+        sampled.len(),
+        threads,
+        || engine.scratch(),
+        |scratch, k| {
+            let (i, j) = sampled[k];
+            let combined = combine_effects(&effects[i], &effects[j]);
+            if combined.is_benign() {
+                1.0
+            } else {
+                engine.accessibility(&combined, scratch).segment_fraction()
+            }
+        },
+    );
+
+    let mut worst = 1.0f64;
+    let mut sum = 0.0f64;
+    let mut worst_pair = None;
+    let mut hist = vec![0usize; 9];
+    for (&(i, j), &frac) in sampled.iter().zip(&fracs) {
         sum += frac;
         if frac < worst {
             worst = frac;
@@ -129,6 +146,7 @@ pub fn analyze_double_sampled_on(
         hist[bucket] += 1;
     }
 
+    let pairs = sampled.len();
     DoubleFaultReport {
         pairs,
         worst_segments: worst,

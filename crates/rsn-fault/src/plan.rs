@@ -21,6 +21,7 @@ use rsn_core::{Config, ControlExpr, NodeId, NodeKind, Rsn};
 
 use crate::effect::FaultEffect;
 use crate::engine::AccessEngine;
+use crate::sweep::run_stealing;
 
 /// A concrete faulty-access plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -391,6 +392,27 @@ pub fn plan_faulty_access_on(
     None
 }
 
+/// Plans accesses to every target segment under one fault effect,
+/// fanning [`plan_faulty_access_on`] over the work-stealing scheduler.
+/// Results come back in target order (`None` where no clean-write plan
+/// exists), identical to calling the planner serially — planning is a
+/// pure function of `(effect, target)`.
+pub fn plan_targets_on(
+    engine: &AccessEngine<'_>,
+    effect: &FaultEffect,
+    targets: &[NodeId],
+) -> Vec<Option<FaultyAccessPlan>> {
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(16);
+    run_stealing(
+        targets.len(),
+        threads,
+        || (),
+        |_, i| plan_faulty_access_on(engine, effect, targets[i]),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +562,25 @@ mod tests {
         for seg in rsn.segments() {
             let plan = plan_faulty_access(&rsn, &FaultEffect::benign(), seg);
             assert!(plan.is_some(), "{} must be plannable", rsn.node(seg).name());
+        }
+    }
+
+    #[test]
+    fn plan_sweep_matches_serial_planner() {
+        let rsn = fig2();
+        let b = rsn.find("B").expect("B");
+        let fault = Fault {
+            site: FaultSite::SegmentData(b),
+            value: false,
+            weight: 2,
+        };
+        let effect = effect_of(&rsn, &fault, HardeningProfile::unhardened());
+        let engine = AccessEngine::new(&rsn);
+        let targets: Vec<NodeId> = rsn.segments().collect();
+        let swept = plan_targets_on(&engine, &effect, &targets);
+        assert_eq!(swept.len(), targets.len());
+        for (seg, plan) in targets.iter().zip(&swept) {
+            assert_eq!(plan, &plan_faulty_access_on(&engine, &effect, *seg));
         }
     }
 }

@@ -79,6 +79,15 @@ pub fn dominators(g: &DiGraph, root: usize) -> Vec<usize> {
     idom
 }
 
+/// Computes the immediate post-dominator of every vertex that can reach
+/// `sink`: dominator analysis on the reversed graph rooted at the sink.
+///
+/// Returns `ipdom[v]`, with `ipdom[sink] == sink` and `usize::MAX` for
+/// vertices that cannot reach `sink`.
+pub fn postdominators(g: &DiGraph, sink: usize) -> Vec<usize> {
+    dominators(&g.reversed(), sink)
+}
+
 fn intersect(idom: &[usize], rpo: &[usize], mut a: usize, mut b: usize) -> usize {
     while a != b {
         while rpo[a] > rpo[b] {

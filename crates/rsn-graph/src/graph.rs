@@ -117,6 +117,16 @@ impl DiGraph {
             .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
     }
 
+    /// The graph with every edge direction flipped. Post-dominator
+    /// analysis is dominator analysis on the reversed graph.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph {
+            succ: self.pred.clone(),
+            pred: self.succ.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
     /// Kahn topological order, or `None` if the graph has a cycle.
     pub fn topo_order(&self) -> Option<Vec<usize>> {
         let n = self.len();

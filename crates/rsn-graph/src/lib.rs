@@ -30,6 +30,6 @@ pub mod dominators;
 pub mod flow;
 pub mod graph;
 
-pub use dominators::dominators;
+pub use dominators::{dominators, postdominators};
 pub use flow::{max_flow, vertex_independent_paths, FlowNetwork};
 pub use graph::DiGraph;
