@@ -3,8 +3,20 @@
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
 //!        [--paper] [--verify] [--ablation] [--sweep-alpha] [--json PATH]
-//!        [--bench-access PATH] [--budget SECS] [--resume] [--no-collapse]
+//!        [--trace PATH] [--prom PATH] [--bench-access PATH] [--budget SECS]
+//!        [--resume] [--no-collapse]
 //! ```
+//!
+//! With `--trace PATH`, event tracing is switched on for the whole run and
+//! a Chrome-trace / Perfetto JSON (span begin/end plus instant events,
+//! one `tid` timeline row per worker thread) is written to PATH — open it
+//! at <https://ui.perfetto.dev> or `chrome://tracing`. Works with or
+//! without `--json`; rows run the same extra BMC/ILP probes either way so
+//! SAT and ILP events appear in the trace.
+//!
+//! With `--prom PATH`, the final metrics snapshot is additionally written
+//! in the Prometheus text exposition format (one row's worth when `--json`
+//! resets between rows, the whole run otherwise).
 //!
 //! `--no-collapse` disables ATPG-style fault collapsing in every metric
 //! sweep (each fault evaluated individually) — an escape hatch for
@@ -333,6 +345,34 @@ fn run_alpha_sweep(names: &[&str]) {
     }
 }
 
+/// Folds freshly drained trace threads into the run-wide accumulator,
+/// merging by `tid` so each worker keeps one timeline row even when the
+/// buffers are drained once per benchmark row.
+fn merge_trace(acc: &mut Vec<rsn_obs::TraceThread>, drained: Vec<rsn_obs::TraceThread>) {
+    for t in drained {
+        match acc.iter_mut().find(|a| a.tid == t.tid) {
+            Some(a) => {
+                a.events.extend(t.events);
+                a.dropped += t.dropped;
+            }
+            None => acc.push(t),
+        }
+    }
+    acc.sort_by_key(|t| t.tid);
+}
+
+/// Writes the accumulated events as Chrome-trace / Perfetto JSON.
+fn write_trace(path: &str, threads: &[rsn_obs::TraceThread]) {
+    let events: usize = threads.iter().map(|t| t.events.len()).sum();
+    let dropped: u64 = threads.iter().map(|t| t.dropped).sum();
+    std::fs::write(path, rsn_obs::chrome_trace(threads).to_string_pretty(2))
+        .expect("write trace json");
+    println!(
+        "wrote {events} trace event(s) across {} thread(s) to {path} ({dropped} dropped)",
+        threads.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut names: Vec<&str> = Vec::new();
@@ -345,6 +385,8 @@ fn main() {
     let mut double = false;
     let mut weights = WeightModel::Ports;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
     let mut bench_access_path: Option<String> = None;
     let mut budget_secs: Option<f64> = None;
     let mut resume = false;
@@ -381,6 +423,14 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).expect("--json needs a path").clone());
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).expect("--trace needs a path").clone());
+            }
+            "--prom" => {
+                i += 1;
+                prom_path = Some(args.get(i).expect("--prom needs a path").clone());
+            }
             "--bench-access" => {
                 i += 1;
                 bench_access_path = Some(args.get(i).expect("--bench-access needs a path").clone());
@@ -404,6 +454,9 @@ fn main() {
         }
         i += 1;
     }
+    if trace_path.is_some() {
+        rsn_obs::set_trace_enabled(true);
+    }
     if let Some(path) = bench_access_path {
         let sel = if names.is_empty() {
             vec!["q12710", "p93791"]
@@ -411,6 +464,9 @@ fn main() {
             names
         };
         run_bench_access(&sel, &path, collapse);
+        if let Some(tpath) = &trace_path {
+            write_trace(tpath, &rsn_obs::trace_drain());
+        }
         return;
     }
     if names.is_empty() {
@@ -463,6 +519,10 @@ fn main() {
     header();
     let t0 = Instant::now();
     let mut reports: Vec<Json> = Vec::new();
+    let mut trace_threads: Vec<rsn_obs::TraceThread> = Vec::new();
+    // Rows run the extra BMC/ILP probes whenever their telemetry has
+    // somewhere to land — the JSON report, the event trace, or both.
+    let obs_probes = json_path.is_some() || trace_path.is_some();
     for name in &names {
         if json_path.is_some() {
             if let Some(r) = resumed.remove(*name) {
@@ -470,6 +530,13 @@ fn main() {
                 reports.push(r);
                 continue;
             }
+        }
+        if trace_path.is_some() {
+            // Drain per row (before any reset) so ring buffers cannot
+            // overflow across a long multi-row run.
+            merge_trace(&mut trace_threads, rsn_obs::trace_drain());
+        }
+        if json_path.is_some() {
             // One report per row: clear global counters/spans between rows.
             rsn_obs::reset();
         }
@@ -528,7 +595,7 @@ fn main() {
                 row.synthesis_time, row.metric_time, row.sib.fault_count, row.ft.fault_count
             );
         }
-        if let Some(path) = &json_path {
+        if obs_probes {
             // Size-gated BMC validation of the original network: the only
             // stage of the default pipeline that exercises the SAT solver.
             let soc = by_name(name).expect("embedded");
@@ -541,9 +608,11 @@ fn main() {
             if mismatches > 0 {
                 eprintln!("warning: {name}: {mismatches}/{checked} BMC spot checks disagree");
             }
-            // Exact-ILP reference on small dataflows (same gate as the
-            // ablation): records branch-and-bound telemetry in the report
-            // even where the Auto solver picks the greedy heuristic.
+            // ILP reference probe: exact on small dataflows (same gate as
+            // the ablation), node-capped on mid-size ones, so traced and
+            // reported rows record branch-and-bound telemetry even where
+            // the Auto solver picks the greedy heuristic. Larger SoCs
+            // skip it — even the root LP relaxation gets expensive there.
             let df = Dataflow::extract(&rsn);
             if df.len() <= 60 {
                 let _s = rsn_obs::Span::enter("ilp_reference");
@@ -551,7 +620,13 @@ fn main() {
                     Some(b) => augment_ilp_under(&df, &AugmentOptions::default(), b),
                     None => augment_ilp(&df, &AugmentOptions::default()),
                 };
+            } else if df.len() <= 150 {
+                let _s = rsn_obs::Span::enter("ilp_reference");
+                let capped = Budget::unlimited().with_work_limit(500);
+                let _ = augment_ilp_under(&df, &AugmentOptions::default(), &capped);
             }
+        }
+        if let Some(path) = &json_path {
             let mut report = RunReport::capture(name).to_json_value();
             if budget_secs.is_some() {
                 report.set("timed_out", Json::Bool(row.timed_out));
@@ -570,9 +645,23 @@ fn main() {
     if timing {
         println!("\ntotal wall clock: {:.2?}", t0.elapsed());
     }
-    if let Some(path) = json_path {
+    if let Some(path) = &json_path {
         let doc = Json::Arr(reports);
-        std::fs::write(&path, doc.to_string_pretty(2)).expect("write json report");
+        std::fs::write(path, doc.to_string_pretty(2)).expect("write json report");
         println!("wrote run report to {path}");
+    }
+    if let Some(path) = &prom_path {
+        // Written from the live registry: the final row's metrics under
+        // `--json` (which resets between rows), the whole run otherwise.
+        std::fs::write(
+            path,
+            rsn_obs::render_prometheus(&rsn_obs::metrics_snapshot()),
+        )
+        .expect("write prometheus text");
+        println!("wrote metrics exposition to {path}");
+    }
+    if let Some(path) = &trace_path {
+        merge_trace(&mut trace_threads, rsn_obs::trace_drain());
+        write_trace(path, &trace_threads);
     }
 }

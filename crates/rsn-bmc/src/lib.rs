@@ -361,16 +361,16 @@ impl BmcChecker {
         let _span = rsn_obs::Span::enter("bmc_solve");
         let start = std::time::Instant::now();
         let outcome = self.cnf.solver_mut().solve_with_under(&[on, clean], budget);
+        let query_ns = start.elapsed().as_nanos() as u64;
         rsn_obs::counter_add("bmc.queries", 1);
-        rsn_obs::counter_add(
-            &format!("bmc.unroll.{}.solve_ns", self.steps),
-            start.elapsed().as_nanos() as u64,
-        );
+        rsn_obs::counter_add(&format!("bmc.unroll.{}.solve_ns", self.steps), query_ns);
+        rsn_obs::hist_record("bmc.query_ns", query_ns);
         match outcome {
             SolveOutcome::Sat => Verdict::Accessible,
             SolveOutcome::Unsat => Verdict::Inaccessible,
-            SolveOutcome::Unknown { .. } => {
+            SolveOutcome::Unknown { reason, .. } => {
                 rsn_obs::counter_add("bmc.unknown", 1);
+                rsn_obs::record_budget_trip("bmc", reason.as_str());
                 Verdict::Unknown {
                     bound_reached: self.steps,
                 }

@@ -1036,8 +1036,11 @@ impl<'r> AccessEngine<'r> {
         self.load_effect(effect, scratch);
         let rounds_run = self.fixed_point_warm(effect, scratch);
         // One batched export per call keeps registry lock contention out
-        // of the per-round hot loop (this runs once per fault).
+        // of the per-round hot loop (this runs once per fault). The
+        // histogram is the warm-start hit/miss depth distribution: 0
+        // rounds means the baseline absorbed the effect outright.
         rsn_obs::counter_add("fault.engine_rounds", rounds_run);
+        rsn_obs::hist_record("fault.warm_rounds", rounds_run);
         rsn_obs::debug!(
             "warm fixed point converged after {rounds_run} rounds over {} control bits",
             self.bits.len()

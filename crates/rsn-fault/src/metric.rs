@@ -234,18 +234,27 @@ pub fn analyze_classes_on_budget(
             }
             match &class.kind {
                 ClassKind::Benign => Outcome::Evaluated(1.0, 1.0),
-                ClassKind::Poison => Outcome::Quarantined,
+                ClassKind::Poison => {
+                    rsn_obs::trace_instant("quarantine");
+                    Outcome::Quarantined
+                }
                 ClassKind::Effect(effect) => {
+                    let eval_start = Instant::now();
                     let evaluated = catch_unwind(AssertUnwindSafe(|| {
                         let acc = engine.accessibility(effect, scratch);
                         (acc.segment_fraction(), acc.bit_fraction())
                     }));
+                    rsn_obs::hist_record(
+                        "fault.class_eval_ns",
+                        eval_start.elapsed().as_nanos() as u64,
+                    );
                     match evaluated {
                         Ok((seg, bits)) => Outcome::Evaluated(seg, bits),
                         Err(_) => {
                             // The fixed point may have been left half-done;
                             // start the next class from a clean scratch.
                             *scratch = engine.scratch();
+                            rsn_obs::trace_instant("quarantine");
                             Outcome::Quarantined
                         }
                     }
@@ -278,9 +287,17 @@ pub fn analyze_classes_on_budget(
     if p.quarantined > 0 {
         rsn_obs::counter_add("fault.quarantined", p.quarantined as u64);
     }
+    // Attribution mirrors the worker-side accounting: one budget unit
+    // per fault actually charged (skipped classes never spent theirs).
+    rsn_obs::counter_add(
+        "budget.spent{engine=fault}",
+        (faults.len() - p.skipped) as u64,
+    );
     if p.skipped > 0 {
         rsn_obs::counter_add("fault.skipped", p.skipped as u64);
         rsn_obs::counter_add("budget.exhausted", 1);
+        let reason = budget.exhausted().map_or("work_limit", |r| r.as_str());
+        rsn_obs::record_budget_trip("fault", reason);
     }
 
     let secs = start.elapsed().as_secs_f64();

@@ -46,12 +46,16 @@ where
     let cursor = AtomicUsize::new(0);
     let batches = AtomicUsize::new(0);
     let worker = |out: &mut Vec<(usize, R)>| {
+        // Runs on the worker's own thread, so each worker traces onto its
+        // own timeline row (`tid` = worker in the exported trace).
+        let _trace = rsn_obs::TraceGuard::new("sweep_worker");
         let mut state = make_state();
         loop {
             let lo = cursor.fetch_add(BATCH, Ordering::Relaxed);
             if lo >= len {
                 break;
             }
+            rsn_obs::trace_instant("claim_batch");
             batches.fetch_add(1, Ordering::Relaxed);
             let hi = (lo + BATCH).min(len);
             for i in lo..hi {

@@ -158,16 +158,29 @@ pub fn solve_ilp(problem: &Problem) -> Result<IlpSolution, IlpError> {
 /// Those of [`solve_ilp`], plus [`IlpError::Budget`] when the budget ran
 /// out before any feasible solution was found.
 pub fn solve_ilp_under(problem: &Problem, budget: &Budget) -> Result<IlpSolution, IlpError> {
+    let _trace = rsn_obs::TraceGuard::new("ilp_solve");
+    let start = std::time::Instant::now();
     let result = solve_ilp_impl(problem, 200_000, budget);
     rsn_obs::counter_add("ilp.solves", 1);
+    rsn_obs::hist_record("ilp.solve_ns", start.elapsed().as_nanos() as u64);
+    let trip = |budget: &Budget| {
+        // An unproven result without an exhausted budget hit the
+        // internal node cap instead.
+        let reason = budget.exhausted().map_or("node_limit", |r| r.as_str());
+        rsn_obs::record_budget_trip("ilp", reason);
+    };
     if let Ok(sol) = &result {
         rsn_obs::counter_add("ilp.nodes", sol.nodes);
+        // One budget unit per explored node (see above).
+        rsn_obs::counter_add("budget.spent{engine=ilp}", sol.nodes);
         if !sol.proven_optimal {
             rsn_obs::counter_add("ilp.unproven", 1);
             rsn_obs::counter_add("budget.exhausted", 1);
+            trip(budget);
         }
     } else if result == Err(IlpError::Budget) {
         rsn_obs::counter_add("budget.exhausted", 1);
+        trip(budget);
     }
     result
 }
@@ -214,6 +227,15 @@ fn solve_ilp_impl(
             limit_hit = Some(LimitHit::Budget);
             break;
         }
+        // Drop guard so every explored node samples `ilp.node_ns`, the
+        // bound-dominated `continue` paths included.
+        struct NodeTimer(std::time::Instant);
+        impl Drop for NodeTimer {
+            fn drop(&mut self) {
+                rsn_obs::hist_record("ilp.node_ns", self.0.elapsed().as_nanos() as u64);
+            }
+        }
+        let _node_timer = NodeTimer(std::time::Instant::now());
         if let Some((best, _)) = &incumbent {
             if node.bound >= *best - INT_EPS {
                 continue; // bound-dominated
@@ -255,6 +277,7 @@ fn solve_ilp_impl(
                 let obj = problem.objective_value(&xi);
                 let better = incumbent.as_ref().is_none_or(|(b, _)| obj < *b - INT_EPS);
                 if better {
+                    rsn_obs::trace_instant("ilp_incumbent");
                     incumbent = Some((obj, xi));
                 }
             }

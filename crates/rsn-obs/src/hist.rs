@@ -1,0 +1,208 @@
+//! Fixed-bucket log2 histograms for latency and work distributions.
+//!
+//! A [`Histogram`] is 64 power-of-two buckets plus exact `count`, `sum`,
+//! `min` and `max`: value `v` lands in bucket `floor(log2(max(v, 1)))`,
+//! so bucket `i` covers `[2^i, 2^(i+1) - 1]` (bucket 0 additionally holds
+//! zero). Recording is branch-light (a leading-zeros count and a few
+//! adds), the memory footprint is constant, and two histograms merge by
+//! bucket-wise addition — the same map-reduce shape as
+//! [`Registry`](crate::Registry) counters.
+//!
+//! Percentiles ([`Histogram::percentile`]) are deterministic upper-bound
+//! estimates: the reported quantile is the upper edge of the bucket the
+//! target rank falls into, clamped to the exact observed `[min, max]`.
+//! The estimate is therefore never below the true quantile's bucket and
+//! never outside the observed range, and it is bit-stable across runs
+//! recording the same values in any order.
+
+/// Number of power-of-two buckets: one per possible `floor(log2(v))`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// conflict counts, tree depths, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sample count per power-of-two bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (meaningless while `count == 0`).
+    pub min: u64,
+    /// Largest sample (meaningless while `count == 0`).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `i`: `2^(i+1) - 1`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of all samples, 0.0 while empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Deterministic quantile estimate for `q` in `[0, 1]`: the upper
+    /// edge of the bucket holding the `ceil(q * count)`-th smallest
+    /// sample, clamped to the observed `[min, max]`. Returns 0 while
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(1), 3);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_estimates() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum, 5050);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        // The true p50 is 50; the estimate is its bucket's upper edge
+        // (bucket 5 = [32, 63]), never below the truth's bucket and never
+        // above the observed max.
+        let p50 = h.percentile(0.5);
+        assert!((50..=63).contains(&p50), "{p50}");
+        assert_eq!(h.percentile(1.0), 100);
+        assert!(h.percentile(0.0) >= 1);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let values = [5u64, 900, 3, 77, 77, 12, 4096, 1];
+        for &v in &values {
+            a.record(v);
+        }
+        for &v in values.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.percentile(0.9), b.percentile(0.9));
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7u64, 70, 7000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn zero_and_max_are_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[63], 1);
+        assert_eq!(h.sum, u64::MAX, "sum saturates instead of wrapping");
+    }
+}

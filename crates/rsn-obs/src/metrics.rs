@@ -1,15 +1,24 @@
-//! Typed named metrics: monotonically increasing `u64` counters and
-//! last-write-wins `f64` gauges, held in a process-global registry.
+//! Typed named metrics: monotonically increasing `u64` counters,
+//! last-write-wins `f64` gauges and log2-bucketed [`Histogram`]s, held in
+//! a process-global registry.
+//!
+//! Names may carry inline labels in the workspace convention
+//! `base.name{key=value}` (e.g. `budget.spent{engine=sat}`); the registry
+//! treats the whole string as the key, and the Prometheus renderer
+//! ([`crate::render_prometheus`]) rewrites the suffix to label syntax.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use crate::hist::Histogram;
+
 /// A snapshot (or free-standing accumulator) of named metrics. Counters
-/// add on merge; gauges overwrite.
+/// add on merge; gauges overwrite; histograms merge bucket-wise.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 impl Registry {
@@ -27,8 +36,17 @@ impl Registry {
         self.gauges.insert(name.to_string(), value);
     }
 
+    /// Records one sample into the named histogram, creating it empty
+    /// first.
+    pub fn hist_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
     /// Folds `other` into `self`: counters accumulate, gauges take the
-    /// incoming value.
+    /// incoming value, histograms merge bucket-wise.
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -36,16 +54,20 @@ impl Registry {
         for (k, v) in &other.gauges {
             self.gauges.insert(k.clone(), *v);
         }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 }
 
 static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
     gauges: BTreeMap::new(),
+    histograms: BTreeMap::new(),
 });
 
 /// Adds `delta` to a counter in the global registry.
@@ -69,6 +91,11 @@ pub fn gauge_set(name: &str, value: f64) {
     GLOBAL.lock().unwrap().gauge_set(name, value);
 }
 
+/// Records one sample into a histogram in the global registry.
+pub fn hist_record(name: &str, value: u64) {
+    GLOBAL.lock().unwrap().hist_record(name, value);
+}
+
 /// Clones the global registry.
 pub fn metrics_snapshot() -> Registry {
     GLOBAL.lock().unwrap().clone()
@@ -78,4 +105,5 @@ pub(crate) fn reset_metrics() {
     let mut g = GLOBAL.lock().unwrap();
     g.counters.clear();
     g.gauges.clear();
+    g.histograms.clear();
 }

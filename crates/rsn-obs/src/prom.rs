@@ -1,0 +1,183 @@
+//! Prometheus exposition-format renderer for [`Registry`] snapshots —
+//! the ready-made body for a future `rsn-serve` `/metrics` endpoint.
+//!
+//! Metric names are mapped to the Prometheus grammar: the `rsn_` prefix
+//! is prepended, dots (and any other illegal characters) become
+//! underscores, and the workspace's inline label convention
+//! (`budget.spent{engine=sat}`) is rewritten to proper label syntax
+//! (`rsn_budget_spent{engine="sat"}`). Counters render as `counter`,
+//! gauges as `gauge`, and log2 histograms as native `histogram` families
+//! with cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+//! Output is deterministic: families sort by the registry's BTreeMap
+//! order.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_upper_bound, Histogram, HIST_BUCKETS};
+use crate::metrics::Registry;
+
+/// Splits an internal metric name into (base, rendered label body).
+/// `budget.spent{engine=sat}` → `("budget.spent", "engine=\"sat\"")`;
+/// names without labels return an empty label body.
+fn split_labels(name: &str) -> (&str, String) {
+    let Some(open) = name.find('{') else {
+        return (name, String::new());
+    };
+    let base = &name[..open];
+    let body = name[open + 1..].trim_end_matches('}');
+    let rendered = body
+        .split(',')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => format!("{}=\"{}\"", k.trim(), v.trim()),
+            None => format!("{}=\"\"", kv.trim()),
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    (base, rendered)
+}
+
+/// Maps an internal base name onto the Prometheus name grammar.
+fn sanitize(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 4);
+    out.push_str("rsn_");
+    for c in base.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn type_line(out: &mut String, name: &str, kind: &str, last_typed: &mut String) {
+    if last_typed != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last_typed.clear();
+        last_typed.push_str(name);
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn hist_family(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let le_label = |le: String| {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{{{labels},le=\"{le}\"}}")
+        }
+    };
+    // Cumulative bucket series over the populated range; buckets past the
+    // largest observed value add nothing `+Inf` doesn't already say.
+    let mut cum = 0u64;
+    let last = (0..HIST_BUCKETS).rev().find(|&i| h.buckets[i] > 0);
+    if let Some(last) = last {
+        for i in 0..=last {
+            cum += h.buckets[i];
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cum}",
+                le_label(bucket_upper_bound(i).to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", le_label("+Inf".into()), h.count);
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4). See the module docs for the name mapping.
+pub fn render_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_typed = String::new();
+    for (name, value) in &reg.counters {
+        let (base, labels) = split_labels(name);
+        let prom = sanitize(base);
+        type_line(&mut out, &prom, "counter", &mut last_typed);
+        if labels.is_empty() {
+            let _ = writeln!(out, "{prom} {value}");
+        } else {
+            let _ = writeln!(out, "{prom}{{{labels}}} {value}");
+        }
+    }
+    for (name, value) in &reg.gauges {
+        let (base, labels) = split_labels(name);
+        let prom = sanitize(base);
+        type_line(&mut out, &prom, "gauge", &mut last_typed);
+        if labels.is_empty() {
+            let _ = write!(out, "{prom} ");
+        } else {
+            let _ = write!(out, "{prom}{{{labels}}} ");
+        }
+        write_f64(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, h) in &reg.histograms {
+        let (base, labels) = split_labels(name);
+        let prom = sanitize(base);
+        type_line(&mut out, &prom, "histogram", &mut last_typed);
+        hist_family(&mut out, &prom, &labels, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_inline_labels() {
+        assert_eq!(split_labels("sat.solves"), ("sat.solves", String::new()));
+        let (base, labels) = split_labels("budget.spent{engine=sat}");
+        assert_eq!(base, "budget.spent");
+        assert_eq!(labels, "engine=\"sat\"");
+        let (_, multi) = split_labels("x{a=1,b=two}");
+        assert_eq!(multi, "a=\"1\",b=\"two\"");
+    }
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let mut reg = Registry::new();
+        reg.counter_add("sat.solves", 3);
+        reg.counter_add("budget.spent{engine=sat}", 41);
+        reg.gauge_set("fault.collapse_ratio", 0.5);
+        reg.hist_record("sat.solve_ns", 1000);
+        reg.hist_record("sat.solve_ns", 3000);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE rsn_sat_solves counter\nrsn_sat_solves 3\n"));
+        assert!(text.contains("rsn_budget_spent{engine=\"sat\"} 41\n"));
+        assert!(
+            text.contains("# TYPE rsn_fault_collapse_ratio gauge\nrsn_fault_collapse_ratio 0.5\n")
+        );
+        assert!(text.contains("# TYPE rsn_sat_solve_ns histogram\n"));
+        assert!(text.contains("rsn_sat_solve_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("rsn_sat_solve_ns_sum 4000\n"));
+        assert!(text.contains("rsn_sat_solve_ns_count 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = Registry::new();
+        reg.hist_record("h", 1); // bucket 0, le=1
+        reg.hist_record("h", 2); // bucket 1, le=3
+        reg.hist_record("h", 2);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("rsn_h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("rsn_h_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("rsn_h_bucket{le=\"+Inf\"} 3\n"));
+    }
+}

@@ -5,12 +5,19 @@
 //! live aggregates under the parent's path, joined with `/`. Statistics
 //! accumulate in a process-global table so repeated calls to the same
 //! phase fold into one entry with a call count.
+//!
+//! While event tracing is enabled ([`crate::trace_enabled`]), every span
+//! additionally emits a begin event on entry and the matching end event
+//! on drop, so all existing span call sites show up in exported traces
+//! without changes.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::trace::{emit, trace_enabled, TraceEventKind};
 
 /// Aggregated statistics for one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +47,8 @@ thread_local! {
 /// it, because nesting lives in a thread-local stack.
 pub struct Span {
     path: String,
+    name: &'static str,
+    traced: bool,
     start: Instant,
     _not_send: PhantomData<*const ()>,
 }
@@ -53,8 +62,16 @@ impl Span {
             s.push(name);
             s.join("/")
         });
+        // Latched here so enabling tracing mid-span never emits an
+        // unmatched end event.
+        let traced = trace_enabled();
+        if traced {
+            emit(name, TraceEventKind::Begin);
+        }
         Span {
             path,
+            name,
+            traced,
             start: Instant::now(),
             _not_send: PhantomData,
         }
@@ -75,6 +92,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed().as_nanos();
+        if self.traced {
+            emit(self.name, TraceEventKind::End);
+        }
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
@@ -94,6 +114,12 @@ pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
 /// Snapshot of all span aggregates, keyed by slash-joined path.
 pub fn span_snapshot() -> BTreeMap<String, SpanStat> {
     SPANS.lock().unwrap().clone()
+}
+
+/// Slash-joined path of the spans currently live on this thread (empty
+/// when none). Used by budget-trip backtraces.
+pub(crate) fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
 }
 
 pub(crate) fn reset_spans() {

@@ -1,0 +1,128 @@
+//! Golden outputs: the Chrome-trace exporter and the Prometheus renderer
+//! are pure functions over hand-constructible inputs, so their exact
+//! output is pinned here. A change to either wire format must update
+//! these strings consciously.
+
+use rsn_obs::{
+    chrome_trace, json, render_prometheus, Registry, TraceEvent, TraceEventKind, TraceThread,
+};
+
+fn sample_threads() -> Vec<TraceThread> {
+    vec![
+        TraceThread {
+            tid: 0,
+            events: vec![
+                TraceEvent {
+                    name: "sweep_worker",
+                    kind: TraceEventKind::Begin,
+                    ts_ns: 1_000,
+                },
+                TraceEvent {
+                    name: "claim_batch",
+                    kind: TraceEventKind::Instant,
+                    ts_ns: 1_500,
+                },
+                TraceEvent {
+                    name: "sweep_worker",
+                    kind: TraceEventKind::End,
+                    ts_ns: 4_000,
+                },
+            ],
+            dropped: 0,
+        },
+        TraceThread {
+            tid: 1,
+            events: vec![TraceEvent {
+                name: "sat_solve",
+                kind: TraceEventKind::Begin,
+                ts_ns: 2_000,
+            }],
+            dropped: 2,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_golden() {
+    let doc = chrome_trace(&sample_threads());
+    let expected = concat!(
+        r#"{"displayTimeUnit":"ms","droppedEvents":2,"traceEvents":["#,
+        r#"{"args":{"name":"worker-0"},"name":"thread_name","ph":"M","pid":1,"tid":0},"#,
+        r#"{"name":"sweep_worker","ph":"B","pid":1,"tid":0,"ts":1},"#,
+        r#"{"name":"claim_batch","ph":"i","pid":1,"s":"t","tid":0,"ts":1.5},"#,
+        r#"{"name":"sweep_worker","ph":"E","pid":1,"tid":0,"ts":4},"#,
+        r#"{"args":{"name":"worker-1"},"name":"thread_name","ph":"M","pid":1,"tid":1},"#,
+        r#"{"name":"sat_solve","ph":"B","pid":1,"tid":1,"ts":2}"#,
+        r#"]}"#,
+    );
+    assert_eq!(doc.to_string(), expected);
+}
+
+#[test]
+fn chrome_trace_is_valid_perfetto_shape() {
+    // Re-parse the export and verify the invariants Perfetto relies on:
+    // every event has name/ph/pid/tid/ts, phases are B/E/i/M, and begin/
+    // end events balance per thread.
+    let doc = chrome_trace(&sample_threads());
+    let parsed = json::parse(&doc.to_string()).expect("trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    let mut depth = std::collections::HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(matches!(ph, "B" | "E" | "i" | "M"), "{ph}");
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+        assert_eq!(e.get("pid").and_then(|v| v.as_f64()), Some(1.0));
+        let tid = e.get("tid").and_then(|v| v.as_f64()).expect("tid") as u64;
+        match ph {
+            "B" => *depth.entry(tid).or_insert(0i64) += 1,
+            "E" => *depth.entry(tid).or_insert(0i64) -= 1,
+            "i" => assert_eq!(e.get("s").and_then(|v| v.as_str()), Some("t")),
+            _ => continue,
+        }
+        assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+    }
+    // tid 0 balances; tid 1's dangling Begin is legal (truncated trace).
+    assert_eq!(depth.get(&0), Some(&0));
+}
+
+#[test]
+fn prometheus_golden() {
+    let mut reg = Registry::new();
+    reg.counter_add("sat.solves", 7);
+    reg.counter_add("budget.spent{engine=sat}", 120);
+    reg.counter_add("budget.spent{engine=ilp}", 33);
+    reg.gauge_set("fault.collapse_ratio", 0.625);
+    reg.gauge_set("bench.delta", -1.5);
+    reg.hist_record("sat.solve_ns", 1);
+    reg.hist_record("sat.solve_ns", 3);
+    reg.hist_record("sat.solve_ns", 900);
+    let expected = "\
+# TYPE rsn_budget_spent counter
+rsn_budget_spent{engine=\"ilp\"} 33
+rsn_budget_spent{engine=\"sat\"} 120
+# TYPE rsn_sat_solves counter
+rsn_sat_solves 7
+# TYPE rsn_bench_delta gauge
+rsn_bench_delta -1.5
+# TYPE rsn_fault_collapse_ratio gauge
+rsn_fault_collapse_ratio 0.625
+# TYPE rsn_sat_solve_ns histogram
+rsn_sat_solve_ns_bucket{le=\"1\"} 1
+rsn_sat_solve_ns_bucket{le=\"3\"} 2
+rsn_sat_solve_ns_bucket{le=\"7\"} 2
+rsn_sat_solve_ns_bucket{le=\"15\"} 2
+rsn_sat_solve_ns_bucket{le=\"31\"} 2
+rsn_sat_solve_ns_bucket{le=\"63\"} 2
+rsn_sat_solve_ns_bucket{le=\"127\"} 2
+rsn_sat_solve_ns_bucket{le=\"255\"} 2
+rsn_sat_solve_ns_bucket{le=\"511\"} 2
+rsn_sat_solve_ns_bucket{le=\"1023\"} 3
+rsn_sat_solve_ns_bucket{le=\"+Inf\"} 3
+rsn_sat_solve_ns_sum 904
+rsn_sat_solve_ns_count 3
+";
+    assert_eq!(render_prometheus(&reg), expected);
+}

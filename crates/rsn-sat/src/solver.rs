@@ -618,22 +618,34 @@ impl Solver {
     /// stays usable (learnt clauses are kept), and an exhausted budget
     /// makes every later call return `Unknown` immediately.
     ///
-    /// Unknown outcomes count into `sat.unknown` and `budget.exhausted`.
+    /// Unknown outcomes count into `sat.unknown` and `budget.exhausted`,
+    /// and record a [`rsn_obs::record_budget_trip`] backtrace. Each call
+    /// also samples the `sat.solve_ns` / `sat.solve_conflicts` histograms
+    /// and attributes its budget work (conflicts + the entry unit) to
+    /// `budget.spent{engine=sat}`.
     pub fn solve_with_under(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        let _trace = rsn_obs::TraceGuard::new("sat_solve");
+        let start = std::time::Instant::now();
         let before = self.stats;
         let result = self.solve_with_inner(assumptions, budget);
         let after = self.stats;
+        let conflicts = after.conflicts - before.conflicts;
         rsn_obs::counter_add("sat.solves", 1);
-        rsn_obs::counter_add("sat.conflicts", after.conflicts - before.conflicts);
+        rsn_obs::counter_add("sat.conflicts", conflicts);
         rsn_obs::counter_add("sat.decisions", after.decisions - before.decisions);
         rsn_obs::counter_add("sat.propagations", after.propagations - before.propagations);
         rsn_obs::counter_add("sat.restarts", after.restarts - before.restarts);
+        rsn_obs::hist_record("sat.solve_ns", start.elapsed().as_nanos() as u64);
+        rsn_obs::hist_record("sat.solve_conflicts", conflicts);
+        // One budget unit is spent on entry, one per conflict (see above).
+        rsn_obs::counter_add("budget.spent{engine=sat}", conflicts + 1);
         match result {
             SolveOutcome::Sat => rsn_obs::counter_add("sat.sat", 1),
             SolveOutcome::Unsat => rsn_obs::counter_add("sat.unsat", 1),
-            SolveOutcome::Unknown { .. } => {
+            SolveOutcome::Unknown { reason, .. } => {
                 rsn_obs::counter_add("sat.unknown", 1);
                 rsn_obs::counter_add("budget.exhausted", 1);
+                rsn_obs::record_budget_trip("sat", reason.as_str());
             }
         }
         result

@@ -297,6 +297,8 @@ pub fn synthesize_under(
     })?;
     if degraded {
         rsn_obs::counter_add("budget.degraded_fallbacks", 1);
+        let reason = budget.exhausted().map_or("work_limit", |r| r.as_str());
+        rsn_obs::record_budget_trip("synth", reason);
     }
 
     let build_span = root.child("build");

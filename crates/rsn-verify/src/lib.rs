@@ -103,6 +103,7 @@ pub fn verify_with(rsn: &Rsn, opts: VerifyOptions) -> VerifyReport {
 /// exactly as under [`verify_with`]; with an unlimited budget the result
 /// is identical.
 pub fn verify_under(rsn: &Rsn, opts: VerifyOptions, budget: &Budget) -> VerifyReport {
+    let _trace = rsn_obs::TraceGuard::new("verify");
     let start = std::time::Instant::now();
     let mut report = VerifyReport {
         network: rsn.name().to_string(),
@@ -168,9 +169,17 @@ pub fn verify_under(rsn: &Rsn, opts: VerifyOptions, budget: &Budget) -> VerifyRe
     rsn_obs::counter_add("lint.errors", report.error_count() as u64);
     rsn_obs::counter_add("lint.warnings", report.warning_count() as u64);
     rsn_obs::counter_add("lint.sat_queries", report.sat_queries as u64);
+    // One attribution unit per check family that actually ran (the SAT
+    // work inside is attributed to the sat engine by the solver itself).
+    rsn_obs::counter_add(
+        "budget.spent{engine=verify}",
+        report.checks_run.len() as u64,
+    );
     if !report.incomplete.is_empty() {
         rsn_obs::counter_add("lint.incomplete", report.incomplete.len() as u64);
         rsn_obs::counter_add("budget.exhausted", 1);
+        let reason = budget.exhausted().map_or("work_limit", |r| r.as_str());
+        rsn_obs::record_budget_trip("verify", reason);
     }
     rsn_obs::gauge_set("lint.verify_ms", start.elapsed().as_secs_f64() * 1e3);
 

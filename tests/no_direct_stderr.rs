@@ -1,0 +1,64 @@
+//! Source audit: library crates must route diagnostics through the
+//! `rsn-obs` log facade, never `println!`/`eprintln!` directly. The only
+//! sanctioned print site is the facade's own sink in `rsn-obs/src/log.rs`;
+//! `crates/bench` is a CLI and prints its reports on purpose.
+
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn engine_crates_have_no_direct_prints() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(&crates).expect("crates dir") {
+        let krate = entry.expect("crate entry").path();
+        // The bench crate is the CLI layer: its tables and progress
+        // output go to stdout by design.
+        if krate.file_name().is_some_and(|n| n == "bench") {
+            continue;
+        }
+        let src = krate.join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 10,
+        "source walk looks broken: {} files",
+        sources.len()
+    );
+
+    let mut offences = Vec::new();
+    for path in sources {
+        // The facade's sink is the one place allowed to write stderr.
+        if path.ends_with("rsn-obs/src/log.rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read source");
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            if trimmed.contains("println!") || trimmed.contains("eprintln!") {
+                offences.push(format!("{}:{}: {}", path.display(), lineno + 1, trimmed));
+            }
+        }
+    }
+    assert!(
+        offences.is_empty(),
+        "direct prints found in library crates — use the rsn-obs log \
+         facade (error!/warn!/info!/debug!/trace!) instead:\n{}",
+        offences.join("\n")
+    );
+}

@@ -90,6 +90,46 @@ fn fixed_pipeline_report_contains_solver_and_phase_telemetry() {
         );
     }
 
+    // Histogram percentiles from the SAT and ILP calls above.
+    for hist in [
+        "sat.solve_ns",
+        "sat.solve_conflicts",
+        "ilp.node_ns",
+        "ilp.solve_ns",
+    ] {
+        for field in ["count", "p50", "p90", "p99", "min", "max", "mean"] {
+            assert!(
+                parsed
+                    .get_path(&format!("histograms/{hist}/{field}"))
+                    .and_then(|v| v.as_f64())
+                    .is_some(),
+                "missing histograms/{hist}/{field} in {text}"
+            );
+        }
+        let count = parsed
+            .get_path(&format!("histograms/{hist}/count"))
+            .and_then(|v| v.as_f64());
+        assert!(count.unwrap_or(0.0) >= 1.0, "{hist} recorded nothing");
+    }
+
+    // Per-engine budget attribution; nothing tripped under the
+    // unlimited budgets of this pipeline.
+    for engine in ["sat", "ilp", "fault"] {
+        assert!(
+            parsed
+                .get_path(&format!("counters/budget.spent{{engine={engine}}}"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+                >= 1.0,
+            "missing budget attribution for {engine} in {text}"
+        );
+    }
+    let trips = parsed
+        .get_path("budget_trips")
+        .and_then(|v| v.as_arr())
+        .expect("budget_trips array");
+    assert!(trips.is_empty(), "unlimited budgets cannot trip");
+
     // Fault-simulation counters and the span tree.
     assert!(
         parsed
