@@ -84,6 +84,111 @@ fn partial_path(json_path: &str) -> String {
     }
 }
 
+/// The checkpoint schema this binary writes and accepts on `--resume`.
+const CHECKPOINT_SCHEMA: &str = "table1-partial-v1";
+
+/// Why a `--resume` checkpoint was refused. Every variant means the
+/// checkpoint belongs to a different (or older, or corrupted) run —
+/// resuming from it would silently mix incompatible rows.
+#[derive(Debug)]
+enum CheckpointError {
+    /// Not parseable as JSON, or structurally not a checkpoint.
+    Malformed { path: String, detail: String },
+    /// `schema` is missing or names a different format.
+    SchemaMismatch { path: String, found: String },
+    /// The checkpoint was written for a different benchmark selection.
+    BenchmarkSetMismatch {
+        path: String,
+        checkpoint: Vec<String>,
+        requested: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Malformed { path, detail } => {
+                write!(f, "malformed checkpoint {path}: {detail}")
+            }
+            CheckpointError::SchemaMismatch { path, found } => write!(
+                f,
+                "checkpoint {path} has schema {found:?}, expected {CHECKPOINT_SCHEMA:?} \
+                 (delete it or rerun without --resume)"
+            ),
+            CheckpointError::BenchmarkSetMismatch {
+                path,
+                checkpoint,
+                requested,
+            } => write!(
+                f,
+                "checkpoint {path} covers benchmarks {checkpoint:?} but this run selects \
+                 {requested:?} (delete it or rerun without --resume)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Loads and validates a `--resume` checkpoint: schema string and
+/// benchmark set must match this run before any row is reused.
+fn load_checkpoint(
+    ppath: &str,
+    requested: &[&str],
+) -> Result<HashMap<String, Json>, CheckpointError> {
+    let text = match std::fs::read_to_string(ppath) {
+        Ok(text) => text,
+        // No checkpoint is not an error: the run simply starts fresh.
+        Err(_) => return Ok(HashMap::new()),
+    };
+    let doc = rsn_obs::json::parse(&text).map_err(|e| CheckpointError::Malformed {
+        path: ppath.to_string(),
+        detail: e.to_string(),
+    })?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("<missing>");
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(CheckpointError::SchemaMismatch {
+            path: ppath.to_string(),
+            found: schema.to_string(),
+        });
+    }
+    let checkpoint: Vec<String> = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .ok_or_else(|| CheckpointError::Malformed {
+            path: ppath.to_string(),
+            detail: "no \"benchmarks\" array (checkpoint predates benchmark-set tracking)"
+                .to_string(),
+        })?;
+    if checkpoint
+        .iter()
+        .map(String::as_str)
+        .ne(requested.iter().copied())
+    {
+        return Err(CheckpointError::BenchmarkSetMismatch {
+            path: ppath.to_string(),
+            checkpoint,
+            requested: requested.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    let mut resumed = HashMap::new();
+    for r in doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(n) = r.get("name").and_then(Json::as_str) {
+            resumed.insert(n.to_string(), r.clone());
+        }
+    }
+    Ok(resumed)
+}
+
 fn run_double(names: &[&str]) {
     println!("\nExtension E1: sampled double-fault accessibility (segments)");
     println!(
@@ -502,17 +607,18 @@ fn main() {
             .as_deref()
             .expect("--resume requires --json PATH (the checkpoint lives next to it)");
         let ppath = partial_path(path);
-        if let Ok(text) = std::fs::read_to_string(&ppath) {
-            let doc = rsn_obs::json::parse(&text)
-                .unwrap_or_else(|e| panic!("malformed checkpoint {ppath}: {e}"));
-            for r in doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
-                if let Some(n) = r.get("name").and_then(Json::as_str) {
-                    resumed.insert(n.to_string(), r.clone());
-                }
+        match load_checkpoint(&ppath, &names) {
+            Ok(rows) if rows.is_empty() => {
+                println!("resuming: no checkpoint at {ppath}, starting fresh")
             }
-            println!("resuming: {} completed row(s) in {ppath}", resumed.len());
-        } else {
-            println!("resuming: no checkpoint at {ppath}, starting fresh");
+            Ok(rows) => {
+                resumed = rows;
+                println!("resuming: {} completed row(s) in {ppath}", resumed.len());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -636,7 +742,11 @@ fn main() {
             // Rewrite the checkpoint after every row so an interrupted run
             // can pick up with `--resume`.
             let mut doc = Json::obj();
-            doc.set("schema", Json::Str("table1-partial-v1".to_string()));
+            doc.set("schema", Json::Str(CHECKPOINT_SCHEMA.to_string()));
+            doc.set(
+                "benchmarks",
+                Json::Arr(names.iter().map(|n| Json::Str(n.to_string())).collect()),
+            );
             doc.set("rows", Json::Arr(reports.clone()));
             std::fs::write(partial_path(path), doc.to_string_pretty(2))
                 .expect("write checkpoint json");

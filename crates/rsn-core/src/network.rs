@@ -389,6 +389,61 @@ impl Rsn {
             })
     }
 
+    /// A stable 64-bit content hash of the network.
+    ///
+    /// Covers everything that defines behavior — node names, kinds and
+    /// payloads (segment lengths, shadow flags, control expressions, mux
+    /// inputs/addresses/hardening), dataflow sources, scan ports, input
+    /// count and reset values. Two structurally identical networks hash
+    /// equal; any behavioral edit changes the hash with overwhelming
+    /// probability. FNV-1a over an explicit serialization, so the value
+    /// is stable across processes and runs (unlike `DefaultHasher`) —
+    /// usable as an artifact-cache key (rsn-serve) or checkpoint
+    /// identity.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(&self.name);
+        h.write_u32(self.num_inputs);
+        h.write_u32(self.scan_in.0);
+        h.write_u32(self.scan_out.0);
+        h.write_opt_node(self.secondary_scan_in);
+        h.write_opt_node(self.secondary_scan_out);
+        h.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            h.write_str(&node.name);
+            h.write_opt_node(node.source);
+            match &node.kind {
+                NodeKind::ScanIn => h.write_u8(0),
+                NodeKind::ScanOut => h.write_u8(1),
+                NodeKind::Segment(s) => {
+                    h.write_u8(2);
+                    h.write_u32(s.length);
+                    h.write_u8(s.has_shadow as u8);
+                    h.write_expr(&s.select);
+                    h.write_expr(&s.capture_disable);
+                    h.write_expr(&s.update_disable);
+                }
+                NodeKind::Mux(m) => {
+                    h.write_u8(3);
+                    h.write_u8(m.hardened as u8);
+                    h.write_u64(m.inputs.len() as u64);
+                    for &i in &m.inputs {
+                        h.write_u32(i.0);
+                    }
+                    h.write_u64(m.addr_bits.len() as u64);
+                    for e in &m.addr_bits {
+                        h.write_expr(e);
+                    }
+                }
+            }
+        }
+        h.write_u64(self.reset_bits.len() as u64);
+        for &b in &self.reset_bits {
+            h.write_u8(b as u8);
+        }
+        h.finish()
+    }
+
     /// Consumes the network and returns a builder initialized with the same
     /// structure, for synthesis transformations.
     pub fn into_builder(self) -> RsnBuilder {
@@ -404,6 +459,93 @@ impl Rsn {
             reset: HashMap::new(),
             check_names: false,
         }
+    }
+}
+
+/// FNV-1a, 64-bit: the serialization hasher behind [`Rsn::fingerprint`].
+/// `std`'s `DefaultHasher` is explicitly not stable across releases or
+/// processes, so the cache key rolls its own.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Length-prefixed so adjacent strings cannot alias.
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Tagged so `None` differs from any node id.
+    fn write_opt_node(&mut self, n: Option<NodeId>) {
+        match n {
+            None => self.write_u8(0),
+            Some(id) => {
+                self.write_u8(1);
+                self.write_u32(id.0);
+            }
+        }
+    }
+
+    fn write_expr(&mut self, e: &ControlExpr) {
+        match e {
+            ControlExpr::Const(b) => {
+                self.write_u8(10);
+                self.write_u8(*b as u8);
+            }
+            ControlExpr::Reg(node, bit) => {
+                self.write_u8(11);
+                self.write_u32(node.0);
+                self.write_u32(*bit);
+            }
+            ControlExpr::Input(i) => {
+                self.write_u8(12);
+                self.write_u32(i.0);
+            }
+            ControlExpr::Not(inner) => {
+                self.write_u8(13);
+                self.write_expr(inner);
+            }
+            ControlExpr::And(es) => {
+                self.write_u8(14);
+                self.write_u64(es.len() as u64);
+                for x in es {
+                    self.write_expr(x);
+                }
+            }
+            ControlExpr::Or(es) => {
+                self.write_u8(15);
+                self.write_u64(es.len() as u64);
+                for x in es {
+                    self.write_expr(x);
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -969,6 +1111,29 @@ mod tests {
         assert!(!cfg.bit(off));
         assert!(cfg.bit(off + 1));
         assert!(!cfg.bit(off + 2));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let build = |reset: bool, length: u32| {
+            let mut b = RsnBuilder::new("fp");
+            let s = b.add_segment("S", length);
+            b.set_select(s, ControlExpr::TRUE);
+            b.set_reset_bit(s, 0, reset);
+            b.connect(b.scan_in(), s);
+            b.connect(s, b.scan_out());
+            b.finish().expect("valid")
+        };
+        let a = build(false, 3);
+        // Identical structure → identical hash (also across the clone).
+        assert_eq!(a.fingerprint(), build(false, 3).fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // Any behavioral edit moves the hash.
+        assert_ne!(a.fingerprint(), build(true, 3).fingerprint());
+        assert_ne!(a.fingerprint(), build(false, 4).fingerprint());
+        // Pinned value: fails if the serialization ever changes silently
+        // (stale service caches / checkpoints would go undetected).
+        assert_eq!(a.fingerprint(), 0x58dd_fde7_d924_b77c);
     }
 
     #[test]

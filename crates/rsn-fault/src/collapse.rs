@@ -86,6 +86,13 @@ pub struct FaultClasses {
     class_of: Vec<u32>,
 }
 
+// Compile-time guarantee: the partition stays shareable across threads
+// (sweep workers and resident-service requests read one copy).
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<FaultClasses>()
+};
+
 impl FaultClasses {
     /// Partitions `faults` by effect equality plus the dominance rule.
     pub fn build(rsn: &Rsn, faults: &[Fault], profile: HardeningProfile) -> Self {

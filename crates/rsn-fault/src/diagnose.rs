@@ -53,7 +53,7 @@ impl Signature {
     /// [`FaultDictionary::build`] to amortize precomputation over the
     /// whole fault universe.
     pub fn predicted_on(
-        engine: &AccessEngine<'_>,
+        engine: &AccessEngine,
         scratch: &mut Scratch,
         fault: &Fault,
         profile: HardeningProfile,

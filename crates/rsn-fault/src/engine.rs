@@ -36,6 +36,8 @@
 //! wrapper; any caller evaluating more than one fault should build an
 //! engine and reuse it.
 
+use std::sync::Arc;
+
 use rsn_core::{CompiledExpr, Config, NodeId, NodeKind, Rsn};
 
 use crate::effect::FaultEffect;
@@ -205,8 +207,8 @@ struct MuxInfo {
 /// assert_eq!(acc.segment_fraction(), 1.0);
 /// ```
 #[derive(Debug)]
-pub struct AccessEngine<'r> {
-    rsn: &'r Rsn,
+pub struct AccessEngine {
+    rsn: Arc<Rsn>,
     /// All control bits referenced by any multiplexer address, sorted —
     /// position is the dense index used by `CompiledExpr::Bit`.
     bits: Vec<(NodeId, u32)>,
@@ -306,9 +308,27 @@ pub struct Scratch {
     new_edges: Vec<(NodeId, NodeId, u32)>,
 }
 
-impl<'r> AccessEngine<'r> {
+// Compile-time guarantee: the engine stays shareable across threads
+// (sweep workers and resident-service requests hold `&`/`Arc` views).
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<AccessEngine>()
+};
+
+impl AccessEngine {
     /// Precomputes all fault-independent state of `rsn`.
-    pub fn new(rsn: &'r Rsn) -> Self {
+    ///
+    /// Clones the network into an [`Arc`]; callers that already hold one
+    /// use [`AccessEngine::from_arc`] to share it instead.
+    pub fn new(rsn: &Rsn) -> Self {
+        AccessEngine::from_arc(Arc::new(rsn.clone()))
+    }
+
+    /// Precomputes all fault-independent state of a shared network. The
+    /// engine owns (a handle to) the network, so it carries no borrow —
+    /// cacheable and shareable across threads/requests.
+    pub fn from_arc(rsn_arc: Arc<Rsn>) -> Self {
+        let rsn: &Rsn = &rsn_arc;
         let n = rsn.node_count();
 
         // Dense control-bit index: every register bit referenced by any
@@ -442,7 +462,7 @@ impl<'r> AccessEngine<'r> {
         let wide_mux = muxes.iter().any(|m| m.inputs > 64);
 
         let mut engine = AccessEngine {
-            rsn,
+            rsn: Arc::clone(&rsn_arc),
             bits,
             reset_states,
             roots,
@@ -487,8 +507,13 @@ impl<'r> AccessEngine<'r> {
     }
 
     /// The network this engine was built for.
-    pub fn rsn(&self) -> &'r Rsn {
-        self.rsn
+    pub fn rsn(&self) -> &Rsn {
+        &self.rsn
+    }
+
+    /// A shared handle to the network this engine was built for.
+    pub fn rsn_arc(&self) -> Arc<Rsn> {
+        Arc::clone(&self.rsn)
     }
 
     /// The cached reset configuration of the network.

@@ -137,7 +137,7 @@ pub fn analyze_with(
 /// callers that already hold an [`AccessEngine`] — hardening selection,
 /// benchmarks — skip the per-call precomputation entirely.
 pub fn analyze_faults_on(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     faults: &[Fault],
     profile: HardeningProfile,
     threads: usize,
@@ -171,7 +171,7 @@ pub fn analyze_faults_on(
 ///   `fault.quarantined`) and the worker continues with a fresh
 ///   [`crate::Scratch`] instead of poisoning the whole run.
 pub fn analyze_faults_on_budget(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     faults: &[Fault],
     profile: HardeningProfile,
     threads: usize,
@@ -185,7 +185,7 @@ pub fn analyze_faults_on_budget(
 /// class per fault, preserving the legacy one-unit-per-fault budget
 /// prefix semantics exactly. The `--no-collapse` escape hatch.
 pub fn analyze_faults_on_budget_uncollapsed(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     faults: &[Fault],
     profile: HardeningProfile,
     threads: usize,
@@ -205,7 +205,7 @@ enum Outcome {
 
 /// Evaluates a prebuilt class partition over `faults` and aggregates.
 pub fn analyze_classes_on_budget(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     faults: &[Fault],
     classes: &FaultClasses,
     threads: usize,

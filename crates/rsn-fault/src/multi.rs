@@ -90,7 +90,7 @@ pub fn analyze_double_sampled(
 /// (one [`crate::Scratch`] per worker) and aggregated serially in sample
 /// order, so the report is bit-identical at any worker count.
 pub fn analyze_double_sampled_on(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     profile: HardeningProfile,
     stride: usize,
 ) -> DoubleFaultReport {

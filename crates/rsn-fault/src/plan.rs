@@ -162,11 +162,7 @@ fn choose(
 /// Computes a clean scan path through `target` avoiding corrupt elements,
 /// using BFS over edges that *could* be configured (ignoring current
 /// register values — configurability is resolved by `choose`).
-fn clean_path(
-    engine: &AccessEngine<'_>,
-    effect: &FaultEffect,
-    target: NodeId,
-) -> Option<Vec<NodeId>> {
+fn clean_path(engine: &AccessEngine, effect: &FaultEffect, target: NodeId) -> Option<Vec<NodeId>> {
     let rsn = engine.rsn();
     let reset = engine.reset_config();
     let n = rsn.node_count();
@@ -298,7 +294,7 @@ pub fn plan_faulty_access(
 /// cached reset configuration and root/sink lists across many planning
 /// calls (one per fault × segment in repair sweeps).
 pub fn plan_faulty_access_on(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     effect: &FaultEffect,
     target: NodeId,
 ) -> Option<FaultyAccessPlan> {
@@ -398,7 +394,7 @@ pub fn plan_faulty_access_on(
 /// exists), identical to calling the planner serially — planning is a
 /// pure function of `(effect, target)`.
 pub fn plan_targets_on(
-    engine: &AccessEngine<'_>,
+    engine: &AccessEngine,
     effect: &FaultEffect,
     targets: &[NodeId],
 ) -> Vec<Option<FaultyAccessPlan>> {

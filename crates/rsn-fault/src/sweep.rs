@@ -71,10 +71,14 @@ where
         worker(&mut collected);
         busy = start.elapsed().as_secs_f64();
     } else {
+        // Report scopes are thread-local; re-enter the caller's scopes on
+        // each worker so per-request metric attribution survives fan-out.
+        let scopes = rsn_obs::scope_handles();
         let per_worker: Vec<(Vec<(usize, R)>, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _guards: Vec<_> = scopes.iter().map(|h| h.enter()).collect();
                         let t0 = Instant::now();
                         let mut out = Vec::new();
                         worker(&mut out);

@@ -97,6 +97,18 @@ pub const METRIC_CATALOG: &[CatalogEntry] = &[
     (Counter, "budget.exhausted"),
     (Counter, "budget.degraded_fallbacks"),
     (Counter, "budget.spent"),
+    // rsn-serve: resident daemon (labels carry the endpoint, e.g.
+    // `serve.requests{endpoint=sweep}`).
+    (Counter, "serve.requests"),
+    (Counter, "serve.responses"),
+    (Counter, "serve.errors"),
+    (Counter, "serve.rejected"),
+    (Counter, "serve.cancelled"),
+    (Counter, "serve.cache_hits"),
+    (Counter, "serve.cache_misses"),
+    (Gauge, "serve.queue_depth"),
+    (Gauge, "serve.cache_networks"),
+    (Histogram, "serve.request_ns"),
     // crates/bench: cross-checks and throughput.
     (Counter, "bench.bmc_checked"),
     (Counter, "bench.bmc_mismatches"),

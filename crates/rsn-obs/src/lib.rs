@@ -56,6 +56,7 @@ mod log;
 mod metrics;
 mod prom;
 mod report;
+mod scope;
 mod span;
 mod trace;
 mod trip;
@@ -69,6 +70,7 @@ pub use log::{log_enabled, log_level, log_message, set_log_level, Level};
 pub use metrics::{counter_add, counter_get, gauge_set, hist_record, metrics_snapshot, Registry};
 pub use prom::render_prometheus;
 pub use report::RunReport;
+pub use scope::{scope_active, scope_handles, scope_merge, ScopeGuard, ScopeHandle};
 pub use span::{span_snapshot, timed, Span, SpanStat};
 pub use trace::{
     chrome_trace, set_trace_enabled, trace_drain, trace_enabled, trace_instant, TraceEvent,

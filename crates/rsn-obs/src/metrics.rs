@@ -64,15 +64,24 @@ impl Registry {
     }
 }
 
+// Compile-time guarantee: registries move between threads (map-reduce
+// collection, per-request scopes) — a future non-Send field fails here.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Registry>()
+};
+
 static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
     gauges: BTreeMap::new(),
     histograms: BTreeMap::new(),
 });
 
-/// Adds `delta` to a counter in the global registry.
+/// Adds `delta` to a counter in the global registry (and any report
+/// scopes entered on this thread — see [`crate::ScopeHandle`]).
 pub fn counter_add(name: &str, delta: u64) {
     GLOBAL.lock().unwrap().counter_add(name, delta);
+    crate::scope::tee_counter(name, delta);
 }
 
 /// Current value of a global counter (0 if never touched).
@@ -86,14 +95,17 @@ pub fn counter_get(name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Sets a gauge in the global registry.
+/// Sets a gauge in the global registry (and any entered scopes).
 pub fn gauge_set(name: &str, value: f64) {
     GLOBAL.lock().unwrap().gauge_set(name, value);
+    crate::scope::tee_gauge(name, value);
 }
 
-/// Records one sample into a histogram in the global registry.
+/// Records one sample into a histogram in the global registry (and any
+/// entered scopes).
 pub fn hist_record(name: &str, value: u64) {
     GLOBAL.lock().unwrap().hist_record(name, value);
+    crate::scope::tee_hist(name, value);
 }
 
 /// Clones the global registry.

@@ -184,6 +184,13 @@ impl CnfBuilder {
         &mut self.solver
     }
 
+    /// Read-only access to the underlying solver. A pristine (never
+    /// solved) builder can be kept immutable and shared; callers clone
+    /// the solver to get private search state (`Solver` is `Clone`).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
     /// Consumes the builder and returns the solver.
     pub fn into_solver(self) -> Solver {
         self.solver

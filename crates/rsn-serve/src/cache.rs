@@ -1,0 +1,206 @@
+//! The shared artifact cache: one entry per distinct network (keyed by
+//! [`Rsn::fingerprint`]), holding lazily-built `Arc`'d analysis
+//! artifacts — the [`AccessEngine`], the [`NetworkSat`] CNF model and
+//! the collapsed [`FaultClasses`] partitions.
+//!
+//! All three are expensive pure functions of the network, and all three
+//! are immutable once built (queries run against caller-owned scratch),
+//! so concurrent requests for the same network share one copy. Laziness
+//! matters: a `/lint` request never pays for fault collapsing, a
+//! `/sweep` never pays for CNF encoding. Each artifact sits behind a
+//! `OnceLock` *inside* the entry, so a slow build blocks only requests
+//! that need that artifact of that network — never the cache map.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rsn_core::Rsn;
+use rsn_fault::{fault_universe, AccessEngine, Fault, FaultClasses, HardeningProfile};
+use rsn_verify::NetworkSat;
+
+/// Lazily-built shared artifacts of one network.
+pub struct Artifacts {
+    rsn: Arc<Rsn>,
+    engine: OnceLock<Arc<AccessEngine>>,
+    sat: OnceLock<Arc<NetworkSat>>,
+    faults: OnceLock<Arc<Vec<Fault>>>,
+    /// Collapsed partitions, indexed by `HardeningProfile::select_hardened`.
+    classes: [OnceLock<Arc<FaultClasses>>; 2],
+}
+
+// The whole point of the cache is cross-thread sharing; fail at compile
+// time if an artifact ever stops being shareable.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Artifacts>()
+};
+
+impl Artifacts {
+    fn new(rsn: Arc<Rsn>) -> Artifacts {
+        Artifacts {
+            rsn,
+            engine: OnceLock::new(),
+            sat: OnceLock::new(),
+            faults: OnceLock::new(),
+            classes: [OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// The network itself.
+    pub fn rsn(&self) -> &Arc<Rsn> {
+        &self.rsn
+    }
+
+    /// The accessibility engine, built on first use.
+    pub fn engine(&self) -> Arc<AccessEngine> {
+        Arc::clone(
+            self.engine
+                .get_or_init(|| Arc::new(AccessEngine::from_arc(Arc::clone(&self.rsn)))),
+        )
+    }
+
+    /// The CNF model, built on first use.
+    pub fn network_sat(&self) -> Arc<NetworkSat> {
+        Arc::clone(
+            self.sat
+                .get_or_init(|| Arc::new(NetworkSat::build(&self.rsn))),
+        )
+    }
+
+    /// The single-stuck-at fault universe, built on first use.
+    pub fn faults(&self) -> Arc<Vec<Fault>> {
+        Arc::clone(
+            self.faults
+                .get_or_init(|| Arc::new(fault_universe(&self.rsn))),
+        )
+    }
+
+    /// The collapsed fault partition for a hardening profile, built on
+    /// first use (per profile).
+    pub fn classes(&self, profile: HardeningProfile) -> Arc<FaultClasses> {
+        let slot = profile.select_hardened as usize;
+        Arc::clone(
+            self.classes[slot]
+                .get_or_init(|| Arc::new(FaultClasses::build(&self.rsn, &self.faults(), profile))),
+        )
+    }
+}
+
+/// A bounded, keyed store of [`Artifacts`], evicting least-recently-used
+/// networks beyond `cap`.
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, Arc<Artifacts>>,
+    /// Keys from least- to most-recently used.
+    order: Vec<u64>,
+}
+
+impl ArtifactCache {
+    /// An empty cache holding at most `cap` networks (min 1).
+    pub fn new(cap: usize) -> ArtifactCache {
+        ArtifactCache {
+            inner: Mutex::new(Inner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Entry for `rsn`, creating it on first sight. Counts
+    /// `serve.cache_hits` / `serve.cache_misses` and keeps the
+    /// `serve.cache_networks` gauge current. In-flight requests keep
+    /// their `Arc` across an eviction; the evicted entry just stops
+    /// being findable.
+    pub fn get_or_insert(&self, rsn: &Rsn) -> Arc<Artifacts> {
+        let key = rsn.fingerprint();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.entries.get(&key).cloned() {
+            rsn_obs::counter_add("serve.cache_hits", 1);
+            inner.order.retain(|&k| k != key);
+            inner.order.push(key);
+            return entry;
+        }
+        rsn_obs::counter_add("serve.cache_misses", 1);
+        let entry = Arc::new(Artifacts::new(Arc::new(rsn.clone())));
+        inner.entries.insert(key, Arc::clone(&entry));
+        inner.order.push(key);
+        while inner.entries.len() > self.cap {
+            let evict = inner.order.remove(0);
+            inner.entries.remove(&evict);
+        }
+        rsn_obs::gauge_set("serve.cache_networks", inner.entries.len() as f64);
+        entry
+    }
+
+    /// Number of cached networks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// `true` when no network is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::examples;
+
+    #[test]
+    fn same_network_shares_artifacts() {
+        let cache = ArtifactCache::new(4);
+        let rsn = examples::fig2();
+        let a = cache.get_or_insert(&rsn);
+        let b = cache.get_or_insert(&rsn.clone());
+        assert!(Arc::ptr_eq(&a, &b));
+        // Artifacts are built once: the second call returns the same Arc.
+        let e1 = a.engine();
+        let e2 = b.engine();
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let s1 = a.network_sat();
+        let s2 = b.network_sat();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_networks_get_distinct_entries() {
+        let cache = ArtifactCache::new(4);
+        let a = cache.get_or_insert(&examples::fig2());
+        let b = cache.get_or_insert(&examples::chain(3, 4));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_beyond_cap() {
+        let cache = ArtifactCache::new(2);
+        let fig2 = examples::fig2();
+        let chain = examples::chain(3, 4);
+        let tree = examples::sib_tree(2, 2, 4);
+        cache.get_or_insert(&fig2);
+        cache.get_or_insert(&chain);
+        cache.get_or_insert(&fig2); // touch: chain is now LRU
+        cache.get_or_insert(&tree); // evicts chain
+        assert_eq!(cache.len(), 2);
+        let before = rsn_obs::counter_get("serve.cache_misses");
+        cache.get_or_insert(&chain); // rebuilt: a miss again
+        assert_eq!(rsn_obs::counter_get("serve.cache_misses"), before + 1);
+    }
+
+    #[test]
+    fn classes_are_per_profile() {
+        let cache = ArtifactCache::new(2);
+        let entry = cache.get_or_insert(&examples::fig2());
+        let u = entry.classes(HardeningProfile::unhardened());
+        let h = entry.classes(HardeningProfile::hardened());
+        let u2 = entry.classes(HardeningProfile::unhardened());
+        assert!(Arc::ptr_eq(&u, &u2));
+        assert!(!Arc::ptr_eq(&u, &h));
+    }
+}

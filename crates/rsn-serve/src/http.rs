@@ -1,0 +1,235 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
+//! the analysis service: request-line + headers + `Content-Length`
+//! bodies in, status + JSON bodies out. No keep-alive (every response
+//! closes the connection), no chunked encoding, no TLS; the daemon is a
+//! localhost tool, not an internet-facing server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Header names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Protocol-level failure while reading a request. Each maps to a 4xx.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection closed before a full request arrived.
+    Disconnected,
+    /// Socket error or timeout.
+    Io(std::io::Error),
+    /// Not parseable as HTTP/1.x.
+    Malformed(&'static str),
+    /// Head or body over the configured limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Disconnected => write!(f, "client disconnected"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+/// Reads one request from the stream. `max_body` bounds the declared
+/// `Content-Length`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Read until the blank line separating head from body.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let body_start;
+    loop {
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Disconnected);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            body_start = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+    }
+
+    let head_text = std::str::from_utf8(&head[..body_start])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or(HttpError::Malformed("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("content-length"))?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = head[body_start + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Disconnected);
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response and flushes. `Connection: close` always — the
+/// service speaks one request per connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The canonical reason phrase for the statuses the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream, 1024 * 1024);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /sweep?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweep");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized() {
+        assert!(matches!(
+            roundtrip(b"NOT A REQUEST\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nhi")
+                .unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        assert!(matches!(
+            read_request(&mut stream, 10),
+            Err(HttpError::TooLarge)
+        ));
+        client.join().unwrap();
+    }
+}

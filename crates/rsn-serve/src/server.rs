@@ -1,0 +1,391 @@
+//! The resident daemon: accept loop, fixed worker pool, bounded queue
+//! with overload rejection, per-request budgets with client-disconnect
+//! cancellation, and graceful drain on shutdown.
+//!
+//! ## Request lifecycle
+//!
+//! 1. The accept loop (nonblocking, polling) takes a connection. If the
+//!    queue is at capacity the connection is answered `429` inline and
+//!    closed (`serve.rejected`) — admission control before any work.
+//! 2. A worker pops the connection, reads the request, and builds the
+//!    request's [`Budget`]: the configured deadline plus a
+//!    [`CancelToken`] that the disconnect
+//!    monitor trips if the client hangs up mid-computation
+//!    (`serve.cancelled`); engines then stop at their next budget check.
+//! 3. The handler runs inside a fresh [`rsn_obs::ScopeHandle`], so the
+//!    response can report exactly the metrics this request produced, no
+//!    matter how many requests run concurrently.
+//! 4. On shutdown (SIGTERM/SIGINT or [`ServerHandle::shutdown`]) the
+//!    accept loop stops, queued requests drain, workers exit, and
+//!    [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rsn_budget::{Budget, CancelToken};
+use rsn_obs::json::Json;
+
+use crate::api::{handle, ApiContext, ApiResponse};
+use crate::http::{read_request, write_response, HttpError};
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address, e.g. `127.0.0.1:7223`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Pending-connection queue capacity; beyond it new connections get
+    /// an immediate `429`.
+    pub queue_cap: usize,
+    /// Per-request wall-clock deadline. `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Networks kept in the artifact cache.
+    pub cache_cap: usize,
+    /// Threads per fault sweep (a request-level override caps at 64).
+    pub sweep_threads: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            deadline: Some(Duration::from_secs(30)),
+            max_body: 8 * 1024 * 1024,
+            cache_cap: 16,
+            sweep_threads: 2,
+        }
+    }
+}
+
+/// Wakes workers sleeping on an empty queue.
+struct Queue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A connection being watched for client hang-up while its request
+/// computes.
+struct Watched {
+    id: u64,
+    stream: TcpStream,
+    token: CancelToken,
+}
+
+/// Shared state between the accept loop, workers, and the monitor.
+struct Shared {
+    ctx: ApiContext,
+    opts: ServerOptions,
+    queue: Queue,
+    /// Set once: stop accepting, drain, exit.
+    shutdown: AtomicBool,
+    /// Connections under computation, polled by the disconnect monitor.
+    watched: Mutex<Vec<Watched>>,
+    next_watch_id: AtomicU64,
+}
+
+/// A bound, not-yet-running server. Splitting bind from run lets callers
+/// learn the actual port (and construct a [`ServerHandle`]) before the
+/// blocking accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Remote control for a running [`Server`]: trigger shutdown from
+/// another thread (tests) or from the signal handler path.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: stop accepting, drain the queue,
+    /// return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.ready.notify_all();
+    }
+}
+
+// SIGTERM/SIGINT handling without a libc crate: std already links libc,
+// so declare `signal(2)` directly. The handler only sets an atomic —
+// the accept loop polls it.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        let handler = on_term as *const () as usize;
+        unsafe {
+            signal(15, handler);
+            signal(2, handler);
+        }
+    }
+
+    pub fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn terminated() -> bool {
+        false
+    }
+}
+
+impl Server {
+    /// Binds the listener. The accept loop starts with [`Server::run`].
+    pub fn bind(opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            ctx: ApiContext::new(opts.cache_cap, opts.sweep_threads),
+            opts,
+            queue: Queue {
+                inner: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+            },
+            shutdown: AtomicBool::new(false),
+            watched: Mutex::new(Vec::new()),
+            next_watch_id: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Installs signal handlers and runs until shutdown, serving
+    /// requests on the worker pool. Returns after the graceful drain.
+    pub fn run(self) -> std::io::Result<()> {
+        sig::install();
+        let shared = self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.opts.workers.max(1) {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || worker_loop(&shared));
+            }
+            {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || monitor_loop(&shared));
+            }
+
+            // Accept loop.
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) || sig::terminated() {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        let mut q = shared.queue.inner.lock().unwrap();
+                        if q.len() >= shared.opts.queue_cap {
+                            drop(q);
+                            rsn_obs::counter_add("serve.rejected", 1);
+                            let mut body = Json::obj();
+                            body.set("error", Json::Str("server overloaded".into()));
+                            let _ = write_response(
+                                &mut stream,
+                                429,
+                                "application/json",
+                                body.to_string_pretty(0).as_bytes(),
+                            );
+                        } else {
+                            q.push_back(stream);
+                            rsn_obs::gauge_set("serve.queue_depth", q.len() as f64);
+                            drop(q);
+                            shared.queue.ready.notify_one();
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+
+            // Drain: workers exit once the queue is empty under shutdown
+            // (worker_loop observes the flag); wake any sleepers.
+            shared.queue.ready.notify_all();
+        });
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.inner.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    rsn_obs::gauge_set("serve.queue_depth", q.len() as f64);
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .queue
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(shared, stream);
+    }
+}
+
+/// Polls in-flight connections for client hang-up: a zero-byte `peek`
+/// on a nonblocking socket means EOF, so the request's token is
+/// cancelled and engines stop at their next budget check.
+fn monitor_loop(shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Keep watching until the drain finishes so queued requests
+            // still get disconnect cancellation.
+            let none_left = shared.watched.lock().unwrap().is_empty()
+                && shared.queue.inner.lock().unwrap().is_empty();
+            if none_left {
+                return;
+            }
+        }
+        {
+            let mut watched = shared.watched.lock().unwrap();
+            watched.retain(|w| {
+                let mut probe = [0u8; 1];
+                match w.stream.peek(&mut probe) {
+                    Ok(0) => {
+                        rsn_obs::counter_add("serve.cancelled", 1);
+                        w.token.cancel();
+                        false
+                    }
+                    // Pipelined bytes or not-yet-read request data: alive.
+                    Ok(_) => true,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+                    Err(_) => {
+                        rsn_obs::counter_add("serve.cancelled", 1);
+                        w.token.cancel();
+                        false
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = match read_request(&mut stream, shared.opts.max_body) {
+        Ok(req) => req,
+        Err(HttpError::Disconnected) => return,
+        Err(e) => {
+            rsn_obs::counter_add("serve.errors", 1);
+            let status = match e {
+                HttpError::TooLarge => 413,
+                _ => 400,
+            };
+            let mut body = Json::obj();
+            body.set("error", Json::Str(e.to_string()));
+            let _ = write_response(
+                &mut stream,
+                status,
+                "application/json",
+                body.to_string_pretty(0).as_bytes(),
+            );
+            return;
+        }
+    };
+
+    let endpoint = req.path.trim_start_matches('/').replace('/', "_");
+    rsn_obs::counter_add(&format!("serve.requests{{endpoint={endpoint}}}"), 1);
+
+    // Per-request budget: deadline + cancellation on client hang-up.
+    let mut budget = Budget::unlimited();
+    if let Some(deadline) = shared.opts.deadline {
+        budget = budget.with_deadline(deadline);
+    }
+    let token = budget.cancel_token();
+    let watch_id = shared.next_watch_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        let _ = clone.set_nonblocking(true);
+        shared.watched.lock().unwrap().push(Watched {
+            id: watch_id,
+            stream: clone,
+            token,
+        });
+    }
+
+    // Per-request metric scope: handlers see (and report) exactly the
+    // writes of this request, no matter what runs concurrently.
+    let scope = rsn_obs::ScopeHandle::new();
+    let response = {
+        let _guard = scope.enter();
+        handle(&shared.ctx, &req, &budget, &scope)
+    };
+
+    shared.watched.lock().unwrap().retain(|w| w.id != watch_id);
+
+    // /metrics renders the process-global registry as Prometheus text —
+    // everything else is JSON.
+    let outcome = if req.method == "GET" && req.path == "/metrics" {
+        let text = rsn_obs::render_prometheus(&rsn_obs::metrics_snapshot());
+        write_response(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            text.as_bytes(),
+        )
+    } else {
+        respond_json(&mut stream, &response)
+    };
+    if outcome.is_ok() {
+        rsn_obs::counter_add("serve.responses", 1);
+    }
+    if response.status >= 400 {
+        rsn_obs::counter_add("serve.errors", 1);
+    }
+    rsn_obs::hist_record("serve.request_ns", started.elapsed().as_nanos() as u64);
+}
+
+fn respond_json(stream: &mut TcpStream, response: &ApiResponse) -> std::io::Result<()> {
+    write_response(
+        stream,
+        response.status,
+        "application/json",
+        response.body.to_string_pretty(2).as_bytes(),
+    )
+}

@@ -1,0 +1,97 @@
+//! The shared-artifact contract, below the HTTP layer: many threads
+//! hammering ONE cached `AccessEngine` and ONE `NetworkSat` (mixed
+//! sweeps and lints) must produce bit-identical results to a serial run.
+//! This is what makes the resident service sound — engines are immutable
+//! after construction, all mutation lives in caller-owned scratch.
+
+use std::sync::Arc;
+
+use rsn_budget::Budget;
+use rsn_core::examples;
+use rsn_fault::{analyze_classes_on_budget, HardeningProfile};
+use rsn_serve::ArtifactCache;
+use rsn_verify::{verify_on, VerifyOptions};
+
+/// A comparable digest of one sweep over the shared engine.
+fn sweep_digest(artifacts: &rsn_serve::Artifacts, threads: usize) -> String {
+    let engine = artifacts.engine();
+    let faults = artifacts.faults();
+    let classes = artifacts.classes(HardeningProfile::unhardened());
+    let report =
+        analyze_classes_on_budget(&engine, &faults, &classes, threads, &Budget::unlimited());
+    format!(
+        "faults={} classes={} weight={} worst_seg={} avg_seg={} worst_bits={} avg_bits={} q={} s={}",
+        report.fault_count,
+        report.classes,
+        report.total_weight,
+        report.worst_segments,
+        report.avg_segments,
+        report.worst_bits,
+        report.avg_bits,
+        report.quarantined,
+        report.skipped,
+    )
+}
+
+/// A comparable digest of one verification pass over the shared model.
+fn lint_digest(artifacts: &rsn_serve::Artifacts) -> String {
+    let sat = artifacts.network_sat();
+    let report = verify_on(
+        artifacts.rsn(),
+        &sat,
+        VerifyOptions::default(),
+        &Budget::unlimited(),
+    );
+    report.to_json().to_string_pretty(0)
+}
+
+#[test]
+fn threads_sharing_one_engine_match_serial() {
+    let cache = Arc::new(ArtifactCache::new(4));
+    let rsn = examples::sib_tree(2, 2, 3);
+    let artifacts = cache.get_or_insert(&rsn);
+
+    // Serial baselines, computed once on the very same artifact entry.
+    let serial_sweep = sweep_digest(&artifacts, 1);
+    let serial_lint = lint_digest(&artifacts);
+
+    const WORKERS: usize = 8;
+    const ROUNDS: usize = 3;
+    let outcomes: Vec<(Vec<String>, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let cache = Arc::clone(&cache);
+                let rsn = rsn.clone();
+                scope.spawn(move || {
+                    // Every thread resolves through the cache — they all
+                    // land on the same Artifacts entry.
+                    let entry = cache.get_or_insert(&rsn);
+                    let mut sweeps = Vec::new();
+                    let mut lints = Vec::new();
+                    for round in 0..ROUNDS {
+                        // Mixed workload: vary sweep parallelism too, so
+                        // intra-sweep threading races against sharing.
+                        sweeps.push(sweep_digest(&entry, 1 + (w + round) % 3));
+                        lints.push(lint_digest(&entry));
+                    }
+                    (sweeps, lints)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (sweeps, lints) in outcomes {
+        for s in sweeps {
+            assert_eq!(s, serial_sweep, "concurrent sweep diverged from serial");
+        }
+        for l in lints {
+            assert_eq!(l, serial_lint, "concurrent lint diverged from serial");
+        }
+    }
+
+    // Everyone really did share one entry (no per-thread rebuilds).
+    assert_eq!(cache.len(), 1);
+    let again = cache.get_or_insert(&rsn);
+    assert!(Arc::ptr_eq(&artifacts, &again));
+}

@@ -10,7 +10,7 @@ use rsn_core::{structural_findings, NodeId, NodeKind, Rsn};
 use rsn_graph::DiGraph;
 
 use crate::diag::{Code, Diagnostic};
-use crate::encode::NetworkSat;
+use crate::encode::{NetworkSat, SatScratch};
 
 /// Structural passes shared with the legacy lint: reachability in both
 /// directions (`RSN007`, `RSN008`) and shadow-less address sources
@@ -55,11 +55,11 @@ pub(crate) fn structural(rsn: &Rsn) -> Vec<Diagnostic> {
 /// Select checks (`RSN002`, `RSN001`): for every segment, prove that the
 /// select predicate is satisfiable and that it agrees with active-path
 /// membership in *every* configuration, or extract a witness.
-pub(crate) fn select_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+pub(crate) fn select_checks(rsn: &Rsn, sat: &NetworkSat, scr: &mut SatScratch) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for s in rsn.segments() {
         let sel = sat.select(s);
-        if !sat.satisfiable(&[sel]) {
+        if !sat.satisfiable(scr, &[sel]) {
             out.push(Diagnostic::new(
                 Code::NeverSelected,
                 rsn,
@@ -68,7 +68,7 @@ pub(crate) fn select_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> 
             ));
         }
         let mismatch = sat.select_mismatch(s);
-        if let Some(witness) = sat.witness(rsn, &[mismatch]) {
+        if let Some(witness) = sat.witness(rsn, scr, &[mismatch]) {
             out.push(
                 Diagnostic::new(
                     Code::SelectPathMismatch,
@@ -86,7 +86,7 @@ pub(crate) fn select_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> 
 
 /// Multiplexer checks (`RSN003`, `RSN004`, `RSN005`): per input, prove
 /// selectability; per mux, prove the decoded address stays in range.
-pub(crate) fn mux_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+pub(crate) fn mux_checks(rsn: &Rsn, sat: &NetworkSat, scr: &mut SatScratch) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for m in rsn.muxes() {
         let mux = rsn.node(m).as_mux().expect("mux");
@@ -94,7 +94,7 @@ pub(crate) fn mux_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
         let mut alive = Vec::with_capacity(n_inputs);
         for k in 0..n_inputs {
             let c = sat.mux_cond(m, k);
-            alive.push(sat.satisfiable(&[c]));
+            alive.push(sat.satisfiable(scr, &[c]));
         }
         let alive_count = alive.iter().filter(|&&a| a).count();
         if alive_count <= 1 {
@@ -126,7 +126,7 @@ pub(crate) fn mux_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
             }
         }
         if let Some(overflow) = sat.addr_overflow(m) {
-            if let Some(witness) = sat.witness(rsn, &[overflow]) {
+            if let Some(witness) = sat.witness(rsn, scr, &[overflow]) {
                 out.push(
                     Diagnostic::new(
                         Code::MuxAddressOverflow,
@@ -148,7 +148,11 @@ pub(crate) fn mux_checks(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
 /// Shadow-controllability (`RSN010`): every register whose bits feed
 /// control logic must be placeable on a scan path, otherwise the control
 /// state is stuck at its reset value forever.
-pub(crate) fn controllability(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic> {
+pub(crate) fn controllability(
+    rsn: &Rsn,
+    sat: &NetworkSat,
+    scr: &mut SatScratch,
+) -> Vec<Diagnostic> {
     let consumers = control_consumers(rsn);
     let mut out = Vec::new();
     for (reg, users) in consumers {
@@ -156,7 +160,7 @@ pub(crate) fn controllability(rsn: &Rsn, sat: &mut NetworkSat) -> Vec<Diagnostic
             continue; // reported as RSN006 by the structural pass
         }
         let on = sat.onpath(reg);
-        if !sat.satisfiable(&[on]) {
+        if !sat.satisfiable(scr, &[on]) {
             out.push(
                 Diagnostic::new(
                     Code::UncontrollableControlRegister,

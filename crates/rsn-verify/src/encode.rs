@@ -9,17 +9,26 @@
 //! check of the exhaustive engine is a satisfiability question over this
 //! single formula, so the CNF is built once per network and each query is
 //! one [`Solver::solve_with`](rsn_sat::Solver::solve_with) call — learnt
-//! clauses carry over between queries.
+//! clauses carry over between queries *within one scratch*.
+//!
+//! The model itself is immutable after [`NetworkSat::build`]: every
+//! clause (including derived query gates) is added upfront, and queries
+//! run against a caller-owned [`SatScratch`] — a private clone of the
+//! pristine solver. That split lets one `Arc<NetworkSat>` serve many
+//! concurrent requests, each with its own search state.
 
 use std::collections::HashMap;
 
 use rsn_core::{Config, ControlExpr, InputId, NodeId, NodeKind, Rsn};
-use rsn_sat::{CnfBuilder, Lit};
+use rsn_sat::{CnfBuilder, Lit, Solver};
 
 /// The CNF model of one network: variables for every shadow bit and
 /// primary input, plus derived literals for select predicates, mux input
-/// conditions and on-path membership.
+/// conditions and on-path membership. Immutable once built; queries go
+/// through a [`SatScratch`].
 pub struct NetworkSat {
+    /// The encoder and its pristine solver. No query ever touches this
+    /// solver — scratches clone it.
     cnf: CnfBuilder,
     /// One literal per shadow bit (config bit order).
     bits: Vec<Lit>,
@@ -37,8 +46,30 @@ pub struct NetworkSat {
     /// Mux → address decodes beyond the input count (only present when
     /// the address space is wider than the input list).
     overflow: HashMap<NodeId, Lit>,
-    /// SAT queries issued so far.
+}
+
+// Compile-time guarantee: the artifact stays shareable across threads.
+// A future field with interior mutability (Cell, Rc, raw pointers) fails
+// here instead of at a distant Arc use site.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<NetworkSat>()
+};
+
+/// Caller-owned mutable query state for one [`NetworkSat`]: a private
+/// clone of the pristine solver plus a query counter. Learnt clauses
+/// accumulate here, never in the shared model.
+#[derive(Debug, Clone)]
+pub struct SatScratch {
+    solver: Solver,
     queries: usize,
+}
+
+impl SatScratch {
+    /// Number of SAT queries issued through this scratch.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
 }
 
 impl NetworkSat {
@@ -57,7 +88,6 @@ impl NetworkSat {
             cond: HashMap::new(),
             mismatch: vec![None; rsn.node_count()],
             overflow: HashMap::new(),
-            queries: 0,
         };
 
         // Select predicates.
@@ -194,22 +224,36 @@ impl NetworkSat {
         self.overflow.get(&m).copied()
     }
 
+    /// A fresh query scratch: a private clone of the pristine solver.
+    /// Cheap relative to [`build`](NetworkSat::build) (no re-encoding),
+    /// and independent scratches never contend.
+    pub fn scratch(&self) -> SatScratch {
+        SatScratch {
+            solver: self.cnf.solver().clone(),
+            queries: 0,
+        }
+    }
+
     /// Asks whether the formula is satisfiable under `assumptions`; on
     /// success extracts the witness configuration from the model.
-    pub fn witness(&mut self, rsn: &Rsn, assumptions: &[Lit]) -> Option<Config> {
-        self.queries += 1;
-        let solver = self.cnf.solver_mut();
-        if !solver.solve_with(assumptions) {
+    pub fn witness(
+        &self,
+        rsn: &Rsn,
+        scratch: &mut SatScratch,
+        assumptions: &[Lit],
+    ) -> Option<Config> {
+        scratch.queries += 1;
+        if !scratch.solver.solve_with(assumptions) {
             return None;
         }
         let mut config = Config::zeroed(self.bits.len(), rsn.num_inputs());
         for (i, &l) in self.bits.iter().enumerate() {
-            if solver.lit_value_model(l) == Some(true) {
+            if scratch.solver.lit_value_model(l) == Some(true) {
                 config.set_bit(i, true);
             }
         }
         for (i, &l) in self.inputs.iter().enumerate() {
-            if solver.lit_value_model(l) == Some(true) {
+            if scratch.solver.lit_value_model(l) == Some(true) {
                 config.set_input(InputId(i as u32), true);
             }
         }
@@ -218,13 +262,8 @@ impl NetworkSat {
 
     /// Asks whether the formula is satisfiable under `assumptions`
     /// without extracting a model.
-    pub fn satisfiable(&mut self, assumptions: &[Lit]) -> bool {
-        self.queries += 1;
-        self.cnf.solver_mut().solve_with(assumptions)
-    }
-
-    /// Number of SAT queries issued so far.
-    pub fn queries(&self) -> usize {
-        self.queries
+    pub fn satisfiable(&self, scratch: &mut SatScratch, assumptions: &[Lit]) -> bool {
+        scratch.queries += 1;
+        scratch.solver.solve_with(assumptions)
     }
 }

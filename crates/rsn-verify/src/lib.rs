@@ -30,7 +30,7 @@ mod encode;
 
 pub use augment::{ineffective_augmentation, IneffectiveEdge};
 pub use diag::{Code, Diagnostic, Severity, VerifyReport};
-pub use encode::NetworkSat;
+pub use encode::{NetworkSat, SatScratch};
 
 use rsn_budget::Budget;
 use rsn_core::Rsn;
@@ -103,6 +103,32 @@ pub fn verify_with(rsn: &Rsn, opts: VerifyOptions) -> VerifyReport {
 /// exactly as under [`verify_with`]; with an unlimited budget the result
 /// is identical.
 pub fn verify_under(rsn: &Rsn, opts: VerifyOptions, budget: &Budget) -> VerifyReport {
+    verify_impl(rsn, opts, budget, None)
+}
+
+/// Like [`verify_under`], but queries a prebuilt shared [`NetworkSat`]
+/// instead of encoding the CNF itself. Resident callers (rsn-serve)
+/// cache the model per network and pass it here, so repeat verification
+/// of the same network skips construction entirely; solver state still
+/// lives in a private per-call scratch, so concurrent calls against one
+/// model are safe.
+///
+/// `sat` must have been built from this same `rsn`.
+pub fn verify_on(
+    rsn: &Rsn,
+    sat: &NetworkSat,
+    opts: VerifyOptions,
+    budget: &Budget,
+) -> VerifyReport {
+    verify_impl(rsn, opts, budget, Some(sat))
+}
+
+fn verify_impl(
+    rsn: &Rsn,
+    opts: VerifyOptions,
+    budget: &Budget,
+    shared: Option<&NetworkSat>,
+) -> VerifyReport {
     let _trace = rsn_obs::TraceGuard::new("verify");
     let start = std::time::Instant::now();
     let mut report = VerifyReport {
@@ -122,37 +148,57 @@ pub fn verify_under(rsn: &Rsn, opts: VerifyOptions, budget: &Budget) -> VerifyRe
 
     let needs_sat = opts.select_checks || opts.mux_checks || opts.controllability;
     if needs_sat {
-        // Built lazily so a fully starved run skips the CNF encoding.
-        let mut sat: Option<NetworkSat> = None;
+        // Built lazily so a fully starved run skips the CNF encoding
+        // (unless a resident caller already holds a shared model). The
+        // model is immutable; this run's solver state lives in its own
+        // scratch.
+        let mut owned: Option<NetworkSat> = None;
+        let mut scratch: Option<SatScratch> = None;
         if opts.select_checks {
             if budget.check().is_ok() {
-                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                let sat = match shared {
+                    Some(s) => s,
+                    None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
+                };
+                let scr = scratch.get_or_insert_with(|| sat.scratch());
                 report.checks_run.push("selects");
-                report.diagnostics.extend(checks::select_checks(rsn, sat));
+                report
+                    .diagnostics
+                    .extend(checks::select_checks(rsn, sat, scr));
             } else {
                 report.incomplete.push("selects");
             }
         }
         if opts.mux_checks {
             if budget.check().is_ok() {
-                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                let sat = match shared {
+                    Some(s) => s,
+                    None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
+                };
+                let scr = scratch.get_or_insert_with(|| sat.scratch());
                 report.checks_run.push("muxes");
-                report.diagnostics.extend(checks::mux_checks(rsn, sat));
+                report.diagnostics.extend(checks::mux_checks(rsn, sat, scr));
             } else {
                 report.incomplete.push("muxes");
             }
         }
         if opts.controllability {
             if budget.check().is_ok() {
-                let sat = sat.get_or_insert_with(|| NetworkSat::build(rsn));
+                let sat = match shared {
+                    Some(s) => s,
+                    None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
+                };
+                let scr = scratch.get_or_insert_with(|| sat.scratch());
                 report.checks_run.push("controllability");
-                report.diagnostics.extend(checks::controllability(rsn, sat));
+                report
+                    .diagnostics
+                    .extend(checks::controllability(rsn, sat, scr));
             } else {
                 report.incomplete.push("controllability");
             }
         }
-        if let Some(sat) = &sat {
-            report.sat_queries = sat.queries();
+        if let Some(scr) = &scratch {
+            report.sat_queries = scr.queries();
         }
     }
 
@@ -389,6 +435,19 @@ mod tests {
         assert_eq!(plain, budgeted);
         assert!(budgeted.is_complete());
         assert!(!budgeted.render().contains("INCOMPLETE"));
+    }
+
+    #[test]
+    fn verify_on_shared_model_matches_owned_build() {
+        let rsn = examples::fig2();
+        let sat = NetworkSat::build(&rsn);
+        let owned = verify(&rsn);
+        // Two calls against the same shared model: each gets a private
+        // scratch, so both match the owned-build report exactly.
+        for _ in 0..2 {
+            let shared = verify_on(&rsn, &sat, VerifyOptions::default(), &Budget::unlimited());
+            assert_eq!(owned, shared);
+        }
     }
 
     #[test]
