@@ -1,7 +1,7 @@
 //! `rsn-lint` — static verification front-end for RSN models.
 //!
 //! ```text
-//! rsn-lint [TARGET ...] [--ft] [--json] [--quiet]
+//! rsn-lint [TARGET ...] [--ft] [--explain] [--json] [--quiet]
 //! ```
 //!
 //! Each `TARGET` is one of
@@ -19,30 +19,43 @@
 //! structural and control-cycle graph passes. With `--ft`, the
 //! fault-tolerant synthesis runs first and its output is verified instead
 //! (select checks are skipped automatically when selects are not
-//! materialized). `--json` prints one JSON report object per network.
+//! materialized). `--explain` attaches a root-cause explanation to every
+//! diagnostic: a minimal UNSAT core mapped back to the structural
+//! elements (cut nodes/edges, forcing control bits) plus repair hints.
+//! `--json` prints one JSON report object per network; explanations are
+//! embedded under each diagnostic's `"explanation"` key.
 //!
 //! Note that an `.icl` file exported from a synthesis whose selects were
 //! *not* materialized carries placeholder `Select := 1'b1` predicates;
 //! linting such a file reports the resulting select/path mismatches,
 //! which is a true statement about the netlist as written.
 //!
-//! The exit code is non-zero iff any error-severity diagnostic was found.
+//! Exit codes: `0` — clean; `1` — at least one error-severity finding;
+//! `2` — tool failure (unknown target, unreadable or unparsable input,
+//! failed synthesis, bad flags).
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
+use rsn_budget::Budget;
 use rsn_core::{examples, Rsn};
 use rsn_export::from_icl;
 use rsn_itc02::{by_name, parse_soc, suite};
 use rsn_sib::generate;
 use rsn_synth::{synthesize, SynthesisOptions};
-use rsn_verify::{verify_with, VerifyOptions, VerifyReport};
+use rsn_verify::{explain_report, NetworkSat, VerifyOptions, VerifyReport};
 
-fn usage() -> ExitCode {
-    eprintln!("usage: rsn-lint [TARGET ...] [--ft] [--json] [--quiet]");
+/// Findings present (exit 1) — distinct from tool failure (exit 2).
+const EXIT_FINDINGS: u8 = 1;
+/// Unknown target, parse failure, failed synthesis, bad flags (exit 2).
+const EXIT_TOOL_ERROR: u8 = 2;
+
+fn usage(code: u8) -> ExitCode {
+    eprintln!("usage: rsn-lint [TARGET ...] [--ft] [--explain] [--json] [--quiet]");
     eprintln!("  TARGET: embedded SoC name | file.soc | file.icl | examples");
-    ExitCode::FAILURE
+    eprintln!("  exit codes: 0 clean, 1 findings, 2 tool error");
+    ExitCode::from(code)
 }
 
 fn load(target: &str) -> Result<Vec<Rsn>, String> {
@@ -74,15 +87,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut ft = false;
+    let mut explain = false;
     let mut json = false;
     let mut quiet = false;
     for a in &args {
         match a.as_str() {
             "--ft" => ft = true,
+            "--explain" => explain = true,
             "--json" => json = true,
             "--quiet" => quiet = true,
-            "--help" | "-h" => return usage(),
-            flag if flag.starts_with("--") => return usage(),
+            "--help" | "-h" => return usage(0),
+            flag if flag.starts_with("--") => return usage(EXIT_TOOL_ERROR),
             t => targets.push(t.to_string()),
         }
     }
@@ -91,6 +106,7 @@ fn main() -> ExitCode {
         targets.extend(suite().into_iter().map(|s| s.name));
     }
 
+    let budget = Budget::unlimited();
     let mut errors = 0usize;
     let mut reports: Vec<VerifyReport> = Vec::new();
     for target in &targets {
@@ -98,7 +114,7 @@ fn main() -> ExitCode {
             Ok(n) => n,
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_TOOL_ERROR);
             }
         };
         for rsn in networks {
@@ -107,7 +123,7 @@ fn main() -> ExitCode {
                     Ok(r) => r,
                     Err(e) => {
                         eprintln!("error: synthesis of {} failed: {e}", rsn.name());
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_TOOL_ERROR);
                     }
                 };
                 let vopts = if result.report.selects_materialized {
@@ -119,7 +135,14 @@ fn main() -> ExitCode {
             } else {
                 (rsn, VerifyOptions::default())
             };
-            let report = verify_with(&network, vopts);
+            let report = if explain {
+                let sat = NetworkSat::build(&network);
+                let mut report = rsn_verify::verify_on(&network, &sat, vopts, &budget);
+                explain_report(&network, &sat, &mut report, &budget);
+                report
+            } else {
+                rsn_verify::verify_with(&network, vopts)
+            };
             errors += report.error_count();
             if json {
                 println!("{}", report.to_json().to_string_pretty(2));
@@ -140,7 +163,7 @@ fn main() -> ExitCode {
         );
     }
     if errors > 0 {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     } else {
         ExitCode::SUCCESS
     }

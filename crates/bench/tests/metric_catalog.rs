@@ -33,6 +33,32 @@ fn every_emitted_metric_is_catalogued() {
     // A budget-starved verify exercises the lint + trip paths.
     let starved = Budget::unlimited().with_work_limit(0);
     let _ = rsn_verify::verify_under(&rsn, rsn_verify::VerifyOptions::default(), &starved);
+    // An explained verify of a failing network exercises the root-cause
+    // engine (verify.core_size / verify.explain_ns / verify.cone_nodes).
+    let failing = {
+        use rsn_core::{ControlExpr, RsnBuilder};
+        let mut b = RsnBuilder::new("metric-catalog-failing");
+        let i = b.add_inputs(1);
+        let a = b.add_segment("a", 2);
+        let c = b.add_segment("c", 2);
+        let m = b.add_mux("m", vec![a, c], vec![ControlExpr::input(i)]);
+        b.connect(b.scan_in(), a);
+        b.connect(b.scan_in(), c);
+        b.connect(m, b.scan_out());
+        b.set_select(a, ControlExpr::Const(true));
+        b.set_select(c, ControlExpr::Const(true));
+        b.finish().expect("valid network")
+    };
+    let sat = rsn_verify::NetworkSat::build(&failing);
+    let unlimited = Budget::unlimited();
+    let mut report = rsn_verify::verify_on(
+        &failing,
+        &sat,
+        rsn_verify::VerifyOptions::default(),
+        &unlimited,
+    );
+    assert!(report.error_count() > 0, "fixture must fail verification");
+    rsn_verify::explain_report(&failing, &sat, &mut report, &unlimited);
 
     let snapshot = rsn_obs::metrics_snapshot();
     let mut unknown = Vec::new();
@@ -84,6 +110,9 @@ fn every_emitted_metric_is_catalogued() {
         "ilp.node_ns",
         "fault.class_eval_ns",
         "fault.warm_rounds",
+        "verify.core_size",
+        "verify.explain_ns",
+        "verify.cone_nodes",
     ] {
         assert!(
             snapshot.histograms.get(hist).is_some_and(|h| !h.is_empty()),

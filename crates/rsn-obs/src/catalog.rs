@@ -93,6 +93,9 @@ pub const METRIC_CATALOG: &[CatalogEntry] = &[
     (Counter, "lint.sat_queries"),
     (Counter, "lint.incomplete"),
     (Gauge, "lint.verify_ms"),
+    (Histogram, "verify.core_size"),
+    (Histogram, "verify.explain_ns"),
+    (Histogram, "verify.cone_nodes"),
     // rsn-budget: exhaustion and per-engine attribution (inline labels).
     (Counter, "budget.exhausted"),
     (Counter, "budget.degraded_fallbacks"),

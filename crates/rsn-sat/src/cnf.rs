@@ -28,6 +28,13 @@ pub struct CnfBuilder {
     solver: Solver,
     /// Literal fixed to true (lazily created) for encoding constants.
     true_lit: Option<Lit>,
+    /// When enabled, every emitted clause is recorded (flat, no
+    /// per-clause allocation) together with the current provenance tag.
+    recording: bool,
+    tag: u32,
+    rec_lits: Vec<Lit>,
+    rec_ends: Vec<u32>,
+    rec_tags: Vec<u32>,
 }
 
 impl CnfBuilder {
@@ -36,7 +43,58 @@ impl CnfBuilder {
         CnfBuilder {
             solver: Solver::new(),
             true_lit: None,
+            recording: false,
+            tag: 0,
+            rec_lits: Vec::new(),
+            rec_ends: Vec::new(),
+            rec_tags: Vec::new(),
         }
+    }
+
+    /// Turns on clause recording: from now on every clause added through
+    /// the builder is remembered verbatim (before solver-side
+    /// simplification) together with the provenance tag current at the
+    /// time of emission (see [`CnfBuilder::set_tag`]). Off by default —
+    /// recording costs one flat `Vec` push per clause.
+    pub fn record_provenance(&mut self) {
+        self.recording = true;
+    }
+
+    /// Sets the provenance tag attached to subsequently emitted clauses.
+    /// The tag is an opaque index the caller maps to structural origins
+    /// in a side table.
+    pub fn set_tag(&mut self, tag: u32) {
+        self.tag = tag;
+    }
+
+    /// Number of recorded clauses.
+    pub fn recorded_len(&self) -> usize {
+        self.rec_tags.len()
+    }
+
+    /// Iterates over the recorded clauses as `(literals, tag)` pairs, in
+    /// emission order.
+    pub fn recorded(&self) -> impl Iterator<Item = (&[Lit], u32)> + '_ {
+        (0..self.rec_tags.len()).map(move |i| {
+            let start = if i == 0 {
+                0
+            } else {
+                self.rec_ends[i - 1] as usize
+            };
+            let end = self.rec_ends[i] as usize;
+            (&self.rec_lits[start..end], self.rec_tags[i])
+        })
+    }
+
+    /// Single funnel for clause emission: records (when enabled) and
+    /// forwards to the solver.
+    fn emit(&mut self, lits: &[Lit]) {
+        if self.recording {
+            self.rec_lits.extend_from_slice(lits);
+            self.rec_ends.push(self.rec_lits.len() as u32);
+            self.rec_tags.push(self.tag);
+        }
+        self.solver.add_clause(lits.iter().copied());
     }
 
     /// Allocates a fresh variable and returns its positive literal.
@@ -55,7 +113,7 @@ impl CnfBuilder {
             Some(l) => l,
             None => {
                 let l = self.new_lit();
-                self.solver.add_clause([l]);
+                self.emit(&[l]);
                 self.true_lit = Some(l);
                 l
             }
@@ -78,12 +136,13 @@ impl CnfBuilder {
 
     /// Asserts that a literal must hold.
     pub fn assert_lit(&mut self, l: Lit) {
-        self.solver.add_clause([l]);
+        self.emit(&[l]);
     }
 
     /// Adds a raw clause.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        self.solver.add_clause(lits);
+        let c: Vec<Lit> = lits.into_iter().collect();
+        self.emit(&c);
     }
 
     /// Gate `out = AND(inputs)`. Empty input yields constant true.
@@ -96,12 +155,12 @@ impl CnfBuilder {
                 let out = self.new_lit();
                 // out -> i  for each input
                 for &i in &ins {
-                    self.solver.add_clause([!out, i]);
+                    self.emit(&[!out, i]);
                 }
                 // (AND ins) -> out
                 let mut clause: Vec<Lit> = ins.iter().map(|&i| !i).collect();
                 clause.push(out);
-                self.solver.add_clause(clause);
+                self.emit(&clause);
                 out
             }
         }
@@ -116,11 +175,11 @@ impl CnfBuilder {
             _ => {
                 let out = self.new_lit();
                 for &i in &ins {
-                    self.solver.add_clause([out, !i]);
+                    self.emit(&[out, !i]);
                 }
                 let mut clause = ins;
                 clause.push(!out);
-                self.solver.add_clause(clause);
+                self.emit(&clause);
                 out
             }
         }
@@ -129,20 +188,20 @@ impl CnfBuilder {
     /// Gate `out = a XOR b`.
     pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
         let out = self.new_lit();
-        self.solver.add_clause([!out, a, b]);
-        self.solver.add_clause([!out, !a, !b]);
-        self.solver.add_clause([out, !a, b]);
-        self.solver.add_clause([out, a, !b]);
+        self.emit(&[!out, a, b]);
+        self.emit(&[!out, !a, !b]);
+        self.emit(&[out, !a, b]);
+        self.emit(&[out, a, !b]);
         out
     }
 
     /// Gate `out = if cond { then_ } else { else_ }` (multiplexer).
     pub fn ite(&mut self, cond: Lit, then_: Lit, else_: Lit) -> Lit {
         let out = self.new_lit();
-        self.solver.add_clause([!cond, !then_, out]);
-        self.solver.add_clause([!cond, then_, !out]);
-        self.solver.add_clause([cond, !else_, out]);
-        self.solver.add_clause([cond, else_, !out]);
+        self.emit(&[!cond, !then_, out]);
+        self.emit(&[!cond, then_, !out]);
+        self.emit(&[cond, !else_, out]);
+        self.emit(&[cond, else_, !out]);
         out
     }
 
@@ -154,28 +213,29 @@ impl CnfBuilder {
 
     /// Asserts `a == b`.
     pub fn assert_eq(&mut self, a: Lit, b: Lit) {
-        self.solver.add_clause([!a, b]);
-        self.solver.add_clause([a, !b]);
+        self.emit(&[!a, b]);
+        self.emit(&[a, !b]);
     }
 
     /// Asserts `cond -> (a == b)`.
     pub fn assert_eq_if(&mut self, cond: Lit, a: Lit, b: Lit) {
-        self.solver.add_clause([!cond, !a, b]);
-        self.solver.add_clause([!cond, a, !b]);
+        self.emit(&[!cond, !a, b]);
+        self.emit(&[!cond, a, !b]);
     }
 
     /// Asserts that at most one of the literals holds (pairwise encoding).
     pub fn at_most_one(&mut self, lits: &[Lit]) {
         for i in 0..lits.len() {
             for j in (i + 1)..lits.len() {
-                self.solver.add_clause([!lits[i], !lits[j]]);
+                self.emit(&[!lits[i], !lits[j]]);
             }
         }
     }
 
     /// Asserts that exactly one of the literals holds.
     pub fn exactly_one(&mut self, lits: &[Lit]) {
-        self.solver.add_clause(lits.iter().copied());
+        let c: Vec<Lit> = lits.to_vec();
+        self.emit(&c);
         self.at_most_one(lits);
     }
 

@@ -202,6 +202,8 @@ pub struct Solver {
     max_learnts: f64,
     /// Temporary buffer for conflict analysis.
     seen: Vec<bool>,
+    /// Failed-assumption core of the last unsatisfiable solve.
+    core: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -231,6 +233,7 @@ impl Solver {
             stats: Stats::default(),
             max_learnts: 1000.0,
             seen: Vec::new(),
+            core: Vec::new(),
         }
     }
 
@@ -280,6 +283,13 @@ impl Solver {
 
     fn lit_is_false(&self, l: Lit) -> bool {
         self.lit_value(l) == 0
+    }
+
+    /// Unwinds the trail to the root level, retracting any assumptions
+    /// left in place by a satisfiable solve so new clauses may be added.
+    /// Invalidates the current model.
+    pub fn retract(&mut self) {
+        self.backtrack(0);
     }
 
     /// Adds a clause. Returns `false` if the solver became trivially
@@ -652,6 +662,9 @@ impl Solver {
     }
 
     fn solve_with_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        // The core describes the *last* unsatisfiable answer only; an
+        // empty core on Unsat means the formula needs no assumptions.
+        self.core.clear();
         if self.unsat {
             return SolveOutcome::Unsat;
         }
@@ -682,6 +695,9 @@ impl Solver {
                     // assumptions (formula itself unsat only without them).
                     if assumptions.is_empty() {
                         self.unsat = true;
+                    } else {
+                        let seeds = self.clauses[conflict].lits.clone();
+                        self.core = self.analyze_final(&seeds, assumptions);
                     }
                     self.backtrack(0);
                     return SolveOutcome::Unsat;
@@ -715,6 +731,9 @@ impl Solver {
                     if self.lit_value(learnt[0]) == UNDEF {
                         self.enqueue(learnt[0], None);
                     } else if self.lit_is_false(learnt[0]) {
+                        if !assumptions.is_empty() {
+                            self.core = self.analyze_final(&learnt, assumptions);
+                        }
                         self.backtrack(0);
                         return SolveOutcome::Unsat;
                     }
@@ -723,6 +742,9 @@ impl Solver {
                     if self.lit_value(learnt[0]) == UNDEF {
                         self.enqueue(learnt[0], Some(cref));
                     } else if self.lit_is_false(learnt[0]) {
+                        if !assumptions.is_empty() {
+                            self.core = self.analyze_final(&learnt, assumptions);
+                        }
                         self.backtrack(0);
                         if assumptions.is_empty() {
                             self.unsat = true;
@@ -764,6 +786,14 @@ impl Solver {
                         continue;
                     }
                     if self.lit_is_false(a) {
+                        // ¬a is implied by earlier assumptions (or at the
+                        // root); the refutation is that implication plus
+                        // the assumption `a` itself.
+                        let mut core = self.analyze_final(&[a], assumptions);
+                        if !core.contains(&a) {
+                            core.push(a);
+                        }
+                        self.core = core;
                         self.backtrack(0);
                         return SolveOutcome::Unsat;
                     }
@@ -776,6 +806,141 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// MiniSat-style final-conflict analysis. `seeds` are literals that
+    /// are falsified (or whose falsification is being explained) under
+    /// the assumption pseudo-decisions; the implication trail is walked
+    /// backwards from them, expanding reasons, and the assumption
+    /// literals reached as decisions form the failed-assumption core.
+    ///
+    /// Must run *before* backtracking. If a non-assumption decision is
+    /// ever reached (which the solve loop's backtrack clamping should
+    /// rule out), the full assumption list is returned instead — still a
+    /// valid core, merely untight.
+    fn analyze_final(&mut self, seeds: &[Lit], assumptions: &[Lit]) -> Vec<Lit> {
+        let mut core = Vec::new();
+        if assumptions.is_empty() || self.trail_lim.is_empty() {
+            return core;
+        }
+        let mut marked = 0usize;
+        for &l in seeds {
+            let v = l.var();
+            if self.assign[v.index()] != UNDEF && self.level[v.index()] > 0 && !self.seen[v.index()]
+            {
+                self.seen[v.index()] = true;
+                marked += 1;
+            }
+        }
+        let mut clean = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            if marked == 0 {
+                break;
+            }
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            self.seen[v.index()] = false;
+            marked -= 1;
+            match self.reason[v.index()] {
+                None => {
+                    // A decision. Levels 1..=assumptions.len() hold the
+                    // assumption pseudo-decisions; the enqueued literal is
+                    // the assumption itself.
+                    if self.level[v.index()] as usize <= assumptions.len() {
+                        core.push(l);
+                    } else {
+                        debug_assert!(false, "non-assumption decision in final conflict");
+                        clean = false;
+                    }
+                }
+                Some(cref) => {
+                    let lits = self.clauses[cref].lits.clone();
+                    for &q in &lits {
+                        let qv = q.var();
+                        if qv != v && self.level[qv.index()] > 0 && !self.seen[qv.index()] {
+                            self.seen[qv.index()] = true;
+                            marked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(marked, 0, "every marked var lies on the trail");
+        if marked > 0 {
+            // Unreachable by construction; keep `seen` pristine anyway.
+            for i in start..self.trail.len() {
+                self.seen[self.trail[i].var().index()] = false;
+            }
+        }
+        if clean {
+            core
+        } else {
+            assumptions.to_vec()
+        }
+    }
+
+    /// Failed-assumption core of the most recent unsatisfiable solve: a
+    /// subset of the assumption literals whose conjunction with the
+    /// formula is already unsatisfiable. Empty when the formula is
+    /// unsatisfiable without any assumptions. Overwritten by every solve
+    /// call (and cleared on `Sat`/`Unknown` outcomes), so read it right
+    /// after the `Unsat` verdict.
+    pub fn core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    /// Solves under assumptions; on an unsatisfiable outcome returns the
+    /// failed-assumption core (see [`Solver::core`]), `None` when
+    /// satisfiable. The returned core is a valid but not necessarily
+    /// minimal subset — pass it to [`Solver::shrink_core_under`] for
+    /// deletion-based minimization.
+    pub fn solve_with_core(&mut self, assumptions: &[Lit]) -> Option<Vec<Lit>> {
+        if self.solve_with(assumptions) {
+            None
+        } else {
+            Some(self.core.clone())
+        }
+    }
+
+    /// Budget-aware deletion-based minimization of a failed-assumption
+    /// core: each member is dropped in turn and the remainder re-solved;
+    /// `Unsat` answers also *refine* the working core to the solver's
+    /// newly extracted (possibly smaller) one. Returns the shrunk core
+    /// and a flag that is `true` iff the pass completed, i.e. every
+    /// surviving member was proven necessary (dropping it alone makes
+    /// the query satisfiable) — a minimal unsatisfiable subset.
+    ///
+    /// On budget exhaustion the current (still valid, unminimized) core
+    /// is returned with `false`; the routine never hangs.
+    pub fn shrink_core_under(&mut self, core: &[Lit], budget: &Budget) -> (Vec<Lit>, bool) {
+        let mut cur: Vec<Lit> = core.to_vec();
+        // Every literal is tested exactly once; refinement may delete
+        // queued literals early, in which case they are skipped.
+        let mut queue: Vec<Lit> = cur.clone();
+        while let Some(cand) = queue.pop() {
+            if !cur.contains(&cand) {
+                continue; // dropped by an earlier refinement
+            }
+            if budget.check().is_err() {
+                return (cur, false);
+            }
+            let trial: Vec<Lit> = cur.iter().copied().filter(|&l| l != cand).collect();
+            match self.solve_with_under(&trial, budget) {
+                SolveOutcome::Unsat => {
+                    // cand is redundant; adopt the refined core (a subset
+                    // of `trial`, so necessity of already-kept members is
+                    // preserved by monotonicity).
+                    cur = self.core.clone();
+                }
+                SolveOutcome::Sat => {} // cand is necessary, keep it
+                SolveOutcome::Unknown { .. } => return (cur, false),
+            }
+        }
+        (cur, true)
     }
 
     /// Model value of a variable after a satisfiable [`Solver::solve`] call,

@@ -106,6 +106,93 @@ fn assumptions_partition_the_search_space() {
 }
 
 #[test]
+fn extracted_cores_are_valid_and_shrunk_cores_are_minimal() {
+    // For every unsatisfiable solve-with-assumptions: the extracted core
+    // is a subset of the assumptions, re-solving with only the core is
+    // still unsatisfiable, and after deletion-based minimization
+    // dropping any single member makes the query satisfiable.
+    let mut rng = Rng(0x5eed_0005);
+    let budget = rsn_budget::Budget::unlimited();
+    let mut unsat_cases = 0;
+    for _case in 0..256 {
+        let clauses = random_clauses(&mut rng, 6, 24);
+        let mut s = Solver::new();
+        for _ in 0..6 {
+            s.new_var();
+        }
+        let mut trivially_unsat = false;
+        for c in &clauses {
+            if !s.add_clause(c.iter().copied()) {
+                trivially_unsat = true;
+            }
+        }
+        if trivially_unsat {
+            continue;
+        }
+        let n_assum = 1 + rng.below(6) as usize;
+        let assumptions: Vec<Lit> = (0..n_assum)
+            .map(|_| Lit::with_polarity(Var(rng.below(6) as u32), rng.bool()))
+            .collect();
+        let Some(core) = s.solve_with_core(&assumptions) else {
+            continue; // satisfiable under these assumptions
+        };
+        unsat_cases += 1;
+        assert!(
+            core.iter().all(|l| assumptions.contains(l)),
+            "core {core:?} is not a subset of assumptions {assumptions:?}"
+        );
+        assert!(
+            !s.solve_with(&core),
+            "core {core:?} does not reproduce unsatisfiability ({clauses:?})"
+        );
+        let (shrunk, minimal) = s.shrink_core_under(&core, &budget);
+        assert!(minimal, "unlimited budget must finish the pass");
+        assert!(
+            !s.solve_with(&shrunk),
+            "shrunk core {shrunk:?} is no longer a core"
+        );
+        assert!(shrunk.len() <= core.len());
+        for drop in 0..shrunk.len() {
+            let without: Vec<Lit> = shrunk
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, &l)| l)
+                .collect();
+            assert!(
+                s.solve_with(&without),
+                "member {:?} of shrunk core {shrunk:?} is redundant",
+                shrunk[drop]
+            );
+        }
+    }
+    assert!(unsat_cases >= 32, "seed produced too few unsat cases");
+}
+
+#[test]
+fn core_shrinking_respects_budget() {
+    // A zero-work budget degrades to the unminimized (but still valid)
+    // core instead of hanging.
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+    // x0 ∧ x1 ∧ x2 ∧ x3 assumed, with clause ¬x1 ∨ ¬x2 — core {x1, x2}.
+    s.add_clause([Lit::neg(vars[1]), Lit::neg(vars[2])]);
+    let assumptions: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+    let core = s.solve_with_core(&assumptions).expect("unsat");
+    let exhausted = rsn_budget::Budget::unlimited().with_work_limit(0);
+    let _ = exhausted.check(); // trip it
+    let (kept, minimal) = s.shrink_core_under(&core, &exhausted);
+    assert_eq!(kept, core, "exhausted budget must return the input core");
+    assert!(!minimal);
+    // With a real budget the core shrinks to exactly {x1, x2}.
+    let (shrunk, minimal) = s.shrink_core_under(&core, &rsn_budget::Budget::unlimited());
+    assert!(minimal);
+    let mut got = shrunk.clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![Lit::pos(vars[1]), Lit::pos(vars[2])]);
+}
+
+#[test]
 fn dimacs_roundtrip_preserves_satisfiability() {
     let mut rng = Rng(0x5eed_0003);
     for _case in 0..64 {

@@ -113,9 +113,13 @@ fn lint(
         Ok(rsn) => rsn,
         Err(resp) => return resp,
     };
+    let explain = matches!(spec.get("explain"), Some(Json::Bool(true)));
     let artifacts = ctx.cache.get_or_insert(&rsn);
     let sat = artifacts.network_sat();
-    let report = verify_on(artifacts.rsn(), &sat, VerifyOptions::default(), budget);
+    let mut report = verify_on(artifacts.rsn(), &sat, VerifyOptions::default(), budget);
+    if explain {
+        rsn_verify::explain_report(artifacts.rsn(), &sat, &mut report, budget);
+    }
     if cancelled(budget) {
         return ApiResponse::error(408, "request cancelled or deadline exceeded");
     }

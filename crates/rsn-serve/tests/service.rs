@@ -144,6 +144,38 @@ fn endpoints_end_to_end_and_cache_fast_path() {
     shutdown(handle, thread);
 }
 
+#[test]
+fn lint_explain_reuses_cached_artifacts() {
+    let (addr, handle, thread) = start(2);
+    let spec = r#"{"example": "sib_tree", "explain": true}"#;
+
+    let (status, body) = request_json(addr, "POST", "/lint", spec);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("clean"), Some(&Json::Bool(true)));
+    // Clean network: no diagnostics, hence no explanation objects.
+    let diags = body.get("report").and_then(|r| r.get("diagnostics"));
+    assert!(
+        matches!(diags, Some(Json::Arr(d)) if d.is_empty()),
+        "unexpected diagnostics: {body:?}"
+    );
+
+    // Repeat with explain on: the cached artifacts — including the
+    // shared CNF model the explanation engine queries — are reused.
+    let (status, body) = request_json(addr, "POST", "/lint", spec);
+    assert_eq!(status, 200);
+    let hits = body
+        .get("request_metrics")
+        .and_then(|m| m.get("serve.cache_hits"))
+        .and_then(Json::as_f64);
+    assert_eq!(
+        hits,
+        Some(1.0),
+        "explain request must reuse cached artifacts"
+    );
+
+    shutdown(handle, thread);
+}
+
 /// The acceptance bar: ≥8 parallel clients with mixed endpoints get
 /// bit-identical analysis results to a serial run, with zero panics.
 #[test]

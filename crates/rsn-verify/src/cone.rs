@@ -1,0 +1,85 @@
+//! Cone-of-influence slicing over the dataflow adjacency.
+//!
+//! The SAT encoding of a node's on-path membership depends on (a) every
+//! downstream node on some successor chain to a scan-out and (b) the
+//! control expressions — select predicates and mux address bits — of the
+//! nodes traversed, which in turn read shadow registers elsewhere in the
+//! network. The cone computed here is exactly that closure: the set of
+//! nodes whose encoding can appear in an UNSAT core for a query rooted
+//! at the given nodes. Explanations report its size and use it to scope
+//! narratives.
+
+use rsn_core::{NodeId, NodeKind, Rsn};
+
+/// The cone of influence of `roots`: all nodes reachable by alternating
+/// dataflow-successor steps and control-read steps (a node's select or
+/// mux address reading a shadow register pulls the owning register into
+/// the cone). Returned in ascending node-id order.
+pub fn cone_of_influence(rsn: &Rsn, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut seen = vec![false; rsn.node_count()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &r in roots {
+        if !seen[r.index()] {
+            seen[r.index()] = true;
+            stack.push(r);
+        }
+    }
+    let mut refs = Vec::new();
+    while let Some(v) = stack.pop() {
+        for &w in rsn.successors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+        refs.clear();
+        match rsn.node(v).kind() {
+            NodeKind::Segment(s) => s.select.collect_reg_refs(&mut refs),
+            NodeKind::Mux(m) => {
+                for e in &m.addr_bits {
+                    e.collect_reg_refs(&mut refs);
+                }
+            }
+            _ => {}
+        }
+        for &(reg, _) in refs.iter() {
+            if !seen[reg.index()] {
+                seen[reg.index()] = true;
+                stack.push(reg);
+            }
+        }
+    }
+    (0..rsn.node_count() as u32)
+        .map(NodeId)
+        .filter(|n| seen[n.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_core::{ControlExpr, RsnBuilder};
+
+    #[test]
+    fn cone_follows_dataflow_and_control_reads() {
+        // si → ctl → s0 → so, with s0's select reading ctl's shadow.
+        let mut b = RsnBuilder::new("cone");
+        let ctl = b.add_segment("ctl", 2);
+        let s0 = b.add_segment("s0", 4);
+        b.set_select(ctl, ControlExpr::TRUE);
+        b.set_select(s0, ControlExpr::reg(ctl, 0));
+        let si = b.scan_in();
+        let so = b.scan_out();
+        b.connect(si, ctl);
+        b.connect(ctl, s0);
+        b.connect(s0, so);
+        let rsn = b.finish().expect("valid network");
+
+        // From s0 the cone is {s0, so} plus ctl via the select read.
+        let cone = cone_of_influence(&rsn, &[s0]);
+        assert!(cone.contains(&s0) && cone.contains(&so) && cone.contains(&ctl));
+        assert!(!cone.contains(&si), "scan-in is upstream only");
+        // From so the cone is just {so}.
+        assert_eq!(cone_of_influence(&rsn, &[so]), vec![so]);
+    }
+}

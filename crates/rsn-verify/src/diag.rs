@@ -7,6 +7,8 @@ use std::fmt;
 use rsn_core::{Config, LintWarning, NodeId, Rsn};
 use rsn_obs::json::Json;
 
+use crate::explain::Explanation;
+
 /// Severity of a diagnostic.
 ///
 /// `Error` findings violate the RSN validity contract (a configuration
@@ -139,6 +141,10 @@ pub struct Diagnostic {
     /// A configuration reproducing the finding through the simulator,
     /// extracted from the SAT model (existence findings only).
     pub witness: Option<Config>,
+    /// Root-cause explanation (minimal structural cut, forcing control
+    /// bits, repair hints), attached by
+    /// [`explain_report`](crate::explain_report).
+    pub explanation: Option<Explanation>,
 }
 
 impl Diagnostic {
@@ -152,6 +158,7 @@ impl Diagnostic {
             related: Vec::new(),
             message: message.into(),
             witness: None,
+            explanation: None,
         }
     }
 
@@ -193,6 +200,9 @@ impl Diagnostic {
                         .collect(),
                 ),
             );
+        }
+        if let Some(e) = &self.explanation {
+            obj.set("explanation", e.to_json());
         }
         obj
     }
@@ -264,13 +274,20 @@ impl VerifyReport {
         self.incomplete.is_empty()
     }
 
-    /// Renders the report for terminals: one line per diagnostic plus a
-    /// summary line.
+    /// Renders the report for terminals: one line per diagnostic (plus
+    /// an indented root-cause block when an explanation is attached), a
+    /// summary line, and one explicit `UNPROVEN` marker per starved
+    /// check family.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for d in &self.diagnostics {
             let _ = writeln!(out, "{d}");
+            if let Some(e) = &d.explanation {
+                for line in e.render_lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -281,6 +298,12 @@ impl VerifyReport {
             self.checks_run.len(),
             self.sat_queries,
         );
+        for fam in &self.incomplete {
+            let _ = writeln!(
+                out,
+                "UNPROVEN {fam}: budget exhausted before this check family ran",
+            );
+        }
         if !self.incomplete.is_empty() {
             let _ = writeln!(
                 out,

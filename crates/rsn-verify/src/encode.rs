@@ -22,6 +22,31 @@ use std::collections::HashMap;
 use rsn_core::{Config, ControlExpr, InputId, NodeId, NodeKind, Rsn};
 use rsn_sat::{CnfBuilder, Lit, Solver};
 
+/// Structural provenance of an emitted clause: which piece of the
+/// network the clause encodes. Stored once per clause as an index into a
+/// compact side table — the explanation engine maps minimized UNSAT
+/// cores back through it to nodes, mux ports and select predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClauseOrigin {
+    /// Encoder infrastructure (constant literals); never cut.
+    Base,
+    /// The select-predicate expression of a segment.
+    Select(NodeId),
+    /// The address-bit expressions of a mux.
+    MuxAddr(NodeId),
+    /// The decode conjunction "address == k" of `(mux, input k)`; cutting
+    /// it corresponds to cutting the dataflow edge `inputs[k] → mux`.
+    MuxPort(NodeId, usize),
+    /// The on-path-membership gate of a node.
+    OnPath(NodeId),
+    /// The `select XOR onpath` query gate of a segment (definitional;
+    /// never cut).
+    Mismatch(NodeId),
+    /// The out-of-range-decode query gate of a mux (definitional; never
+    /// cut).
+    Overflow(NodeId),
+}
+
 /// The CNF model of one network: variables for every shadow bit and
 /// primary input, plus derived literals for select predicates, mux input
 /// conditions and on-path membership. Immutable once built; queries go
@@ -46,6 +71,9 @@ pub struct NetworkSat {
     /// Mux → address decodes beyond the input count (only present when
     /// the address space is wider than the input list).
     overflow: HashMap<NodeId, Lit>,
+    /// Provenance side table: clause tags recorded by the builder index
+    /// into this vector.
+    origins: Vec<ClauseOrigin>,
 }
 
 // Compile-time guarantee: the artifact stays shareable across threads.
@@ -70,12 +98,22 @@ impl SatScratch {
     pub fn queries(&self) -> usize {
         self.queries
     }
+
+    /// Direct solver access for the explanation engine (core extraction,
+    /// blocking clauses). Counts as zero queries; the engine reports its
+    /// own metrics.
+    pub(crate) fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
 }
 
 impl NetworkSat {
     /// Builds the CNF for `rsn`. Linear in network plus expression size.
     pub fn build(rsn: &Rsn) -> NetworkSat {
         let mut cnf = CnfBuilder::new();
+        // Provenance is always recorded: the per-clause cost is one flat
+        // push, and the explanation engine needs the table on demand.
+        cnf.record_provenance();
         let bits: Vec<Lit> = (0..rsn.shadow_bits()).map(|_| cnf.new_lit()).collect();
         let inputs: Vec<Lit> = (0..rsn.num_inputs()).map(|_| cnf.new_lit()).collect();
 
@@ -88,10 +126,17 @@ impl NetworkSat {
             cond: HashMap::new(),
             mismatch: vec![None; rsn.node_count()],
             overflow: HashMap::new(),
+            origins: Vec::new(),
         };
+
+        // Tag 0 = Base; force the constant literal into existence here so
+        // its unit clause is not misattributed to a later region.
+        me.begin(ClauseOrigin::Base);
+        let _ = me.cnf.lit_true();
 
         // Select predicates.
         for s in rsn.segments() {
+            me.begin(ClauseOrigin::Select(s));
             let e = &rsn.node(s).as_segment().expect("segment").select;
             let l = me.expr_lit(rsn, e);
             me.select[s.index()] = Some(l);
@@ -100,8 +145,10 @@ impl NetworkSat {
         // Mux input conditions: address equals the input index.
         for m in rsn.muxes() {
             let mux = rsn.node(m).as_mux().expect("mux").clone();
+            me.begin(ClauseOrigin::MuxAddr(m));
             let addr: Vec<Lit> = mux.addr_bits.iter().map(|e| me.expr_lit(rsn, e)).collect();
             for k in 0..mux.inputs.len() {
+                me.begin(ClauseOrigin::MuxPort(m, k));
                 let conj: Vec<Lit> = addr
                     .iter()
                     .enumerate()
@@ -119,6 +166,7 @@ impl NetworkSat {
         let fals = me.cnf.lit_false();
         me.onpath = vec![fals; n];
         for &v in rsn.topo_order().iter().rev() {
+            me.begin(ClauseOrigin::OnPath(v));
             let l = match rsn.node(v).kind() {
                 // Every scan-out port terminates a scan path: a segment
                 // steered toward a secondary port is as observable (and as
@@ -149,6 +197,7 @@ impl NetworkSat {
         // Derived query gates, built upfront: the solver only accepts new
         // clauses at decision level 0, i.e. before the first query.
         for s in rsn.segments() {
+            me.begin(ClauseOrigin::Mismatch(s));
             let sel = me.select[s.index()].expect("select literal");
             let on = me.onpath[s.index()];
             me.mismatch[s.index()] = Some(me.cnf.xor(sel, on));
@@ -158,6 +207,7 @@ impl NetworkSat {
             let n_inputs = mux.inputs.len();
             let span = 1usize << mux.addr_bits.len().min(usize::BITS as usize - 1);
             if n_inputs < span {
+                me.begin(ClauseOrigin::Overflow(m));
                 // The input conditions partition the address space, so an
                 // out-of-range decode is exactly "no valid condition holds".
                 let conds: Vec<Lit> = (0..n_inputs).map(|k| me.cond[&(m, k)]).collect();
@@ -167,6 +217,14 @@ impl NetworkSat {
         }
 
         me
+    }
+
+    /// Opens a provenance region: clauses emitted from here to the next
+    /// `begin` carry `origin`.
+    fn begin(&mut self, origin: ClauseOrigin) {
+        let tag = self.origins.len() as u32;
+        self.origins.push(origin);
+        self.cnf.set_tag(tag);
     }
 
     /// Encodes a control expression over the state literals.
@@ -265,5 +323,30 @@ impl NetworkSat {
     pub fn satisfiable(&self, scratch: &mut SatScratch, assumptions: &[Lit]) -> bool {
         scratch.queries += 1;
         scratch.solver.solve_with(assumptions)
+    }
+
+    /// Number of variables in the model (state literals plus Tseitin
+    /// gate outputs).
+    pub fn model_vars(&self) -> usize {
+        self.cnf.solver().num_vars()
+    }
+
+    /// The shadow-bit literals, in config bit order.
+    pub fn bit_lits(&self) -> &[Lit] {
+        &self.bits
+    }
+
+    /// The primary-input literals, in input order.
+    pub fn input_lits(&self) -> &[Lit] {
+        &self.inputs
+    }
+
+    /// Iterates over every recorded clause of the model together with
+    /// its structural origin, in emission order. The explanation engine
+    /// re-assembles guarded copies of the formula from this.
+    pub fn recorded_clauses(&self) -> impl Iterator<Item = (&[Lit], ClauseOrigin)> + '_ {
+        self.cnf
+            .recorded()
+            .map(move |(lits, tag)| (lits, self.origins[tag as usize]))
     }
 }

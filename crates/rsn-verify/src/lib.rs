@@ -25,12 +25,18 @@
 
 mod augment;
 mod checks;
+mod cone;
 mod diag;
 mod encode;
+mod explain;
 
 pub use augment::{ineffective_augmentation, IneffectiveEdge};
+pub use cone::cone_of_influence;
 pub use diag::{Code, Diagnostic, Severity, VerifyReport};
-pub use encode::{NetworkSat, SatScratch};
+pub use encode::{ClauseOrigin, NetworkSat, SatScratch};
+pub use explain::{
+    explain_report, replay_eliminates, ControlBitFix, Explanation, RepairAction, RepairHint,
+};
 
 use rsn_budget::Budget;
 use rsn_core::Rsn;
@@ -405,8 +411,16 @@ mod tests {
         // Starved checks never issue SAT queries and never claim findings.
         assert_eq!(report.sat_queries, 0);
         assert!(report.diagnostics.is_empty());
-        // The starvation is loud in both renderings.
+        // The starvation is loud in both renderings: the summary line
+        // plus one explicit UNPROVEN marker per starved family.
         assert!(report.render().contains("INCOMPLETE"));
+        for fam in &report.incomplete {
+            assert!(
+                report.render().contains(&format!("UNPROVEN {fam}")),
+                "missing UNPROVEN marker for {fam}:\n{}",
+                report.render()
+            );
+        }
         assert!(report
             .to_json()
             .to_string_pretty(0)
