@@ -1,0 +1,490 @@
+//! `rsn-fail` — deterministic failpoint injection for chaos testing.
+//!
+//! The paper's subject is tolerating faults in the network under
+//! analysis; this crate applies the same discipline to the analysis
+//! stack itself. A *failpoint* is a named place in the code
+//! (`rsn_fail::fail_point!("sat.solve")`) where a failure can be
+//! injected deliberately: a panic, a delay, an error return, or budget
+//! exhaustion. Production code pays one relaxed atomic load when no
+//! failpoint is configured; chaos runs configure points via the
+//! `RSN_FAIL` environment variable or the programmatic API and replay
+//! bit-identically thanks to per-point splitmix64 streams.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! RSN_FAIL   := entry (';' entry)*
+//! entry      := point '=' action ['@' prob [',' seed]]
+//! action     := 'panic' | 'delay(' MS ')' | 'err' | 'budget' | 'off'
+//! prob       := float in [0, 1]          (default 1.0: always fire)
+//! seed       := u64                      (default: hash of the point name)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! RSN_FAIL="sat.solve=panic"                        # every solve panics
+//! RSN_FAIL="sat.solve=panic@0.3,42;fault.sweep=delay(50)@0.5,7"
+//! RSN_FAIL="verify.run=budget@0.2"                  # 20% budget exhaustion
+//! ```
+//!
+//! # Actions at a point
+//!
+//! * [`Action::Panic`] and [`Action::Delay`] are applied *inside*
+//!   [`eval`]: the panic unwinds from the failpoint, the delay sleeps
+//!   then continues.
+//! * [`Action::Err`] and [`Action::BudgetExhaust`] are returned to the
+//!   call site as [`Injected`], because only the caller knows its error
+//!   channel (an engine typically cancels its `Budget` or returns its
+//!   own error type; the service returns a 500).
+//!
+//! Every firing counts `fail.injected{point=<name>}` in the `rsn-obs`
+//! registry, so chaos runs can prove (and quantify) their injections.
+//!
+//! # Determinism
+//!
+//! Each configured point owns a splitmix64 stream seeded by the spec (or
+//! the point-name hash). The *n*-th evaluation of a point fires iff the
+//! *n*-th draw of its stream is below the probability threshold —
+//! independent of thread interleaving at other points, so a chaos run is
+//! replayed by re-running with the same spec.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a configured failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic at the failpoint (unwinds; pairs with `catch_unwind`
+    /// supervision upstream).
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+    /// Ask the call site to take its error path.
+    Err,
+    /// Ask the call site to behave as if its budget were exhausted.
+    BudgetExhaust,
+    /// Registered but inert (useful to disable one entry of a longer
+    /// spec without rewriting it).
+    Off,
+}
+
+/// An injection the call site must apply itself (see [`Action`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injected {
+    /// Take the error path.
+    Error,
+    /// Behave as if the budget were exhausted.
+    BudgetExhaust,
+}
+
+/// One configured point: the action, a fire threshold on the u64 draw,
+/// and the splitmix64 state the draws come from.
+struct Point {
+    action: Action,
+    /// Fire iff `next_u64 <= threshold`; `u64::MAX` = always.
+    threshold: u64,
+    rng: AtomicU64,
+    fired: AtomicU64,
+    evals: AtomicU64,
+}
+
+/// The global failpoint table. `ACTIVE` is the production fast path:
+/// false means [`eval`] returns `None` after a single relaxed load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: std::sync::Once = std::sync::Once::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Point>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, HashMap<String, Point>> {
+    // A panicking failpoint can unwind through a caller that holds this
+    // lock only if that caller is rsn-fail itself — it never is (eval
+    // drops the guard before applying actions) — but recover anyway:
+    // chaos tooling must not wedge on its own poison.
+    registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// splitmix64: the workspace's standard deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the point name: the default seed, so unseeded specs are
+/// still deterministic per point.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn threshold_for(prob: f64) -> u64 {
+    if prob >= 1.0 {
+        u64::MAX
+    } else if prob <= 0.0 {
+        0
+    } else {
+        (prob * u64::MAX as f64) as u64
+    }
+}
+
+/// Configures one failpoint programmatically. `prob` is clamped to
+/// [0, 1]; `seed` defaults to a hash of the name. Replaces any existing
+/// configuration of the same point.
+pub fn configure(name: &str, action: Action, prob: f64, seed: Option<u64>) {
+    let point = Point {
+        action,
+        threshold: threshold_for(prob),
+        rng: AtomicU64::new(seed.unwrap_or_else(|| name_seed(name))),
+        fired: AtomicU64::new(0),
+        evals: AtomicU64::new(0),
+    };
+    let mut reg = lock_registry();
+    reg.insert(name.to_string(), point);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Removes one failpoint. The fast path stays active while any other
+/// point remains configured.
+pub fn remove(name: &str) {
+    let mut reg = lock_registry();
+    reg.remove(name);
+    if reg.is_empty() {
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Removes every failpoint and restores the unconfigured fast path.
+pub fn clear() {
+    let mut reg = lock_registry();
+    reg.clear();
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// `(evaluations, firings)` of a point since it was configured —
+/// chaos-test bookkeeping.
+pub fn stats(name: &str) -> Option<(u64, u64)> {
+    let reg = lock_registry();
+    reg.get(name).map(|p| {
+        (
+            p.evals.load(Ordering::Relaxed),
+            p.fired.load(Ordering::Relaxed),
+        )
+    })
+}
+
+/// Parses and applies an `RSN_FAIL`-style spec (see the module docs for
+/// the grammar). Entries are applied left to right; on a malformed
+/// entry, everything before it stays applied and an error describing
+/// the bad entry is returned.
+pub fn configure_spec(spec: &str) -> Result<(), String> {
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry without '=': {entry:?}"))?;
+        let (action_text, prob_seed) = match rest.split_once('@') {
+            Some((a, ps)) => (a.trim(), Some(ps.trim())),
+            None => (rest.trim(), None),
+        };
+        let action = parse_action(action_text)?;
+        let (prob, seed) = match prob_seed {
+            None => (1.0, None),
+            Some(ps) => match ps.split_once(',') {
+                None => (parse_prob(ps)?, None),
+                Some((p, s)) => {
+                    let seed = s
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad failpoint seed: {s:?}"))?;
+                    (parse_prob(p)?, Some(seed))
+                }
+            },
+        };
+        configure(name.trim(), action, prob, seed);
+    }
+    Ok(())
+}
+
+fn parse_prob(text: &str) -> Result<f64, String> {
+    let p = text
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| format!("bad failpoint probability: {text:?}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("failpoint probability out of [0,1]: {text:?}"));
+    }
+    Ok(p)
+}
+
+fn parse_action(text: &str) -> Result<Action, String> {
+    match text {
+        "panic" => Ok(Action::Panic),
+        "err" => Ok(Action::Err),
+        "budget" => Ok(Action::BudgetExhaust),
+        "off" => Ok(Action::Off),
+        other => {
+            if let Some(ms) = other
+                .strip_prefix("delay(")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                ms.trim()
+                    .parse::<u64>()
+                    .map(Action::Delay)
+                    .map_err(|_| format!("bad delay milliseconds: {ms:?}"))
+            } else {
+                Err(format!(
+                    "unknown failpoint action {other:?} (panic, delay(MS), err, budget, off)"
+                ))
+            }
+        }
+    }
+}
+
+/// Applies the `RSN_FAIL` environment spec, once per process. Called
+/// lazily by [`eval`]; safe to call eagerly (e.g. from a daemon's main)
+/// to surface spec errors at startup.
+pub fn init_from_env() -> Result<(), String> {
+    let mut result = Ok(());
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("RSN_FAIL") {
+            result = configure_spec(&spec);
+            if let Err(e) = &result {
+                // A daemon booted with a broken chaos spec should say so
+                // once, loudly, rather than silently running clean.
+                rsn_obs::log_message(rsn_obs::Level::Warn, "rsn-fail", format_args!("{e}"));
+            }
+        }
+    });
+    result
+}
+
+/// Evaluates the failpoint `name`. The production fast path — nothing
+/// configured anywhere — is one relaxed atomic load. When the point is
+/// configured and its probability draw fires: `Panic` panics from here,
+/// `Delay` sleeps then returns `None`, and `Err` / `BudgetExhaust` are
+/// returned as [`Injected`] for the call site to apply.
+pub fn eval(name: &str) -> Option<Injected> {
+    if !ENV_INIT.is_completed() {
+        let _ = init_from_env();
+    }
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let action = {
+        let reg = lock_registry();
+        let point = reg.get(name)?;
+        point.evals.fetch_add(1, Ordering::Relaxed);
+        if matches!(point.action, Action::Off) {
+            return None;
+        }
+        // Advance this point's splitmix64 stream by one draw, atomically:
+        // concurrent evaluators each consume a distinct position, and the
+        // aggregate multiset of draws is identical across replays.
+        let drawn = {
+            let mut cur = point.rng.load(Ordering::Relaxed);
+            loop {
+                let mut next = cur;
+                let value = splitmix64(&mut next);
+                match point.rng.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break value,
+                    Err(actual) => cur = actual,
+                }
+            }
+        };
+        if point.threshold != u64::MAX && drawn > point.threshold {
+            return None;
+        }
+        point.fired.fetch_add(1, Ordering::Relaxed);
+        point.action
+    };
+    rsn_obs::counter_add(&format!("fail.injected{{point={name}}}"), 1);
+    match action {
+        Action::Panic => panic!("rsn-fail: injected panic at failpoint {name:?}"),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Action::Err => Some(Injected::Error),
+        Action::BudgetExhaust => Some(Injected::BudgetExhaust),
+        Action::Off => None,
+    }
+}
+
+/// Evaluates a failpoint. The one-argument form returns
+/// `Option<Injected>` for the caller to match; the two-argument form
+/// maps an injection through the given closure and `return`s its value
+/// from the enclosing function.
+///
+/// ```
+/// fn solve() -> Result<u32, String> {
+///     rsn_fail::fail_point!("demo.solve", |inj| Err(format!("injected: {inj:?}")));
+///     Ok(42)
+/// }
+/// assert_eq!(solve(), Ok(42)); // unconfigured: no-op
+/// ```
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::eval($name)
+    };
+    ($name:expr, $on:expr) => {
+        #[allow(clippy::redundant_closure_call)]
+        if let Some(inj) = $crate::eval($name) {
+            return ($on)(inj);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Process-global registry: tests touching it must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unconfigured_is_none() {
+        let _guard = serial();
+        clear();
+        assert_eq!(eval("no.such.point"), None);
+        assert!(!ACTIVE.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn err_and_budget_are_returned() {
+        let _guard = serial();
+        clear();
+        configure("t.err", Action::Err, 1.0, Some(1));
+        configure("t.budget", Action::BudgetExhaust, 1.0, Some(1));
+        assert_eq!(eval("t.err"), Some(Injected::Error));
+        assert_eq!(eval("t.budget"), Some(Injected::BudgetExhaust));
+        assert_eq!(eval("t.other"), None);
+        clear();
+    }
+
+    #[test]
+    fn panic_fires_inline() {
+        let _guard = serial();
+        clear();
+        configure("t.panic", Action::Panic, 1.0, Some(2));
+        let caught = std::panic::catch_unwind(|| eval("t.panic"));
+        assert!(caught.is_err());
+        assert_eq!(stats("t.panic"), Some((1, 1)));
+        clear();
+    }
+
+    #[test]
+    fn probability_is_seed_deterministic() {
+        let _guard = serial();
+        clear();
+        let run = |seed| {
+            configure("t.prob", Action::Err, 0.5, Some(seed));
+            let fired: Vec<bool> = (0..64).map(|_| eval("t.prob").is_some()).collect();
+            remove("t.prob");
+            fired
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((8..=56).contains(&fired), "p=0.5 over 64 draws: {fired}");
+        clear();
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let _guard = serial();
+        clear();
+        configure("t.never", Action::Panic, 0.0, Some(3));
+        for _ in 0..256 {
+            assert_eq!(eval("t.never"), None);
+        }
+        assert_eq!(stats("t.never"), Some((256, 0)));
+        clear();
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let _guard = serial();
+        clear();
+        configure_spec("a.b=panic; c.d = delay(25) @ 0.5 , 99 ;e.f=budget@0.25;;g.h=off")
+            .expect("valid spec");
+        {
+            let reg = lock_registry();
+            assert_eq!(reg.get("a.b").unwrap().action, Action::Panic);
+            assert_eq!(reg.get("c.d").unwrap().action, Action::Delay(25));
+            assert_eq!(reg.get("e.f").unwrap().action, Action::BudgetExhaust);
+            assert_eq!(reg.get("g.h").unwrap().action, Action::Off);
+            assert_eq!(reg.get("c.d").unwrap().rng.load(Ordering::Relaxed), 99);
+        }
+        assert_eq!(eval("g.h"), None, "off entries are inert");
+        clear();
+    }
+
+    #[test]
+    fn spec_errors_are_typed_messages() {
+        let _guard = serial();
+        clear();
+        assert!(configure_spec("nameonly").is_err());
+        assert!(configure_spec("a=explode").is_err());
+        assert!(configure_spec("a=delay(abc)").is_err());
+        assert!(configure_spec("a=panic@1.5").is_err());
+        assert!(configure_spec("a=panic@0.5,notanumber").is_err());
+        clear();
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _guard = serial();
+        clear();
+        configure("t.delay", Action::Delay(30), 1.0, Some(4));
+        let start = std::time::Instant::now();
+        assert_eq!(eval("t.delay"), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        clear();
+    }
+
+    #[test]
+    fn macro_returns_through_closure() {
+        let _guard = serial();
+        clear();
+        fn site() -> Result<u32, &'static str> {
+            fail_point!("t.macro", |_| Err("injected"));
+            Ok(7)
+        }
+        assert_eq!(site(), Ok(7));
+        configure("t.macro", Action::Err, 1.0, Some(5));
+        assert_eq!(site(), Err("injected"));
+        clear();
+    }
+}

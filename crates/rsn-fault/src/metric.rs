@@ -216,6 +216,12 @@ pub fn analyze_classes_on_budget(
         faults.len(),
         "class partition must cover the fault slice"
     );
+    // Chaos failpoint: injected errors / budget exhaustion cancel the
+    // budget up front, so every class reports as skipped and the report
+    // comes back incomplete — degraded, never silently wrong.
+    if rsn_fail::eval("fault.sweep").is_some() {
+        budget.cancel();
+    }
     rsn_obs::counter_add("fault.faults_simulated", faults.len() as u64);
     rsn_obs::counter_add("fault.classes_evaluated", classes.len() as u64);
     rsn_obs::gauge_set("fault.collapse_ratio", classes.collapse_ratio());

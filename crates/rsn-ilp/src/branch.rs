@@ -158,6 +158,13 @@ pub fn solve_ilp(problem: &Problem) -> Result<IlpSolution, IlpError> {
 /// Those of [`solve_ilp`], plus [`IlpError::Budget`] when the budget ran
 /// out before any feasible solution was found.
 pub fn solve_ilp_under(problem: &Problem, budget: &Budget) -> Result<IlpSolution, IlpError> {
+    // Chaos failpoint: injected errors / budget exhaustion cancel the
+    // caller's budget so the search degrades (incumbent kept, or
+    // `IlpError::Budget` and the synthesis greedy fallback) — it never
+    // invents a result.
+    if rsn_fail::eval("ilp.solve").is_some() {
+        budget.cancel();
+    }
     let _trace = rsn_obs::TraceGuard::new("ilp_solve");
     let start = std::time::Instant::now();
     let result = solve_ilp_impl(problem, 200_000, budget);

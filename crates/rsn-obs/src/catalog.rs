@@ -109,9 +109,17 @@ pub const METRIC_CATALOG: &[CatalogEntry] = &[
     (Counter, "serve.cancelled"),
     (Counter, "serve.cache_hits"),
     (Counter, "serve.cache_misses"),
+    (Counter, "serve.panics_caught"),
+    (Counter, "serve.worker_respawns"),
+    (Counter, "serve.breaker_open"),
+    (Counter, "serve.breaker_fast_fail"),
+    (Counter, "serve.cache_poisoned"),
     (Gauge, "serve.queue_depth"),
     (Gauge, "serve.cache_networks"),
     (Histogram, "serve.request_ns"),
+    // rsn-fail: chaos injection (label carries the point, e.g.
+    // `fail.injected{point=sat.solve}`).
+    (Counter, "fail.injected"),
     // crates/bench: cross-checks and throughput.
     (Counter, "bench.bmc_checked"),
     (Counter, "bench.bmc_mismatches"),

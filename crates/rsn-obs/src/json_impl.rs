@@ -175,15 +175,63 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Parses a JSON document. Returns `Err` with a byte offset and message
-/// on malformed input or trailing garbage.
-pub fn parse(text: &str) -> Result<Json, String> {
+/// Containers may nest at most this deep. The parser is recursive
+/// descent, so without a cap adversarial input (`[[[[…`) converts
+/// directly into stack exhaustion — a process abort, not a catchable
+/// error. 128 levels is far beyond any report this workspace writes.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parse failure: where, and why. `TooDeep` is its own variant so
+/// callers (and tests) can tell resource-limit rejection apart from
+/// malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Container nesting exceeded [`MAX_DEPTH`] at this byte offset.
+    TooDeep { offset: usize },
+    /// Malformed input: byte offset and description.
+    Syntax { offset: usize, message: String },
+}
+
+impl JsonError {
+    fn syntax(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset of the failure.
+    pub fn offset(&self) -> usize {
+        match self {
+            JsonError::TooDeep { offset } => *offset,
+            JsonError::Syntax { offset, .. } => *offset,
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::TooDeep { offset } => {
+                write!(f, "nesting deeper than {MAX_DEPTH} at byte {offset}")
+            }
+            JsonError::Syntax { offset, message } => write!(f, "{message} at byte {offset}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document. Returns a typed [`JsonError`] (with a byte
+/// offset) on malformed input, trailing garbage, or nesting beyond
+/// [`MAX_DEPTH`].
+pub fn parse(text: &str) -> Result<Json, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(JsonError::syntax(pos, "trailing data"));
     }
     Ok(value)
 }
@@ -194,21 +242,31 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
     if *pos < b.len() && b[*pos] == c {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", c as char, pos))
+        Err(JsonError::syntax(*pos, format!("expected '{}'", c as char)))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        None => Err(JsonError::syntax(*pos, "unexpected end of input")),
+        Some(b'{') => {
+            if depth >= MAX_DEPTH {
+                return Err(JsonError::TooDeep { offset: *pos });
+            }
+            parse_object(b, pos, depth + 1)
+        }
+        Some(b'[') => {
+            if depth >= MAX_DEPTH {
+                return Err(JsonError::TooDeep { offset: *pos });
+            }
+            parse_array(b, pos, depth + 1)
+        }
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -217,16 +275,16 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("bad literal at byte {pos}"))
+        Err(JsonError::syntax(*pos, "bad literal"))
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -238,15 +296,15 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
+        .ok_or_else(|| JsonError::syntax(start, "bad number"))
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(b, pos, b'"')?;
     let mut out = String::new();
     loop {
         match b.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return Err(JsonError::syntax(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -267,18 +325,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
                             .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            .ok_or_else(|| JsonError::syntax(*pos, "bad \\u escape"))?;
                         out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {pos}")),
+                    _ => return Err(JsonError::syntax(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (multi-byte safe).
                 let rest = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| format!("invalid utf-8 at byte {pos}"))?;
+                    .map_err(|_| JsonError::syntax(*pos, "invalid utf-8"))?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -287,7 +345,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -296,7 +354,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -304,12 +362,12 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            _ => return Err(JsonError::syntax(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(b, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -322,7 +380,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        map.insert(key, parse_value(b, pos)?);
+        map.insert(key, parse_value(b, pos, depth)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -330,7 +388,58 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(map));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            _ => return Err(JsonError::syntax(*pos, "expected ',' or '}'")),
         }
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_arrays_are_rejected_not_overflowed() {
+        // Far deeper than any thread's stack could recurse through.
+        let deep = "[".repeat(200_000);
+        match parse(&deep) {
+            Err(JsonError::TooDeep { offset }) => assert_eq!(offset, MAX_DEPTH),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_objects_are_rejected_not_overflowed() {
+        let deep = "{\"a\":".repeat(200_000);
+        match parse(&deep) {
+            Err(JsonError::TooDeep { .. }) => {}
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_nesting_just_under_the_cap_parses() {
+        // MAX_DEPTH alternating containers: legal, and round-trips.
+        let mut doc = String::new();
+        for i in 0..MAX_DEPTH {
+            doc.push_str(if i % 2 == 0 { "[" } else { "{\"k\":" });
+        }
+        doc.push_str("null");
+        for i in (0..MAX_DEPTH).rev() {
+            doc.push_str(if i % 2 == 0 { "]" } else { "}" });
+        }
+        let v = parse(&doc).expect("depth == MAX_DEPTH parses");
+        let back = parse(&v.to_string()).expect("round trip");
+        assert_eq!(v, back);
+        // One deeper is rejected.
+        let over = format!("[{doc}]");
+        assert!(matches!(parse(&over), Err(JsonError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn error_offsets_and_display() {
+        let e = parse("[1, x]").unwrap_err();
+        assert!(matches!(e, JsonError::Syntax { .. }));
+        assert!(e.to_string().contains("byte"));
+        assert!(e.offset() > 0);
     }
 }

@@ -634,6 +634,13 @@ impl Solver {
     /// and attributes its budget work (conflicts + the entry unit) to
     /// `budget.spent{engine=sat}`.
     pub fn solve_with_under(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        // Chaos failpoint: `panic`/`delay` fire inside `eval`; an
+        // injected error or budget exhaustion cancels the caller's
+        // budget, so this call (and the rest of its request) degrades
+        // through the normal `Unknown` path instead of dying.
+        if rsn_fail::eval("sat.solve").is_some() {
+            budget.cancel();
+        }
         let _trace = rsn_obs::TraceGuard::new("sat_solve");
         let start = std::time::Instant::now();
         let before = self.stats;

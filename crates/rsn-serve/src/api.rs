@@ -18,6 +18,8 @@
 //! optionally followed by `"synthesize": true` to analyze the
 //! fault-tolerant synthesized version instead of the flat SIB network.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rsn_budget::Budget;
 use rsn_core::Rsn;
 use rsn_fault::{
@@ -26,23 +28,38 @@ use rsn_fault::{
 use rsn_obs::json::Json;
 use rsn_verify::{verify_on, VerifyOptions};
 
+use crate::breaker::{Admission, BreakerConfig, Breakers};
 use crate::cache::ArtifactCache;
 use crate::http::Request;
 
 /// Shared state of all request handlers.
 pub struct ApiContext {
     pub cache: ArtifactCache,
+    /// Per-fingerprint circuit breakers.
+    pub breakers: Breakers,
     /// Worker threads per fault sweep.
     pub sweep_threads: usize,
 }
 
 impl ApiContext {
-    pub fn new(cache_cap: usize, sweep_threads: usize) -> ApiContext {
+    pub fn new(cache_cap: usize, sweep_threads: usize, breakers: BreakerConfig) -> ApiContext {
         ApiContext {
             cache: ArtifactCache::new(cache_cap),
+            breakers: Breakers::new(breakers),
             sweep_threads: sweep_threads.max(1),
         }
     }
+}
+
+/// Per-request bookkeeping shared between the handler and the server's
+/// supervision layer. The handler records the resolved network's
+/// fingerprint here *before* engine work starts, so even a request that
+/// panics can be attributed to its network for circuit breaking.
+#[derive(Default)]
+pub struct RequestInfo {
+    /// Resolved network fingerprint; 0 = not resolved (no breaker
+    /// bookkeeping).
+    pub fingerprint: AtomicU64,
 }
 
 /// A handler outcome: HTTP status plus JSON body.
@@ -50,28 +67,59 @@ impl ApiContext {
 pub struct ApiResponse {
     pub status: u16,
     pub body: Json,
+    /// `Retry-After` seconds, set on circuit-breaker 503s.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiResponse {
     fn ok(body: Json) -> ApiResponse {
-        ApiResponse { status: 200, body }
+        ApiResponse {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
-    fn error(status: u16, message: impl Into<String>) -> ApiResponse {
+    pub(crate) fn error(status: u16, message: impl Into<String>) -> ApiResponse {
         let mut body = Json::obj();
         body.set("error", Json::Str(message.into()));
-        ApiResponse { status, body }
+        ApiResponse {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Breaker admission for the resolved network: records the fingerprint
+/// into `info`, then either admits the request or fails fast with a
+/// `503` + `Retry-After` when the network's breaker is open.
+fn admit(ctx: &ApiContext, rsn: &Rsn, info: &RequestInfo) -> Result<(), ApiResponse> {
+    let fp = rsn.fingerprint();
+    info.fingerprint.store(fp, Ordering::Relaxed);
+    match ctx.breakers.admit(fp) {
+        Admission::Allow => Ok(()),
+        Admission::FastFail { retry_after_secs } => {
+            let mut resp = ApiResponse::error(
+                503,
+                "circuit breaker open: repeated failures on this network; retry later",
+            );
+            resp.retry_after = Some(retry_after_secs);
+            Err(resp)
+        }
     }
 }
 
 /// Routes one request. `scope` is this request's metric scope (already
 /// entered by the server); its counters are appended to successful
-/// analysis responses.
+/// analysis responses. `info` carries the resolved network fingerprint
+/// back to the server's supervision layer.
 pub fn handle(
     ctx: &ApiContext,
     req: &Request,
     budget: &Budget,
     scope: &rsn_obs::ScopeHandle,
+    info: &RequestInfo,
 ) -> ApiResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -80,10 +128,10 @@ pub fn handle(
             body.set("cached_networks", Json::Num(ctx.cache.len() as f64));
             ApiResponse::ok(body)
         }
-        ("POST", "/lint") => with_json_body(req, |spec| lint(ctx, spec, budget, scope)),
-        ("POST", "/sweep") => with_json_body(req, |spec| sweep(ctx, spec, budget, scope)),
-        ("POST", "/plan") => with_json_body(req, |spec| plan(ctx, spec, budget, scope)),
-        ("POST", "/synth") => with_json_body(req, |spec| synth(ctx, spec, budget, scope)),
+        ("POST", "/lint") => with_json_body(req, |spec| lint(ctx, spec, budget, scope, info)),
+        ("POST", "/sweep") => with_json_body(req, |spec| sweep(ctx, spec, budget, scope, info)),
+        ("POST", "/plan") => with_json_body(req, |spec| plan(ctx, spec, budget, scope, info)),
+        ("POST", "/synth") => with_json_body(req, |spec| synth(ctx, spec, budget, scope, info)),
         ("GET", "/metrics") => ApiResponse::ok(Json::Str(String::new())), // rendered by server
         (_, "/healthz" | "/lint" | "/sweep" | "/plan" | "/synth" | "/metrics") => {
             ApiResponse::error(405, format!("method {} not allowed here", req.method))
@@ -93,6 +141,11 @@ pub fn handle(
 }
 
 fn with_json_body(req: &Request, f: impl FnOnce(&Json) -> ApiResponse) -> ApiResponse {
+    // Chaos failpoint: `panic` unwinds into the per-request
+    // catch_unwind; `err`/`budget` take the service's error path.
+    if rsn_fail::eval("serve.parse").is_some() {
+        return ApiResponse::error(500, "injected failure at failpoint serve.parse");
+    }
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return ApiResponse::error(400, "body is not UTF-8"),
@@ -108,11 +161,15 @@ fn lint(
     spec: &Json,
     budget: &Budget,
     scope: &rsn_obs::ScopeHandle,
+    info: &RequestInfo,
 ) -> ApiResponse {
     let rsn = match resolve_network(spec, budget) {
         Ok(rsn) => rsn,
         Err(resp) => return resp,
     };
+    if let Err(resp) = admit(ctx, &rsn, info) {
+        return resp;
+    }
     let explain = matches!(spec.get("explain"), Some(Json::Bool(true)));
     let artifacts = ctx.cache.get_or_insert(&rsn);
     let sat = artifacts.network_sat();
@@ -135,11 +192,15 @@ fn sweep(
     spec: &Json,
     budget: &Budget,
     scope: &rsn_obs::ScopeHandle,
+    info: &RequestInfo,
 ) -> ApiResponse {
     let rsn = match resolve_network(spec, budget) {
         Ok(rsn) => rsn,
         Err(resp) => return resp,
     };
+    if let Err(resp) = admit(ctx, &rsn, info) {
+        return resp;
+    }
     let profile = match hardening_profile(spec) {
         Ok(p) => p,
         Err(resp) => return resp,
@@ -186,11 +247,15 @@ fn plan(
     spec: &Json,
     budget: &Budget,
     scope: &rsn_obs::ScopeHandle,
+    info: &RequestInfo,
 ) -> ApiResponse {
     let rsn = match resolve_network(spec, budget) {
         Ok(rsn) => rsn,
         Err(resp) => return resp,
     };
+    if let Err(resp) = admit(ctx, &rsn, info) {
+        return resp;
+    }
     let target_name = match spec.get("target").and_then(Json::as_str) {
         Some(t) => t,
         None => return ApiResponse::error(400, "missing \"target\" segment name"),
@@ -259,11 +324,15 @@ fn synth(
     spec: &Json,
     budget: &Budget,
     scope: &rsn_obs::ScopeHandle,
+    info: &RequestInfo,
 ) -> ApiResponse {
     let rsn = match resolve_network(spec, budget) {
         Ok(rsn) => rsn,
         Err(resp) => return resp,
     };
+    if let Err(resp) = admit(ctx, &rsn, info) {
+        return resp;
+    }
     let mut opts = rsn_synth::SynthesisOptions::new();
     if spec.get("verify").and_then(as_bool) == Some(true) {
         opts.verify = true;
@@ -309,6 +378,14 @@ fn finish(body: &mut Json, rsn: &Rsn, scope: &rsn_obs::ScopeHandle) {
         "fingerprint",
         Json::Str(format!("{:016x}", rsn.fingerprint())),
     );
+    attach_request_metrics(body, scope);
+}
+
+/// Appends this request's scoped counters as `request_metrics`. The
+/// server also calls this for responses that bypassed the handlers
+/// (caught panics, injected chaos), so failures stay as attributable
+/// as successes.
+pub(crate) fn attach_request_metrics(body: &mut Json, scope: &rsn_obs::ScopeHandle) {
     let snapshot = scope.snapshot();
     let mut counters = Json::obj();
     for (name, value) in &snapshot.counters {

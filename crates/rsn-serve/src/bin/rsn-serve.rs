@@ -23,7 +23,16 @@ OPTIONS:
     --deadline-ms <MS>     per-request deadline, 0 = unlimited [default: 30000]
     --cache <N>            networks kept in the artifact cache [default: 16]
     --sweep-threads <N>    default threads per fault sweep [default: 2]
+    --breaker-threshold <N>    consecutive failures opening a network's
+                               circuit breaker [default: 3]
+    --breaker-cooldown-ms <MS> how long an open breaker rejects before
+                               probing again [default: 2000]
     --help                 print this help
+
+ENVIRONMENT:
+    RSN_FAIL    chaos failpoint spec, e.g.
+                \"sat.solve=panic@0.3,42;serve.parse=err\"
+                (see the rsn-fail crate for the grammar)
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +59,13 @@ fn main() -> ExitCode {
             "--sweep-threads" => {
                 opts.sweep_threads = parse(&value("--sweep-threads"), "--sweep-threads")
             }
+            "--breaker-threshold" => {
+                opts.breaker.threshold = parse(&value("--breaker-threshold"), "--breaker-threshold")
+            }
+            "--breaker-cooldown-ms" => {
+                let ms: u64 = parse(&value("--breaker-cooldown-ms"), "--breaker-cooldown-ms");
+                opts.breaker.cooldown = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -58,6 +74,11 @@ fn main() -> ExitCode {
         }
     }
     opts.addr = format!("{host}:{port}");
+
+    // Surface a bad RSN_FAIL spec at startup instead of on first request.
+    if let Err(e) = rsn_fail::init_from_env() {
+        fail(&format!("bad RSN_FAIL spec: {e}"));
+    }
 
     let server = match Server::bind(opts.clone()) {
         Ok(s) => s,

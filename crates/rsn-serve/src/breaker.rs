@@ -1,0 +1,257 @@
+//! Per-network circuit breakers: after `threshold` *consecutive*
+//! request failures (panics or 5xx) on the same cached network
+//! fingerprint, further requests for that network fail fast with a
+//! `503` plus `Retry-After` instead of burning a worker on an analysis
+//! that just crashed N times in a row.
+//!
+//! Classic three-state machine per fingerprint:
+//!
+//! ```text
+//!            N consecutive failures
+//!   Closed ──────────────────────────▶ Open (cooldown clock runs)
+//!     ▲  ▲                              │
+//!     │  │ probe succeeds               │ cooldown elapsed
+//!     │  └──────────────── HalfOpen ◀───┘
+//!     │                      │
+//!     └── (success resets    │ probe fails
+//!          failure count)    ▼
+//!                           Open (fresh cooldown)
+//! ```
+//!
+//! While `HalfOpen`, exactly one probe request is admitted; concurrent
+//! requests keep fast-failing until the probe reports back. Transitions
+//! to `Open` count `serve.breaker_open`; fast-failed requests count
+//! `serve.breaker_fast_fail`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning, normally from
+/// [`ServerOptions`](crate::ServerOptions).
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures (per fingerprint) that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker rejects before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probe_in_flight: bool },
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the request (and report the outcome via
+    /// [`Breakers::record`]).
+    Allow,
+    /// Fail fast: `503` with this many seconds of `Retry-After`.
+    FastFail { retry_after_secs: u64 },
+}
+
+/// All breakers of one daemon, keyed by network fingerprint.
+pub struct Breakers {
+    states: Mutex<HashMap<u64, State>>,
+    config: BreakerConfig,
+}
+
+impl Breakers {
+    pub fn new(config: BreakerConfig) -> Breakers {
+        Breakers {
+            states: Mutex::new(HashMap::new()),
+            config: BreakerConfig {
+                threshold: config.threshold.max(1),
+                cooldown: config.cooldown,
+            },
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, State>> {
+        // Crash-only: a panic unwinding through a caller never holds
+        // this lock (admit/record are self-contained), but recover from
+        // poison anyway rather than wedging every future request.
+        self.states
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admission check before running an analysis of network `fp`.
+    pub fn admit(&self, fp: u64) -> Admission {
+        let mut states = self.lock();
+        let state = states.entry(fp).or_insert(State::Closed {
+            consecutive_failures: 0,
+        });
+        let fast_fail = |secs: u64| {
+            rsn_obs::counter_add("serve.breaker_fast_fail", 1);
+            Admission::FastFail {
+                retry_after_secs: secs.max(1),
+            }
+        };
+        match state {
+            State::Closed { .. } => Admission::Allow,
+            State::Open { until } => {
+                let now = Instant::now();
+                if now < *until {
+                    fast_fail((*until - now).as_secs() + 1)
+                } else {
+                    // Cooldown over: this request is the half-open probe.
+                    *state = State::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    Admission::Allow
+                }
+            }
+            State::HalfOpen { probe_in_flight } => {
+                if *probe_in_flight {
+                    fast_fail(1)
+                } else {
+                    *probe_in_flight = true;
+                    Admission::Allow
+                }
+            }
+        }
+    }
+
+    /// Reports the outcome of an admitted request. `failed` means a
+    /// panic or a 5xx — client errors (4xx) and deadline 408s don't
+    /// count against the network.
+    pub fn record(&self, fp: u64, failed: bool) {
+        let mut states = self.lock();
+        let Some(state) = states.get_mut(&fp) else {
+            return;
+        };
+        match state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                if failed {
+                    *consecutive_failures += 1;
+                    if *consecutive_failures >= self.config.threshold {
+                        *state = self.open();
+                    }
+                } else {
+                    *consecutive_failures = 0;
+                }
+            }
+            State::HalfOpen { .. } => {
+                *state = if failed {
+                    self.open()
+                } else {
+                    State::Closed {
+                        consecutive_failures: 0,
+                    }
+                };
+            }
+            // A late report against an already-open breaker (e.g. a slow
+            // request admitted before the trip) doesn't restart the
+            // cooldown clock.
+            State::Open { .. } => {}
+        }
+    }
+
+    fn open(&self) -> State {
+        rsn_obs::counter_add("serve.breaker_open", 1);
+        State::Open {
+            until: Instant::now() + self.config.cooldown,
+        }
+    }
+
+    /// `true` if the breaker for `fp` currently fails fast (test
+    /// introspection).
+    pub fn is_open(&self, fp: u64) -> bool {
+        let states = self.lock();
+        matches!(states.get(&fp), Some(State::Open { until }) if Instant::now() < *until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Breakers {
+        Breakers::new(BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(50),
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = quick();
+        for _ in 0..2 {
+            assert_eq!(b.admit(7), Admission::Allow);
+            b.record(7, true);
+        }
+        assert!(!b.is_open(7), "two failures stay closed");
+        assert_eq!(b.admit(7), Admission::Allow);
+        b.record(7, true);
+        assert!(b.is_open(7), "third consecutive failure opens");
+        assert!(matches!(b.admit(7), Admission::FastFail { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = quick();
+        for _ in 0..2 {
+            b.admit(7);
+            b.record(7, true);
+        }
+        b.admit(7);
+        b.record(7, false); // streak broken
+        for _ in 0..2 {
+            b.admit(7);
+            b.record(7, true);
+        }
+        assert!(!b.is_open(7), "streak restarted after a success");
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let b = quick();
+        for _ in 0..3 {
+            b.admit(7);
+            b.record(7, true);
+        }
+        assert!(matches!(b.admit(7), Admission::FastFail { .. }));
+        std::thread::sleep(Duration::from_millis(60));
+        // Cooldown over: one probe admitted, concurrent requests rejected.
+        assert_eq!(b.admit(7), Admission::Allow);
+        assert!(matches!(b.admit(7), Admission::FastFail { .. }));
+        b.record(7, false);
+        assert_eq!(b.admit(7), Admission::Allow, "probe success closes");
+
+        // Open again, and this time the probe fails: back to open.
+        for _ in 0..3 {
+            b.admit(7);
+            b.record(7, true);
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(b.admit(7), Admission::Allow);
+        b.record(7, true);
+        assert!(b.is_open(7), "failed probe reopens");
+    }
+
+    #[test]
+    fn breakers_are_per_fingerprint() {
+        let b = quick();
+        for _ in 0..3 {
+            b.admit(1);
+            b.record(1, true);
+        }
+        assert!(b.is_open(1));
+        assert_eq!(b.admit(2), Admission::Allow, "other networks unaffected");
+    }
+}

@@ -12,6 +12,8 @@
 //! that need that artifact of that network — never the cache map.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rsn_core::Rsn;
@@ -26,6 +28,39 @@ pub struct Artifacts {
     faults: OnceLock<Arc<Vec<Fault>>>,
     /// Collapsed partitions, indexed by `HardeningProfile::select_hardened`.
     classes: [OnceLock<Arc<FaultClasses>>; 2],
+    /// Set when an artifact build panicked: the entry is evicted on next
+    /// lookup instead of serving (or wedging on) half-built state.
+    poisoned: AtomicBool,
+}
+
+/// Builds `slot` under a panic guard. On a panic inside `build`, the
+/// entry is marked poisoned (the cache evicts it on next lookup, so the
+/// fingerprint is rebuilt from scratch) and the panic resumes into the
+/// per-request `catch_unwind`, which turns it into a structured 500.
+///
+/// Unlike `OnceLock::get_or_init`, a lost race here means two threads
+/// may build the same artifact concurrently and one result is dropped —
+/// the price of never letting a panicking builder block or poison the
+/// other requests waiting on the slot.
+fn build_guarded<T>(
+    slot: &OnceLock<Arc<T>>,
+    poisoned: &AtomicBool,
+    build: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(v) = slot.get() {
+        return Arc::clone(v);
+    }
+    match catch_unwind(AssertUnwindSafe(build)) {
+        Ok(value) => {
+            let _ = slot.set(Arc::new(value));
+            Arc::clone(slot.get().expect("slot was just set"))
+        }
+        Err(panic) => {
+            poisoned.store(true, Ordering::SeqCst);
+            rsn_obs::counter_add("serve.cache_poisoned", 1);
+            resume_unwind(panic)
+        }
+    }
 }
 
 // The whole point of the cache is cross-thread sharing; fail at compile
@@ -43,6 +78,7 @@ impl Artifacts {
             sat: OnceLock::new(),
             faults: OnceLock::new(),
             classes: [OnceLock::new(), OnceLock::new()],
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -51,38 +87,40 @@ impl Artifacts {
         &self.rsn
     }
 
+    /// `true` after an artifact build panicked: the entry must not be
+    /// served again (the cache evicts it on next lookup).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
     /// The accessibility engine, built on first use.
     pub fn engine(&self) -> Arc<AccessEngine> {
-        Arc::clone(
-            self.engine
-                .get_or_init(|| Arc::new(AccessEngine::from_arc(Arc::clone(&self.rsn)))),
-        )
+        build_guarded(&self.engine, &self.poisoned, || {
+            rsn_fail::eval("serve.cache");
+            AccessEngine::from_arc(Arc::clone(&self.rsn))
+        })
     }
 
     /// The CNF model, built on first use.
     pub fn network_sat(&self) -> Arc<NetworkSat> {
-        Arc::clone(
-            self.sat
-                .get_or_init(|| Arc::new(NetworkSat::build(&self.rsn))),
-        )
+        build_guarded(&self.sat, &self.poisoned, || {
+            rsn_fail::eval("serve.cache");
+            NetworkSat::build(&self.rsn)
+        })
     }
 
     /// The single-stuck-at fault universe, built on first use.
     pub fn faults(&self) -> Arc<Vec<Fault>> {
-        Arc::clone(
-            self.faults
-                .get_or_init(|| Arc::new(fault_universe(&self.rsn))),
-        )
+        build_guarded(&self.faults, &self.poisoned, || fault_universe(&self.rsn))
     }
 
     /// The collapsed fault partition for a hardening profile, built on
     /// first use (per profile).
     pub fn classes(&self, profile: HardeningProfile) -> Arc<FaultClasses> {
         let slot = profile.select_hardened as usize;
-        Arc::clone(
-            self.classes[slot]
-                .get_or_init(|| Arc::new(FaultClasses::build(&self.rsn, &self.faults(), profile))),
-        )
+        build_guarded(&self.classes[slot], &self.poisoned, || {
+            FaultClasses::build(&self.rsn, &self.faults(), profile)
+        })
     }
 }
 
@@ -113,15 +151,25 @@ impl ArtifactCache {
     /// `serve.cache_hits` / `serve.cache_misses` and keeps the
     /// `serve.cache_networks` gauge current. In-flight requests keep
     /// their `Arc` across an eviction; the evicted entry just stops
-    /// being findable.
+    /// being findable. An entry whose artifact build panicked is
+    /// treated as absent — it is evicted here and rebuilt fresh, so one
+    /// crashed build never wedges a fingerprint.
     pub fn get_or_insert(&self, rsn: &Rsn) -> Arc<Artifacts> {
         let key = rsn.fingerprint();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(entry) = inner.entries.get(&key).cloned() {
-            rsn_obs::counter_add("serve.cache_hits", 1);
-            inner.order.retain(|&k| k != key);
-            inner.order.push(key);
-            return entry;
+            if entry.is_poisoned() {
+                inner.entries.remove(&key);
+                inner.order.retain(|&k| k != key);
+            } else {
+                rsn_obs::counter_add("serve.cache_hits", 1);
+                inner.order.retain(|&k| k != key);
+                inner.order.push(key);
+                return entry;
+            }
         }
         rsn_obs::counter_add("serve.cache_misses", 1);
         let entry = Arc::new(Artifacts::new(Arc::new(rsn.clone())));
@@ -137,7 +185,11 @@ impl ArtifactCache {
 
     /// Number of cached networks.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entries
+            .len()
     }
 
     /// `true` when no network is cached.
@@ -151,8 +203,16 @@ mod tests {
     use super::*;
     use rsn_core::examples;
 
+    /// Tests that build engine/CNF artifacts must not overlap the
+    /// chaos window of `panicked_build_poisons_and_evicts…` (failpoints
+    /// are process-global).
+    static CHAOS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn same_network_shares_artifacts() {
+        let _guard = CHAOS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let cache = ArtifactCache::new(4);
         let rsn = examples::fig2();
         let a = cache.get_or_insert(&rsn);
@@ -191,6 +251,33 @@ mod tests {
         let before = rsn_obs::counter_get("serve.cache_misses");
         cache.get_or_insert(&chain); // rebuilt: a miss again
         assert_eq!(rsn_obs::counter_get("serve.cache_misses"), before + 1);
+    }
+
+    #[test]
+    fn panicked_build_poisons_and_evicts_instead_of_wedging() {
+        let _guard = CHAOS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cache = ArtifactCache::new(4);
+        let rsn = examples::fig2();
+        let entry = cache.get_or_insert(&rsn);
+
+        // Simulate an engine build that dies mid-OnceLock-init.
+        rsn_fail::configure("serve.cache", rsn_fail::Action::Panic, 1.0, Some(1));
+        let before = rsn_obs::counter_get("serve.cache_poisoned");
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.engine()));
+        rsn_fail::remove("serve.cache");
+        assert!(died.is_err(), "injected panic must escape the build");
+        assert!(entry.is_poisoned());
+        assert_eq!(rsn_obs::counter_get("serve.cache_poisoned"), before + 1);
+
+        // The next lookup must NOT return the poisoned entry...
+        let fresh = cache.get_or_insert(&rsn);
+        assert!(!Arc::ptr_eq(&entry, &fresh));
+        assert!(!fresh.is_poisoned());
+        // ...and its artifacts build fine now that the chaos is off.
+        let _ = fresh.engine();
+        let _ = fresh.network_sat();
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! localhost tool, not an internet-facing server.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD: usize = 64 * 1024;
@@ -56,9 +55,32 @@ impl std::fmt::Display for HttpError {
     }
 }
 
-/// Reads one request from the stream. `max_body` bounds the declared
-/// `Content-Length`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+impl HttpError {
+    /// The response status this read failure maps to. The taxonomy:
+    /// `413` only for over-limit payloads, `408` for a socket timeout
+    /// (the client stalled mid-request), `400` only for malformed
+    /// framing. `Disconnected` never gets a response (there is nobody
+    /// to send it to) and maps to `400` here only for completeness.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::TooLarge => 413,
+            HttpError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                408
+            }
+            HttpError::Malformed(_) | HttpError::Io(_) | HttpError::Disconnected => 400,
+        }
+    }
+}
+
+/// Reads one request from the stream (generic over [`Read`] so tests
+/// and fuzzers can drive it from byte slices). `max_body` bounds the
+/// declared `Content-Length`.
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
     // Read until the blank line separating head from body.
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
@@ -140,19 +162,39 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 
 /// Writes one response and flushes. `Connection: close` always — the
 /// service speaks one request per connection.
-pub fn write_response(
-    stream: &mut TcpStream,
+pub fn write_response<W: Write>(
+    stream: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_ext(stream, status, content_type, &[], body)
+}
+
+/// Like [`write_response`], with extra headers (e.g. `Retry-After` on a
+/// circuit-breaker `503`). Header values must already be valid HTTP
+/// header text.
+pub fn write_response_ext<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason_phrase(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -176,7 +218,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
 
     fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -231,5 +273,83 @@ mod tests {
             Err(HttpError::TooLarge)
         ));
         client.join().unwrap();
+    }
+
+    #[test]
+    fn reads_requests_from_plain_readers() {
+        // `read_request` is generic over `Read`: byte slices work, which
+        // is what the fuzz harness drives it with.
+        let raw: &[u8] = b"POST /lint HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let req = read_request(&mut { raw }, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn status_taxonomy_per_error() {
+        // 413: payload over limit. 408: socket timeout. 400: malformed
+        // framing only.
+        assert_eq!(HttpError::TooLarge.status(), 413);
+        assert_eq!(HttpError::Malformed("x").status(), 400);
+        let timeout = std::io::Error::new(std::io::ErrorKind::WouldBlock, "t");
+        assert_eq!(HttpError::Io(timeout).status(), 408);
+        let timeout = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
+        assert_eq!(HttpError::Io(timeout).status(), 408);
+        let reset = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "r");
+        assert_eq!(HttpError::Io(reset).status(), 400);
+    }
+
+    #[test]
+    fn body_over_max_is_413_even_when_fully_sent() {
+        let raw: &[u8] = b"POST /x HTTP/1.1\r\nContent-Length: 20\r\n\r\n0123456789012345678901234";
+        let err = read_request(&mut { raw }, 10).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response_ext(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "2".into())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    /// Response-side slowloris: a client that accepts the connection but
+    /// never reads must not be able to park a worker forever in
+    /// `write_all`. With a write timeout set, the oversized write errors
+    /// out in bounded time instead of blocking indefinitely.
+    #[test]
+    fn stalled_reader_cannot_block_writes_forever() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The client connects and then stalls: never reads a byte.
+        let _client = TcpStream::connect(addr).unwrap();
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_write_timeout(Some(std::time::Duration::from_millis(200)))
+            .unwrap();
+        // Much larger than any default socket buffer pair.
+        let body = vec![b'x'; 64 * 1024 * 1024];
+        let start = std::time::Instant::now();
+        let result = write_response(&mut stream, 200, "text/plain", &body);
+        assert!(result.is_err(), "write to a stalled reader must time out");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "timed out too slowly: {:?}",
+            start.elapsed()
+        );
     }
 }

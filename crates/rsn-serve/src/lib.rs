@@ -9,6 +9,11 @@
 //! shared across requests, per-request [`rsn_budget::Budget`] deadlines,
 //! client-disconnect cancellation, and bounded-queue admission control.
 //!
+//! The daemon is *crash-only* (see [`server`]): per-request panic
+//! isolation, supervised worker respawn, artifact-cache poisoning
+//! recovery and per-network circuit breakers ([`breaker`]) — all of it
+//! exercised by `rsn-fail` failpoint injection in the chaos test suite.
+//!
 //! # Endpoints
 //!
 //! | Route            | Body                                   | Result |
@@ -29,10 +34,12 @@
 //! [`NetworkSat`]: rsn_verify::NetworkSat
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
 pub mod http;
 pub mod server;
 
 pub use api::{ApiContext, ApiResponse};
+pub use breaker::{Admission, BreakerConfig, Breakers};
 pub use cache::{ArtifactCache, Artifacts};
 pub use server::{Server, ServerHandle, ServerOptions};

@@ -1,6 +1,7 @@
-//! The resident daemon: accept loop, fixed worker pool, bounded queue
-//! with overload rejection, per-request budgets with client-disconnect
-//! cancellation, and graceful drain on shutdown.
+//! The resident daemon: accept loop, supervised worker pool, bounded
+//! queue with overload rejection, per-request budgets with
+//! client-disconnect cancellation, crash-only request isolation, and
+//! graceful drain on shutdown.
 //!
 //! ## Request lifecycle
 //!
@@ -18,18 +19,43 @@
 //! 4. On shutdown (SIGTERM/SIGINT or [`ServerHandle::shutdown`]) the
 //!    accept loop stops, queued requests drain, workers exit, and
 //!    [`Server::run`] returns.
+//!
+//! ## Crash-only supervision
+//!
+//! The daemon assumes any engine can panic (chaos runs inject exactly
+//! that, via `rsn-fail`) and is built so no panic is fatal:
+//!
+//! * Every request handler runs under `catch_unwind`: an engine panic
+//!   becomes a structured `500` carrying the panic message and the
+//!   request's metrics (`serve.panics_caught`), never a dead worker.
+//! * Workers are real supervised threads, not scope children: a panic
+//!   that does escape a worker (only possible outside the request
+//!   guards) is detected by the supervisor, which respawns the worker
+//!   (`serve.worker_respawns`). The fleet never shrinks.
+//! * The accept loop guards each iteration, so not even an
+//!   accept-path panic stops admission.
+//! * Every `Mutex` access recovers from poisoning — a panicked holder
+//!   leaves simple state (queues, maps) that the next holder can use.
+//! * Sockets carry both read *and* write timeouts: a stalled reader
+//!   cannot park a worker in `write_all` forever (response-side
+//!   slowloris).
+//! * Consecutive failures on one cached network trip a per-fingerprint
+//!   circuit breaker ([`crate::breaker`]): fail fast with `503` +
+//!   `Retry-After` instead of re-running a crashing analysis.
 
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use rsn_budget::{Budget, CancelToken};
 use rsn_obs::json::Json;
 
-use crate::api::{handle, ApiContext, ApiResponse};
-use crate::http::{read_request, write_response, HttpError};
+use crate::api::{handle, ApiContext, ApiResponse, RequestInfo};
+use crate::breaker::BreakerConfig;
+use crate::http::{read_request, write_response, write_response_ext, HttpError};
 
 /// Tunables of one daemon instance.
 #[derive(Debug, Clone)]
@@ -49,6 +75,12 @@ pub struct ServerOptions {
     pub cache_cap: usize,
     /// Threads per fault sweep (a request-level override caps at 64).
     pub sweep_threads: usize,
+    /// Socket read timeout while receiving a request.
+    pub read_timeout: Duration,
+    /// Socket write timeout while sending a response (slowloris guard).
+    pub write_timeout: Duration,
+    /// Per-network circuit breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerOptions {
@@ -61,8 +93,18 @@ impl Default for ServerOptions {
             max_body: 8 * 1024 * 1024,
             cache_cap: 16,
             sweep_threads: 2,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            breaker: BreakerConfig::default(),
         }
     }
+}
+
+/// Poison-tolerant lock: a panicked previous holder must never wedge
+/// the daemon — the protected state (queues, watch lists) stays valid
+/// across an unwind at every await-free point we hold it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Wakes workers sleeping on an empty queue.
@@ -79,7 +121,8 @@ struct Watched {
     token: CancelToken,
 }
 
-/// Shared state between the accept loop, workers, and the monitor.
+/// Shared state between the accept loop, workers, the supervisor and
+/// the monitor.
 struct Shared {
     ctx: ApiContext,
     opts: ServerOptions,
@@ -160,7 +203,7 @@ impl Server {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            ctx: ApiContext::new(opts.cache_cap, opts.sweep_threads),
+            ctx: ApiContext::new(opts.cache_cap, opts.sweep_threads, opts.breaker),
             opts,
             queue: Queue {
                 inner: Mutex::new(VecDeque::new()),
@@ -186,66 +229,138 @@ impl Server {
     }
 
     /// Installs signal handlers and runs until shutdown, serving
-    /// requests on the worker pool. Returns after the graceful drain.
+    /// requests on the supervised worker pool. Returns after the
+    /// graceful drain.
     pub fn run(self) -> std::io::Result<()> {
         sig::install();
         let shared = self.shared;
-        std::thread::scope(|scope| {
-            for _ in 0..shared.opts.workers.max(1) {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || worker_loop(&shared));
-            }
-            {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || monitor_loop(&shared));
-            }
 
-            // Accept loop.
-            loop {
-                if shared.shutdown.load(Ordering::SeqCst) || sig::terminated() {
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((mut stream, _peer)) => {
-                        let mut q = shared.queue.inner.lock().unwrap();
-                        if q.len() >= shared.opts.queue_cap {
-                            drop(q);
-                            rsn_obs::counter_add("serve.rejected", 1);
-                            let mut body = Json::obj();
-                            body.set("error", Json::Str("server overloaded".into()));
-                            let _ = write_response(
-                                &mut stream,
-                                429,
-                                "application/json",
-                                body.to_string_pretty(0).as_bytes(),
-                            );
-                        } else {
-                            q.push_back(stream);
-                            rsn_obs::gauge_set("serve.queue_depth", q.len() as f64);
-                            drop(q);
-                            shared.queue.ready.notify_one();
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
-                }
-            }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rsn-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn supervisor")
+        };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rsn-serve-monitor".into())
+                .spawn(move || monitor_loop(&shared))
+                .expect("spawn monitor")
+        };
 
-            // Drain: workers exit once the queue is empty under shutdown
-            // (worker_loop observes the flag); wake any sleepers.
-            shared.queue.ready.notify_all();
-        });
+        // Accept loop. Each iteration is panic-guarded: not even an
+        // accept-path panic (chaos: `serve.accept`) stops admission.
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) || sig::terminated() {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            let iteration = catch_unwind(AssertUnwindSafe(|| accept_one(&self.listener, &shared)));
+            if iteration.is_err() {
+                rsn_obs::counter_add("serve.panics_caught", 1);
+            }
+        }
+
+        // Drain: workers exit once the queue is empty under shutdown
+        // (worker_loop observes the flag); wake any sleepers. The
+        // supervisor joins the workers, so joining it completes the
+        // drain.
+        shared.queue.ready.notify_all();
+        let _ = supervisor.join();
+        let _ = monitor.join();
         Ok(())
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// One accept-loop iteration: admit a connection into the queue, `429`
+/// it when the queue is full, or idle briefly.
+fn accept_one(listener: &TcpListener, shared: &Arc<Shared>) {
+    match listener.accept() {
+        Ok((mut stream, _peer)) => {
+            // Chaos failpoint: `err`/`budget` drop the connection
+            // unserved; `panic` unwinds into the accept-loop guard.
+            if rsn_fail::eval("serve.accept").is_some() {
+                return;
+            }
+            let mut q = lock(&shared.queue.inner);
+            if q.len() >= shared.opts.queue_cap {
+                drop(q);
+                rsn_obs::counter_add("serve.rejected", 1);
+                let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+                let mut body = Json::obj();
+                body.set("error", Json::Str("server overloaded".into()));
+                let _ = write_response(
+                    &mut stream,
+                    429,
+                    "application/json",
+                    body.to_string_pretty(0).as_bytes(),
+                );
+            } else {
+                q.push_back(stream);
+                rsn_obs::gauge_set("serve.queue_depth", q.len() as f64);
+                drop(q);
+                shared.queue.ready.notify_one();
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+    }
+}
+
+/// Keeps the worker fleet at strength: spawns the configured number of
+/// workers, reaps any that exit (a panic that escaped the request
+/// guards), and respawns them while the daemon is live. On shutdown it
+/// joins the drain instead of respawning and returns when the last
+/// worker is done.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let spawn_worker = |shared: &Arc<Shared>| {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("rsn-serve-worker".into())
+            .spawn(move || worker_loop(&shared))
+            .expect("spawn worker")
+    };
+    let mut workers: Vec<_> = (0..shared.opts.workers.max(1))
+        .map(|_| spawn_worker(shared))
+        .collect();
     loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let worker = workers.swap_remove(i);
+                let _ = worker.join(); // collect a panic payload, if any
+                                       // During the drain only clean exits stay down: a worker
+                                       // that dies with connections still queued is replaced so
+                                       // the drain always completes.
+                if !draining || !lock(&shared.queue.inner).is_empty() {
+                    rsn_obs::counter_add("serve.worker_respawns", 1);
+                    workers.push(spawn_worker(shared));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if draining && workers.is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Chaos failpoint: a panic here (between requests, outside every
+        // guard) kills this worker thread on purpose — proving the
+        // supervisor respawns workers. `err`/`budget` are meaningless
+        // at this point and ignored.
+        let _ = rsn_fail::eval("serve.worker");
         let stream = {
-            let mut q = shared.queue.inner.lock().unwrap();
+            let mut q = lock(&shared.queue.inner);
             loop {
                 if let Some(s) = q.pop_front() {
                     rsn_obs::gauge_set("serve.queue_depth", q.len() as f64);
@@ -258,31 +373,36 @@ fn worker_loop(shared: &Shared) {
                     .queue
                     .ready
                     .wait_timeout(q, Duration::from_millis(100))
-                    .unwrap();
+                    .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
         };
         let Some(stream) = stream else { return };
-        serve_connection(shared, stream);
+        // Belt over the per-request braces: a panic outside `handle`'s
+        // own catch_unwind (request framing, response path) drops the
+        // connection but keeps the worker.
+        if catch_unwind(AssertUnwindSafe(|| serve_connection(shared, stream))).is_err() {
+            rsn_obs::counter_add("serve.panics_caught", 1);
+        }
     }
 }
 
 /// Polls in-flight connections for client hang-up: a zero-byte `peek`
 /// on a nonblocking socket means EOF, so the request's token is
 /// cancelled and engines stop at their next budget check.
-fn monitor_loop(shared: &Shared) {
+fn monitor_loop(shared: &Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Keep watching until the drain finishes so queued requests
             // still get disconnect cancellation.
-            let none_left = shared.watched.lock().unwrap().is_empty()
-                && shared.queue.inner.lock().unwrap().is_empty();
+            let none_left =
+                lock(&shared.watched).is_empty() && lock(&shared.queue.inner).is_empty();
             if none_left {
                 return;
             }
         }
         {
-            let mut watched = shared.watched.lock().unwrap();
+            let mut watched = lock(&shared.watched);
             watched.retain(|w| {
                 let mut probe = [0u8; 1];
                 match w.stream.peek(&mut probe) {
@@ -306,23 +426,34 @@ fn monitor_loop(shared: &Shared) {
     }
 }
 
+/// Best-effort panic message extraction (panics carry `&str` or
+/// `String` payloads in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    // Response-side slowloris guard: a client that never reads cannot
+    // park this worker in `write_all` forever.
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
     let req = match read_request(&mut stream, shared.opts.max_body) {
         Ok(req) => req,
         Err(HttpError::Disconnected) => return,
         Err(e) => {
             rsn_obs::counter_add("serve.errors", 1);
-            let status = match e {
-                HttpError::TooLarge => 413,
-                _ => 400,
-            };
             let mut body = Json::obj();
             body.set("error", Json::Str(e.to_string()));
             let _ = write_response(
                 &mut stream,
-                status,
+                e.status(),
                 "application/json",
                 body.to_string_pretty(0).as_bytes(),
             );
@@ -342,7 +473,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let watch_id = shared.next_watch_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
         let _ = clone.set_nonblocking(true);
-        shared.watched.lock().unwrap().push(Watched {
+        lock(&shared.watched).push(Watched {
             id: watch_id,
             stream: clone,
             token,
@@ -352,12 +483,52 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     // Per-request metric scope: handlers see (and report) exactly the
     // writes of this request, no matter what runs concurrently.
     let scope = rsn_obs::ScopeHandle::new();
-    let response = {
+    let info = RequestInfo::default();
+    // Crash-only request isolation: an engine panic becomes a
+    // structured 500 (with the panic message and this request's
+    // metrics), never a dead worker.
+    let (mut response, panicked) = {
         let _guard = scope.enter();
-        handle(&shared.ctx, &req, &budget, &scope)
+        match catch_unwind(AssertUnwindSafe(|| {
+            handle(&shared.ctx, &req, &budget, &scope, &info)
+        })) {
+            Ok(response) => (response, false),
+            Err(payload) => {
+                rsn_obs::counter_add("serve.panics_caught", 1);
+                let mut resp =
+                    ApiResponse::error(500, "engine panic caught; request failed, daemon healthy");
+                resp.body
+                    .set("panic", Json::Str(panic_message(payload.as_ref())));
+                (resp, true)
+            }
+        }
     };
 
-    shared.watched.lock().unwrap().retain(|w| w.id != watch_id);
+    lock(&shared.watched).retain(|w| w.id != watch_id);
+
+    // Circuit-breaker bookkeeping for the analyzed network. Breaker
+    // fast-fails (`retry_after` set) are not outcomes of an admitted
+    // request and don't count.
+    let fingerprint = info.fingerprint.load(Ordering::Relaxed);
+    if fingerprint != 0 && response.retry_after.is_none() {
+        let failed = panicked || response.status >= 500;
+        shared.ctx.breakers.record(fingerprint, failed);
+    }
+
+    // Chaos failpoint on the response path: `err`/`budget` replace the
+    // payload with a structured 500 (still written to the client);
+    // `panic` unwinds into the worker-level guard; `delay` stalls the
+    // write (which the write timeout bounds).
+    if rsn_fail::eval("serve.respond").is_some() {
+        response = ApiResponse::error(500, "injected failure at failpoint serve.respond");
+    }
+
+    // Every response — success, engine error, panic, injected chaos —
+    // carries `request_metrics` so failures are as attributable as
+    // successes.
+    if matches!(response.body, Json::Obj(_)) && response.body.get("request_metrics").is_none() {
+        crate::api::attach_request_metrics(&mut response.body, &scope);
+    }
 
     // /metrics renders the process-global registry as Prometheus text —
     // everything else is JSON.
@@ -382,10 +553,15 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 }
 
 fn respond_json(stream: &mut TcpStream, response: &ApiResponse) -> std::io::Result<()> {
-    write_response(
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if let Some(secs) = response.retry_after {
+        extra.push(("Retry-After", secs.to_string()));
+    }
+    write_response_ext(
         stream,
         response.status,
         "application/json",
+        &extra,
         response.body.to_string_pretty(2).as_bytes(),
     )
 }

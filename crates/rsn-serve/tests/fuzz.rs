@@ -1,0 +1,162 @@
+//! Deterministic structure-aware fuzzing of the two parsers that face
+//! raw bytes from the network: `http::read_request` and the JSON
+//! parser. No external fuzzer — a splitmix64-driven mutator (the same
+//! generator `rsn-fail` uses, so runs are bit-identical across
+//! machines) applies byte flips, truncations, splices and dictionary
+//! insertions to valid seed documents. The only property asserted is
+//! totality: 10k mutated inputs each, every one answered with
+//! `Ok`/`Err` — never a panic, hang, or runaway allocation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rsn_serve::http::read_request;
+
+/// splitmix64: tiny, seedable, and good enough to drive mutations.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// One structure-aware mutation step: byte-level noise plus insertion
+/// of tokens that matter to the grammar under test.
+fn mutate(rng: &mut Rng, input: &mut Vec<u8>, dictionary: &[&[u8]]) {
+    match rng.below(6) {
+        // Flip a byte.
+        0 if !input.is_empty() => {
+            let i = rng.below(input.len());
+            input[i] ^= (rng.next() & 0xff) as u8;
+        }
+        // Truncate.
+        1 if !input.is_empty() => {
+            input.truncate(rng.below(input.len()));
+        }
+        // Duplicate a random slice (splice).
+        2 if !input.is_empty() => {
+            let start = rng.below(input.len());
+            let end = start + rng.below(input.len() - start + 1);
+            let slice = input[start..end].to_vec();
+            let at = rng.below(input.len() + 1);
+            input.splice(at..at, slice);
+        }
+        // Insert a dictionary token.
+        3 => {
+            let token = dictionary[rng.below(dictionary.len())].to_vec();
+            let at = rng.below(input.len() + 1);
+            input.splice(at..at, token);
+        }
+        // Insert random bytes.
+        4 => {
+            let at = rng.below(input.len() + 1);
+            let count = 1 + rng.below(8);
+            let noise: Vec<u8> = (0..count).map(|_| (rng.next() & 0xff) as u8).collect();
+            input.splice(at..at, noise);
+        }
+        // Overwrite with a dictionary token.
+        _ => {
+            let token = dictionary[rng.below(dictionary.len())];
+            if input.len() >= token.len() {
+                let at = rng.below(input.len() - token.len() + 1);
+                input[at..at + token.len()].copy_from_slice(token);
+            }
+        }
+    }
+    // Keep inputs bounded: totality, not throughput, is under test.
+    input.truncate(32 * 1024);
+}
+
+#[test]
+fn http_reader_is_total_on_mutated_requests() {
+    let seeds: &[&[u8]] = &[
+        b"GET /healthz HTTP/1.1\r\n\r\n",
+        b"POST /sweep?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        b"POST /lint HTTP/1.1\r\nContent-Length: 19\r\n\r\n{\"example\": \"fig2\"}",
+        b"GET /metrics HTTP/1.0\r\nAccept: */*\r\n\r\n",
+    ];
+    let dictionary: &[&[u8]] = &[
+        b"\r\n",
+        b"\r\n\r\n",
+        b"HTTP/1.1",
+        b"HTTP/9.9",
+        b"Content-Length:",
+        b"Content-Length: 18446744073709551616\r\n",
+        b"Content-Length: -1\r\n",
+        b"Content-Length: 999999\r\n",
+        b":",
+        b" ",
+        b"\xff\xfe",
+        b"POST ",
+        b"?",
+    ];
+    let mut rng = Rng(0x5eed_0001);
+    for i in 0..10_000 {
+        let mut input = seeds[rng.below(seeds.len())].to_vec();
+        for _ in 0..=rng.below(4) {
+            mutate(&mut rng, &mut input, dictionary);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // 64 KiB body cap: a mutated Content-Length must error, not
+            // allocate.
+            read_request(&mut input.as_slice(), 64 * 1024).map(|r| (r.method, r.path))
+        }));
+        assert!(
+            outcome.is_ok(),
+            "read_request panicked on mutated input {i}: {:?}",
+            String::from_utf8_lossy(&input)
+        );
+    }
+}
+
+#[test]
+fn json_parser_is_total_on_mutated_documents() {
+    let seeds: &[&str] = &[
+        r#"{"example": "fig2", "synthesize": true}"#,
+        r#"{"example": "chain", "segments": 6, "bits": 4}"#,
+        r#"[1, 2.5, -3e8, "s", null, true, [], {}]"#,
+        r#"{"a": {"b": {"c": [1, [2, [3]]]}}, "d": "é\n\t"}"#,
+    ];
+    let dictionary: &[&[u8]] = &[
+        b"{",
+        b"}",
+        b"[",
+        b"]",
+        b"\"",
+        b"\\u",
+        b"\\",
+        b":",
+        b",",
+        b"1e999",
+        b"-",
+        b"null",
+        b"[[[[[[[[[[[[[[[[",
+        b"{\"a\":{\"a\":{\"a\":",
+        b"\xf0\x9f",
+    ];
+    let mut rng = Rng(0x5eed_0002);
+    for i in 0..10_000 {
+        let mut input = seeds[rng.below(seeds.len())].as_bytes().to_vec();
+        for _ in 0..=rng.below(4) {
+            mutate(&mut rng, &mut input, dictionary);
+        }
+        let text = String::from_utf8_lossy(&input).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            rsn_obs::json::parse(&text)
+                .map(|j| j.to_string_pretty(0))
+                .is_ok()
+        }));
+        assert!(
+            outcome.is_ok(),
+            "json parse panicked on mutated input {i}: {text:?}"
+        );
+    }
+}

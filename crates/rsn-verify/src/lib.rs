@@ -135,6 +135,12 @@ fn verify_impl(
     budget: &Budget,
     shared: Option<&NetworkSat>,
 ) -> VerifyReport {
+    // Chaos failpoint: injected errors / budget exhaustion cancel the
+    // budget, so every check family lands in `incomplete` (unproven,
+    // never silently passed).
+    if rsn_fail::eval("verify.run").is_some() {
+        budget.cancel();
+    }
     let _trace = rsn_obs::TraceGuard::new("verify");
     let start = std::time::Instant::now();
     let mut report = VerifyReport {
