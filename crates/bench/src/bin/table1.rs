@@ -3,8 +3,8 @@
 //! ```text
 //! table1 [--bench NAME]... [--section char|sib|ft|area|all] [--timing]
 //!        [--paper] [--verify] [--ablation] [--sweep-alpha] [--json PATH]
-//!        [--trace PATH] [--prom PATH] [--bench-access PATH] [--budget SECS]
-//!        [--resume] [--no-collapse]
+//!        [--trace PATH] [--prom PATH] [--bench-access PATH]
+//!        [--bench-sat PATH] [--budget SECS] [--resume] [--no-collapse]
 //! ```
 //!
 //! With `--trace PATH`, event tracing is switched on for the whole run and
@@ -57,6 +57,14 @@
 //! PATH already holds a previous document, the per-sweep faults/sec delta
 //! against it is printed before it is overwritten. Defaults to
 //! `q12710` + `p93791` when no `--bench` is given.
+//!
+//! With `--bench-sat PATH`, only the SAT-engine comparison runs: each
+//! selected benchmark's verify run and fault-distinguishability miters
+//! are solved once serially and once through the portfolio
+//! (`RSN_THREADS`, at least 4 workers), and a `bench-sat-v1` JSON
+//! document (per-row wall-clock, conflicts, verdict agreement and
+//! speedup) is written to PATH. Defaults to `u226` + `p93791` when no
+//! `--bench` is given.
 
 use std::collections::{HashMap, HashSet};
 use std::env;
@@ -345,6 +353,61 @@ fn run_bench_access(names: &[&str], path: &str, collapse: bool) {
     println!("wrote access throughput to {path}");
 }
 
+fn run_bench_sat(names: &[&str], path: &str) {
+    // The acceptance bar is "4+ threads": honor RSN_THREADS when it asks
+    // for more, never measure the portfolio below four workers.
+    let threads = rsn_budget::default_threads().max(4);
+    println!("SAT engine: serial vs portfolio ({threads} threads)");
+    println!(
+        "{:<8} {:<17} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8}",
+        "SoC", "family", "ser s", "ser cfl", "par s", "par cfl", "agree", "speedup"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for name in names {
+        for r in bench::bench_sat(name, threads) {
+            println!(
+                "{:<8} {:<17} {:>9.3} {:>9} {:>9.3} {:>9} {:>6} {:>7.2}x",
+                r.name,
+                r.family,
+                r.serial_seconds,
+                r.serial_conflicts,
+                r.parallel_seconds,
+                r.parallel_conflicts,
+                r.agreement,
+                r.speedup
+            );
+            let mut serial = Json::obj();
+            serial.set("seconds", Json::Num(r.serial_seconds));
+            serial.set("conflicts", Json::Num(r.serial_conflicts as f64));
+            let mut parallel = Json::obj();
+            parallel.set("seconds", Json::Num(r.parallel_seconds));
+            parallel.set("conflicts", Json::Num(r.parallel_conflicts as f64));
+            let mut row = Json::obj();
+            row.set("name", Json::Str(r.name.clone()));
+            row.set("family", Json::Str(r.family.to_string()));
+            row.set("instance", Json::Str(r.instance.clone()));
+            row.set("threads", Json::Num(r.threads as f64));
+            row.set("serial", serial);
+            row.set("parallel", parallel);
+            row.set("agreement", Json::Bool(r.agreement));
+            row.set("speedup", Json::Num(r.speedup));
+            rows.push(row);
+        }
+    }
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str("bench-sat-v1".to_string()));
+    doc.set("schema_version", Json::Num(1.0));
+    doc.set(
+        "host_threads",
+        Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+    );
+    doc.set("threads", Json::Num(threads as f64));
+    doc.set("generated_by", Json::Str("table1 --bench-sat".to_string()));
+    doc.set("rows", Json::Arr(rows));
+    std::fs::write(path, doc.to_string_pretty(2)).expect("write bench-sat json");
+    println!("wrote SAT engine comparison to {path}");
+}
+
 fn run_latency(names: &[&str]) {
     println!("\nExperiment T1-latency: access latency (cycles) original vs fault-tolerant RSN");
     println!(
@@ -493,6 +556,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
     let mut bench_access_path: Option<String> = None;
+    let mut bench_sat_path: Option<String> = None;
     let mut budget_secs: Option<f64> = None;
     let mut resume = false;
     let mut collapse = true;
@@ -540,6 +604,10 @@ fn main() {
                 i += 1;
                 bench_access_path = Some(args.get(i).expect("--bench-access needs a path").clone());
             }
+            "--bench-sat" => {
+                i += 1;
+                bench_sat_path = Some(args.get(i).expect("--bench-sat needs a path").clone());
+            }
             "--budget" => {
                 i += 1;
                 let secs: f64 = args
@@ -561,6 +629,18 @@ fn main() {
     }
     if trace_path.is_some() {
         rsn_obs::set_trace_enabled(true);
+    }
+    if let Some(path) = bench_sat_path {
+        let sel = if names.is_empty() {
+            vec!["u226", "p93791"]
+        } else {
+            names.clone()
+        };
+        run_bench_sat(&sel, &path);
+        if let Some(tpath) = &trace_path {
+            write_trace(tpath, &rsn_obs::trace_drain());
+        }
+        return;
     }
     if let Some(path) = bench_access_path {
         let sel = if names.is_empty() {

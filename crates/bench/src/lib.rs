@@ -261,9 +261,7 @@ pub struct AccessBench {
 
 fn timed_sweep(rsn: &Rsn, profile: HardeningProfile, collapse: bool) -> AccessSweep {
     let faults = fault_universe_weighted(rsn, WeightModel::Ports);
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(16);
+    let threads = rsn_budget::default_threads().min(16);
     let t0 = Instant::now();
     let engine = AccessEngine::new(rsn);
     let report = if collapse {
@@ -329,6 +327,212 @@ pub const BENCHMARKS: [&str; 13] = [
     "u226", "d281", "d695", "h953", "g1023", "x1331", "f2126", "q12710", "t512505", "a586710",
     "p22081", "p34392", "p93791",
 ];
+
+/// One serial-vs-portfolio measurement of a single SAT-backed workload
+/// (one row of `BENCH_sat.json`).
+///
+/// The timed region is the solve alone — CNF construction is identical
+/// on both sides and would only dilute the ratio. `agreement` is the
+/// soundness anchor: a speedup that changes the verdict is a bug, not a
+/// win.
+#[derive(Debug, Clone)]
+pub struct SatBenchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload family: `verify`, `miter-equivalent` or `miter-distinct`.
+    pub family: &'static str,
+    /// Human-readable description of the concrete instance.
+    pub instance: String,
+    /// Worker count of the parallel side (the serial side is always 1).
+    pub threads: usize,
+    /// Wall-clock seconds of the serial solve.
+    pub serial_seconds: f64,
+    /// Conflicts spent by the serial solve.
+    pub serial_conflicts: u64,
+    /// Wall-clock seconds of the portfolio solve.
+    pub parallel_seconds: f64,
+    /// Conflicts spent by the portfolio solve (all workers).
+    pub parallel_conflicts: u64,
+    /// Both sides reached the same verdict.
+    pub agreement: bool,
+    /// `serial_seconds / parallel_seconds`.
+    pub speedup: f64,
+}
+
+/// Runs `f` and returns its result plus wall-clock seconds and the
+/// `sat.conflicts` delta it caused.
+fn timed_sat<T>(f: impl FnOnce() -> T) -> (T, f64, u64) {
+    let before = rsn_obs::counter_get("sat.conflicts");
+    let t0 = Instant::now();
+    let out = f();
+    let seconds = t0.elapsed().as_secs_f64();
+    (out, seconds, rsn_obs::counter_get("sat.conflicts") - before)
+}
+
+fn sat_row(
+    name: &str,
+    family: &'static str,
+    instance: String,
+    threads: usize,
+    serial: (f64, u64),
+    parallel: (f64, u64),
+    agreement: bool,
+) -> SatBenchRow {
+    SatBenchRow {
+        name: name.to_string(),
+        family,
+        instance,
+        threads,
+        serial_seconds: serial.0,
+        serial_conflicts: serial.1,
+        parallel_seconds: parallel.0,
+        parallel_conflicts: parallel.1,
+        agreement,
+        speedup: serial.0 / parallel.0.max(1e-9),
+    }
+}
+
+/// Conflicts a same-class pair may survive in the hardest-pair probe
+/// before it is declared search-hard.
+const MITER_PROBE_QUOTA: u64 = 2_000;
+
+/// Same-class pairs examined by the hardest-pair probe.
+const MITER_PROBE_PAIRS: usize = 6;
+
+/// Picks the hardest test-equivalence query of the benchmark: the first
+/// same-class fault pair (two faults the structural collapser proved
+/// equivalent) whose work-limited serial miter solve fails to finish
+/// within [`MITER_PROBE_QUOTA`] conflicts — or, if every probe
+/// finishes, the one that spent the most conflicts. Same-class pairs
+/// are the search-hard family: the solver must re-derive the structural
+/// equivalence from the unrolled transition relation.
+fn hardest_equivalent_pair(
+    rsn: &Rsn,
+    steps: usize,
+    faults: &[rsn_fault::Fault],
+    classes: &rsn_fault::FaultClasses,
+    profile: HardeningProfile,
+) -> Option<(rsn_fault::FaultEffect, rsn_fault::FaultEffect, String)> {
+    let mut best: Option<(u64, usize, usize)> = None;
+    for class in classes
+        .classes()
+        .iter()
+        .filter(|c| c.members.len() >= 2)
+        .take(MITER_PROBE_PAIRS)
+    {
+        let (i, j) = (class.members[0] as usize, class.members[1] as usize);
+        let a = rsn_fault::effect_of(rsn, &faults[i], profile);
+        let b = rsn_fault::effect_of(rsn, &faults[j], profile);
+        let mut miter = rsn_bmc::FaultDistinguisher::new(rsn, steps, &a, &b);
+        let probe = Budget::unlimited().with_work_limit(MITER_PROBE_QUOTA);
+        let (verdict, _, conflicts) = timed_sat(|| miter.distinguishable_under(&probe));
+        let survived = matches!(verdict, rsn_bmc::Distinguishability::Unknown { .. });
+        if survived {
+            return Some((a, b, format!("fault pair ({i}, {j}), {steps} steps")));
+        }
+        if best.is_none_or(|(c, _, _)| conflicts > c) {
+            best = Some((conflicts, i, j));
+        }
+    }
+    let (_, i, j) = best?;
+    Some((
+        rsn_fault::effect_of(rsn, &faults[i], profile),
+        rsn_fault::effect_of(rsn, &faults[j], profile),
+        format!("fault pair ({i}, {j}), {steps} steps"),
+    ))
+}
+
+/// Measures the SAT engine serial vs portfolio on one embedded
+/// benchmark: the full verify run (the phase-0 no-regression guard) and
+/// the two fault-distinguishability miter families — the hardest
+/// same-class pair (UNSAT, search-hard) and the first cross-class pair
+/// (SAT). Sets the `sat.parallel_speedup` gauge to the hard row's
+/// ratio.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the embedded benchmarks.
+pub fn bench_sat(name: &str, threads: usize) -> Vec<SatBenchRow> {
+    let _span = rsn_obs::Span::enter("bench_sat");
+    let soc = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let rsn = generate(&soc).expect("SIB generation succeeds on embedded suite");
+    let steps = soc.depth() + 1;
+    let mut rows = Vec::new();
+
+    // Family 1: the full static + SAT verify run. Its queries decide in
+    // the portfolio's serial phase 0, so this row documents that easy
+    // workloads pay (approximately) nothing for the parallel plumbing.
+    let verify_at = |n: usize| {
+        let opts = rsn_verify::VerifyOptions {
+            solver_threads: n,
+            ..rsn_verify::VerifyOptions::default()
+        };
+        timed_sat(|| rsn_verify::verify_with(&rsn, opts))
+    };
+    let (serial_report, ss, sc) = verify_at(1);
+    let (parallel_report, ps, pc) = verify_at(threads);
+    rows.push(sat_row(
+        name,
+        "verify",
+        format!(
+            "{} check families, {} SAT queries",
+            serial_report.checks_run.len(),
+            serial_report.sat_queries
+        ),
+        threads,
+        (ss, sc),
+        (ps, pc),
+        serial_report.error_count() == parallel_report.error_count()
+            && serial_report.warning_count() == parallel_report.warning_count()
+            && serial_report.is_complete() == parallel_report.is_complete(),
+    ));
+
+    // Families 2 and 3: fault-distinguishability miters. Each timed
+    // solve gets a freshly built miter so learnt clauses cannot leak
+    // from the serial side into the portfolio side (or vice versa).
+    let profile = HardeningProfile::unhardened();
+    let faults = rsn_fault::fault_universe(&rsn);
+    let classes = rsn_fault::FaultClasses::build(&rsn, &faults, profile);
+    let miter_row = |family: &'static str,
+                     a: &rsn_fault::FaultEffect,
+                     b: &rsn_fault::FaultEffect,
+                     instance: String| {
+        let solve = |n: usize| {
+            let mut miter = rsn_bmc::FaultDistinguisher::new(&rsn, steps, a, b);
+            miter.set_threads(n);
+            timed_sat(move || miter.distinguishable_under(&Budget::unlimited()))
+        };
+        let (serial_verdict, ss, sc) = solve(1);
+        let (parallel_verdict, ps, pc) = solve(threads);
+        sat_row(
+            name,
+            family,
+            instance,
+            threads,
+            (ss, sc),
+            (ps, pc),
+            serial_verdict == parallel_verdict,
+        )
+    };
+    if let Some((a, b, instance)) = hardest_equivalent_pair(&rsn, steps, &faults, &classes, profile)
+    {
+        let row = miter_row("miter-equivalent", &a, &b, instance);
+        rsn_obs::gauge_set("sat.parallel_speedup", row.speedup);
+        rows.push(row);
+    }
+    let mut reps = classes.classes().iter().map(|c| c.members[0] as usize);
+    if let (Some(i), Some(j)) = (reps.next(), reps.next()) {
+        let a = rsn_fault::effect_of(&rsn, &faults[i], profile);
+        let b = rsn_fault::effect_of(&rsn, &faults[j], profile);
+        rows.push(miter_row(
+            "miter-distinct",
+            &a,
+            &b,
+            format!("fault pair ({i}, {j}), {steps} steps"),
+        ));
+    }
+    rows
+}
 
 /// Formats a row in the layout of the paper's Table I (measured values).
 pub fn format_row(row: &Row) -> String {

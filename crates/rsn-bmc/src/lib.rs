@@ -114,206 +114,17 @@ impl BmcChecker {
             "BMC models networks without secondary scan ports"
         );
         let mut cnf = CnfBuilder::new();
-        let n_bits = rsn.shadow_bits() as usize;
-        let n_nodes = rsn.node_count();
-
-        // Shadow-register bit literals per step.
-        let bits: Vec<Vec<Lit>> = (0..=steps)
-            .map(|_| (0..n_bits).map(|_| cnf.new_lit()).collect())
-            .collect();
         // Primary-input literals per step (inputs are freely drivable each
         // CSU but must be consistent within a step).
         let inputs: Vec<Vec<Lit>> = (0..=steps)
             .map(|_| (0..rsn.num_inputs()).map(|_| cnf.new_lit()).collect())
             .collect();
-
-        // Forced control bits (stuck shadow cells): constant at all steps.
-        for (&(node, bit), &value) in &effect.forced_bits {
-            if let Some(off) = rsn.shadow_offset(node) {
-                for step_bits in &bits {
-                    let l = step_bits[(off + bit) as usize];
-                    cnf.assert_lit(if value { l } else { !l });
-                }
-            }
-        }
-
-        // Initial configuration = reset.
-        let reset = rsn.reset_config();
-        for (i, &l) in bits[0].iter().enumerate() {
-            // Skip bits pinned by the fault (already asserted; pinning wins
-            // over reset, as a stuck cell never held the reset value).
-            let pinned = effect.forced_bits.iter().any(|(&(node, bit), _)| {
-                rsn.shadow_offset(node).map(|off| (off + bit) as usize) == Some(i)
-            });
-            if pinned {
-                continue;
-            }
-            let l = if reset.bit(i) { l } else { !l };
-            cnf.assert_lit(l);
-        }
-
-        // Corruption lookup.
-        let mut corrupt_node = vec![false; n_nodes];
-        for &c in &effect.corrupt_nodes {
-            corrupt_node[c.index()] = true;
-        }
-        let corrupt_edge: HashMap<(NodeId, usize), ()> =
-            effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
-
-        let mut onpath: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
-        let mut taint: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
-
-        for t in 0..=steps {
-            let step_bits = &bits[t];
-            // Encode a ControlExpr at this step.
-            let ctx = ExprCtx {
-                rsn,
-                bits: step_bits,
-                inputs: &inputs[t],
-            };
-
-            // Mux selected-input condition literals: cond[mux][k].
-            let mut cond: HashMap<(NodeId, usize), Lit> = HashMap::new();
-            for m in rsn.muxes() {
-                let mux = rsn.node(m).as_mux().expect("mux");
-                // Address-forced mux (stuck address net).
-                let forced = effect.forced_mux.get(&m).copied();
-                for k in 0..mux.inputs.len() {
-                    let lit = match forced {
-                        Some(fk) => cnf.constant(fk == k),
-                        None => {
-                            let mut conj = Vec::new();
-                            for (i, e) in mux.addr_bits.iter().enumerate() {
-                                let b = ctx.encode(&mut cnf, e);
-                                conj.push(if (k >> i) & 1 == 1 { b } else { !b });
-                            }
-                            cnf.and(conj)
-                        }
-                    };
-                    cond.insert((m, k), lit);
-                }
-            }
-
-            // onpath literals, defined in reverse topological order so each
-            // node's successors are already defined.
-            let mut op = vec![cnf.lit_false(); n_nodes];
-            let order: Vec<NodeId> = rsn.topo_order().iter().rev().copied().collect();
-            for &v in &order {
-                let l = match rsn.node(v).kind() {
-                    NodeKind::ScanOut if v == rsn.scan_out() => cnf.lit_true(),
-                    NodeKind::ScanOut => cnf.lit_false(),
-                    _ => {
-                        // v is on the path iff some successor w is on the
-                        // path and w's feed is v.
-                        let mut alts = Vec::new();
-                        for &w in rsn.successors(v) {
-                            match rsn.node(w).kind() {
-                                NodeKind::Mux(mux) => {
-                                    for (k, &inp) in mux.inputs.iter().enumerate() {
-                                        if inp == v {
-                                            let c = cond[&(w, k)];
-                                            let a = cnf.and([op[w.index()], c]);
-                                            alts.push(a);
-                                        }
-                                    }
-                                }
-                                _ => alts.push(op[w.index()]),
-                            }
-                        }
-                        cnf.or(alts)
-                    }
-                };
-                op[v.index()] = l;
-            }
-
-            // Validity. Fault-free: every segment's select must equal its
-            // path membership (exactly one active scan path). Under a
-            // fault, the fault itself may force mismatches: a *deselected*
-            // segment on the path does not shift and corrupts the stream
-            // (modeled as taint below); a *selected* segment off the path
-            // shifts idly and is benign for routing.
-            let mut select_lits = vec![cnf.lit_true(); n_nodes];
-            for s in rsn.segments() {
-                let sel = ctx.encode(&mut cnf, &rsn.node(s).as_segment().expect("segment").select);
-                select_lits[s.index()] = sel;
-                if effect.is_benign() {
-                    cnf.assert_eq(sel, op[s.index()]);
-                }
-            }
-
-            // taint literals in forward topological order.
-            let mut tn = vec![cnf.lit_false(); n_nodes];
-            for &v in rsn.topo_order() {
-                let mut own = cnf.constant(corrupt_node[v.index()]);
-                if !effect.is_benign() {
-                    if let NodeKind::Segment(_) = rsn.node(v).kind() {
-                        // On-path-but-deselected segments do not shift.
-                        own = cnf.or([own, !select_lits[v.index()]]);
-                    }
-                }
-                let incoming = match rsn.node(v).kind() {
-                    NodeKind::ScanIn => cnf.lit_false(),
-                    NodeKind::Mux(mux) => {
-                        let mut alts = Vec::new();
-                        for (k, &inp) in mux.inputs.iter().enumerate() {
-                            let c = cond[&(v, k)];
-                            let dirty_edge = cnf.constant(corrupt_edge.contains_key(&(v, k)));
-                            let up = cnf.or([tn[inp.index()], dirty_edge]);
-                            alts.push(cnf.and([c, up]));
-                        }
-                        cnf.or(alts)
-                    }
-                    _ => match rsn.node(v).source() {
-                        Some(u) => tn[u.index()],
-                        None => cnf.lit_false(),
-                    },
-                };
-                let dirt = cnf.or([own, incoming]);
-                tn[v.index()] = cnf.and([op[v.index()], dirt]);
-            }
-
-            onpath.push(op);
-            taint.push(tn);
-        }
-
-        // Transition relation between consecutive steps (eq. 1 with the
-        // adapted fault semantics).
-        for t in 0..steps {
-            for s in rsn.segments() {
-                let seg = rsn.node(s).as_segment().expect("segment");
-                if !seg.has_shadow {
-                    continue;
-                }
-                let off = rsn.shadow_offset(s).expect("has shadow");
-                let ctx = ExprCtx {
-                    rsn,
-                    bits: &bits[t],
-                    inputs: &inputs[t],
-                };
-                let updis = ctx.encode(&mut cnf, &seg.update_disable);
-                let active = onpath[t][s.index()];
-                // frozen := ¬active ∨ updis  → registers keep their value.
-                let frozen = cnf.or([!active, updis]);
-                let tainted = taint[t][s.index()];
-                for b in 0..seg.length {
-                    let cur = bits[t][(off + b) as usize];
-                    let next = bits[t + 1][(off + b) as usize];
-                    cnf.assert_eq_if(frozen, cur, next);
-                    // Adapted transition: a tainted active write forces the
-                    // stuck value into the register.
-                    if let Some(stuck) = stuck_value(effect) {
-                        let writing = cnf.and([active, !updis, tainted]);
-                        let stuck_lit = cnf.constant(stuck);
-                        cnf.assert_eq_if(writing, next, stuck_lit);
-                    }
-                }
-            }
-        }
+        let u = encode_unrolling(&mut cnf, rsn, steps, effect, &inputs, None);
 
         let mut checker = BmcChecker {
             cnf,
-            onpath,
-            taint,
+            onpath: u.onpath,
+            taint: u.taint,
             local_loss: effect.local_loss.clone(),
             scan_out: rsn.scan_out(),
             steps,
@@ -331,6 +142,249 @@ impl BmcChecker {
             solver.num_clauses() as f64,
         );
         checker
+    }
+}
+
+/// The literal matrices of one `steps`-deep unrolling of the (possibly
+/// faulty) transition relation, as written into a caller-supplied
+/// builder by [`encode_unrolling`].
+struct Unrolling {
+    /// `onpath[t][node]` literals.
+    onpath: Vec<Vec<Lit>>,
+    /// `taint[t][node]` literals.
+    taint: Vec<Vec<Lit>>,
+}
+
+/// Encodes one copy of the faulty network model into `cnf`.
+///
+/// `inputs[t]` are the per-step primary-input literals, supplied by the
+/// caller so several copies can share one stimulus (the miter of
+/// [`FaultDistinguisher`]). `data`, when present, supplies per-step
+/// shared *shift datum* literals: a clean active write latches
+/// `data[t][bit]`, which pins the whole trajectory to a function of
+/// `(inputs, data)` — two copies fed the same stimulus can then only
+/// diverge through their fault effects. `None` leaves clean writes
+/// unconstrained, the classic accessibility semantics where the tester
+/// may shift in anything.
+fn encode_unrolling(
+    cnf: &mut CnfBuilder,
+    rsn: &Rsn,
+    steps: usize,
+    effect: &FaultEffect,
+    inputs: &[Vec<Lit>],
+    data: Option<&[Vec<Lit>]>,
+) -> Unrolling {
+    let n_bits = rsn.shadow_bits() as usize;
+    let n_nodes = rsn.node_count();
+
+    // Shadow-register bit literals per step.
+    let bits: Vec<Vec<Lit>> = (0..=steps)
+        .map(|_| (0..n_bits).map(|_| cnf.new_lit()).collect())
+        .collect();
+
+    // Forced control bits (stuck shadow cells): constant at all steps.
+    for (&(node, bit), &value) in &effect.forced_bits {
+        if let Some(off) = rsn.shadow_offset(node) {
+            for step_bits in &bits {
+                let l = step_bits[(off + bit) as usize];
+                cnf.assert_lit(if value { l } else { !l });
+            }
+        }
+    }
+
+    // Initial configuration = reset.
+    let reset = rsn.reset_config();
+    for (i, &l) in bits[0].iter().enumerate() {
+        // Skip bits pinned by the fault (already asserted; pinning wins
+        // over reset, as a stuck cell never held the reset value).
+        let pinned = effect.forced_bits.iter().any(|(&(node, bit), _)| {
+            rsn.shadow_offset(node).map(|off| (off + bit) as usize) == Some(i)
+        });
+        if pinned {
+            continue;
+        }
+        let l = if reset.bit(i) { l } else { !l };
+        cnf.assert_lit(l);
+    }
+
+    // Corruption lookup.
+    let mut corrupt_node = vec![false; n_nodes];
+    for &c in &effect.corrupt_nodes {
+        corrupt_node[c.index()] = true;
+    }
+    let corrupt_edge: HashMap<(NodeId, usize), ()> =
+        effect.corrupt_mux_inputs.iter().map(|&e| (e, ())).collect();
+
+    let mut onpath: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
+    let mut taint: Vec<Vec<Lit>> = Vec::with_capacity(steps + 1);
+
+    for t in 0..=steps {
+        let step_bits = &bits[t];
+        // Encode a ControlExpr at this step.
+        let ctx = ExprCtx {
+            rsn,
+            bits: step_bits,
+            inputs: &inputs[t],
+        };
+
+        // Mux selected-input condition literals: cond[mux][k].
+        let mut cond: HashMap<(NodeId, usize), Lit> = HashMap::new();
+        for m in rsn.muxes() {
+            let mux = rsn.node(m).as_mux().expect("mux");
+            // Address-forced mux (stuck address net).
+            let forced = effect.forced_mux.get(&m).copied();
+            for k in 0..mux.inputs.len() {
+                let lit = match forced {
+                    Some(fk) => cnf.constant(fk == k),
+                    None => {
+                        let mut conj = Vec::new();
+                        for (i, e) in mux.addr_bits.iter().enumerate() {
+                            let b = ctx.encode(&mut *cnf, e);
+                            conj.push(if (k >> i) & 1 == 1 { b } else { !b });
+                        }
+                        cnf.and(conj)
+                    }
+                };
+                cond.insert((m, k), lit);
+            }
+        }
+
+        // onpath literals, defined in reverse topological order so each
+        // node's successors are already defined.
+        let mut op = vec![cnf.lit_false(); n_nodes];
+        let order: Vec<NodeId> = rsn.topo_order().iter().rev().copied().collect();
+        for &v in &order {
+            let l = match rsn.node(v).kind() {
+                NodeKind::ScanOut if v == rsn.scan_out() => cnf.lit_true(),
+                NodeKind::ScanOut => cnf.lit_false(),
+                _ => {
+                    // v is on the path iff some successor w is on the
+                    // path and w's feed is v.
+                    let mut alts = Vec::new();
+                    for &w in rsn.successors(v) {
+                        match rsn.node(w).kind() {
+                            NodeKind::Mux(mux) => {
+                                for (k, &inp) in mux.inputs.iter().enumerate() {
+                                    if inp == v {
+                                        let c = cond[&(w, k)];
+                                        let a = cnf.and([op[w.index()], c]);
+                                        alts.push(a);
+                                    }
+                                }
+                            }
+                            _ => alts.push(op[w.index()]),
+                        }
+                    }
+                    cnf.or(alts)
+                }
+            };
+            op[v.index()] = l;
+        }
+
+        // Validity. Fault-free: every segment's select must equal its
+        // path membership (exactly one active scan path). Under a
+        // fault, the fault itself may force mismatches: a *deselected*
+        // segment on the path does not shift and corrupts the stream
+        // (modeled as taint below); a *selected* segment off the path
+        // shifts idly and is benign for routing.
+        let mut select_lits = vec![cnf.lit_true(); n_nodes];
+        for s in rsn.segments() {
+            let sel = ctx.encode(
+                &mut *cnf,
+                &rsn.node(s).as_segment().expect("segment").select,
+            );
+            select_lits[s.index()] = sel;
+            if effect.is_benign() {
+                cnf.assert_eq(sel, op[s.index()]);
+            }
+        }
+
+        // taint literals in forward topological order.
+        let mut tn = vec![cnf.lit_false(); n_nodes];
+        for &v in rsn.topo_order() {
+            let mut own = cnf.constant(corrupt_node[v.index()]);
+            if !effect.is_benign() {
+                if let NodeKind::Segment(_) = rsn.node(v).kind() {
+                    // On-path-but-deselected segments do not shift.
+                    own = cnf.or([own, !select_lits[v.index()]]);
+                }
+            }
+            let incoming = match rsn.node(v).kind() {
+                NodeKind::ScanIn => cnf.lit_false(),
+                NodeKind::Mux(mux) => {
+                    let mut alts = Vec::new();
+                    for (k, &inp) in mux.inputs.iter().enumerate() {
+                        let c = cond[&(v, k)];
+                        let dirty_edge = cnf.constant(corrupt_edge.contains_key(&(v, k)));
+                        let up = cnf.or([tn[inp.index()], dirty_edge]);
+                        alts.push(cnf.and([c, up]));
+                    }
+                    cnf.or(alts)
+                }
+                _ => match rsn.node(v).source() {
+                    Some(u) => tn[u.index()],
+                    None => cnf.lit_false(),
+                },
+            };
+            let dirt = cnf.or([own, incoming]);
+            tn[v.index()] = cnf.and([op[v.index()], dirt]);
+        }
+
+        onpath.push(op);
+        taint.push(tn);
+    }
+
+    // Transition relation between consecutive steps (eq. 1 with the
+    // adapted fault semantics).
+    for t in 0..steps {
+        for s in rsn.segments() {
+            let seg = rsn.node(s).as_segment().expect("segment");
+            if !seg.has_shadow {
+                continue;
+            }
+            let off = rsn.shadow_offset(s).expect("has shadow");
+            let ctx = ExprCtx {
+                rsn,
+                bits: &bits[t],
+                inputs: &inputs[t],
+            };
+            let updis = ctx.encode(&mut *cnf, &seg.update_disable);
+            let active = onpath[t][s.index()];
+            // frozen := ¬active ∨ updis  → registers keep their value.
+            let frozen = cnf.or([!active, updis]);
+            let tainted = taint[t][s.index()];
+            for b in 0..seg.length {
+                let cur = bits[t][(off + b) as usize];
+                let next = bits[t + 1][(off + b) as usize];
+                cnf.assert_eq_if(frozen, cur, next);
+                // Adapted transition: a tainted active write forces the
+                // stuck value into the register.
+                if let Some(stuck) = stuck_value(effect) {
+                    let writing = cnf.and([active, !updis, tainted]);
+                    let stuck_lit = cnf.constant(stuck);
+                    cnf.assert_eq_if(writing, next, stuck_lit);
+                }
+                // Shared-stimulus mode: a clean active write latches
+                // the shared shift datum, so the trajectory is a
+                // function of (inputs, data) alone.
+                if let Some(data) = data {
+                    let clean_write = cnf.and([active, !updis, !tainted]);
+                    cnf.assert_eq_if(clean_write, next, data[t][(off + b) as usize]);
+                }
+            }
+        }
+    }
+
+    Unrolling { onpath, taint }
+}
+
+impl BmcChecker {
+    /// Routes this checker's SAT queries through the portfolio solver
+    /// with `threads` workers. `1` (the default) keeps queries on the
+    /// bit-reproducible serial loop; see
+    /// [`rsn_sat::Solver::set_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cnf.solver_mut().set_threads(threads);
     }
 
     /// Decides accessibility of `target`: is there a sequence of `steps`
@@ -372,6 +426,173 @@ impl BmcChecker {
                 rsn_obs::counter_add("bmc.unknown", 1);
                 rsn_obs::record_budget_trip("bmc", reason.as_str());
                 Verdict::Unknown {
+                    bound_reached: self.steps,
+                }
+            }
+        }
+    }
+}
+
+/// Distinguishability verdict from a budgeted miter query
+/// ([`FaultDistinguisher::distinguishable_under`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distinguishability {
+    /// Some shared stimulus provokes observably different scan behavior
+    /// from the two faulty machines.
+    Distinguishable,
+    /// No stimulus within the unroll depth separates the two faults —
+    /// they are test-equivalent at this bound.
+    Equivalent,
+    /// The budget ran out before the SAT query concluded.
+    Unknown {
+        /// The unroll depth (CSU steps) the undecided query was posed at.
+        bound_reached: usize,
+    },
+}
+
+/// Decides whether two fault effects are *distinguishable*: is there a
+/// `steps`-deep CSU stimulus (same primary inputs and the same shift
+/// data each step) under which the two faulty machines differ in
+/// observable scan behavior — a segment on the active path of one but
+/// not the other, or a corrupted bitstream at the scan-out of exactly
+/// one?
+///
+/// The miter unrolls the faulty transition relation twice into one CNF,
+/// sharing the per-step primary-input and shift-datum literals (see
+/// [`encode_unrolling`]); each machine's trajectory is then a function
+/// of the stimulus and can only diverge through the fault effects
+/// themselves. A `Sat` answer is a distinguishing test; `Unsat` proves
+/// the pair equivalent within the bound — for two effects from the same
+/// collapse class the solver must effectively re-derive the structural
+/// equivalence argument, which makes these by far the hardest SAT
+/// instances in the workload (and the benchmark family exercised by
+/// `table1 --bench-sat`).
+///
+/// # Example
+///
+/// ```
+/// use rsn_bmc::{Distinguishability, FaultDistinguisher};
+/// use rsn_core::examples::fig2;
+/// use rsn_fault::{effect_of, fault_universe, HardeningProfile};
+///
+/// let rsn = fig2();
+/// let faults = fault_universe(&rsn);
+/// let p = HardeningProfile::unhardened();
+/// let a = effect_of(&rsn, &faults[0], p);
+/// let same = effect_of(&rsn, &faults[0], p);
+/// let mut miter = FaultDistinguisher::new(&rsn, 2, &a, &same);
+/// assert!(!miter.distinguishable(), "a fault cannot be told from itself");
+/// ```
+#[derive(Debug)]
+pub struct FaultDistinguisher {
+    cnf: CnfBuilder,
+    /// Asserted as an assumption: some observable divergence exists.
+    diff: Lit,
+    steps: usize,
+    /// The local-loss sets differ, which is observable without search.
+    structurally_distinct: bool,
+}
+
+impl FaultDistinguisher {
+    /// Builds the two-copy miter with `steps` CSU operations per copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has secondary scan ports (not modeled).
+    pub fn new(rsn: &Rsn, steps: usize, a: &FaultEffect, b: &FaultEffect) -> Self {
+        assert!(
+            rsn.secondary_scan_in().is_none() && rsn.secondary_scan_out().is_none(),
+            "BMC models networks without secondary scan ports"
+        );
+        let mut cnf = CnfBuilder::new();
+        // The shared stimulus: primary inputs per step, plus the shift
+        // datum each register would latch on a clean active write.
+        let inputs: Vec<Vec<Lit>> = (0..=steps)
+            .map(|_| (0..rsn.num_inputs()).map(|_| cnf.new_lit()).collect())
+            .collect();
+        let n_bits = rsn.shadow_bits() as usize;
+        let data: Vec<Vec<Lit>> = (0..steps)
+            .map(|_| (0..n_bits).map(|_| cnf.new_lit()).collect())
+            .collect();
+        let ua = encode_unrolling(&mut cnf, rsn, steps, a, &inputs, Some(&data));
+        let ub = encode_unrolling(&mut cnf, rsn, steps, b, &inputs, Some(&data));
+
+        // Observable divergence at any step: a segment on exactly one
+        // active path (the streams differ in composition/length), or a
+        // corrupted stream at exactly one scan-out.
+        let so = rsn.scan_out().index();
+        let mut diffs = Vec::new();
+        for t in 0..=steps {
+            for s in rsn.segments() {
+                diffs.push(cnf.xor(ua.onpath[t][s.index()], ub.onpath[t][s.index()]));
+            }
+            diffs.push(cnf.xor(ua.taint[t][so], ub.taint[t][so]));
+        }
+        let diff = cnf.or(diffs);
+
+        // Losing instrument access to different segment sets is directly
+        // observable (one machine answers where the other is silent);
+        // no search needed.
+        let mut la: Vec<NodeId> = a.local_loss.clone();
+        let mut lb: Vec<NodeId> = b.local_loss.clone();
+        la.sort_unstable();
+        lb.sort_unstable();
+        let structurally_distinct = la != lb;
+
+        rsn_obs::counter_add("bmc.miter.builds", 1);
+        let solver = cnf.solver_mut();
+        rsn_obs::gauge_set("bmc.miter.vars", solver.num_vars() as f64);
+        rsn_obs::gauge_set("bmc.miter.clauses", solver.num_clauses() as f64);
+        FaultDistinguisher {
+            cnf,
+            diff,
+            steps,
+            structurally_distinct,
+        }
+    }
+
+    /// Routes the miter's SAT queries through the portfolio solver with
+    /// `threads` workers; see [`rsn_sat::Solver::set_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cnf.solver_mut().set_threads(threads);
+    }
+
+    /// The unroll depth of each miter copy.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Decides distinguishability under an unlimited budget.
+    pub fn distinguishable(&mut self) -> bool {
+        match self.distinguishable_under(&Budget::unlimited()) {
+            Distinguishability::Distinguishable => true,
+            Distinguishability::Equivalent => false,
+            Distinguishability::Unknown { .. } => {
+                unreachable!("unlimited budget cannot exhaust")
+            }
+        }
+    }
+
+    /// Like [`FaultDistinguisher::distinguishable`], bounded by a
+    /// [`Budget`] threaded into the SAT solve. The miter stays usable
+    /// after exhaustion and the query can be retried.
+    pub fn distinguishable_under(&mut self, budget: &Budget) -> Distinguishability {
+        if self.structurally_distinct {
+            return Distinguishability::Distinguishable;
+        }
+        let _span = rsn_obs::Span::enter("bmc_miter_solve");
+        let start = std::time::Instant::now();
+        let diff = self.diff;
+        let outcome = self.cnf.solver_mut().solve_with_under(&[diff], budget);
+        rsn_obs::counter_add("bmc.miter.queries", 1);
+        rsn_obs::hist_record("bmc.miter.query_ns", start.elapsed().as_nanos() as u64);
+        match outcome {
+            SolveOutcome::Sat => Distinguishability::Distinguishable,
+            SolveOutcome::Unsat => Distinguishability::Equivalent,
+            SolveOutcome::Unknown { reason, .. } => {
+                rsn_obs::counter_add("bmc.miter.unknown", 1);
+                rsn_obs::record_budget_trip("bmc", reason.as_str());
+                Distinguishability::Unknown {
                     bound_reached: self.steps,
                 }
             }

@@ -319,6 +319,27 @@ impl CancelToken {
     }
 }
 
+/// The workspace-wide default worker-thread count.
+///
+/// Reads the `RSN_THREADS` environment variable (any integer ≥ 1);
+/// when unset or unparsable it falls back to
+/// [`std::thread::available_parallelism`], and to 1 when even that is
+/// unknown. Both the fault-sweep work-stealing scheduler and the SAT
+/// portfolio size their worker pools through this single knob, so one
+/// variable pins the whole process to a core budget (e.g. in CI or
+/// when benchmarking serial baselines).
+///
+/// Callers that need a cap apply it on top: `default_threads().min(16)`.
+pub fn default_threads() -> usize {
+    match std::env::var("RSN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,9 +115,7 @@ impl FaultDictionary {
     pub fn build(rsn: &Rsn, profile: HardeningProfile) -> Self {
         let engine = AccessEngine::new(rsn);
         let faults = fault_universe(rsn);
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |t| t.get())
-            .min(16);
+        let threads = rsn_budget::default_threads().min(16);
         // Predict signatures with the shared work-stealing scheduler, then
         // group serially in fault order so each class lists its members
         // deterministically.

@@ -328,7 +328,8 @@ pub fn analyze_classes_on_budget(
 }
 
 /// Multi-threaded version of [`analyze`]: up to
-/// `std::thread::available_parallelism` workers share one
+/// [`rsn_budget::default_threads`] (the `RSN_THREADS` env knob) workers
+/// share one
 /// [`AccessEngine`] (one [`crate::Scratch`] per worker) and steal class
 /// batches from a shared cursor. Reports are bit-identical to the
 /// sequential version, including the `worst_fault` witness.
@@ -376,9 +377,7 @@ fn analyze_parallel_impl(
 ) -> FaultToleranceReport {
     let _span = rsn_obs::Span::enter("analyze_parallel");
     let faults = fault_universe_weighted(rsn, model);
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(16);
+    let threads = rsn_budget::default_threads().min(16);
     let engine = AccessEngine::new(rsn);
     if collapse {
         analyze_faults_on_budget(&engine, &faults, profile, threads, budget)

@@ -113,9 +113,7 @@ pub fn analyze_double_sampled_on(
         }
     }
 
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |t| t.get())
-        .min(16);
+    let threads = rsn_budget::default_threads().min(16);
     let fracs: Vec<f64> = run_stealing(
         sampled.len(),
         threads,

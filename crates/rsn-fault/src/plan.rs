@@ -398,9 +398,7 @@ pub fn plan_targets_on(
     effect: &FaultEffect,
     targets: &[NodeId],
 ) -> Vec<Option<FaultyAccessPlan>> {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |t| t.get())
-        .min(16);
+    let threads = rsn_budget::default_threads().min(16);
     run_stealing(
         targets.len(),
         threads,

@@ -39,8 +39,16 @@ pub const METRIC_CATALOG: &[CatalogEntry] = &[
     (Counter, "sat.sat"),
     (Counter, "sat.unsat"),
     (Counter, "sat.unknown"),
+    (Counter, "sat.pool_imports"),
+    (Counter, "sat.pool_exports"),
+    (Counter, "sat.cubes"),
+    (Counter, "sat.probe_units"),
+    (Counter, "sat.eliminated_vars"),
+    (Counter, "sat.portfolio_winner"),
+    (Gauge, "sat.parallel_speedup"),
     (Histogram, "sat.solve_ns"),
     (Histogram, "sat.solve_conflicts"),
+    (Histogram, "sat.learnt_lbd"),
     // rsn-ilp: branch & bound and simplex.
     (Counter, "ilp.solves"),
     (Counter, "ilp.nodes"),
@@ -60,6 +68,13 @@ pub const METRIC_CATALOG: &[CatalogEntry] = &[
     (Gauge, "bmc.unroll.*.vars"),
     (Gauge, "bmc.unroll.*.clauses"),
     (Histogram, "bmc.query_ns"),
+    // rsn-bmc: fault-distinguishability miter.
+    (Counter, "bmc.miter.builds"),
+    (Counter, "bmc.miter.queries"),
+    (Counter, "bmc.miter.unknown"),
+    (Gauge, "bmc.miter.vars"),
+    (Gauge, "bmc.miter.clauses"),
+    (Histogram, "bmc.miter.query_ns"),
     // rsn-fault: access engine, collapsing, work-stealing sweep.
     (Counter, "fault.engine_rounds"),
     (Counter, "fault.faults_simulated"),

@@ -67,7 +67,9 @@ pub use catalog::{
 pub use hist::{bucket_index, bucket_upper_bound, Histogram, HIST_BUCKETS};
 pub use json_impl as json;
 pub use log::{log_enabled, log_level, log_message, set_log_level, Level};
-pub use metrics::{counter_add, counter_get, gauge_set, hist_record, metrics_snapshot, Registry};
+pub use metrics::{
+    counter_add, counter_get, gauge_set, hist_merge, hist_record, metrics_snapshot, Registry,
+};
 pub use prom::render_prometheus;
 pub use report::RunReport;
 pub use scope::{scope_active, scope_handles, scope_merge, ScopeGuard, ScopeHandle};

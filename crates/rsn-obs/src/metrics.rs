@@ -108,6 +108,25 @@ pub fn hist_record(name: &str, value: u64) {
     crate::scope::tee_hist(name, value);
 }
 
+/// Merges a whole pre-accumulated [`Histogram`] into a histogram in the
+/// global registry (and any entered scopes). Lets hot loops — e.g. the
+/// per-conflict LBD samples of a SAT solve — record into a local
+/// histogram and pay the global lock once per solve instead of once per
+/// sample.
+pub fn hist_merge(name: &str, h: &Histogram) {
+    if h.is_empty() {
+        return;
+    }
+    GLOBAL
+        .lock()
+        .unwrap()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .merge(h);
+    crate::scope::tee_hist_merge(name, h);
+}
+
 /// Clones the global registry.
 pub fn metrics_snapshot() -> Registry {
     GLOBAL.lock().unwrap().clone()

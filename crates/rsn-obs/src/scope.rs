@@ -114,6 +114,20 @@ pub(crate) fn tee_hist(name: &str, value: u64) {
     });
 }
 
+pub(crate) fn tee_hist_merge(name: &str, hist: &crate::hist::Histogram) {
+    STACK.with(|s| {
+        for h in s.borrow().iter() {
+            h.inner
+                .lock()
+                .unwrap()
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(hist);
+        }
+    });
+}
+
 /// Merges a whole registry into every scope on this thread (used by
 /// map-reduce collectors that fold worker-local registries).
 pub fn scope_merge(other: &Registry) {

@@ -1,0 +1,343 @@
+//! Bounded variable elimination (NiVER) for the portfolio escalation
+//! path.
+//!
+//! BMC-style instances are dominated by Tseitin definition variables:
+//! the hardest p93791 miter carries ~560k live variables of which the
+//! overwhelming majority occur in only 4–5 short clauses (gate
+//! definitions and chain buffers). Resolving such a variable out —
+//! replacing its positive/negative occurrence lists by their pairwise
+//! resolvents — keeps the clause count non-increasing (the NiVER rule,
+//! Subbarayan & Pradhan 2004) while deleting the variable, so a few
+//! passes collapse buffer chains and shrink the instance several-fold.
+//! Unit propagation, conflict analysis and clause management all scale
+//! with live instance size, so the reduced instance solves far faster
+//! than the original.
+//!
+//! Soundness contract:
+//!
+//! * Elimination by clause distribution preserves equisatisfiability,
+//!   and any model of the reduced formula extends to a model of the
+//!   original by processing the elimination stack in reverse (each
+//!   eliminated variable is set to satisfy its deleted occurrences).
+//! * **Frozen variables are never eliminated.** The caller freezes the
+//!   assumption variables, so an Unsat core of the reduced instance
+//!   (a subset of the assumption literals) is a valid core of the
+//!   original.
+//! * Reconstructed models are *validated* against the untouched caller
+//!   solver's clause database ([`Elimination::reconstruct`] extends the
+//!   assignment; `Solver::check_model` and the replay in
+//!   `Solver::adopt_model` both check every original clause), so an
+//!   elimination bug can never surface as a wrong Sat verdict —
+//!   validation failure falls back to the unreduced search.
+
+use rsn_budget::Budget;
+
+use crate::lit::{Lit, Var};
+
+/// Hard cap on resolvent length: longer resolvents would slow
+/// propagation on exactly the instances elimination is meant to help.
+const MAX_RESOLVENT_LEN: usize = 12;
+
+/// Variables occurring in more clauses than this are never candidates —
+/// the pairwise resolvent scan is quadratic in the occurrence count.
+const MAX_OCCURRENCES: usize = 10;
+
+/// One eliminated variable: the variable and the deleted clauses that
+/// mentioned it, kept for model reconstruction.
+struct Elimstep {
+    var: Var,
+    clauses: Vec<Vec<Lit>>,
+}
+
+/// Result of an elimination pass over a clause list.
+pub(crate) struct Elimination {
+    /// The reduced clause list (original variable numbering).
+    pub clauses: Vec<Vec<Lit>>,
+    /// Reverse-order reconstruction script.
+    steps: Vec<Elimstep>,
+    /// Number of variables resolved out.
+    pub eliminated: usize,
+    /// `true` at the index of every eliminated variable.
+    eliminated_mark: Vec<bool>,
+}
+
+/// Runs bounded variable elimination to fixpoint over `clauses`.
+/// `num_vars` sizes the occurrence tables; literals in `frozen` (by
+/// variable) are never eliminated. Tautological input clauses are
+/// dropped up front. An exhausted budget stops the pass early — a
+/// partial elimination is still an equisatisfiable reduction, just a
+/// smaller one.
+pub(crate) fn eliminate(
+    clauses: Vec<Vec<Lit>>,
+    num_vars: usize,
+    frozen: &[Var],
+    budget: &Budget,
+) -> Elimination {
+    let mut frozen_mark = vec![false; num_vars];
+    for v in frozen {
+        frozen_mark[v.index()] = true;
+    }
+
+    // Live clause store: `None` = deleted. Occurrence lists hold clause
+    // indices; entries made stale by deletion are compacted away when
+    // their variable is next examined.
+    let mut store: Vec<Option<Vec<Lit>>> = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        if is_tautology(&c) {
+            continue;
+        }
+        store.push(Some(c));
+    }
+    let mut pos: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+    let mut neg: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+    for (i, c) in store.iter().enumerate() {
+        let c = c.as_ref().expect("live on build");
+        for l in c {
+            let side = if l.is_neg() { &mut neg } else { &mut pos };
+            side[l.var().index()].push(i as u32);
+        }
+    }
+
+    let mut queue: Vec<u32> = (0..num_vars as u32).collect();
+    let mut queued = vec![true; num_vars];
+    let mut steps: Vec<Elimstep> = Vec::new();
+    let mut eliminated_mark = vec![false; num_vars];
+    let mut head = 0usize;
+
+    while head < queue.len() {
+        if head.is_multiple_of(4096) && budget.poll().is_some() {
+            break;
+        }
+        let vi = queue[head] as usize;
+        head += 1;
+        queued[vi] = false;
+        if frozen_mark[vi] || eliminated_mark[vi] {
+            continue;
+        }
+        // Compact occurrence lists (drop deleted clauses).
+        pos[vi].retain(|&ci| store[ci as usize].is_some());
+        neg[vi].retain(|&ci| store[ci as usize].is_some());
+        let (np, nn) = (pos[vi].len(), neg[vi].len());
+        if np + nn == 0 || np + nn > MAX_OCCURRENCES {
+            continue;
+        }
+        let v = Var(vi as u32);
+
+        // Trial resolution: collect all non-tautological resolvents and
+        // give up as soon as the NiVER bound (clause count must not
+        // grow) or the length cap is exceeded.
+        let mut resolvents: Vec<Vec<Lit>> = Vec::with_capacity(np + nn);
+        let mut ok = true;
+        'outer: for &pi in &pos[vi] {
+            for &ni in &neg[vi] {
+                let pc = store[pi as usize].as_ref().expect("retained");
+                let nc = store[ni as usize].as_ref().expect("retained");
+                if let Some(r) = resolve(pc, nc, v) {
+                    if r.len() > MAX_RESOLVENT_LEN || resolvents.len() == np + nn {
+                        ok = false;
+                        break 'outer;
+                    }
+                    resolvents.push(r);
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        // Commit: delete the occurrences, add the resolvents, requeue
+        // every variable whose occurrence profile changed.
+        let mut deleted: Vec<Vec<Lit>> = Vec::with_capacity(np + nn);
+        for &ci in pos[vi].iter().chain(neg[vi].iter()) {
+            let c = store[ci as usize].take().expect("retained");
+            for l in &c {
+                let u = l.var().index();
+                if u != vi && !queued[u] && !eliminated_mark[u] {
+                    queued[u] = true;
+                    queue.push(u as u32);
+                }
+            }
+            deleted.push(c);
+        }
+        for r in resolvents {
+            let ci = store.len() as u32;
+            for l in &r {
+                let u = l.var().index();
+                let side = if l.is_neg() { &mut neg } else { &mut pos };
+                side[u].push(ci);
+                if !queued[u] && !eliminated_mark[u] {
+                    queued[u] = true;
+                    queue.push(u as u32);
+                }
+            }
+            store.push(Some(r));
+        }
+        eliminated_mark[vi] = true;
+        steps.push(Elimstep {
+            var: v,
+            clauses: deleted,
+        });
+    }
+
+    Elimination {
+        clauses: store.into_iter().flatten().collect(),
+        eliminated: steps.len(),
+        steps,
+        eliminated_mark,
+    }
+}
+
+impl Elimination {
+    /// Extends a model of the reduced formula to the original variable
+    /// set: eliminated variables are assigned, in reverse elimination
+    /// order, the polarity that satisfies every clause deleted on their
+    /// behalf. `model[v] = polarity`; entries for eliminated variables
+    /// are overwritten.
+    pub(crate) fn reconstruct(&self, model: &mut [bool]) {
+        for step in self.steps.iter().rev() {
+            let vi = step.var.index();
+            // A deleted clause not satisfied by the other literals
+            // forces the eliminated variable's polarity; default false.
+            let mut val = false;
+            'clauses: for c in &step.clauses {
+                let mut my_polarity = false;
+                for l in c {
+                    if l.var() == step.var {
+                        my_polarity = !l.is_neg();
+                    } else if model[l.var().index()] != l.is_neg() {
+                        // Literal true under the model: clause satisfied.
+                        continue 'clauses;
+                    }
+                }
+                val = my_polarity;
+                break;
+            }
+            model[vi] = val;
+            // `val` satisfies every deleted clause: a clause whose other
+            // literals are all false contains v with polarity `val`
+            // (otherwise its resolvents with every opposite-polarity
+            // occurrence would be falsified too, contradicting the
+            // reduced model satisfying all resolvents).
+        }
+    }
+
+    /// `true` if `v` was resolved out by this pass.
+    pub(crate) fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated_mark[v.index()]
+    }
+}
+
+/// Resolvent of `pc` (containing `v`) and `nc` (containing `¬v`) on
+/// `v`; `None` when tautological.
+fn resolve(pc: &[Lit], nc: &[Lit], v: Var) -> Option<Vec<Lit>> {
+    let mut out: Vec<Lit> = Vec::with_capacity(pc.len() + nc.len() - 2);
+    for &l in pc {
+        if l.var() != v {
+            out.push(l);
+        }
+    }
+    for &l in nc {
+        if l.var() == v {
+            continue;
+        }
+        if out.contains(&!l) {
+            return None;
+        }
+        if !out.contains(&l) {
+            out.push(l);
+        }
+    }
+    Some(out)
+}
+
+fn is_tautology(c: &[Lit]) -> bool {
+    for (i, &l) in c.iter().enumerate() {
+        if c[i + 1..].contains(&!l) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(v: u32) -> Lit {
+        Lit::pos(Var(v))
+    }
+    fn ln(v: u32) -> Lit {
+        Lit::neg(Var(v))
+    }
+    fn satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var().index()] != l.is_neg()))
+    }
+
+    #[test]
+    fn buffer_chain_collapses() {
+        // x0 = x1 = x2 = x3 via binary equivalences; only x0, x3 frozen.
+        let mut clauses = Vec::new();
+        for i in 0..3u32 {
+            clauses.push(vec![lp(i), ln(i + 1)]);
+            clauses.push(vec![ln(i), lp(i + 1)]);
+        }
+        let e = eliminate(clauses.clone(), 4, &[Var(0), Var(3)], &Budget::unlimited());
+        assert_eq!(e.eliminated, 2);
+        assert!(e.is_eliminated(Var(1)) && e.is_eliminated(Var(2)));
+        // What remains must link x0 and x3 (two binary clauses).
+        assert_eq!(e.clauses.len(), 2);
+        let mut model = vec![true, false, false, true];
+        e.reconstruct(&mut model);
+        assert!(satisfies(&clauses, &model));
+        assert!(model[1] && model[2], "chain propagates x0=true");
+    }
+
+    #[test]
+    fn frozen_variables_survive() {
+        let clauses = vec![vec![lp(0), lp(1)], vec![ln(0), lp(1)]];
+        let e = eliminate(clauses, 2, &[Var(0), Var(1)], &Budget::unlimited());
+        assert_eq!(e.eliminated, 0);
+        assert_eq!(e.clauses.len(), 2);
+    }
+
+    #[test]
+    fn tautologies_are_dropped_and_resolution_skips_them() {
+        let clauses = vec![
+            vec![lp(0), ln(0), lp(1)], // tautology: dropped
+            vec![lp(0), lp(1)],
+            vec![ln(0), lp(2)],
+        ];
+        let e = eliminate(clauses.clone(), 3, &[Var(1), Var(2)], &Budget::unlimited());
+        assert_eq!(e.eliminated, 1);
+        assert_eq!(e.clauses, vec![vec![lp(1), lp(2)]]);
+        let mut model = vec![false, true, false];
+        e.reconstruct(&mut model);
+        assert!(satisfies(&clauses[1..], &model));
+    }
+
+    #[test]
+    fn unsat_stays_unsat_under_elimination() {
+        // (a)(¬a ∨ b)(¬b) is unsat; eliminating b must keep it so (the
+        // reduced clauses still conflict on a or are empty).
+        let clauses = vec![vec![lp(0)], vec![ln(0), lp(1)], vec![ln(1)]];
+        let e = eliminate(clauses, 2, &[Var(0)], &Budget::unlimited());
+        assert_eq!(e.eliminated, 1);
+        assert!(e.clauses.iter().any(|c| c.len() <= 1));
+    }
+
+    #[test]
+    fn exhausted_budget_stops_the_pass_early() {
+        let mut clauses = Vec::new();
+        for i in 0..9u32 {
+            clauses.push(vec![lp(i), ln(i + 1)]);
+            clauses.push(vec![ln(i), lp(i + 1)]);
+        }
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let e = eliminate(clauses, 10, &[Var(0), Var(9)], &budget);
+        // A dead budget aborts before the first batch of variables.
+        assert_eq!(e.eliminated, 0);
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`CnfBuilder`] — Tseitin encoding of circuits (AND/OR/NOT/XOR/ITE,
 //!   equality, at-most-one) on top of a solver ([`cnf`]).
 //! * DIMACS parsing and emission ([`dimacs`]).
+//! * Parallel solving — a diversified CDCL portfolio with a shared
+//!   learnt-clause ring and cube-and-conquer escalation
+//!   ([`portfolio`], [`pool`]); see
+//!   [`Solver::solve_portfolio_under`] and [`Solver::set_threads`].
 //!
 //! # Example
 //!
@@ -27,9 +31,13 @@
 
 pub mod cnf;
 pub mod dimacs;
+mod eliminate;
 pub mod lit;
+pub mod pool;
+pub mod portfolio;
 pub mod solver;
 
 pub use cnf::CnfBuilder;
 pub use lit::{Lit, Var};
-pub use solver::{SolveOutcome, Solver};
+pub use pool::ClausePool;
+pub use solver::{RestartSchedule, SearchConfig, SolveOutcome, Solver};

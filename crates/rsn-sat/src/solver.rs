@@ -18,6 +18,11 @@ struct Clause {
     learnt: bool,
     deleted: bool,
     activity: f64,
+    /// Literal block distance ("glue") at learning time: the number of
+    /// distinct decision levels in the clause. 0 for problem clauses.
+    /// Low-LBD clauses connect few decision levels and empirically stay
+    /// useful, so `reduce_db` prefers them over raw activity.
+    lbd: u32,
 }
 
 type ClauseRef = usize;
@@ -106,6 +111,82 @@ impl VarOrder {
         self.heap.swap(i, j);
         self.pos[self.heap[i].index()] = i;
         self.pos[self.heap[j].index()] = j;
+    }
+}
+
+/// Restart scheduling policy for the CDCL loop.
+///
+/// The serial default is `Luby { base: 100 }` — the i-th restart fires
+/// after `base * luby(i)` conflicts. Portfolio workers diversify over
+/// this schedule (and over [`SearchConfig::var_decay`] / phase seeds) so
+/// each worker explores a different part of the search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartSchedule {
+    /// Luby sequence (1,1,2,1,1,2,4,…) scaled by `base` conflicts.
+    Luby {
+        /// Conflicts per Luby unit.
+        base: u64,
+    },
+    /// Geometric: first restart after `base` conflicts, each subsequent
+    /// interval multiplied by `factor`.
+    Geometric {
+        /// Conflicts before the first restart.
+        base: u64,
+        /// Interval growth per restart (> 1.0).
+        factor: f64,
+    },
+}
+
+impl RestartSchedule {
+    /// Conflict budget of the `i`-th restart interval (0-based).
+    fn interval(self, i: u32) -> u64 {
+        match self {
+            RestartSchedule::Luby { base } => base * luby(i),
+            RestartSchedule::Geometric { base, factor } => {
+                (base as f64 * factor.powi(i as i32)).min(1e18) as u64
+            }
+        }
+    }
+}
+
+/// Tunable search heuristics. [`SearchConfig::default`] reproduces the
+/// historical serial behaviour exactly (Luby-100 restarts, VSIDS decay
+/// 0.95, saved phases untouched), so a default-configured solve is
+/// bit-identical to the pre-configurable solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Restart schedule.
+    pub restart: RestartSchedule,
+    /// VSIDS activity decay per conflict (`var_inc /= var_decay`).
+    pub var_decay: f64,
+    /// When set, initial phase polarities are scrambled from this
+    /// splitmix64 seed before the search starts (portfolio
+    /// diversification); `None` keeps the saved phases as-is.
+    pub phase_seed: Option<u64>,
+    /// Chronological-backtracking threshold (Nadel & Ryvchin, SAT'18).
+    /// When a conflict's computed backjump would unwind more than this
+    /// many levels, the solver backtracks a single level instead and
+    /// asserts the learnt clause there — the clause is unit at every
+    /// level between the backjump target and the conflict level, so
+    /// this is sound, and it keeps deep, expensively propagated trail
+    /// prefixes intact. `None` (the default) always backjumps — the
+    /// historical behaviour the `threads == 1` bit-identical contract
+    /// freezes. Opt-in: on the miter workloads the saved re-propagation
+    /// is outweighed by the conflict-count explosion from asserting
+    /// learnt clauses at inflated levels, so no built-in strategy
+    /// enables it; it remains a diversification axis for callers whose
+    /// instances reward it.
+    pub chrono: Option<u32>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            restart: RestartSchedule::Luby { base: 100 },
+            var_decay: 0.95,
+            phase_seed: None,
+            chrono: None,
+        }
     }
 }
 
@@ -204,6 +285,15 @@ pub struct Solver {
     seen: Vec<bool>,
     /// Failed-assumption core of the last unsatisfiable solve.
     core: Vec<Lit>,
+    /// Search heuristics (restart schedule, VSIDS decay, phase seed).
+    config: SearchConfig,
+    /// Worker count for budgeted solves; 1 = the exact serial loop,
+    /// > 1 dispatches through the portfolio (see [`crate::portfolio`]).
+    threads: usize,
+    /// LBD samples of clauses learnt since the last drain; exported to
+    /// the `sat.learnt_lbd` histogram once per solve (merging beats
+    /// taking the global metrics lock on every conflict).
+    lbd_acc: rsn_obs::Histogram,
 }
 
 impl Default for Solver {
@@ -234,7 +324,37 @@ impl Solver {
             max_learnts: 1000.0,
             seen: Vec::new(),
             core: Vec::new(),
+            config: SearchConfig::default(),
+            threads: 1,
+            lbd_acc: rsn_obs::Histogram::new(),
         }
+    }
+
+    /// Replaces the search heuristics (restart schedule, VSIDS decay,
+    /// phase scrambling seed). The default reproduces the serial solver
+    /// exactly; portfolio workers diversify over this.
+    pub fn set_search_config(&mut self, config: SearchConfig) {
+        self.config = config;
+    }
+
+    /// Current search heuristics.
+    pub fn search_config(&self) -> SearchConfig {
+        self.config
+    }
+
+    /// Sets the worker count used by budgeted solves. `1` (the default)
+    /// keeps the exact serial CDCL loop — bit-identical verdicts and
+    /// stats; `n > 1` routes [`Solver::solve_with_under`] (and therefore
+    /// `solve_with`, `solve`, `solve_with_core`, `shrink_core_under`)
+    /// through an `n`-worker portfolio with shared learnt clauses.
+    /// Values are clamped to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker count used by budgeted solves.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Allocates a fresh variable.
@@ -345,13 +465,13 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(c, false);
+                self.attach_clause(c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
         self.watches[(!lits[0]).code()].push(cref);
@@ -361,11 +481,26 @@ impl Solver {
             learnt,
             deleted: false,
             activity: 0.0,
+            lbd,
         });
         if learnt {
             self.stats.learnts += 1;
         }
         cref
+    }
+
+    /// Literal block distance of a clause under the current assignment:
+    /// the number of distinct non-zero decision levels among its
+    /// literals. Must be called before backtracking discards the levels.
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .filter(|&lv| lv > 0)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        (levels.len() as u32).max(1)
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
@@ -566,11 +701,15 @@ impl Solver {
                 c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(i)
             })
             .collect();
+        // Worst first: highest LBD, ties broken by lowest activity. Glue
+        // clauses (LBD ≤ 2) sort last and in practice always survive.
         learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_delete = learnt_refs.len() / 2;
         for &cref in learnt_refs.iter().take(to_delete) {
@@ -641,6 +780,42 @@ impl Solver {
         if rsn_fail::eval("sat.solve").is_some() {
             budget.cancel();
         }
+        if self.threads > 1 {
+            return crate::portfolio::solve_portfolio(self, assumptions, budget, self.threads);
+        }
+        self.solve_serial_instrumented(assumptions, budget)
+    }
+
+    /// Portfolio solve without assumptions: `threads` diversified CDCL
+    /// workers race on clones of this solver, sharing short learnt
+    /// clauses; instances surviving the conflict quota escalate to
+    /// cube-and-conquer. `threads == 1` takes the exact serial loop —
+    /// same verdict, same [`Stats`] as [`Solver::solve_under`].
+    pub fn solve_portfolio_under(&mut self, budget: &Budget, threads: usize) -> SolveOutcome {
+        self.solve_portfolio_with_under(&[], budget, threads)
+    }
+
+    /// Portfolio solve under assumptions; see
+    /// [`Solver::solve_portfolio_under`]. On `Unsat` the winner's
+    /// failed-assumption core is available through [`Solver::core`],
+    /// on `Sat` the winner's model through [`Solver::value`] — exactly
+    /// as after a serial solve.
+    pub fn solve_portfolio_with_under(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        threads: usize,
+    ) -> SolveOutcome {
+        if rsn_fail::eval("sat.solve").is_some() {
+            budget.cancel();
+        }
+        if threads <= 1 {
+            return self.solve_serial_instrumented(assumptions, budget);
+        }
+        crate::portfolio::solve_portfolio(self, assumptions, budget, threads)
+    }
+
+    fn solve_serial_instrumented(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         let _trace = rsn_obs::TraceGuard::new("sat_solve");
         let start = std::time::Instant::now();
         let before = self.stats;
@@ -656,6 +831,10 @@ impl Solver {
         rsn_obs::hist_record("sat.solve_conflicts", conflicts);
         // One budget unit is spent on entry, one per conflict (see above).
         rsn_obs::counter_add("budget.spent{engine=sat}", conflicts + 1);
+        if !self.lbd_acc.is_empty() {
+            let lbd = std::mem::replace(&mut self.lbd_acc, rsn_obs::Histogram::new());
+            rsn_obs::hist_merge("sat.learnt_lbd", &lbd);
+        }
         match result {
             SolveOutcome::Sat => rsn_obs::counter_add("sat.sat", 1),
             SolveOutcome::Unsat => rsn_obs::counter_add("sat.unsat", 1),
@@ -669,6 +848,19 @@ impl Solver {
     }
 
     fn solve_with_inner(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        self.solve_inner_para(assumptions, budget, None)
+    }
+
+    /// The CDCL loop. `para` is `None` for the serial path and carries
+    /// the portfolio context (sibling stop flag, shared clause pool,
+    /// conflict quota) for portfolio workers; every `para` hook is
+    /// behind an `if`, so the serial path is the exact historical loop.
+    pub(crate) fn solve_inner_para(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        para: Option<&crate::portfolio::ParaCtx>,
+    ) -> SolveOutcome {
         // The core describes the *last* unsatisfiable answer only; an
         // empty core on Unsat means the formula needs no assumptions.
         self.core.clear();
@@ -683,14 +875,19 @@ impl Solver {
                 reason: e.reason,
             };
         }
+        if let Some(ctx) = para {
+            if let Some(seed) = self.config.phase_seed {
+                self.scramble_phases(seed ^ ctx.author as u64);
+            }
+        }
         self.backtrack(0);
         if self.propagate().is_some() {
             self.unsat = true;
             return SolveOutcome::Unsat;
         }
 
-        let mut luby_index = 0u32;
-        let mut conflicts_until_restart = 100 * luby(luby_index);
+        let mut restart_index = 0u32;
+        let mut conflicts_until_restart = self.config.restart.interval(restart_index);
         let mut conflict_count_local = 0u64;
 
         loop {
@@ -716,11 +913,54 @@ impl Solver {
                         reason: e.reason,
                     };
                 }
+                if let Some(ctx) = para {
+                    // A sibling proved the verdict — this worker's result
+                    // is discarded, so Unknown/Cancelled is accurate.
+                    if ctx.stopped() {
+                        self.backtrack(0);
+                        return SolveOutcome::Unknown {
+                            conflicts: self.stats.conflicts - conflicts_at_entry,
+                            reason: Reason::Cancelled,
+                        };
+                    }
+                    // Quota exceeded: hand the instance to cube-and-conquer.
+                    if ctx
+                        .quota
+                        .is_some_and(|q| self.stats.conflicts - conflicts_at_entry >= q)
+                    {
+                        self.backtrack(0);
+                        return SolveOutcome::Unknown {
+                            conflicts: self.stats.conflicts - conflicts_at_entry,
+                            reason: Reason::WorkLimit,
+                        };
+                    }
+                }
                 let (learnt, bt_level) = self.analyze(conflict);
+                let lbd = self.clause_lbd(&learnt);
+                self.lbd_acc.record(lbd as u64);
+                if let Some(ctx) = para {
+                    if let Some(pool) = ctx.pool {
+                        pool.publish(&learnt, lbd, ctx.author);
+                    }
+                }
                 // Never backtrack past the assumption levels.
                 let bt = bt_level
                     .max(assumptions.len() as u32)
                     .min(self.current_level() - 1);
+                // Chronological backtracking: a learnt clause with ≥ 2
+                // literals is unit at every level in `bt..current`, so
+                // when the jump would discard more than the configured
+                // number of levels, retreat one level instead and assert
+                // it there. Unit learnts always take the full jump — they
+                // belong at the root (or the assumption prefix), and
+                // asserting them higher with no reason clause would
+                // masquerade as a decision during conflict analysis.
+                let bt = match self.config.chrono {
+                    Some(t) if learnt.len() >= 2 && self.current_level() - 1 - bt > t => {
+                        self.current_level() - 1
+                    }
+                    _ => bt,
+                };
                 self.backtrack(bt);
                 if learnt.len() == 1 && bt == 0 {
                     if self.lit_value(learnt[0]) == UNDEF {
@@ -745,7 +985,7 @@ impl Solver {
                         return SolveOutcome::Unsat;
                     }
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
+                    let cref = self.attach_clause(learnt.clone(), true, lbd);
                     if self.lit_value(learnt[0]) == UNDEF {
                         self.enqueue(learnt[0], Some(cref));
                     } else if self.lit_is_false(learnt[0]) {
@@ -759,7 +999,7 @@ impl Solver {
                         return SolveOutcome::Unsat;
                     }
                 }
-                self.var_inc /= 0.95;
+                self.var_inc /= self.config.var_decay;
                 self.cla_inc /= 0.999;
                 if self.stats.learnts as f64 > self.max_learnts {
                     self.reduce_db();
@@ -769,10 +1009,26 @@ impl Solver {
                 // Restart?
                 if conflict_count_local >= conflicts_until_restart {
                     conflict_count_local = 0;
-                    luby_index += 1;
-                    conflicts_until_restart = 100 * luby(luby_index);
+                    restart_index += 1;
+                    conflicts_until_restart = self.config.restart.interval(restart_index);
                     self.stats.restarts += 1;
-                    self.backtrack(assumptions.len() as u32);
+                    if para.is_some_and(|ctx| ctx.pool.is_some()) {
+                        // Clause import happens at level 0 so imported
+                        // units live below the assumption pseudo-decisions
+                        // (keeping `analyze_final` cores valid); the
+                        // assumptions are re-placed by the loop below.
+                        self.backtrack(0);
+                        let ctx = para.expect("checked above");
+                        if !self.import_pool(ctx) {
+                            // An imported clause (all F-implied) closed the
+                            // proof: unsat regardless of assumptions.
+                            self.core.clear();
+                            self.unsat = true;
+                            return SolveOutcome::Unsat;
+                        }
+                    } else {
+                        self.backtrack(assumptions.len() as u32);
+                    }
                     // Restart boundary: re-read the wall clock even if no
                     // conflict crossed a stride since the last check.
                     if let Some(reason) = budget.poll() {
@@ -782,6 +1038,13 @@ impl Solver {
                             reason,
                         };
                     }
+                }
+                if para.is_some_and(|ctx| ctx.stopped()) {
+                    self.backtrack(0);
+                    return SolveOutcome::Unknown {
+                        conflicts: self.stats.conflicts - conflicts_at_entry,
+                        reason: Reason::Cancelled,
+                    };
                 }
                 // Place assumptions as pseudo-decisions.
                 if (self.current_level() as usize) < assumptions.len() {
@@ -962,6 +1225,328 @@ impl Solver {
     /// Model value of a literal after a satisfiable solve call.
     pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
         self.value(l.var()).map(|b| b == l.polarity())
+    }
+
+    /// Imports clauses published by sibling portfolio workers since this
+    /// worker's last import. Must run at decision level 0 — imported
+    /// units are enqueued as root facts (below the assumption
+    /// pseudo-decisions, keeping [`Solver::analyze_final`] cores valid).
+    /// Returns `false` when an import proves unsatisfiability outright;
+    /// every shared clause is implied by the formula alone, so that
+    /// verdict holds for any assumptions.
+    fn import_pool(&mut self, ctx: &crate::portfolio::ParaCtx) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "imports only at level 0");
+        let pool = ctx.pool.expect("import_pool requires a pool");
+        let mut batch = Vec::new();
+        let seen = ctx.last_seen.get();
+        ctx.last_seen
+            .set(pool.collect_since(seen, ctx.author, &mut batch));
+        'clauses: for (mut lits, lbd) in batch {
+            // At level 0 every assigned literal is a root fact: a true
+            // literal satisfies the clause forever, a false one can be
+            // stripped without changing the clause's models.
+            let mut w = 0;
+            for i in 0..lits.len() {
+                match self.lit_value(lits[i]) {
+                    1 => continue 'clauses,
+                    0 => {}
+                    _ => {
+                        lits[w] = lits[i];
+                        w += 1;
+                    }
+                }
+            }
+            lits.truncate(w);
+            match lits.len() {
+                0 => return false,
+                1 => {
+                    // Propagate immediately so later clauses in the batch
+                    // are filtered against the strengthened root.
+                    self.enqueue(lits[0], None);
+                    if self.propagate().is_some() {
+                        return false;
+                    }
+                }
+                _ => {
+                    self.attach_clause(lits, true, lbd);
+                }
+            }
+        }
+        true
+    }
+
+    /// Reinitializes every saved phase from a splitmix64 stream
+    /// (portfolio diversification).
+    pub(crate) fn scramble_phases(&mut self, seed: u64) {
+        let mut state = seed;
+        for p in &mut self.phase {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *p = z & 1 == 1;
+        }
+    }
+
+    /// Drains the locally accumulated LBD samples (see `lbd_acc`).
+    pub(crate) fn take_lbd_hist(&mut self) -> rsn_obs::Histogram {
+        std::mem::replace(&mut self.lbd_acc, rsn_obs::Histogram::new())
+    }
+
+    /// Folds a losing worker's LBD samples into this solver's local
+    /// accumulator so one `sat.learnt_lbd` merge covers the whole
+    /// portfolio.
+    pub(crate) fn merge_lbd_hist(&mut self, h: &rsn_obs::Histogram) {
+        self.lbd_acc.merge(h);
+    }
+
+    /// Overwrites the failed-assumption core (cube-and-conquer unions
+    /// per-cube cores into a whole-query core).
+    pub(crate) fn set_core_direct(&mut self, core: Vec<Lit>) {
+        self.core = core;
+    }
+
+    /// Latches the formula as unsatisfiable (set when a cube partition
+    /// refutes every branch of an assumption-free query).
+    pub(crate) fn mark_unsat(&mut self) {
+        self.unsat = true;
+    }
+
+    /// Folds a losing worker's flow counters into these stats so the
+    /// portfolio's exported totals account for all work performed.
+    pub(crate) fn add_flow_stats(&mut self, delta: Stats) {
+        self.stats.conflicts += delta.conflicts;
+        self.stats.decisions += delta.decisions;
+        self.stats.propagations += delta.propagations;
+        self.stats.restarts += delta.restarts;
+    }
+
+    /// Flow-counter delta (conflicts/decisions/propagations/restarts)
+    /// accumulated since `before`; `learnts` is a level, not a flow, and
+    /// stays 0.
+    pub(crate) fn flow_delta_since(&self, before: Stats) -> Stats {
+        Stats {
+            conflicts: self.stats.conflicts - before.conflicts,
+            decisions: self.stats.decisions - before.decisions,
+            propagations: self.stats.propagations - before.propagations,
+            restarts: self.stats.restarts - before.restarts,
+            learnts: 0,
+        }
+    }
+
+    /// The `k` unassigned variables with the highest VSIDS activity,
+    /// excluding `exclude` (assumption variables) — the cube-and-conquer
+    /// split variables. Call at decision level 0.
+    pub(crate) fn top_active_vars(&self, k: usize, exclude: &[Var]) -> Vec<Var> {
+        let mut vars: Vec<Var> = (0..self.num_vars() as u32)
+            .map(Var)
+            .filter(|v| self.assign[v.index()] == UNDEF && !exclude.contains(v))
+            .collect();
+        vars.sort_by(|a, b| {
+            self.activity[b.index()]
+                .partial_cmp(&self.activity[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        vars.truncate(k);
+        vars
+    }
+
+    /// Root-level failed-literal probing over the `max_vars` most active
+    /// unassigned variables. Each candidate `v` is propagated in both
+    /// polarities at a throwaway decision level: a branch that conflicts
+    /// forces the opposite literal at the root, and a literal implied by
+    /// *both* branches is forced too. Discovered units are enqueued at
+    /// level 0 and propagated immediately, so later probes see their
+    /// consequences. Returns the number of root literals fixed; the
+    /// formula may be latched unsatisfiable as a side effect (check
+    /// `is_unsat` / the next solve).
+    ///
+    /// Must be called at decision level 0 with no assumptions in place —
+    /// every unit found is then implied by the formula alone, so failed
+    /// -assumption cores of later solves stay valid. Probing perturbs
+    /// saved phases and is therefore only used on the parallel escalation
+    /// path, never under the `threads == 1` bit-identical contract.
+    pub(crate) fn probe_roots(&mut self, max_vars: usize, budget: &Budget) -> u64 {
+        debug_assert!(self.trail_lim.is_empty(), "probe_roots requires level 0");
+        if self.unsat {
+            return 0;
+        }
+        if self.propagate().is_some() {
+            self.mark_unsat();
+            return 0;
+        }
+        let candidates = self.top_active_vars(max_vars, &[]);
+        let mut mark = vec![false; 2 * self.num_vars()];
+        let mut fixed = 0u64;
+        for v in candidates {
+            if self.assign[v.index()] != UNDEF {
+                continue; // fixed by an earlier probe's propagation
+            }
+            if budget.poll().is_some() {
+                break;
+            }
+            let pos = Lit::pos(v);
+            let pos_implied = self.probe_branch(pos);
+            let neg_implied = self.probe_branch(!pos);
+            match (pos_implied, neg_implied) {
+                (None, None) => {
+                    self.mark_unsat();
+                    return fixed;
+                }
+                (None, Some(_)) => {
+                    // Positive branch failed: ¬v is forced at the root.
+                    fixed += 1;
+                    self.enqueue(!pos, None);
+                    if self.propagate().is_some() {
+                        self.mark_unsat();
+                        return fixed;
+                    }
+                }
+                (Some(_), None) => {
+                    // Negative branch failed: v is forced at the root.
+                    fixed += 1;
+                    self.enqueue(pos, None);
+                    if self.propagate().is_some() {
+                        self.mark_unsat();
+                        return fixed;
+                    }
+                }
+                (Some(ref p), Some(ref n)) => {
+                    // Literals implied under both polarities are implied
+                    // outright (skip the probed decisions themselves —
+                    // their codes never coincide across branches).
+                    for &l in p {
+                        mark[l.code()] = true;
+                    }
+                    for &l in n {
+                        if !mark[l.code()] || self.lit_value(l) != UNDEF {
+                            continue;
+                        }
+                        fixed += 1;
+                        self.enqueue(l, None);
+                        if self.propagate().is_some() {
+                            for &pl in p {
+                                mark[pl.code()] = false;
+                            }
+                            self.mark_unsat();
+                            return fixed;
+                        }
+                    }
+                    for &l in p {
+                        mark[l.code()] = false;
+                    }
+                }
+            }
+        }
+        fixed
+    }
+
+    /// Propagates `l` at a throwaway decision level and unwinds. Returns
+    /// the implied trail slice (including `l`), or `None` on conflict.
+    fn probe_branch(&mut self, l: Lit) -> Option<Vec<Lit>> {
+        if self.lit_value(l) != UNDEF {
+            // Fixed since candidate selection; treat a false literal as a
+            // failed branch and a true one as implying nothing new.
+            return if self.lit_is_false(l) {
+                None
+            } else {
+                Some(Vec::new())
+            };
+        }
+        let lim = self.trail.len();
+        self.trail_lim.push(lim);
+        self.enqueue(l, None);
+        let confl = self.propagate();
+        let implied = if confl.is_none() {
+            Some(self.trail[lim..].to_vec())
+        } else {
+            None
+        };
+        self.backtrack(0);
+        implied
+    }
+
+    /// `true` once the formula has been latched unsatisfiable (empty
+    /// clause, root conflict or a refuted assumption-free solve).
+    pub(crate) fn unsat_latched(&self) -> bool {
+        self.unsat
+    }
+
+    /// Snapshot of the clause database simplified against the root
+    /// assignment: satisfied clauses are dropped and root-false literals
+    /// stripped. With `learnts == false` the irredundant clauses are
+    /// returned, prefixed by one unit clause per root fact (so the
+    /// snapshot is self-contained); `learnts == true` returns the learnt
+    /// clauses only. Input for the escalation-path variable elimination
+    /// (see [`crate::eliminate`]). Call at decision level 0.
+    pub(crate) fn root_clauses(&self, learnts: bool) -> Vec<Vec<Lit>> {
+        debug_assert!(self.trail_lim.is_empty(), "snapshot requires level 0");
+        let mut out = Vec::new();
+        if !learnts {
+            for &l in &self.trail {
+                out.push(vec![l]);
+            }
+        }
+        'clauses: for c in &self.clauses {
+            if c.deleted || c.learnt != learnts {
+                continue;
+            }
+            let mut lits = Vec::with_capacity(c.lits.len());
+            for &l in &c.lits {
+                if self.lit_is_true(l) {
+                    continue 'clauses;
+                }
+                if !self.lit_is_false(l) {
+                    lits.push(l);
+                }
+            }
+            out.push(lits);
+        }
+        out
+    }
+
+    /// `true` if the full assignment satisfies every live clause —
+    /// validation for models reconstructed after variable elimination.
+    pub(crate) fn check_model(&self, model: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .filter(|c| !c.deleted)
+            .all(|c| c.lits.iter().any(|l| model[l.var().index()] != l.is_neg()))
+    }
+
+    /// Replays an externally produced full assignment as a sequence of
+    /// decisions, leaving the solver in the same state as a satisfiable
+    /// solve that happened to make those decisions (so [`Solver::value`],
+    /// `retract` and incremental re-solving all behave normally).
+    /// Propagation runs after every decision; a conflict — impossible
+    /// for a genuine model — aborts the replay and returns `false` with
+    /// the trail unwound, and a propagation-forced value disagreeing
+    /// with `model` does the same. Call at decision level 0.
+    pub(crate) fn adopt_model(&mut self, model: &[bool]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "replay requires level 0");
+        debug_assert_eq!(model.len(), self.num_vars());
+        if self.unsat || self.propagate().is_some() {
+            return false;
+        }
+        for vi in 0..self.num_vars() {
+            match self.assign[vi] {
+                UNDEF => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(Lit::with_polarity(Var(vi as u32), model[vi]), None);
+                    if self.propagate().is_some() {
+                        self.backtrack(0);
+                        return false;
+                    }
+                }
+                a if (a != 0) != model[vi] => {
+                    self.backtrack(0);
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        true
     }
 }
 

@@ -209,6 +209,100 @@ fn dimacs_roundtrip_preserves_satisfiability() {
     }
 }
 
+/// Random 3-SAT with three distinct variables per clause. The
+/// clause/variable ratio swings below and above the phase transition,
+/// so the generated suite contains both satisfiable and unsatisfiable
+/// instances.
+fn random_3sat(rng: &mut Rng, num_vars: u32, num_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..num_clauses)
+        .map(|_| {
+            let mut vars: Vec<u32> = Vec::with_capacity(3);
+            while vars.len() < 3 {
+                let v = rng.below(num_vars as u64) as u32;
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            vars.into_iter()
+                .map(|v| Lit::with_polarity(Var(v), rng.bool()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn dimacs_emit_parse_emit_is_a_fixpoint() {
+    // One emit→parse trip must be enough: re-emitting the parsed
+    // instance reproduces the exact text, so DIMACS files written by
+    // this crate are stable under round-tripping.
+    let mut rng = Rng(0x5eed_0006);
+    for case in 0..64 {
+        let num_vars = 3 + (case % 8) as u32;
+        let clauses = random_3sat(&mut rng, num_vars, 4 + case % 32);
+        let d = Dimacs {
+            num_vars: num_vars as usize,
+            clauses,
+        };
+        let text = d.to_dimacs();
+        let reparsed = Dimacs::parse(&text).expect("emitted DIMACS must parse");
+        assert_eq!(reparsed.num_vars, d.num_vars);
+        assert_eq!(reparsed.clauses, d.clauses);
+        assert_eq!(reparsed.to_dimacs(), text, "emit∘parse is not a fixpoint");
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_serial_on_parsed_3sat() {
+    // Every parsed instance solves to the same verdict serially and
+    // under a 4-worker portfolio, and a 1-worker portfolio is
+    // bit-identical to the serial loop (same verdict, same statistics).
+    let budget = rsn_budget::Budget::unlimited();
+    let mut rng = Rng(0x5eed_0007);
+    let (mut sat_seen, mut unsat_seen) = (0u32, 0u32);
+    for case in 0..48usize {
+        let num_vars = 8;
+        // Sweep the clause count across the 3-SAT phase transition
+        // (~4.26 · n) so both verdicts occur.
+        let num_clauses = 16 + case;
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let d = Dimacs {
+            num_vars: num_vars as usize,
+            clauses,
+        };
+        let text = d.to_dimacs();
+        let parsed = Dimacs::parse(&text).expect("parse");
+
+        let mut serial = parsed.to_solver();
+        let mut one = serial.clone();
+        let mut wide = serial.clone();
+        let serial_out = serial.solve_under(&budget);
+        let one_out = one.solve_portfolio_under(&budget, 1);
+        let wide_out = wide.solve_portfolio_under(&budget, 4);
+        assert_eq!(serial_out, one_out, "case {case}: 1-thread diverged");
+        assert_eq!(
+            serial.stats(),
+            one.stats(),
+            "case {case}: threads==1 must replay the serial search exactly"
+        );
+        assert_eq!(
+            serial_out, wide_out,
+            "case {case}: portfolio verdict flipped"
+        );
+        match serial_out {
+            rsn_sat::SolveOutcome::Sat => sat_seen += 1,
+            rsn_sat::SolveOutcome::Unsat => unsat_seen += 1,
+            rsn_sat::SolveOutcome::Unknown { .. } => {
+                panic!("case {case}: unlimited budget cannot exhaust")
+            }
+        }
+    }
+    assert!(sat_seen >= 8, "suite too easy: only {sat_seen} sat cases");
+    assert!(
+        unsat_seen >= 8,
+        "suite too easy: only {unsat_seen} unsat cases"
+    );
+}
+
 #[test]
 fn tseitin_gates_respect_semantics() {
     let mut rng = Rng(0x5eed_0004);

@@ -60,6 +60,11 @@ pub struct VerifyOptions {
     pub structural: bool,
     /// Cyclic control dependencies (`RSN009`).
     pub control_cycles: bool,
+    /// Solver threads for the SAT-backed families: `1` (the default)
+    /// keeps every query on the bit-reproducible serial CDCL loop,
+    /// larger values route queries through the portfolio solver
+    /// ([`rsn_sat::Solver::set_threads`]).
+    pub solver_threads: usize,
 }
 
 impl Default for VerifyOptions {
@@ -70,6 +75,7 @@ impl Default for VerifyOptions {
             controllability: true,
             structural: true,
             control_cycles: true,
+            solver_threads: 1,
         }
     }
 }
@@ -172,7 +178,11 @@ fn verify_impl(
                     Some(s) => s,
                     None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
                 };
-                let scr = scratch.get_or_insert_with(|| sat.scratch());
+                let scr = scratch.get_or_insert_with(|| {
+                    let mut s = sat.scratch();
+                    s.set_threads(opts.solver_threads);
+                    s
+                });
                 report.checks_run.push("selects");
                 report
                     .diagnostics
@@ -187,7 +197,11 @@ fn verify_impl(
                     Some(s) => s,
                     None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
                 };
-                let scr = scratch.get_or_insert_with(|| sat.scratch());
+                let scr = scratch.get_or_insert_with(|| {
+                    let mut s = sat.scratch();
+                    s.set_threads(opts.solver_threads);
+                    s
+                });
                 report.checks_run.push("muxes");
                 report.diagnostics.extend(checks::mux_checks(rsn, sat, scr));
             } else {
@@ -200,7 +214,11 @@ fn verify_impl(
                     Some(s) => s,
                     None => owned.get_or_insert_with(|| NetworkSat::build(rsn)),
                 };
-                let scr = scratch.get_or_insert_with(|| sat.scratch());
+                let scr = scratch.get_or_insert_with(|| {
+                    let mut s = sat.scratch();
+                    s.set_threads(opts.solver_threads);
+                    s
+                });
                 report.checks_run.push("controllability");
                 report
                     .diagnostics
@@ -390,6 +408,7 @@ mod tests {
                 controllability: false,
                 structural: true,
                 control_cycles: true,
+                solver_threads: 1,
             },
         );
         assert_eq!(report.sat_queries, 0);
